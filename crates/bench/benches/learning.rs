@@ -1,0 +1,40 @@
+//! Criterion benches for the learning stack: featurization, forward pass,
+//! and a short training run at paper-scale feature dimensionality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use steer_learn::nn::Mlp;
+use steer_learn::{normalize_targets, Normalizer};
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    // Paper-sized input: job features + 10 configs × (1 + 256) ≈ 2700.
+    let input = 2716;
+    let mut mlp = Mlp::new(input, 256, 10, &mut rng);
+    let x: Vec<f64> = (0..input).map(|i| (i % 7) as f64 / 7.0).collect();
+    c.bench_function("nn/forward_2716x256x10", |b| {
+        b.iter(|| mlp.predict(&x));
+    });
+    let xs = vec![x.clone(); 16];
+    let ys = vec![normalize_targets(&[5.0, 3.0, 9.0, 1.0, 2.0, 8.0, 7.0, 6.0, 4.0, 2.5]); 16];
+    c.bench_function("nn/train_batch16", |b| {
+        b.iter(|| mlp.train_batch(&xs, &ys, 1e-3));
+    });
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let rows: Vec<Vec<f64>> = (0..200)
+        .map(|i| (0..2716).map(|j| ((i * j) % 101) as f64).collect())
+        .collect();
+    c.bench_function("encode/normalizer_fit_200x2716", |b| {
+        b.iter(|| Normalizer::fit(&rows).dim());
+    });
+    let norm = Normalizer::fit(&rows);
+    c.bench_function("encode/normalizer_transform", |b| {
+        b.iter(|| norm.transform(&rows[0]).len());
+    });
+}
+
+criterion_group!(benches, bench_mlp, bench_encoding);
+criterion_main!(benches);

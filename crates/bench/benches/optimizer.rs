@@ -1,0 +1,63 @@
+//! Criterion benches for the optimizer substrate: compilation latency under
+//! the default configuration, span approximation, and signature machinery.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scope_optimizer::{compile_job, RuleCatalog, RuleConfig, RuleSet};
+use scope_workload::{Workload, WorkloadProfile};
+use steer_core::approximate_span;
+
+fn bench_compile(c: &mut Criterion) {
+    let w = Workload::generate(WorkloadProfile::workload_a(0.05));
+    let jobs = w.day(0);
+    let config = RuleConfig::default_config();
+    let mut group = c.benchmark_group("optimizer");
+    group.bench_function("compile_default_single_job", |b| {
+        let job = &jobs[0];
+        b.iter(|| compile_job(job, &config).expect("compiles"));
+    });
+    group.bench_function("compile_default_day_50_jobs", |b| {
+        b.iter(|| {
+            let mut cost_sum = 0.0;
+            for job in jobs.iter().take(50) {
+                cost_sum += compile_job(job, &config).expect("compiles").est_cost;
+            }
+            cost_sum
+        });
+    });
+    group.finish();
+}
+
+fn bench_span(c: &mut Criterion) {
+    let w = Workload::generate(WorkloadProfile::workload_a(0.05));
+    let jobs = w.day(0);
+    c.bench_function("span/algorithm1_single_job", |b| {
+        let job = &jobs[0];
+        let obs = job.catalog.observe();
+        b.iter(|| approximate_span(&job.plan, &obs));
+    });
+}
+
+fn bench_ruleset(c: &mut Criterion) {
+    let cat = RuleCatalog::global();
+    let a = cat.non_required();
+    let b_set = *cat.off_by_default();
+    let mut group = c.benchmark_group("ruleset");
+    group.bench_function("union_diff_iter", |bench| {
+        bench.iter_batched(
+            || (a, b_set),
+            |(x, y)| {
+                let u = x.union(&y);
+                let d = x.difference(&y);
+                u.iter().count() + d.iter().count()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("bit_string_roundtrip", |bench| {
+        bench.iter(|| RuleSet::from_bit_string(&a.to_bit_string()).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_span, bench_ruleset);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for the execution simulator and the discovery
+//! pipeline: A/B execution latency, candidate-configuration generation,
+//! and end-to-end per-job analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scope_exec::ABTester;
+use scope_optimizer::{compile_job, RuleConfig};
+use scope_workload::{Workload, WorkloadProfile};
+use steer_core::{approximate_span, candidate_configs, Pipeline, PipelineParams};
+
+fn bench_execute(c: &mut Criterion) {
+    let w = Workload::generate(WorkloadProfile::workload_a(0.05));
+    let jobs = w.day(0);
+    let job = &jobs[0];
+    let compiled = compile_job(job, &RuleConfig::default_config()).expect("compiles");
+    let ab = ABTester::new(1);
+    c.bench_function("exec/ab_run_single_plan", |b| {
+        b.iter(|| ab.run(job, &compiled.plan, 0));
+    });
+}
+
+fn bench_candidates(c: &mut Criterion) {
+    let w = Workload::generate(WorkloadProfile::workload_a(0.05));
+    let jobs = w.day(0);
+    let job = &jobs[0];
+    let obs = job.catalog.observe();
+    let span = approximate_span(&job.plan, &obs);
+    c.bench_function("search/generate_100_candidates", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            candidate_configs(&span, 100, &mut rng).len()
+        });
+    });
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let w = Workload::generate(WorkloadProfile::workload_a(0.05));
+    let jobs = w.day(0);
+    let pipeline = Pipeline::new(
+        ABTester::new(1),
+        PipelineParams {
+            m_candidates: 50,
+            execute_top_k: 5,
+            ..PipelineParams::default()
+        },
+    );
+    // Use a job whose default run exists.
+    let job = &jobs[0];
+    let (compiled, metrics) = pipeline.default_run(job).expect("default run");
+    c.bench_function("pipeline/analyze_job_50_candidates", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            pipeline.analyze_job(job, &compiled, metrics, &mut rng)
+        });
+    });
+}
+
+criterion_group!(benches, bench_execute, bench_candidates, bench_analyze);
+criterion_main!(benches);

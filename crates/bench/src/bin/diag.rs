@@ -1,0 +1,130 @@
+//! Diagnostic smoke tool: generates a small Workload A, compiles and
+//! executes a day under the default configuration, and probes whether
+//! random steering can improve representative jobs. Not a paper experiment
+//! — a development aid for calibrating the simulator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scope_exec::ABTester;
+use scope_ir::stats::{mean, percentile};
+use scope_optimizer::{compile_job, RuleCatalog, RuleConfig};
+use scope_workload::{Workload, WorkloadProfile};
+use std::collections::HashMap;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let w = Workload::generate(WorkloadProfile::workload_a(scale));
+    let jobs = w.day(0);
+    println!("jobs: {}", jobs.len());
+
+    let ab = ABTester::new(1);
+    let default = RuleConfig::default_config();
+    let mut runtimes = Vec::new();
+    let mut sig_sizes = Vec::new();
+    let mut sig_groups: HashMap<u64, usize> = HashMap::new();
+    let mut costs = Vec::new();
+    let mut compiled_jobs = Vec::new();
+    let t0 = std::time::Instant::now();
+    for job in &jobs {
+        let c = match compile_job(job, &default) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("job {} failed: {e}", job.id);
+                continue;
+            }
+        };
+        let m = ab.run(job, &c.plan, 0);
+        runtimes.push(m.runtime);
+        sig_sizes.push(c.signature.len() as f64);
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::hash::Hash::hash(&c.signature.to_bit_string(), &mut h);
+        *sig_groups.entry(std::hash::Hasher::finish(&h)).or_insert(0) += 1;
+        costs.push((job.id, c.est_cost, m.runtime));
+        compiled_jobs.push((job, c, m));
+    }
+    println!("compile+exec took {:?}", t0.elapsed());
+    println!(
+        "runtime s: p10={:.0} p50={:.0} p90={:.0} p99={:.0} max={:.0}",
+        percentile(&runtimes, 10.0),
+        percentile(&runtimes, 50.0),
+        percentile(&runtimes, 90.0),
+        percentile(&runtimes, 99.0),
+        percentile(&runtimes, 100.0)
+    );
+    let over5min = runtimes.iter().filter(|&&r| r > 300.0).count();
+    println!(
+        "jobs >5min: {} ({:.0}%)",
+        over5min,
+        100.0 * over5min as f64 / runtimes.len() as f64
+    );
+    println!(
+        "signature size: mean={:.1} p10={:.0} p90={:.0}",
+        mean(&sig_sizes),
+        percentile(&sig_sizes, 10.0),
+        percentile(&sig_sizes, 90.0)
+    );
+    println!(
+        "distinct signatures: {} / {} jobs; largest group {}",
+        sig_groups.len(),
+        runtimes.len(),
+        sig_groups.values().max().unwrap_or(&0)
+    );
+
+    // Steering probe: for 20 medium jobs, try 30 random configs built by
+    // disabling subsets of fired rules / enabling off-by-default rules.
+    let cat = RuleCatalog::global();
+    let mut probe_jobs: Vec<&(&scope_ir::Job, scope_optimizer::CompiledPlan, scope_exec::RunMetrics)> =
+        compiled_jobs
+            .iter()
+            .filter(|(_, _, m)| m.runtime > 300.0 && m.runtime < 20_000.0)
+            .collect();
+    probe_jobs.truncate(20);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut improvements = Vec::new();
+    for (job, c0, m0) in probe_jobs.iter().map(|x| (&x.0, &x.1, &x.2)) {
+        let fired: Vec<_> = c0
+            .signature
+            .on_rules()
+            .filter(|id| !cat.required().contains(*id))
+            .collect();
+        let mut best = m0.runtime;
+        let mut cheaper_cost = 0;
+        for _ in 0..30 {
+            let mut cfg = RuleConfig::default_config();
+            for &r in &fired {
+                if rng.gen_bool(0.3) {
+                    cfg.disable(r);
+                }
+            }
+            for r in cat.off_by_default().iter() {
+                if rng.gen_bool(0.1) {
+                    cfg.enable(r);
+                }
+            }
+            if let Ok(c) = compile_job(job, &cfg) {
+                if c.est_cost < c0.est_cost {
+                    cheaper_cost += 1;
+                }
+                let m = ab.run(job, &c.plan, 0);
+                if m.runtime < best {
+                    best = m.runtime;
+                }
+            }
+        }
+        let pct = 100.0 * (best - m0.runtime) / m0.runtime;
+        improvements.push(pct);
+        println!(
+            "job {}: default {:.0}s best {:.0}s ({:+.0}%), cheaper-cost configs {}/30",
+            job.id, m0.runtime, best, pct, cheaper_cost
+        );
+    }
+    println!(
+        "probe: mean improvement {:.1}%, improved jobs {}/{}",
+        mean(&improvements),
+        improvements.iter().filter(|&&p| p < -1.0).count(),
+        improvements.len()
+    );
+}

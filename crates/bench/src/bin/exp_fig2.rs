@@ -1,0 +1,106 @@
+//! **Figure 2** — distributions over one day of Workload A:
+//! (a) job runtimes, (b) how frequently each rule is used, (c) number of
+//! distinct rules used per job, (d) jobs per default rule signature.
+//!
+//! Run: `cargo run -p scope-steer-bench --release --bin exp_fig2 -- [--scale=0.1]`
+
+use std::collections::HashMap;
+
+use scope_exec::ABTester;
+use scope_ir::stats::{mean, percentile};
+use scope_optimizer::NUM_RULES;
+use scope_steer_bench::harness::{compile_day, workload, AB_SEED};
+use scope_steer_bench::reporting::{banner, scale_arg, write_csv};
+use scope_workload::WorkloadTag;
+
+fn main() {
+    let scale = scale_arg();
+    banner("Figure 2", "runtime / rule-usage / rules-per-job / signature distributions (Workload A)");
+    let w = workload(WorkloadTag::A, scale);
+    let ab = ABTester::new(AB_SEED);
+    let compiled = compile_day(&w, 0, &ab);
+
+    // (a) runtimes.
+    let runtimes: Vec<f64> = compiled.iter().map(|c| c.metrics.runtime).collect();
+    let csv_a: Vec<String> = {
+        let mut sorted = runtimes.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        sorted
+            .iter()
+            .enumerate()
+            .map(|(i, r)| format!("{},{r:.1}", (i + 1) as f64 / sorted.len() as f64))
+            .collect()
+    };
+    println!(
+        "(a) runtimes s: p10={:.0} p50={:.0} p90={:.0} p99={:.0} max={:.0}; >5min: {:.0}%",
+        percentile(&runtimes, 10.0),
+        percentile(&runtimes, 50.0),
+        percentile(&runtimes, 90.0),
+        percentile(&runtimes, 99.0),
+        percentile(&runtimes, 100.0),
+        100.0 * runtimes.iter().filter(|&&r| r > 300.0).count() as f64 / runtimes.len() as f64
+    );
+    write_csv("fig2a_runtime_cdf.csv", "cdf,runtime_s", &csv_a);
+
+    // (b) rule usage frequency.
+    let mut usage = vec![0usize; NUM_RULES];
+    for c in &compiled {
+        for id in c.compiled.signature.on_rules() {
+            usage[id.index()] += 1;
+        }
+    }
+    let mut usage_sorted: Vec<usize> = usage.iter().copied().filter(|&u| u > 0).collect();
+    usage_sorted.sort_unstable_by(|a, b| b.cmp(a));
+    println!(
+        "(b) rules used at least once: {}; used by >10% of jobs: {}",
+        usage_sorted.len(),
+        usage_sorted
+            .iter()
+            .filter(|&&u| u * 10 > compiled.len())
+            .count()
+    );
+    let csv_b: Vec<String> = usage_sorted
+        .iter()
+        .enumerate()
+        .map(|(rank, u)| format!("{rank},{u}"))
+        .collect();
+    write_csv("fig2b_rule_usage.csv", "rank,jobs_using_rule", &csv_b);
+
+    // (c) rules per job.
+    let per_job: Vec<f64> = compiled
+        .iter()
+        .map(|c| c.compiled.signature.len() as f64)
+        .collect();
+    println!(
+        "(c) rules per job: mean={:.1} p10={:.0} p50={:.0} p90={:.0} (paper: typically 10-20)",
+        mean(&per_job),
+        percentile(&per_job, 10.0),
+        percentile(&per_job, 50.0),
+        percentile(&per_job, 90.0)
+    );
+    let csv_c: Vec<String> = per_job.iter().map(|v| format!("{v:.0}")).collect();
+    write_csv("fig2c_rules_per_job.csv", "rules_in_signature", &csv_c);
+
+    // (d) jobs per default signature.
+    let mut groups: HashMap<String, usize> = HashMap::new();
+    for c in &compiled {
+        *groups
+            .entry(c.compiled.signature.to_bit_string())
+            .or_insert(0) += 1;
+    }
+    let mut sizes: Vec<usize> = groups.values().copied().collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!(
+        "(d) signature groups: {} distinct; top-5 sizes {:?} of {} jobs (paper: heavy head, some signatures with ~1% of jobs each)",
+        sizes.len(),
+        &sizes[..sizes.len().min(5)],
+        compiled.len()
+    );
+    let csv_d: Vec<String> = sizes
+        .iter()
+        .enumerate()
+        .map(|(rank, s)| format!("{rank},{s}"))
+        .collect();
+    let path = write_csv("fig2d_signature_groups.csv", "rank,jobs_in_group", &csv_d);
+    println!("wrote {} (and fig2a/b/c csvs)", path.display());
+}

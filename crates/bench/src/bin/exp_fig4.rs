@@ -1,0 +1,78 @@
+//! **Figure 4** — default estimated cost versus the estimated costs of all
+//! candidate rule configurations, for 15 randomly selected Workload A jobs.
+//! Despite the Cascades lowest-cost guarantee, many candidates come back
+//! *cheaper* than the default because rule configurations change how node
+//! properties (and hence costs) are derived (§5.3).
+//!
+//! Run: `cargo run -p scope-steer-bench --release --bin exp_fig4 -- [--scale=0.1]`
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use scope_exec::ABTester;
+use scope_optimizer::compile;
+use scope_steer_bench::harness::{compile_day, pipeline_params, workload, AB_SEED};
+use scope_steer_bench::reporting::{banner, markdown_table, scale_arg, write_csv};
+use scope_workload::WorkloadTag;
+use steer_core::{approximate_span, candidate_configs};
+
+fn main() {
+    let scale = scale_arg();
+    banner("Figure 4", "default vs candidate estimated costs (15 random jobs, Workload A)");
+    let w = workload(WorkloadTag::A, scale);
+    let ab = ABTester::new(AB_SEED);
+    let compiled = compile_day(&w, 0, &ab);
+    let params = pipeline_params(scale);
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut candidates_jobs: Vec<_> = compiled
+        .iter()
+        .filter(|c| c.metrics.runtime > 300.0)
+        .collect();
+    candidates_jobs.shuffle(&mut rng);
+    candidates_jobs.truncate(15);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut jobs_with_cheaper = 0;
+    for (qi, c) in candidates_jobs.iter().enumerate() {
+        let obs = c.job.catalog.observe();
+        let span = approximate_span(&c.job.plan, &obs);
+        let configs = candidate_configs(&span, params.m_candidates, &mut rng);
+        let mut costs = Vec::new();
+        for config in &configs {
+            if let Ok(alt) = compile(&c.job.plan, &obs, config) {
+                costs.push(alt.est_cost);
+            }
+        }
+        let cheaper = costs.iter().filter(|&&x| x < c.compiled.est_cost).count();
+        if cheaper > 0 {
+            jobs_with_cheaper += 1;
+        }
+        let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = costs.iter().cloned().fold(0.0f64, f64::max);
+        for cost in &costs {
+            csv.push(format!("Q{qi},{:.3},{:.3}", c.compiled.est_cost, cost));
+        }
+        rows.push(vec![
+            format!("Q{qi}"),
+            format!("{:.0}", c.compiled.est_cost),
+            costs.len().to_string(),
+            cheaper.to_string(),
+            format!("{:.0}", min),
+            format!("{:.0}", max),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["job", "default cost", "#candidates", "#cheaper", "min cand cost", "max cand cost"],
+            &rows
+        )
+    );
+    println!(
+        "{jobs_with_cheaper}/15 jobs have candidate configurations with estimated cost below the default — the paper's 'paradox' (most jobs in their Figure 4 do)."
+    );
+    let path = write_csv("fig4_costs.csv", "job,default_cost,candidate_cost", &csv);
+    println!("wrote {}", path.display());
+}

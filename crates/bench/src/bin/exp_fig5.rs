@@ -1,0 +1,48 @@
+//! **Figure 5** — scatter of default estimated cost (x) versus runtime (y)
+//! for all jobs of one Workload A day. The interesting population is the
+//! top-left corner: low estimated cost, high runtime — jobs whose cost
+//! model assumptions collapsed (§6.1's second selection heuristic).
+//!
+//! Run: `cargo run -p scope-steer-bench --release --bin exp_fig5 -- [--scale=0.1]`
+
+use scope_exec::ABTester;
+use scope_steer_bench::harness::{compile_day, workload, AB_SEED};
+use scope_steer_bench::reporting::{banner, scale_arg, write_csv};
+use scope_workload::WorkloadTag;
+
+fn main() {
+    let scale = scale_arg();
+    banner("Figure 5", "estimated cost vs runtime scatter (Workload A)");
+    let w = workload(WorkloadTag::A, scale);
+    let ab = ABTester::new(AB_SEED);
+    let compiled = compile_day(&w, 0, &ab);
+
+    let mut csv = Vec::new();
+    let mut outliers = 0usize;
+    let (mut sx, mut sy, mut sxy, mut sx2, mut sy2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let n = compiled.len() as f64;
+    for c in &compiled {
+        let x = c.compiled.est_cost.max(1e-3).ln();
+        let y = c.metrics.runtime.max(1e-3).ln();
+        sx += x;
+        sy += y;
+        sxy += x * y;
+        sx2 += x * x;
+        sy2 += y * y;
+        // The paper's top-left corner: optimizer expected fast, reality slow.
+        if c.metrics.runtime > 4.0 * c.compiled.est_cost && c.metrics.runtime > 300.0 {
+            outliers += 1;
+        }
+        csv.push(format!("{:.3},{:.1}", c.compiled.est_cost, c.metrics.runtime));
+    }
+    let corr = (n * sxy - sx * sy)
+        / ((n * sx2 - sx * sx).sqrt() * (n * sy2 - sy * sy).sqrt()).max(1e-12);
+    println!(
+        "jobs: {}; log-log correlation(cost, runtime) = {corr:.2}; low-cost/high-runtime outliers: {outliers} ({:.1}%)",
+        compiled.len(),
+        100.0 * outliers as f64 / n
+    );
+    println!("Paper: costs broadly track runtimes but a visible top-left population exists.");
+    let path = write_csv("fig5_cost_vs_runtime.csv", "est_cost,runtime_s", &csv);
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,59 @@
+//! **Figure 6** — per-job percentage runtime change from the default to the
+//! best of the ten cheapest alternative configurations, for the jobs the
+//! §6.1 heuristics selected (all three workloads).
+//!
+//! Run: `cargo run -p scope-steer-bench --release --bin exp_fig6 -- [--scale=0.1]`
+
+use scope_ir::stats::{mean, median};
+use scope_steer_bench::harness::run_discovery;
+use scope_steer_bench::reporting::{banner, markdown_table, scale_arg, write_csv};
+use scope_workload::WorkloadTag;
+
+fn main() {
+    let scale = scale_arg();
+    banner("Figure 6", "best-alternative runtime change per selected job");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for tag in WorkloadTag::ALL {
+        let report = run_discovery(tag, scale);
+        let mut changes: Vec<f64> = report
+            .outcomes
+            .iter()
+            .map(|o| o.best_runtime_change_pct())
+            .collect();
+        changes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, ch) in changes.iter().enumerate() {
+            csv.push(format!("{},{},{:.2}", tag.name(), i, ch));
+        }
+        let improved = changes.iter().filter(|&&c| c < 0.0).count();
+        let big = changes.iter().filter(|&&c| c < -50.0).count();
+        rows.push(vec![
+            tag.name().to_string(),
+            changes.len().to_string(),
+            improved.to_string(),
+            big.to_string(),
+            format!("{:.1}", changes.first().copied().unwrap_or(0.0)),
+            format!("{:.1}", median(&changes)),
+            format!("{:.1}", mean(&changes)),
+        ]);
+        println!(
+            "Workload {}: executed {} jobs; sorted best-alt changes: {:?}",
+            tag.name(),
+            changes.len(),
+            changes
+                .iter()
+                .map(|c| format!("{c:.0}%"))
+                .collect::<Vec<_>>()
+        );
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["Workload", "jobs", "improved", "improved >50%", "best %", "median %", "mean %"],
+            &rows
+        )
+    );
+    println!("Paper: a majority of executed jobs improve; tails reach ≈ −90%; workload C shows the smallest percentage magnitudes.");
+    let path = write_csv("fig6_best_alt_change.csv", "workload,rank,change_pct", &csv);
+    println!("wrote {}", path.display());
+}

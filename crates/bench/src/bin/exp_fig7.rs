@@ -1,0 +1,98 @@
+//! **Figure 7** — metric tension on Workload B: for each selected job, pick
+//! the best configuration by (a) runtime, (b) CPU time, (c) IO time, and
+//! report the induced change on *all three* metrics. Optimizing one metric
+//! commonly regresses another.
+//!
+//! The paper's figure uses ~100 Workload B jobs; to reach comparable volume
+//! at reproduction scale this experiment widens the runtime window and
+//! samples every in-window job over several days.
+//!
+//! Run: `cargo run -p scope-steer-bench --release --bin exp_fig7 -- [--scale=0.1]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scope_exec::{ABTester, Metric};
+use scope_steer_bench::harness::{pipeline_params, workload, AB_SEED};
+use scope_steer_bench::reporting::{banner, markdown_table, scale_arg, write_csv};
+use scope_workload::WorkloadTag;
+use steer_core::{DiscoveryReport, Pipeline};
+
+fn main() {
+    let scale = scale_arg();
+    banner("Figure 7", "metric trade-offs when selecting for runtime / CPU / IO (Workload B)");
+    let w = workload(WorkloadTag::B, scale);
+    let mut params = pipeline_params(scale);
+    params.min_runtime_s = 120.0;
+    params.sample_frac = 1.0;
+    let p = Pipeline::new(ABTester::new(AB_SEED), params);
+    let mut rng = StdRng::seed_from_u64(0x716);
+    let mut report = DiscoveryReport::default();
+    for day in 0..4 {
+        let jobs = w.day(day);
+        let day_report = p.discover(&jobs, &mut rng);
+        report.outcomes.extend(day_report.outcomes);
+        report.not_selected += day_report.not_selected;
+        report.out_of_window += day_report.out_of_window;
+    }
+    println!(
+        "selected {} jobs over 4 days ({} in-window but not selected)",
+        report.outcomes.len(),
+        report.not_selected
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for select_by in Metric::ALL {
+        let mut improved = [0usize; 3];
+        let mut regressed = [0usize; 3];
+        let mut n = 0usize;
+        for o in &report.outcomes {
+            let Some(changes) = o.change_when_optimizing(select_by) else {
+                continue;
+            };
+            n += 1;
+            csv.push(format!(
+                "{},{},{:.2},{:.2},{:.2}",
+                select_by.name(),
+                o.job_id,
+                changes[0],
+                changes[1],
+                changes[2]
+            ));
+            for (i, &ch) in changes.iter().enumerate() {
+                if ch < -1.0 {
+                    improved[i] += 1;
+                } else if ch > 1.0 {
+                    regressed[i] += 1;
+                }
+            }
+        }
+        rows.push(vec![
+            format!("best {}", select_by.name()),
+            n.to_string(),
+            format!("{} / {}", improved[0], regressed[0]),
+            format!("{} / {}", improved[1], regressed[1]),
+            format!("{} / {}", improved[2], regressed[2]),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "selection",
+                "jobs",
+                "runtime imp/reg",
+                "cpu imp/reg",
+                "io imp/reg"
+            ],
+            &rows
+        )
+    );
+    println!("Paper: selecting for runtime regresses CPU/IO on many jobs; selecting for CPU mostly clears CPU regressions but costs runtime — and symmetrically for IO.");
+    let path = write_csv(
+        "fig7_metric_tradeoffs.csv",
+        "selection,job,runtime_pct,cpu_pct,io_pct",
+        &csv,
+    );
+    println!("wrote {}", path.display());
+}

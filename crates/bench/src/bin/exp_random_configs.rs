@@ -1,0 +1,113 @@
+//! **§6.2, "When the cost model is completely wrong"** — the paper's
+//! control experiment: for twenty random jobs, execute *randomly selected*
+//! candidate configurations (instead of the ten cheapest) and count how
+//! often a random plan beats the default. The paper found only one
+//! significantly-better plan this way, concluding that the cost model —
+//! imperfect as it is — is still the right selection signal.
+//!
+//! Run: `cargo run -p scope-steer-bench --release --bin exp_random_configs -- [--scale=1.0]`
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use scope_exec::ABTester;
+use scope_optimizer::compile_job;
+use scope_steer_bench::harness::{compile_day, pipeline_params, workload, AB_SEED};
+use scope_steer_bench::reporting::{banner, scale_arg, write_csv};
+use scope_workload::WorkloadTag;
+use steer_core::{approximate_span, candidate_configs};
+
+fn main() {
+    let scale = scale_arg();
+    banner(
+        "§6.2 control",
+        "randomly selected configurations instead of the cheapest (20 random jobs, Workload A)",
+    );
+    let w = workload(WorkloadTag::A, scale);
+    let ab = ABTester::new(AB_SEED);
+    let compiled = compile_day(&w, 0, &ab);
+    let params = pipeline_params(scale);
+
+    let mut rng = StdRng::seed_from_u64(0x62C0);
+    let mut jobs: Vec<_> = compiled
+        .iter()
+        .filter(|c| c.metrics.runtime > 300.0 && c.metrics.runtime < 3600.0)
+        .collect();
+    jobs.shuffle(&mut rng);
+    jobs.truncate(20);
+
+    let per_job = 10usize; // "several randomly selected candidates"
+    let mut csv = Vec::new();
+    let mut sig_better = 0usize;
+    let mut any_better = 0usize;
+    let mut cheapest_sig_better = 0usize;
+    for t in &jobs {
+        let obs = t.job.catalog.observe();
+        let span = approximate_span(&t.job.plan, &obs);
+        let mut configs = candidate_configs(&span, params.m_candidates, &mut rng);
+
+        // Random selection: shuffle, take the first `per_job` that compile.
+        configs.shuffle(&mut rng);
+        let mut random_best = f64::INFINITY;
+        let mut executed = 0usize;
+        let mut compiled_alts = Vec::new();
+        for config in &configs {
+            if let Ok(c) = compile_job(&t.job, config) {
+                compiled_alts.push(c);
+            }
+        }
+        for c in compiled_alts.iter().take(per_job) {
+            executed += 1;
+            let m = ab.run(&t.job, &c.plan, 0);
+            random_best = random_best.min(m.runtime);
+        }
+        // Cost-guided selection on the same candidate pool, for contrast.
+        compiled_alts.sort_by(|a, b| a.est_cost.partial_cmp(&b.est_cost).expect("finite"));
+        let mut cheap_best = f64::INFINITY;
+        for c in compiled_alts.iter().take(per_job) {
+            let m = ab.run(&t.job, &c.plan, 0);
+            cheap_best = cheap_best.min(m.runtime);
+        }
+
+        let random_change = 100.0 * (random_best - t.metrics.runtime) / t.metrics.runtime;
+        let cheap_change = 100.0 * (cheap_best - t.metrics.runtime) / t.metrics.runtime;
+        if random_change < -50.0 {
+            sig_better += 1;
+        }
+        if random_change < -5.0 {
+            any_better += 1;
+        }
+        if cheap_change < -50.0 {
+            cheapest_sig_better += 1;
+        }
+        csv.push(format!(
+            "{},{:.1},{executed},{random_change:.2},{cheap_change:.2}",
+            t.job.id, t.metrics.runtime
+        ));
+    }
+    println!(
+        "random selection: {}/{} jobs significantly better (>50%), {} modestly better (>5%)",
+        sig_better,
+        jobs.len(),
+        any_better
+    );
+    println!(
+        "cost-guided selection on the same pools: {}/{} jobs significantly better",
+        cheapest_sig_better,
+        jobs.len()
+    );
+    println!("Paper: random selection found only ONE significantly-better plan across twenty jobs.");
+    println!(
+        "Divergence: in this reproduction improvements are DENSE in the candidate space — each planted \
+         trap has a single cause, so a large fraction of span configurations fixes it and random \
+         selection wins easily (cost-guided selection even trails it, because skew fixes are \
+         invisible to the cost model). Production mis-estimates are more idiosyncratic, making good \
+         configurations the needles the paper describes. See EXPERIMENTS.md."
+    );
+    let path = write_csv(
+        "random_configs.csv",
+        "job,default_runtime_s,executed,random_best_change_pct,cheapest_best_change_pct",
+        &csv,
+    );
+    println!("wrote {}", path.display());
+}

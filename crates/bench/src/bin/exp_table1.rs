@@ -1,0 +1,86 @@
+//! **Table 1** — production workloads used through the paper: number of
+//! jobs, unique templates, unique inputs, and unique rule signatures per
+//! workload for one day.
+//!
+//! Run: `cargo run -p scope-steer-bench --release --bin exp_table1 -- [--scale=0.1]`
+
+use std::collections::HashSet;
+
+use scope_exec::ABTester;
+use scope_steer_bench::harness::{compile_day, workload, AB_SEED};
+use scope_steer_bench::reporting::{banner, markdown_table, scale_arg, write_csv};
+use scope_workload::WorkloadTag;
+
+fn main() {
+    let scale = scale_arg();
+    banner(
+        "Table 1",
+        &format!("workload statistics for one day (scale {scale})"),
+    );
+    let ab = ABTester::new(AB_SEED);
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut totals = [0usize; 4];
+    for tag in WorkloadTag::ALL {
+        let w = workload(tag, scale);
+        let compiled = compile_day(&w, 0, &ab);
+        let jobs = compiled.len();
+        let templates: HashSet<_> = compiled.iter().map(|c| c.job.template).collect();
+        let inputs: HashSet<u64> = compiled
+            .iter()
+            .flat_map(|c| c.job.inputs.iter().map(|i| i.name_hash))
+            .collect();
+        let signatures: HashSet<String> = compiled
+            .iter()
+            .map(|c| c.compiled.signature.to_bit_string())
+            .collect();
+        totals[0] += jobs;
+        totals[1] += templates.len();
+        totals[2] += inputs.len();
+        totals[3] += signatures.len();
+        csv.push(format!(
+            "{},{},{},{},{}",
+            tag.name(),
+            jobs,
+            templates.len(),
+            inputs.len(),
+            signatures.len()
+        ));
+        rows.push(vec![
+            tag.name().to_string(),
+            jobs.to_string(),
+            templates.len().to_string(),
+            inputs.len().to_string(),
+            signatures.len().to_string(),
+        ]);
+    }
+    rows.push(vec![
+        "Total".into(),
+        totals[0].to_string(),
+        totals[1].to_string(),
+        totals[2].to_string(),
+        totals[3].to_string(),
+    ]);
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Workload",
+                "# Jobs",
+                "# Unique Templates",
+                "# Unique Inputs",
+                "# Unique rule signatures",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Paper (scale 1/100 of production): A 950/480/290/130, B 150/105/90/8, C 400/220/185/25 (approx.)"
+    );
+    let path = write_csv(
+        "table1.csv",
+        "workload,jobs,templates,inputs,signatures",
+        &csv,
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,44 @@
+//! **Table 3** — average runtime change if we always choose the best-known
+//! configuration (including the default), per workload.
+//!
+//! Run: `cargo run -p scope-steer-bench --release --bin exp_table3 -- [--scale=0.1]`
+
+use scope_steer_bench::harness::run_discovery;
+use scope_steer_bench::reporting::{banner, markdown_table, scale_arg, write_csv};
+use scope_workload::WorkloadTag;
+use steer_core::best_known_summary;
+
+fn main() {
+    let scale = scale_arg();
+    banner("Table 3", "mean runtime change with best-known configurations");
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for tag in WorkloadTag::ALL {
+        let report = run_discovery(tag, scale);
+        let s = best_known_summary(&report.outcomes);
+        rows.push(vec![
+            tag.name().to_string(),
+            s.n_jobs.to_string(),
+            format!("{:+.0}s", s.mean_delta_runtime_s),
+            format!("{:+.0}%", s.mean_delta_pct),
+        ]);
+        csv.push(format!(
+            "{},{},{:.2},{:.2}",
+            tag.name(),
+            s.n_jobs,
+            s.mean_delta_runtime_s,
+            s.mean_delta_pct
+        ));
+    }
+    println!(
+        "{}",
+        markdown_table(&["Workload", "# Queries", "Δ Runtime", "Δ Percentage"], &rows)
+    );
+    println!("Paper: A 36 queries / −1689s / −30%; B 155 / −663s / −15%; C 45 / −400s / −7%.");
+    let path = write_csv(
+        "table3.csv",
+        "workload,n_jobs,mean_delta_s,mean_delta_pct",
+        &csv,
+    );
+    println!("wrote {}", path.display());
+}

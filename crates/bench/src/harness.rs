@@ -1,0 +1,116 @@
+//! Shared experiment plumbing: compiled-and-executed days, parallel
+//! fan-out, and the default experiment-scale pipeline parameters.
+
+use crossbeam::thread;
+use scope_exec::{ABTester, RunMetrics};
+use scope_ir::Job;
+use scope_optimizer::{compile_job, CompiledPlan, RuleConfig};
+use scope_workload::{Workload, WorkloadProfile, WorkloadTag};
+use steer_core::{Pipeline, PipelineParams};
+
+/// A job together with its default compilation and A/B execution.
+pub struct CompiledJob {
+    pub job: Job,
+    pub compiled: CompiledPlan,
+    pub metrics: RunMetrics,
+}
+
+/// The seed used by every experiment's A/B harness.
+pub const AB_SEED: u64 = 2021;
+
+/// Generate a workload for a tag at the given scale.
+pub fn workload(tag: WorkloadTag, scale: f64) -> Workload {
+    Workload::generate(WorkloadProfile::for_tag(tag, scale))
+}
+
+/// Compile and execute one day under the default configuration, in
+/// parallel across available cores.
+pub fn compile_day(w: &Workload, day: u32, ab: &ABTester) -> Vec<CompiledJob> {
+    let jobs = w.day(day);
+    let default = RuleConfig::default_config();
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let chunks: Vec<&[Job]> = jobs.chunks(jobs.len().div_ceil(n_threads).max(1)).collect();
+    let mut out: Vec<CompiledJob> = Vec::with_capacity(jobs.len());
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let default = &default;
+                s.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .filter_map(|job| {
+                            let compiled = compile_job(job, default).ok()?;
+                            let metrics = ab.run(job, &compiled.plan, 0);
+                            Some(CompiledJob {
+                                job: job.clone(),
+                                compiled,
+                                metrics,
+                            })
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scoped threads");
+    out
+}
+
+/// Pipeline parameters scaled for experiment runs: candidate counts shrink
+/// with the workload scale so quick runs stay quick, while `--scale=1.0`
+/// uses the paper's M = 1000.
+pub fn pipeline_params(scale: f64) -> PipelineParams {
+    let m = ((1000.0 * scale.max(0.05)).round() as usize).clamp(100, 1000);
+    PipelineParams {
+        m_candidates: m,
+        execute_top_k: 10,
+        sample_frac: 0.5,
+        ..PipelineParams::default()
+    }
+}
+
+/// The standard pipeline for experiments.
+pub fn pipeline(scale: f64) -> Pipeline {
+    Pipeline::new(ABTester::new(AB_SEED), pipeline_params(scale))
+}
+
+/// Run the full discovery pipeline (§5–§6) over day 0 of a workload.
+/// Deterministic for a given (tag, scale).
+pub fn run_discovery(tag: WorkloadTag, scale: f64) -> steer_core::DiscoveryReport {
+    use rand::SeedableRng;
+    let w = workload(tag, scale);
+    let jobs = w.day(0);
+    let p = pipeline(scale);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED ^ tag as u64);
+    p.discover(&jobs, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_day_is_deterministic_and_parallel_safe() {
+        let w = workload(WorkloadTag::B, 0.2);
+        let ab = ABTester::new(AB_SEED);
+        let a = compile_day(&w, 0, &ab);
+        let b = compile_day(&w, 0, &ab);
+        assert_eq!(a.len(), b.len());
+        let sum_a: f64 = a.iter().map(|c| c.metrics.runtime).sum();
+        let sum_b: f64 = b.iter().map(|c| c.metrics.runtime).sum();
+        assert!((sum_a - sum_b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn params_scale_with_workload_scale() {
+        assert_eq!(pipeline_params(1.0).m_candidates, 1000);
+        assert_eq!(pipeline_params(0.1).m_candidates, 100);
+    }
+}

@@ -1,0 +1,5 @@
+//! Shared utilities for the experiment harnesses (see `src/bin/exp_*.rs`)
+//! and the Criterion benches.
+
+pub mod harness;
+pub mod reporting;

@@ -1,0 +1,81 @@
+//! CSV/markdown emission helpers shared by the experiment binaries.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory experiment outputs are written to.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("SCOPE_STEER_RESULTS").unwrap_or_else(|_| "results".to_string());
+    let p = PathBuf::from(dir);
+    let _ = fs::create_dir_all(&p);
+    p
+}
+
+/// Write a CSV file with a header row.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    body.push_str(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    fs::write(&path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
+}
+
+/// Render a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Standard experiment banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("==== {id}: {caption} ====");
+}
+
+/// Resolve the workload scale from args/env (default 0.1 for quick runs;
+/// the full-scale experiments in EXPERIMENTS.md use 1.0).
+pub fn scale_arg() -> f64 {
+    std::env::args()
+        .skip(1)
+        .find_map(|a| a.strip_prefix("--scale=").and_then(|v| v.parse().ok()))
+        .or_else(|| {
+            std::env::var("SCOPE_STEER_SCALE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0.1)
+}
+
+/// Write `path` if absent helper for goldens (used by tests).
+pub fn path_of(name: &str) -> PathBuf {
+    results_dir().join(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | 2 |"));
+        assert_eq!(t.lines().count(), 3);
+    }
+}

@@ -1,0 +1,368 @@
+//! Deployment as "plan hints" (§3.3) with weekly re-validation (§6.4).
+//!
+//! The paper's deployment story: surface discovered rule configurations to
+//! customers as hints keyed by job group, and mitigate drift ("this
+//! behaviour could change in the future as the predicates and input
+//! streams … evolve") by re-running the pipeline every week and dropping
+//! configurations that start regressing. [`HintStore`] implements that
+//! lifecycle: install winners, recommend per group, re-validate against a
+//! fresh day, suspend regressors, and persist to a plain-text hint file.
+
+use std::collections::HashMap;
+
+use scope_exec::ABTester;
+use scope_ir::stats::{mean, pct_change};
+use scope_ir::Job;
+use scope_optimizer::{compile_job, RuleConfig, RuleSet};
+
+use crate::groups::GroupConfig;
+
+/// Lifecycle state of a stored hint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HintStatus {
+    /// Recommended for the group.
+    Active,
+    /// Regressed during re-validation; no longer recommended.
+    Suspended,
+}
+
+/// One record of applying a hint to a day's same-group jobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValidationRecord {
+    pub day: u32,
+    pub jobs: usize,
+    pub improved: usize,
+    pub mean_change_pct: f64,
+}
+
+/// A stored hint for one job group.
+#[derive(Clone, Debug)]
+pub struct StoredHint {
+    /// The group key (default-signature bit string).
+    pub group: String,
+    pub config: RuleConfig,
+    /// Improvement observed on the base job at discovery time.
+    pub base_change_pct: f64,
+    pub discovered_day: u32,
+    pub status: HintStatus,
+    pub validations: Vec<ValidationRecord>,
+}
+
+/// Outcome of a re-validation sweep.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RevalidationReport {
+    pub groups_checked: usize,
+    pub groups_suspended: usize,
+    pub jobs_executed: usize,
+    pub mean_change_pct: f64,
+}
+
+/// The per-group hint store.
+#[derive(Clone, Debug, Default)]
+pub struct HintStore {
+    entries: HashMap<String, StoredHint>,
+}
+
+impl HintStore {
+    pub fn new() -> HintStore {
+        HintStore::default()
+    }
+
+    /// Install discovery winners (keeping, per group, the one with the
+    /// largest base improvement).
+    pub fn install(&mut self, winners: &[GroupConfig], day: u32) {
+        for w in winners {
+            let key = w.group.to_bit_string();
+            let replace = self
+                .entries
+                .get(&key)
+                .map(|e| w.base_change_pct < e.base_change_pct)
+                .unwrap_or(true);
+            if replace {
+                self.entries.insert(
+                    key.clone(),
+                    StoredHint {
+                        group: key,
+                        config: w.config.clone(),
+                        base_change_pct: w.base_change_pct,
+                        discovered_day: day,
+                        status: HintStatus::Active,
+                        validations: Vec::new(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Number of stored hints (any status).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The active recommendation for a group, if any.
+    pub fn recommend(&self, group: &scope_optimizer::RuleSignature) -> Option<&RuleConfig> {
+        self.entries
+            .get(&group.to_bit_string())
+            .filter(|e| e.status == HintStatus::Active)
+            .map(|e| &e.config)
+    }
+
+    /// Iterate stored hints.
+    pub fn hints(&self) -> impl Iterator<Item = &StoredHint> {
+        self.entries.values()
+    }
+
+    /// Re-validate every active hint against a fresh day's jobs: execute
+    /// default vs steered for each same-group job, record the outcome, and
+    /// suspend hints whose mean change exceeds `regression_threshold_pct`
+    /// (e.g. `2.0` = suspend when jobs get >2 % slower on average).
+    pub fn revalidate(
+        &mut self,
+        jobs: &[Job],
+        ab: &ABTester,
+        day: u32,
+        regression_threshold_pct: f64,
+    ) -> RevalidationReport {
+        // Group the day's jobs by default signature once.
+        let mut by_group: HashMap<String, Vec<&Job>> = HashMap::new();
+        for job in jobs {
+            if let Ok(compiled) = compile_job(job, &RuleConfig::default_config()) {
+                by_group
+                    .entry(compiled.signature.to_bit_string())
+                    .or_default()
+                    .push(job);
+            }
+        }
+
+        let mut report = RevalidationReport::default();
+        let mut all_changes = Vec::new();
+        for entry in self.entries.values_mut() {
+            if entry.status != HintStatus::Active {
+                continue;
+            }
+            let Some(group_jobs) = by_group.get(&entry.group) else {
+                continue; // group absent today; nothing to learn
+            };
+            report.groups_checked += 1;
+            let mut changes = Vec::new();
+            for job in group_jobs {
+                let Ok(default) = compile_job(job, &RuleConfig::default_config()) else {
+                    continue;
+                };
+                let Ok(steered) = compile_job(job, &entry.config) else {
+                    continue;
+                };
+                let dm = ab.run(job, &default.plan, 0);
+                let sm = ab.run(job, &steered.plan, 0);
+                changes.push(pct_change(dm.runtime, sm.runtime));
+            }
+            if changes.is_empty() {
+                continue;
+            }
+            report.jobs_executed += changes.len();
+            let mean_change = mean(&changes);
+            entry.validations.push(ValidationRecord {
+                day,
+                jobs: changes.len(),
+                improved: changes.iter().filter(|&&c| c < 0.0).count(),
+                mean_change_pct: mean_change,
+            });
+            all_changes.extend(changes);
+            if mean_change > regression_threshold_pct {
+                entry.status = HintStatus::Suspended;
+                report.groups_suspended += 1;
+            }
+        }
+        report.mean_change_pct = mean(&all_changes);
+        report
+    }
+
+    /// Serialize to the plain-text hint format customers would check in:
+    /// one line per group, `signature-bits TAB status TAB disabled-rules
+    /// TAB enabled-rules` (rules as ids relative to the default config).
+    pub fn to_hint_text(&self) -> String {
+        let mut lines: Vec<String> = self
+            .entries
+            .values()
+            .map(|e| {
+                let (disabled, enabled) = e.config.delta_from_default();
+                let ids = |set: &RuleSet| {
+                    set.iter()
+                        .map(|id| id.0.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                format!(
+                    "{}\t{}\t-[{}]\t+[{}]",
+                    e.group,
+                    match e.status {
+                        HintStatus::Active => "active",
+                        HintStatus::Suspended => "suspended",
+                    },
+                    ids(&disabled),
+                    ids(&enabled)
+                )
+            })
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+
+    /// Parse the format produced by [`Self::to_hint_text`].
+    pub fn from_hint_text(text: &str) -> HintStore {
+        let mut store = HintStore::new();
+        for line in text.lines() {
+            let mut parts = line.split('\t');
+            let (Some(group), Some(status), Some(minus), Some(plus)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let parse_ids = |s: &str| -> Vec<u16> {
+                s.trim_start_matches(['-', '+'])
+                    .trim_start_matches('[')
+                    .trim_end_matches(']')
+                    .split(',')
+                    .filter_map(|v| v.parse().ok())
+                    .collect()
+            };
+            let mut config = RuleConfig::default_config();
+            for id in parse_ids(minus) {
+                config.disable(scope_optimizer::RuleId(id));
+            }
+            for id in parse_ids(plus) {
+                config.enable(scope_optimizer::RuleId(id));
+            }
+            store.entries.insert(
+                group.to_string(),
+                StoredHint {
+                    group: group.to_string(),
+                    config,
+                    base_change_pct: 0.0,
+                    discovered_day: 0,
+                    status: if status == "suspended" {
+                        HintStatus::Suspended
+                    } else {
+                        HintStatus::Active
+                    },
+                    validations: Vec::new(),
+                },
+            );
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::winning_configs;
+    use crate::pipeline::{Pipeline, PipelineParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scope_optimizer::{RuleCatalog, RuleSignature};
+    use scope_workload::{Workload, WorkloadProfile};
+
+    fn discovered_store() -> (HintStore, Workload, ABTester) {
+        let w = Workload::generate(WorkloadProfile::workload_a(0.05));
+        let ab = ABTester::new(5);
+        let pipeline = Pipeline::new(
+            ab.clone(),
+            PipelineParams {
+                m_candidates: 100,
+                execute_top_k: 5,
+                sample_frac: 1.0,
+                ..PipelineParams::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = pipeline.discover(&w.day(0), &mut rng);
+        let winners = winning_configs(&report.outcomes, 5.0);
+        let mut store = HintStore::new();
+        store.install(&winners, 0);
+        (store, w, ab)
+    }
+
+    #[test]
+    fn install_and_recommend() {
+        let (store, w, _) = discovered_store();
+        assert!(!store.is_empty());
+        // A recommendation resolves for some job of the next day.
+        let d1 = w.day(1);
+        let recommended = d1.iter().any(|job| {
+            crate::groups::group_of(job)
+                .and_then(|g| store.recommend(&g))
+                .is_some()
+        });
+        assert!(recommended, "no next-day job matched a stored hint");
+    }
+
+    #[test]
+    fn revalidation_records_and_suspends() {
+        let (mut store, w, ab) = discovered_store();
+        let before_active = store
+            .hints()
+            .filter(|h| h.status == HintStatus::Active)
+            .count();
+        let report = store.revalidate(&w.day(1), &ab, 1, 2.0);
+        assert!(report.groups_checked > 0);
+        assert!(report.jobs_executed > 0);
+        // Every checked group gained a validation record.
+        let validated = store.hints().filter(|h| !h.validations.is_empty()).count();
+        assert_eq!(validated, report.groups_checked);
+        assert!(report.groups_suspended <= before_active);
+        // Suspended entries stop being recommended.
+        for h in store.hints() {
+            if h.status == HintStatus::Suspended {
+                let sig = RuleSignature(RuleSet::from_bit_string(&h.group));
+                assert!(store.recommend(&sig).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn hint_text_round_trip() {
+        let (mut store, _, _) = discovered_store();
+        // Flip one entry to suspended to exercise both states.
+        if let Some(e) = store.entries.values_mut().next() {
+            e.status = HintStatus::Suspended;
+        }
+        let text = store.to_hint_text();
+        let parsed = HintStore::from_hint_text(&text);
+        assert_eq!(parsed.len(), store.len());
+        for h in store.hints() {
+            let p = parsed.entries.get(&h.group).expect("entry survives");
+            assert_eq!(p.status, h.status);
+            assert_eq!(p.config, h.config, "config must round-trip");
+        }
+    }
+
+    #[test]
+    fn install_keeps_best_per_group() {
+        let cat = RuleCatalog::global();
+        let group = RuleSignature(RuleSet::from_bit_string("101"));
+        let mk = |pct: f64, rule: &str| GroupConfig {
+            group,
+            config: {
+                let mut c = RuleConfig::default_config();
+                c.disable(cat.find(rule).unwrap());
+                c
+            },
+            base_change_pct: pct,
+            base_job: scope_ir::ids::JobId(1),
+        };
+        let mut store = HintStore::new();
+        store.install(&[mk(-20.0, "CollapseSelects"), mk(-60.0, "SelectOnJoin")], 0);
+        assert_eq!(store.len(), 1);
+        let hint = store.hints().next().unwrap();
+        assert_eq!(hint.base_change_pct, -60.0);
+        // Installing a weaker winner later does not overwrite.
+        store.install(&[mk(-10.0, "JoinCommute")], 1);
+        assert_eq!(store.hints().next().unwrap().base_change_pct, -60.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Empirical discovery of independent rule subsets (§5.2 / §8).
+//!
+//! The paper assumes rule *categories* are mutually independent to shrink
+//! the configuration search space, and names finer-grained independence
+//! discovery as future work: "such improvements can discover independent
+//! subsets of rules, which will make the space of rule configurations
+//! smaller". This module implements that extension: probe pairs of span
+//! rules for interaction and partition the span into independent groups
+//! via union-find.
+//!
+//! Two rules *interact* on a job if disabling them together produces an
+//! effect the single disables do not predict — the pair's signature delta
+//! (vs the all-enabled baseline) touches rules outside the union of the
+//! single-disable deltas. Rules that never interact can be searched
+//! separately, reducing `2^(a+b)` configurations to `2^a + 2^b`.
+
+use scope_ir::{ObservableCatalog, PlanGraph};
+use scope_optimizer::{compile, RuleCatalog, RuleConfig, RuleId, RuleSet};
+
+use crate::span::JobSpan;
+
+/// A partition of a span into independent groups.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndependentGroups {
+    /// Disjoint rule sets; rules in different sets were never observed to
+    /// interact on this job.
+    pub groups: Vec<RuleSet>,
+    /// Number of compilations spent probing.
+    pub compiles: usize,
+}
+
+impl IndependentGroups {
+    /// `log2` of the configuration-space size under the discovered
+    /// partition: `Σ 2^|g|` versus the naive `2^Σ|g|`.
+    pub fn search_space_log2(&self) -> f64 {
+        let total: f64 = self
+            .groups
+            .iter()
+            .map(|g| (2.0f64).powi(g.len() as i32))
+            .sum();
+        total.log2()
+    }
+
+    /// The group containing `rule`, if any.
+    pub fn group_of(&self, rule: RuleId) -> Option<&RuleSet> {
+        self.groups.iter().find(|g| g.contains(rule))
+    }
+}
+
+/// Union-find over span-rule indexes.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Probe pairwise interactions among the span's rules and partition them
+/// into independent groups. `max_pairs` bounds the probing budget (pairs
+/// beyond it are conservatively merged into one group).
+pub fn discover_independent_groups(
+    plan: &PlanGraph,
+    obs: &ObservableCatalog,
+    span: &JobSpan,
+    max_pairs: usize,
+) -> IndependentGroups {
+    let rules: Vec<RuleId> = span.rules.iter().collect();
+    let n = rules.len();
+    let mut compiles = 0usize;
+    let full = RuleCatalog::global().non_required();
+
+    // Signature under a configuration disabling `set`; None = no compile.
+    let run = |disabled: &RuleSet, compiles: &mut usize| -> Option<RuleSet> {
+        *compiles += 1;
+        let config = RuleConfig::from_enabled(full.difference(disabled));
+        compile(plan, obs, &config).ok().map(|c| c.signature.0)
+    };
+
+    // Baseline (nothing disabled) and single-rule probes.
+    let base = run(&RuleSet::EMPTY, &mut compiles);
+    let mut singles: Vec<Option<RuleSet>> = Vec::with_capacity(n);
+    for &r in &rules {
+        let mut d = RuleSet::EMPTY;
+        d.insert(r);
+        singles.push(run(&d, &mut compiles));
+    }
+
+    // Symmetric difference, used to compose independent effects.
+    fn xor(a: &RuleSet, b: &RuleSet) -> RuleSet {
+        a.difference(b).union(&b.difference(a))
+    }
+
+    let mut dsu = Dsu::new(n);
+    let mut budget = max_pairs;
+    'outer: for i in 0..n {
+        if singles[i].is_none() {
+            // Load-bearing rule: disabling it alone already fails, so it can
+            // never be toggled regardless of other rules — a singleton group,
+            // not an interaction with everything.
+            continue;
+        }
+        for j in (i + 1)..n {
+            if singles[j].is_none() {
+                continue;
+            }
+            if dsu.find(i) == dsu.find(j) {
+                continue; // already known to interact transitively
+            }
+            if budget == 0 {
+                // Conservative: merge everything not yet separated.
+                for k in 1..n {
+                    dsu.union(0, k);
+                }
+                break 'outer;
+            }
+            budget -= 1;
+            let mut d = RuleSet::EMPTY;
+            d.insert(rules[i]);
+            d.insert(rules[j]);
+            let pair = run(&d, &mut compiles);
+            let interacts = match (&pair, &singles[i], &singles[j], &base) {
+                (Some(p), Some(si), Some(sj), Some(b)) => {
+                    // Two rules are independent when disabling them together
+                    // only moves rules that one of the single disables
+                    // already moved — the pair introduces no *new* effect.
+                    // (Exact XOR composition is too strict: global cost
+                    // coupling legitimately reorders choices within each
+                    // rule's known effect set.)
+                    let delta_i = xor(si, b);
+                    let delta_j = xor(sj, b);
+                    let delta_pair = xor(p, b);
+                    !delta_pair
+                        .difference(&delta_i.union(&delta_j))
+                        .is_empty()
+                }
+                // A compile failure appearing only under the pair (or only
+                // under a single) is itself an interaction.
+                (None, Some(_), Some(_), Some(_)) => true,
+                _ => true,
+            };
+            if interacts {
+                dsu.union(i, j);
+            }
+        }
+    }
+
+    // Materialize groups.
+    let mut by_root: std::collections::HashMap<usize, RuleSet> = std::collections::HashMap::new();
+    for (idx, &r) in rules.iter().enumerate() {
+        by_root.entry(dsu.find(idx)).or_insert(RuleSet::EMPTY).insert(r);
+    }
+    let mut groups: Vec<RuleSet> = by_root.into_values().collect();
+    groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+    IndependentGroups { groups, compiles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::approximate_span;
+    use scope_ir::expr::{CmpOp, Literal, PredAtom, Predicate};
+    use scope_ir::ids::{ColId, DomainId, TableId};
+    use scope_ir::ops::{AggFunc, JoinKind, LogicalOp};
+    use scope_ir::TrueCatalog;
+
+    fn job() -> (PlanGraph, ObservableCatalog) {
+        let mut cat = TrueCatalog::new();
+        let k0 = cat.add_column(50_000, 0.0, DomainId(0));
+        let a = cat.add_column(200, 0.0, DomainId(1));
+        let k1 = cat.add_column(50_000, 0.0, DomainId(0));
+        let b = cat.add_column(1_000, 0.0, DomainId(2));
+        cat.add_table(2_000_000, 120, 11, vec![k0, a]);
+        cat.add_table(800_000, 80, 22, vec![k1, b]);
+        let mut g = PlanGraph::new();
+        let s0 = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
+        let f = g.add_unchecked(
+            LogicalOp::Select {
+                predicate: Predicate::atom(PredAtom::unknown(a, CmpOp::Eq, Literal::Int(7))),
+            },
+            vec![s0],
+        );
+        let s1 = g.add_unchecked(LogicalOp::Get { table: TableId(1) }, vec![]);
+        let j = g.add_unchecked(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                keys: vec![(k0, k1)],
+            },
+            vec![f, s1],
+        );
+        let agg = g.add_unchecked(
+            LogicalOp::GroupBy {
+                keys: vec![b],
+                aggs: vec![AggFunc::Count],
+                partial: false,
+            },
+            vec![j],
+        );
+        let o = g.add_unchecked(LogicalOp::Output { stream: 99 }, vec![agg]);
+        g.set_root(o);
+        (g, cat.observe())
+    }
+
+    #[test]
+    fn partition_covers_span_disjointly() {
+        let (plan, obs) = job();
+        let span = approximate_span(&plan, &obs);
+        let groups = discover_independent_groups(&plan, &obs, &span, 500);
+        let mut union = RuleSet::EMPTY;
+        let mut total = 0;
+        for g in &groups.groups {
+            assert!(union.intersection(g).is_empty(), "groups overlap");
+            union = union.union(g);
+            total += g.len();
+        }
+        assert_eq!(total, span.len(), "partition must cover the span");
+        assert_eq!(union, span.rules);
+    }
+
+    #[test]
+    fn independence_shrinks_the_search_space() {
+        let (plan, obs) = job();
+        let span = approximate_span(&plan, &obs);
+        let groups = discover_independent_groups(&plan, &obs, &span, 500);
+        // At least some independence must be discovered for this job (e.g.
+        // scan implementations vs aggregation implementations).
+        assert!(groups.groups.len() >= 2, "no independence found");
+        assert!(
+            groups.search_space_log2() < span.len() as f64,
+            "partitioned space {} not smaller than 2^{}",
+            groups.search_space_log2(),
+            span.len()
+        );
+    }
+
+    #[test]
+    fn zero_budget_collapses_to_one_group() {
+        let (plan, obs) = job();
+        let span = approximate_span(&plan, &obs);
+        let groups = discover_independent_groups(&plan, &obs, &span, 0);
+        assert_eq!(groups.groups.len(), 1);
+        assert_eq!(groups.groups[0], span.rules);
+    }
+
+    #[test]
+    fn group_of_finds_members() {
+        let (plan, obs) = job();
+        let span = approximate_span(&plan, &obs);
+        let groups = discover_independent_groups(&plan, &obs, &span, 500);
+        for rule in span.rules.iter() {
+            assert!(groups.group_of(rule).is_some());
+        }
+        assert!(groups.group_of(RuleId(0)).is_none(), "required rule not in span");
+    }
+}

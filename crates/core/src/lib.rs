@@ -1,0 +1,43 @@
+//! # steer-core
+//!
+//! The paper's contribution, on top of the `scope-*` substrates:
+//!
+//! * [`span`] — job-span approximation (Algorithm 1): which non-required
+//!   rules can affect a job's final plan,
+//! * [`search`] — randomized candidate-configuration generation under the
+//!   category-independence assumption (§5.2),
+//! * [`pipeline`] — the offline discovery pipeline (§6.1): job selection,
+//!   recompilation, cheap-plan / low-cost-high-runtime heuristics, and
+//!   A/B execution of the ten cheapest alternatives,
+//! * [`groups`] — rule-signature job groups (Definition 6.2) and
+//!   extrapolation of winning configurations to unseen jobs (§6.4),
+//! * [`report`] — Table 3-style summaries,
+//! * [`deploy`] — the §3.3 "plan hint" deployment story: a per-group hint
+//!   store with §6.4's weekly re-validation and regression suspension,
+//! * [`independence`] — §8 future work: empirical discovery of independent
+//!   rule subsets that shrink the configuration search space,
+//! * [`minimize`] — shrink winning configurations to the smallest
+//!   plan-preserving delta before surfacing them as hints.
+//!
+//! `RuleDiff` (Definition 6.1) lives in `scope_optimizer::config` next to
+//! the signature type it compares.
+
+pub mod deploy;
+pub mod groups;
+pub mod independence;
+pub mod minimize;
+pub mod pipeline;
+pub mod report;
+pub mod search;
+pub mod span;
+
+pub use deploy::{HintStatus, HintStore, RevalidationReport, StoredHint};
+pub use groups::{extrapolate, group_jobs, group_of, winning_configs, ExtrapolatedRun, GroupConfig};
+pub use independence::{discover_independent_groups, IndependentGroups};
+pub use minimize::{minimize_config, MinimizedConfig};
+pub use pipeline::{
+    CandidateOutcome, DiscoveryReport, JobOutcome, Pipeline, PipelineParams, SelectionReason,
+};
+pub use report::{best_known_summary, improved_fraction, BestKnownSummary};
+pub use search::{candidate_configs, DEFAULT_M};
+pub use span::{approximate_span, JobSpan};

@@ -1,0 +1,134 @@
+//! Configuration minimization: shrink a winning configuration to the
+//! smallest delta from the default that still reproduces the winning plan.
+//!
+//! Candidate configurations from §5.2 enable *everything* outside the job
+//! span and toggle many span rules at once; only a few of those changes
+//! matter (Table 4's RuleDiffs are short). A deployable "plan hint"
+//! (§3.3) should carry just the load-bearing changes — customers review
+//! these by hand. [`minimize_config`] greedily reverts each changed rule
+//! back to its default state and keeps the reversion whenever the compiled
+//! plan stays identical.
+
+use scope_exec::plan_fingerprint;
+use scope_ir::Job;
+use scope_optimizer::{compile_job, RuleConfig};
+
+/// Result of minimizing a configuration for a job.
+#[derive(Clone, Debug)]
+pub struct MinimizedConfig {
+    /// The minimized configuration (same plan, fewest default deltas).
+    pub config: RuleConfig,
+    /// Deltas before minimization (disabled + enabled vs default).
+    pub deltas_before: usize,
+    /// Deltas after minimization.
+    pub deltas_after: usize,
+    /// Compilations spent.
+    pub compiles: usize,
+}
+
+/// Greedily minimize `config` for `job`, preserving the exact physical
+/// plan it produces. Returns `None` if the configuration does not compile
+/// for the job.
+pub fn minimize_config(job: &Job, config: &RuleConfig) -> Option<MinimizedConfig> {
+    let target = compile_job(job, config).ok()?;
+    let target_fp = plan_fingerprint(&target.plan);
+
+    let (disabled, enabled) = config.delta_from_default();
+    let deltas_before = disabled.len() + enabled.len();
+    let mut compiles = 1usize;
+    let mut current = config.clone();
+
+    // Revert newly-enabled rules first (they are usually the §5.2 blanket
+    // enables), then newly-disabled ones.
+    for id in enabled.iter() {
+        let mut trial = current.clone();
+        trial.disable(id);
+        compiles += 1;
+        if let Ok(c) = compile_job(job, &trial) {
+            if plan_fingerprint(&c.plan) == target_fp {
+                current = trial;
+            }
+        }
+    }
+    for id in disabled.iter() {
+        let mut trial = current.clone();
+        trial.enable(id);
+        compiles += 1;
+        if let Ok(c) = compile_job(job, &trial) {
+            if plan_fingerprint(&c.plan) == target_fp {
+                current = trial;
+            }
+        }
+    }
+
+    let (d_after, e_after) = current.delta_from_default();
+    Some(MinimizedConfig {
+        config: current,
+        deltas_before,
+        deltas_after: d_after.len() + e_after.len(),
+        compiles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scope_exec::{ABTester, Metric};
+    use scope_workload::{Workload, WorkloadProfile};
+
+    #[test]
+    fn minimization_preserves_plan_and_shrinks_delta() {
+        let w = Workload::generate(WorkloadProfile::workload_a(0.05));
+        let jobs = w.day(0);
+        let pipeline = Pipeline::new(
+            ABTester::new(5),
+            PipelineParams {
+                m_candidates: 100,
+                execute_top_k: 5,
+                sample_frac: 1.0,
+                ..PipelineParams::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = pipeline.discover(&jobs, &mut rng);
+        let outcome = report
+            .outcomes
+            .iter()
+            .find(|o| o.best_runtime_change_pct() < -10.0)
+            .expect("an improving outcome");
+        let job = jobs.iter().find(|j| j.id == outcome.job_id).unwrap();
+        let best = outcome.best_by(Metric::Runtime).unwrap();
+
+        let min = minimize_config(job, &best.config).expect("compiles");
+        assert!(
+            min.deltas_after <= min.deltas_before,
+            "minimization must not grow the delta"
+        );
+        // §5.2 candidates enable ~45 off-by-default rules blanket-style;
+        // most must fall away.
+        assert!(
+            min.deltas_after < min.deltas_before / 2,
+            "expected substantial shrink: {} -> {}",
+            min.deltas_before,
+            min.deltas_after
+        );
+        // Same physical plan.
+        let a = compile_job(job, &best.config).unwrap();
+        let b = compile_job(job, &min.config).unwrap();
+        assert_eq!(plan_fingerprint(&a.plan), plan_fingerprint(&b.plan));
+        assert!((a.est_cost - b.est_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_config_minimizes_to_itself() {
+        let w = Workload::generate(WorkloadProfile::workload_a(0.05));
+        let jobs = w.day(0);
+        let min = minimize_config(&jobs[0], &RuleConfig::default_config()).unwrap();
+        assert_eq!(min.deltas_before, 0);
+        assert_eq!(min.deltas_after, 0);
+        assert_eq!(min.config, RuleConfig::default_config());
+    }
+}

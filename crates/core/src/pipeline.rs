@@ -1,0 +1,348 @@
+//! The offline discovery pipeline (§4–§6): select jobs, generate candidate
+//! configurations from the job span, recompile, choose plans worth
+//! executing via the cost-model heuristics of §6.1, and A/B-execute the ten
+//! cheapest alternatives.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use scope_exec::{ABTester, Metric, RunMetrics};
+use scope_ir::ids::{JobId, TemplateId};
+use scope_ir::stats::pct_change;
+use scope_ir::Job;
+use scope_optimizer::{compile_job, CompiledPlan, RuleConfig, RuleSignature};
+
+use crate::search::candidate_configs;
+use crate::span::approximate_span;
+
+/// Tunable pipeline parameters (defaults follow the paper).
+#[derive(Clone, Debug)]
+pub struct PipelineParams {
+    /// Candidate configurations generated per job (§5.2; "up to 1000").
+    pub m_candidates: usize,
+    /// Alternatives executed per selected job (§6.1; "the 10 cheapest").
+    pub execute_top_k: usize,
+    /// Job selection window: ignore jobs faster than this (§5.3).
+    pub min_runtime_s: f64,
+    /// ... and slower than this.
+    pub max_runtime_s: f64,
+    /// Fraction of in-window jobs analyzed (§5.3: "10-20%").
+    pub sample_frac: f64,
+    /// "Clearly cheaper" margin: a candidate whose estimated cost is below
+    /// `default_cost * (1 - cheaper_frac)` triggers execution.
+    pub cheaper_frac: f64,
+    /// Low-cost/high-runtime outlier heuristic: runtime must exceed
+    /// `outlier_ratio * default_estimated_cost` (the optimizer expected the
+    /// job to be several times faster than it was).
+    pub outlier_ratio: f64,
+}
+
+impl Default for PipelineParams {
+    fn default() -> Self {
+        PipelineParams {
+            m_candidates: 1000,
+            execute_top_k: 10,
+            min_runtime_s: 300.0,
+            max_runtime_s: 3600.0,
+            sample_frac: 0.5,
+            cheaper_frac: 0.05,
+            outlier_ratio: 4.0,
+        }
+    }
+}
+
+/// Why a job was selected for execution (§6.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectionReason {
+    /// Recompiled plans were clearly cheaper than the default plan.
+    CheaperPlans,
+    /// The default plan had a low estimated cost but a high runtime.
+    LowCostHighRuntime,
+}
+
+/// One executed alternative configuration.
+#[derive(Clone, Debug)]
+pub struct CandidateOutcome {
+    pub config: RuleConfig,
+    pub est_cost: f64,
+    pub signature: RuleSignature,
+    pub metrics: RunMetrics,
+}
+
+/// Everything the pipeline learned about one job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    pub job_id: JobId,
+    pub template: TemplateId,
+    pub day: u32,
+    /// The job group key: the default rule signature (Definition 6.2).
+    pub group: RuleSignature,
+    pub default_cost: f64,
+    pub default_metrics: RunMetrics,
+    pub span_size: usize,
+    pub n_candidates: usize,
+    /// Candidates whose estimated cost undercut the default's (Figure 4).
+    pub n_cheaper: usize,
+    pub reason: SelectionReason,
+    pub executed: Vec<CandidateOutcome>,
+}
+
+impl JobOutcome {
+    /// The executed alternative best on `metric` (ignoring the default).
+    pub fn best_by(&self, metric: Metric) -> Option<&CandidateOutcome> {
+        self.executed.iter().min_by(|a, b| {
+            a.metrics
+                .get(metric)
+                .partial_cmp(&b.metrics.get(metric))
+                .expect("metrics are finite")
+        })
+    }
+
+    /// Percentage change of the best alternative's runtime vs the default
+    /// (negative = improvement). Positive when every alternative regressed.
+    pub fn best_runtime_change_pct(&self) -> f64 {
+        match self.best_by(Metric::Runtime) {
+            Some(best) => pct_change(self.default_metrics.runtime, best.metrics.runtime),
+            None => 0.0,
+        }
+    }
+
+    /// Change of the best alternative on a given metric, and the changes it
+    /// causes on the other two (Figure 7's rows).
+    pub fn change_when_optimizing(&self, metric: Metric) -> Option<[f64; 3]> {
+        let best = self.best_by(metric)?;
+        Some([
+            pct_change(self.default_metrics.runtime, best.metrics.runtime),
+            pct_change(self.default_metrics.cpu_time, best.metrics.cpu_time),
+            pct_change(self.default_metrics.io_time, best.metrics.io_time),
+        ])
+    }
+
+    /// Best-known runtime including the default (Table 3 / Table 5 use
+    /// "best known", which can be the default itself).
+    pub fn best_known_runtime(&self) -> f64 {
+        self.executed
+            .iter()
+            .map(|c| c.metrics.runtime)
+            .fold(self.default_metrics.runtime, f64::min)
+    }
+}
+
+/// A pipeline report over many jobs.
+#[derive(Debug, Default)]
+pub struct DiscoveryReport {
+    pub outcomes: Vec<JobOutcome>,
+    /// Jobs recompiled but not selected by any §6.1 heuristic.
+    pub not_selected: usize,
+    /// Jobs outside the runtime window.
+    pub out_of_window: usize,
+}
+
+impl DiscoveryReport {
+    /// Jobs where some alternative beat the default runtime by more than
+    /// `threshold_pct` percent.
+    pub fn improved(&self, threshold_pct: f64) -> Vec<&JobOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.best_runtime_change_pct() < -threshold_pct)
+            .collect()
+    }
+}
+
+/// The offline pipeline.
+pub struct Pipeline {
+    pub ab: ABTester,
+    pub params: PipelineParams,
+}
+
+impl Pipeline {
+    pub fn new(ab: ABTester, params: PipelineParams) -> Pipeline {
+        Pipeline { ab, params }
+    }
+
+    /// Compile and A/B-execute a job's default plan.
+    pub fn default_run(&self, job: &Job) -> Option<(CompiledPlan, RunMetrics)> {
+        let compiled = compile_job(job, &RuleConfig::default_config()).ok()?;
+        let metrics = self.ab.run(job, &compiled.plan, 0);
+        Some((compiled, metrics))
+    }
+
+    /// Run the full discovery pipeline over one day's jobs.
+    pub fn discover<R: Rng + ?Sized>(&self, jobs: &[Job], rng: &mut R) -> DiscoveryReport {
+        let mut report = DiscoveryReport::default();
+        // Select jobs in the runtime window, then sample.
+        let mut in_window: Vec<(&Job, CompiledPlan, RunMetrics)> = Vec::new();
+        for job in jobs {
+            let Some((compiled, metrics)) = self.default_run(job) else {
+                continue;
+            };
+            if metrics.runtime < self.params.min_runtime_s
+                || metrics.runtime > self.params.max_runtime_s
+            {
+                report.out_of_window += 1;
+                continue;
+            }
+            in_window.push((job, compiled, metrics));
+        }
+        in_window.shuffle(rng);
+        let keep = ((in_window.len() as f64) * self.params.sample_frac).ceil() as usize;
+        in_window.truncate(keep);
+
+        for (job, compiled, metrics) in in_window {
+            match self.analyze_job(job, &compiled, metrics, rng) {
+                Some(outcome) => report.outcomes.push(outcome),
+                None => report.not_selected += 1,
+            }
+        }
+        report
+    }
+
+    /// §5–§6 for a single job whose default compilation is already known.
+    /// Returns `None` when neither execution heuristic selects the job.
+    pub fn analyze_job<R: Rng + ?Sized>(
+        &self,
+        job: &Job,
+        default: &CompiledPlan,
+        default_metrics: RunMetrics,
+        rng: &mut R,
+    ) -> Option<JobOutcome> {
+        let obs = job.catalog.observe();
+        let span = approximate_span(&job.plan, &obs);
+        let configs = candidate_configs(&span, self.params.m_candidates, rng);
+
+        // Recompile every candidate.
+        let mut recompiled: Vec<(RuleConfig, CompiledPlan)> = Vec::new();
+        for config in configs {
+            if let Ok(c) = compile_job(job, &config) {
+                recompiled.push((config, c));
+            }
+        }
+        let n_candidates = recompiled.len();
+        let n_cheaper = recompiled
+            .iter()
+            .filter(|(_, c)| c.est_cost < default.est_cost)
+            .count();
+
+        // §6.1 selection heuristics.
+        let clearly_cheaper = recompiled
+            .iter()
+            .any(|(_, c)| c.est_cost < default.est_cost * (1.0 - self.params.cheaper_frac));
+        let outlier = default_metrics.runtime > default.est_cost * self.params.outlier_ratio;
+        let reason = if clearly_cheaper {
+            SelectionReason::CheaperPlans
+        } else if outlier {
+            SelectionReason::LowCostHighRuntime
+        } else {
+            return None;
+        };
+
+        // Execute the K cheapest alternatives.
+        recompiled.sort_by(|a, b| {
+            a.1.est_cost
+                .partial_cmp(&b.1.est_cost)
+                .expect("finite costs")
+        });
+        recompiled.truncate(self.params.execute_top_k);
+        let executed = recompiled
+            .into_iter()
+            .map(|(config, c)| {
+                let metrics = self.ab.run(job, &c.plan, 0);
+                CandidateOutcome {
+                    config,
+                    est_cost: c.est_cost,
+                    signature: c.signature,
+                    metrics,
+                }
+            })
+            .collect();
+
+        Some(JobOutcome {
+            job_id: job.id,
+            template: job.template,
+            day: job.day,
+            group: default.signature,
+            default_cost: default.est_cost,
+            default_metrics,
+            span_size: span.len(),
+            n_candidates,
+            n_cheaper,
+            reason,
+            executed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scope_workload::{Workload, WorkloadProfile};
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new(
+            ABTester::new(11),
+            PipelineParams {
+                m_candidates: 120,
+                execute_top_k: 5,
+                sample_frac: 1.0,
+                ..PipelineParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn discovery_finds_improvements_on_a_small_day() {
+        let w = Workload::generate(WorkloadProfile::workload_a(0.06));
+        let jobs = w.day(0);
+        let p = pipeline();
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = p.discover(&jobs, &mut rng);
+        assert!(!report.outcomes.is_empty(), "no jobs analyzed");
+        for o in &report.outcomes {
+            assert!(o.executed.len() <= 5);
+            assert!(o.n_candidates > 0);
+            assert!(o.span_size > 0);
+        }
+        // The planted divergences guarantee at least one improving job even
+        // at this tiny scale.
+        assert!(
+            !report.improved(5.0).is_empty(),
+            "expected at least one >5% improvement"
+        );
+    }
+
+    #[test]
+    fn outcome_metric_helpers_are_consistent() {
+        let w = Workload::generate(WorkloadProfile::workload_a(0.06));
+        let jobs = w.day(0);
+        let p = pipeline();
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = p.discover(&jobs, &mut rng);
+        let o = report.outcomes.first().expect("an outcome");
+        let best = o.best_by(Metric::Runtime).expect("executed candidates");
+        assert!(best.metrics.runtime <= o.executed[0].metrics.runtime);
+        assert!(o.best_known_runtime() <= o.default_metrics.runtime);
+        let changes = o.change_when_optimizing(Metric::CpuTime).unwrap();
+        // Optimizing CPU: its own column must be the best achievable.
+        let direct = o
+            .executed
+            .iter()
+            .map(|c| pct_change(o.default_metrics.cpu_time, c.metrics.cpu_time))
+            .fold(f64::INFINITY, f64::min);
+        assert!((changes[1] - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheap_selection_reason_reported() {
+        let w = Workload::generate(WorkloadProfile::workload_a(0.06));
+        let jobs = w.day(0);
+        let p = pipeline();
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = p.discover(&jobs, &mut rng);
+        assert!(report
+            .outcomes
+            .iter()
+            .any(|o| o.reason == SelectionReason::CheaperPlans));
+    }
+}

@@ -1,0 +1,261 @@
+//! Job span approximation — Algorithm 1 of the paper.
+//!
+//! The *span* of a job is the set of non-required rules that can affect its
+//! final plan (Definition 5.1). Algorithm 1 approximates it by repeatedly
+//! compiling the job, disabling every (non-required) rule that appeared in
+//! the signature, and recompiling to surface the alternative rules the
+//! optimizer falls back to — until no new rules appear or the job stops
+//! compiling.
+
+use scope_ir::{ObservableCatalog, PlanGraph};
+use scope_optimizer::{compile, RuleCatalog, RuleConfig, RuleSet};
+
+/// Result of the span approximation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpan {
+    /// Non-required rules observed to impact the final plan.
+    pub rules: RuleSet,
+    /// Number of compile iterations performed.
+    pub iterations: usize,
+    /// Whether iteration stopped because compilation failed (implicit rule
+    /// dependencies — §4 challenge (1)).
+    pub hit_compile_failure: bool,
+}
+
+impl JobSpan {
+    /// Span rules belonging to a given catalog category.
+    pub fn in_category(&self, category: scope_optimizer::RuleCategory) -> RuleSet {
+        let cat = RuleCatalog::global();
+        self.rules
+            .iter()
+            .filter(|id| cat.rule(*id).category == category)
+            .collect()
+    }
+
+    /// Number of rules in the span.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// Maximum Algorithm-1 iterations (the loop converges much earlier in
+/// practice; this is a safety bound).
+pub const MAX_SPAN_ITERATIONS: usize = 64;
+
+/// Approximate the span of a job (Algorithm 1).
+///
+/// Starts from the configuration enabling **all** non-required rules
+/// (including off-by-default ones, per the algorithm's `config ←
+/// {1..220}`), then iteratively disables every rule that contributed to
+/// the plan.
+/// One refinement over the paper's listing: when disabling the last batch
+/// of on-rules makes the job stop compiling (e.g. every exchange
+/// implementation is gone), that batch is re-enabled and *pinned* — kept
+/// enabled but excluded from further disabling — and iteration continues.
+/// Without this, Algorithm 1 terminates after two iterations on any
+/// distributed job and misses all alternative implementations. The paper's
+/// production system necessarily handles this implicitly.
+pub fn approximate_span(plan: &PlanGraph, obs: &ObservableCatalog) -> JobSpan {
+    let cat = RuleCatalog::global();
+    let non_required = cat.non_required();
+    let mut enabled = non_required;
+    let mut pinned = RuleSet::EMPTY;
+    let mut last_disabled = RuleSet::EMPTY;
+    let mut span = RuleSet::EMPTY;
+    let mut iterations = 0;
+    let mut hit_compile_failure = false;
+
+    while iterations < MAX_SPAN_ITERATIONS {
+        iterations += 1;
+        let config = RuleConfig::from_enabled(enabled);
+        match compile(plan, obs, &config) {
+            Ok(compiled) => {
+                // GET_ON_RULES: signature rules still disableable (required
+                // rules keep firing forever; pinned rules proved
+                // load-bearing).
+                let on_rules = compiled
+                    .signature
+                    .0
+                    .intersection(&enabled)
+                    .difference(&pinned);
+                if on_rules.is_empty() {
+                    break;
+                }
+                span = span.union(&on_rules);
+                enabled = enabled.difference(&on_rules);
+                last_disabled = on_rules;
+            }
+            Err(_) => {
+                hit_compile_failure = true;
+                if last_disabled.is_empty() {
+                    break;
+                }
+                // Recovery, phase 1: test each rule of the batch alone —
+                // if re-enabling a single rule fixes compilation, pin just
+                // that rule and leave the rest disabled so their
+                // alternatives keep surfacing.
+                let mut recovered = false;
+                for id in last_disabled.iter() {
+                    iterations += 1;
+                    let mut trial = enabled;
+                    trial.insert(id);
+                    if compile(plan, obs, &RuleConfig::from_enabled(trial)).is_ok() {
+                        enabled.insert(id);
+                        pinned.insert(id);
+                        recovered = true;
+                        break;
+                    }
+                    if iterations >= MAX_SPAN_ITERATIONS {
+                        break;
+                    }
+                }
+                // Phase 2 (several culprits): accumulate re-enables until
+                // the job compiles again.
+                if !recovered {
+                    for id in last_disabled.iter() {
+                        enabled.insert(id);
+                        pinned.insert(id);
+                        iterations += 1;
+                        if compile(plan, obs, &RuleConfig::from_enabled(enabled)).is_ok() {
+                            recovered = true;
+                            break;
+                        }
+                        if iterations >= MAX_SPAN_ITERATIONS {
+                            break;
+                        }
+                    }
+                }
+                last_disabled = RuleSet::EMPTY;
+                if !recovered {
+                    break;
+                }
+            }
+        }
+    }
+
+    JobSpan {
+        rules: span,
+        iterations,
+        hit_compile_failure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_ir::expr::{CmpOp, Literal, PredAtom, Predicate};
+    use scope_ir::ids::{DomainId, TableId};
+    use scope_ir::ops::{AggFunc, JoinKind, LogicalOp};
+    use scope_ir::TrueCatalog;
+    use scope_optimizer::RuleCategory;
+
+    fn job() -> (PlanGraph, ObservableCatalog) {
+        let mut cat = TrueCatalog::new();
+        let k0 = cat.add_column(50_000, 0.0, DomainId(0));
+        let a = cat.add_column(200, 0.0, DomainId(1));
+        let k1 = cat.add_column(50_000, 0.0, DomainId(0));
+        let b = cat.add_column(1_000, 0.0, DomainId(2));
+        cat.add_table(2_000_000, 120, 11, vec![k0, a]);
+        cat.add_table(800_000, 80, 22, vec![k1, b]);
+
+        let mut g = PlanGraph::new();
+        let s0 = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
+        let f = g.add_unchecked(
+            LogicalOp::Select {
+                predicate: Predicate::atom(PredAtom::unknown(a, CmpOp::Eq, Literal::Int(7))),
+            },
+            vec![s0],
+        );
+        let s1 = g.add_unchecked(LogicalOp::Get { table: TableId(1) }, vec![]);
+        let j = g.add_unchecked(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                keys: vec![(k0, k1)],
+            },
+            vec![f, s1],
+        );
+        let agg = g.add_unchecked(
+            LogicalOp::GroupBy {
+                keys: vec![b],
+                aggs: vec![AggFunc::Count],
+                partial: false,
+            },
+            vec![j],
+        );
+        let o = g.add_unchecked(LogicalOp::Output { stream: 99 }, vec![agg]);
+        g.set_root(o);
+        (g, cat.observe())
+    }
+
+    #[test]
+    fn span_contains_default_signature_configurables() {
+        let (plan, obs) = job();
+        let span = approximate_span(&plan, &obs);
+        // Everything configurable in the *full-config* signature must be in
+        // the span (first iteration adds exactly those).
+        let full = RuleConfig::from_enabled(RuleCatalog::global().non_required());
+        let compiled = compile(&plan, &obs, &full).unwrap();
+        let configurable = compiled
+            .signature
+            .0
+            .difference(RuleCatalog::global().required());
+        assert!(configurable.difference(&span.rules).is_empty());
+        assert!(span.len() >= configurable.len());
+    }
+
+    #[test]
+    fn span_discovers_alternative_implementations() {
+        let (plan, obs) = job();
+        let span = approximate_span(&plan, &obs);
+        let impls = span.in_category(RuleCategory::Implementation);
+        // At least two join implementations must surface (the default one
+        // plus fallbacks discovered by disabling it).
+        let cat = RuleCatalog::global();
+        let join_impls = impls
+            .iter()
+            .filter(|id| cat.rule(*id).name.contains("Join"))
+            .count();
+        assert!(join_impls >= 2, "found {join_impls} join impls in span");
+    }
+
+    #[test]
+    fn span_excludes_required_rules() {
+        let (plan, obs) = job();
+        let span = approximate_span(&plan, &obs);
+        assert!(span
+            .rules
+            .intersection(RuleCatalog::global().required())
+            .is_empty());
+    }
+
+    #[test]
+    fn span_iterates_until_exhaustion_or_failure() {
+        let (plan, obs) = job();
+        let span = approximate_span(&plan, &obs);
+        assert!(span.iterations >= 2);
+        assert!(span.iterations <= MAX_SPAN_ITERATIONS);
+        // Disabling every impl eventually fails compilation, so spans of
+        // real jobs typically end on a compile failure.
+        assert!(span.hit_compile_failure || span.iterations < MAX_SPAN_ITERATIONS);
+    }
+
+    #[test]
+    fn span_is_deterministic() {
+        let (plan, obs) = job();
+        assert_eq!(approximate_span(&plan, &obs), approximate_span(&plan, &obs));
+    }
+
+    #[test]
+    fn span_is_small_relative_to_catalog() {
+        let (plan, obs) = job();
+        let span = approximate_span(&plan, &obs);
+        // §5.2: "on average only up to 20 rules among the 219 non-required
+        // rules"; a single join-agg job should stay well under 60.
+        assert!(span.len() < 60, "span unexpectedly large: {}", span.len());
+    }
+}

@@ -1,0 +1,194 @@
+//! The A/B testing harness (§3.1.3): re-execute production plans in a
+//! pre-production environment with a fixed resource allocation (50 tokens)
+//! and outputs redirected — here, a deterministic simulator with seeded
+//! noise.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use scope_ir::{Job, TrueCatalog};
+use scope_optimizer::{PhysOp, PhysPlan};
+
+use crate::cluster::ClusterConfig;
+use crate::simulate::{execute, execute_deterministic, RunMetrics};
+
+/// Stable fingerprint of a physical plan's structure (used to seed
+/// per-plan noise so that re-running the same plan in the same trial is
+/// reproducible).
+pub fn plan_fingerprint(plan: &PhysPlan) -> u64 {
+    let mut h = DefaultHasher::new();
+    for id in plan.reachable() {
+        let node = plan.node(id);
+        node.op.name().hash(&mut h);
+        node.dop.hash(&mut h);
+        for c in &node.children {
+            c.index().hash(&mut h);
+        }
+        if let PhysOp::Exchange { dop, .. } = &node.op {
+            dop.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// The pre-production A/B runner.
+#[derive(Clone, Debug)]
+pub struct ABTester {
+    pub cluster: ClusterConfig,
+    /// Base seed; combined with job, plan, and trial for noise.
+    pub seed: u64,
+}
+
+impl ABTester {
+    /// The paper's setup: 50 tokens for every job.
+    pub fn new(seed: u64) -> ABTester {
+        ABTester {
+            cluster: ClusterConfig::ab_testing(),
+            seed,
+        }
+    }
+
+    /// Noise-free runner for invariance tests.
+    pub fn noiseless(seed: u64) -> ABTester {
+        ABTester {
+            cluster: ClusterConfig::noiseless(),
+            seed,
+        }
+    }
+
+    /// Re-execute `plan` for `job` (trial index distinguishes repeated
+    /// runs of the same plan).
+    pub fn run(&self, job: &Job, plan: &PhysPlan, trial: u32) -> RunMetrics {
+        self.run_with_catalog(job.id.0, &job.catalog, plan, trial)
+    }
+
+    /// Re-execute with an explicit catalog (for plans not tied to a job).
+    pub fn run_with_catalog(
+        &self,
+        tag: u64,
+        cat: &TrueCatalog,
+        plan: &PhysPlan,
+        trial: u32,
+    ) -> RunMetrics {
+        let mut h = DefaultHasher::new();
+        self.seed.hash(&mut h);
+        tag.hash(&mut h);
+        plan_fingerprint(plan).hash(&mut h);
+        trial.hash(&mut h);
+        let mut rng = StdRng::seed_from_u64(h.finish());
+        execute(plan, cat, &self.cluster, &mut rng)
+    }
+
+    /// The noise-free ground truth for a plan.
+    pub fn run_true(&self, cat: &TrueCatalog, plan: &PhysPlan) -> RunMetrics {
+        execute_deterministic(plan, cat, &self.cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_ir::expr::Predicate;
+    use scope_ir::ids::{DomainId, TableId};
+    use scope_optimizer::{Partitioning, PhysNode};
+
+    fn tiny_plan() -> (PhysPlan, TrueCatalog) {
+        let mut cat = TrueCatalog::new();
+        let c = cat.add_column(100, 0.0, DomainId(0));
+        cat.add_table(1_000_000, 100, 1, vec![c]);
+        let mut p = PhysPlan::new();
+        let scan = p.add(PhysNode {
+            op: PhysOp::Scan {
+                table: TableId(0),
+                pushed: Predicate::true_pred(),
+                parallel: true,
+                indexed: false,
+            },
+            children: vec![],
+            est_rows: 0.0,
+            est_bytes: 0.0,
+            est_cost: 0.0,
+            partitioning: Partitioning::Any,
+            dop: 1,
+            created_by: None,
+            logical_rule: None,
+        });
+        let out = p.add(PhysNode {
+            op: PhysOp::Output { stream: 0 },
+            children: vec![scan],
+            est_rows: 0.0,
+            est_bytes: 0.0,
+            est_cost: 0.0,
+            partitioning: Partitioning::Any,
+            dop: 1,
+            created_by: None,
+            logical_rule: None,
+        });
+        p.set_root(out);
+        (p, cat)
+    }
+
+    #[test]
+    fn same_trial_same_metrics() {
+        let (plan, cat) = tiny_plan();
+        let ab = ABTester::new(7);
+        let a = ab.run_with_catalog(1, &cat, &plan, 0);
+        let b = ab.run_with_catalog(1, &cat, &plan, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_trials_differ_under_noise() {
+        let (plan, cat) = tiny_plan();
+        let ab = ABTester::new(7);
+        let a = ab.run_with_catalog(1, &cat, &plan, 0);
+        let b = ab.run_with_catalog(1, &cat, &plan, 1);
+        assert_ne!(a.runtime, b.runtime);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_plans() {
+        let (plan, cat) = tiny_plan();
+        let mut p2 = plan.clone();
+        let extra = p2.add(PhysNode {
+            op: PhysOp::Filter {
+                predicate: Predicate::true_pred(),
+            },
+            children: vec![scope_ir::ids::NodeId(0)],
+            est_rows: 0.0,
+            est_bytes: 0.0,
+            est_cost: 0.0,
+            partitioning: Partitioning::Any,
+            dop: 1,
+            created_by: None,
+            logical_rule: None,
+        });
+        let _ = extra;
+        let out2 = p2.add(PhysNode {
+            op: PhysOp::Output { stream: 0 },
+            children: vec![extra],
+            est_rows: 0.0,
+            est_bytes: 0.0,
+            est_cost: 0.0,
+            partitioning: Partitioning::Any,
+            dop: 1,
+            created_by: None,
+            logical_rule: None,
+        });
+        p2.set_root(out2);
+        assert_ne!(plan_fingerprint(&plan), plan_fingerprint(&p2));
+        let _ = cat;
+    }
+
+    #[test]
+    fn noiseless_runner_matches_ground_truth() {
+        let (plan, cat) = tiny_plan();
+        let ab = ABTester::noiseless(7);
+        let a = ab.run_with_catalog(1, &cat, &plan, 0);
+        let t = ab.run_true(&cat, &plan);
+        assert_eq!(a, t);
+    }
+}

@@ -1,0 +1,33 @@
+//! # scope-exec
+//!
+//! The distributed execution simulator standing in for the paper's
+//! production clusters, plus the A/B testing harness used for every
+//! experiment.
+//!
+//! * [`truth`] — replays ground-truth cardinalities (correlated predicate
+//!   selectivity, skewed join fanout, true UDO behaviour) and per-vertex
+//!   data shares through a physical plan.
+//! * [`work`] — the true per-operator work model (CPU / IO / network /
+//!   busiest-vertex elapsed), including spill cliffs and per-vertex
+//!   broadcast builds the optimizer's cost model never anticipates.
+//! * [`simulate`] — stage cutting at exchanges, token-limited wave
+//!   scheduling, critical-path makespan, and the paper's three metrics
+//!   (runtime, CPU time, total IO time).
+//! * [`abtest`] — §3.1.3's A/B infrastructure: re-execute any compiled plan
+//!   under fixed resources (50 tokens) with seeded, reproducible noise,
+//! * [`mod@explain`] — `EXPLAIN ANALYZE`-style traces: per-operator estimated
+//!   vs true cardinalities (q-errors), work breakdowns, stage assignment.
+
+pub mod abtest;
+pub mod cluster;
+pub mod explain;
+pub mod simulate;
+pub mod truth;
+pub mod work;
+
+pub use abtest::{plan_fingerprint, ABTester};
+pub use explain::{explain, ExecutionTrace, NodeReport, StageReport};
+pub use cluster::ClusterConfig;
+pub use simulate::{execute, execute_deterministic, Metric, RunMetrics};
+pub use truth::{replay, NodeTruth};
+pub use work::NodeWork;

@@ -1,0 +1,359 @@
+//! Stage construction, token-limited scheduling, and job-level metrics.
+//!
+//! A physical plan is cut into *stages* at exchange/materialization
+//! boundaries. Stage wall time is the sum of its nodes' busiest-vertex
+//! elapsed times, multiplied by the wave factor when the stage's
+//! parallelism exceeds the job's tokens. Job runtime is the critical-path
+//! finish time of the output stage; CPU time and IO time aggregate over all
+//! vertices, mirroring the paper's three metrics (§3.1.2).
+
+use rand::Rng;
+
+use scope_ir::stats::lognormal;
+use scope_ir::TrueCatalog;
+use scope_optimizer::PhysPlan;
+
+use crate::cluster::ClusterConfig;
+use crate::truth::{replay, NodeTruth};
+use crate::work::{node_work, NodeWork};
+
+/// Fixed scheduling overhead per stage (seconds).
+const STAGE_OVERHEAD_S: f64 = 2.0;
+/// Additional scheduling overhead per vertex wave.
+const WAVE_OVERHEAD_S: f64 = 0.8;
+
+/// The paper's three metrics (§3.1.2), in seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Wall-clock latency of the job.
+    pub runtime: f64,
+    /// Total CPU time across all vertices.
+    pub cpu_time: f64,
+    /// Total IO time (reads, writes, spills, shuffles).
+    pub io_time: f64,
+}
+
+impl RunMetrics {
+    /// Fetch one metric by the paper's ordering (runtime, CPU, IO).
+    pub fn get(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::Runtime => self.runtime,
+            Metric::CpuTime => self.cpu_time,
+            Metric::IoTime => self.io_time,
+        }
+    }
+}
+
+/// Metric selector used by the multi-metric experiments (Figure 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Metric {
+    Runtime,
+    CpuTime,
+    IoTime,
+}
+
+impl Metric {
+    pub const ALL: [Metric; 3] = [Metric::Runtime, Metric::CpuTime, Metric::IoTime];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Runtime => "runtime",
+            Metric::CpuTime => "cpu_time",
+            Metric::IoTime => "io_time",
+        }
+    }
+}
+
+/// One execution stage.
+#[derive(Clone, Debug, Default)]
+pub struct Stage {
+    /// Sum of member nodes' busiest-vertex elapsed seconds.
+    pub elapsed: f64,
+    /// Maximum parallelism among member nodes.
+    pub dop: u32,
+    /// Stages that must finish before this one starts.
+    pub deps: Vec<usize>,
+}
+
+/// The stage decomposition of a plan (exposed for tests and diagnostics).
+pub struct StageGraph {
+    pub stages: Vec<Stage>,
+    /// Stage of each plan node (by node id index; unreachable nodes get 0).
+    pub node_stage: Vec<usize>,
+    /// Stage containing the root.
+    pub root_stage: usize,
+}
+
+/// Build the stage graph and accumulate per-node work into stages.
+pub fn build_stages(
+    plan: &PhysPlan,
+    truths: &[NodeTruth],
+    works: &[NodeWork],
+) -> StageGraph {
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut node_stage = vec![0usize; plan.len()];
+    let reachable = plan.reachable();
+    for &id in &reachable {
+        let node = plan.node(id);
+        let mut chosen: Option<usize> = None;
+        let mut deps: Vec<usize> = Vec::new();
+        for &c in &node.children {
+            let cs = node_stage[c.index()];
+            if plan.node(c).op.is_stage_boundary() {
+                // Consumers of a boundary run in a fresh stage that depends
+                // on the producer's stage.
+                deps.push(cs);
+            } else if let Some(s) = chosen {
+                if s != cs {
+                    // Two pipelines meet without an exchange (e.g. a
+                    // streaming union): treat the other as a dependency.
+                    deps.push(cs);
+                }
+            } else {
+                chosen = Some(cs);
+            }
+        }
+        let sid = match chosen {
+            Some(s) => {
+                stages[s].deps.extend(deps);
+                s
+            }
+            None => {
+                let sid = stages.len();
+                stages.push(Stage {
+                    elapsed: 0.0,
+                    dop: 1,
+                    deps,
+                });
+                sid
+            }
+        };
+        node_stage[id.index()] = sid;
+        let stage = &mut stages[sid];
+        stage.elapsed += works[id.index()].elapsed;
+        stage.dop = stage.dop.max(truths[id.index()].dop);
+    }
+    let root_stage = plan
+        .root()
+        .map(|r| node_stage[r.index()])
+        .unwrap_or(0);
+    StageGraph {
+        stages,
+        node_stage,
+        root_stage,
+    }
+}
+
+/// Critical-path makespan under the token limit.
+pub fn makespan(stages: &StageGraph, tokens: u32) -> f64 {
+    let n = stages.stages.len();
+    let mut finish = vec![0.0_f64; n];
+    // Stages were created in topological order (children before parents).
+    for (i, stage) in stages.stages.iter().enumerate() {
+        let start = stage
+            .deps
+            .iter()
+            .map(|&d| finish[d])
+            .fold(0.0_f64, f64::max);
+        let waves = (stage.dop as f64 / tokens.max(1) as f64).ceil().max(1.0);
+        let time = stage.elapsed * waves + STAGE_OVERHEAD_S + WAVE_OVERHEAD_S * waves;
+        finish[i] = start + time;
+    }
+    finish
+        .get(stages.root_stage)
+        .copied()
+        .unwrap_or(STAGE_OVERHEAD_S)
+}
+
+/// Execute a plan deterministically (no noise).
+pub fn execute_deterministic(
+    plan: &PhysPlan,
+    cat: &TrueCatalog,
+    cluster: &ClusterConfig,
+) -> RunMetrics {
+    let truths = replay(plan, cat);
+    let mut works = vec![NodeWork::default(); plan.len()];
+    for id in plan.reachable() {
+        let node = plan.node(id);
+        let children: Vec<&NodeTruth> =
+            node.children.iter().map(|c| &truths[c.index()]).collect();
+        works[id.index()] = node_work(&node.op, &truths[id.index()], &children, cat, cluster);
+    }
+    let stages = build_stages(plan, &truths, &works);
+    let runtime = makespan(&stages, cluster.tokens);
+    let mut cpu = 0.0;
+    let mut io = 0.0;
+    for id in plan.reachable() {
+        cpu += works[id.index()].cpu;
+        io += works[id.index()].io + works[id.index()].net;
+    }
+    RunMetrics {
+        runtime,
+        cpu_time: cpu,
+        io_time: io,
+    }
+}
+
+/// Execute with multiplicative lognormal noise (mean-one), modelling the
+/// cluster variance described in §3.1.1.
+pub fn execute<R: Rng + ?Sized>(
+    plan: &PhysPlan,
+    cat: &TrueCatalog,
+    cluster: &ClusterConfig,
+    rng: &mut R,
+) -> RunMetrics {
+    let base = execute_deterministic(plan, cat, cluster);
+    let sigma = cluster.sigma_for_runtime(base.runtime);
+    if sigma == 0.0 {
+        return base;
+    }
+    let mean_one = |rng: &mut R, s: f64| lognormal(rng, -s * s / 2.0, s);
+    RunMetrics {
+        runtime: base.runtime * mean_one(rng, sigma),
+        cpu_time: base.cpu_time * mean_one(rng, sigma * 0.5),
+        io_time: base.io_time * mean_one(rng, sigma * 0.5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scope_ir::expr::Predicate;
+    use scope_ir::ids::{ColId, DomainId, TableId};
+    use scope_optimizer::{Partitioning, PhysNode, PhysOp};
+
+    fn node(op: PhysOp, children: Vec<scope_ir::ids::NodeId>) -> PhysNode {
+        PhysNode {
+            op,
+            children,
+            est_rows: 0.0,
+            est_bytes: 0.0,
+            est_cost: 0.0,
+            partitioning: Partitioning::Any,
+            dop: 1,
+            created_by: None,
+            logical_rule: None,
+        }
+    }
+
+    fn two_stage_plan() -> (PhysPlan, TrueCatalog) {
+        let mut cat = TrueCatalog::new();
+        let c = cat.add_column(1000, 0.0, DomainId(0));
+        cat.add_table(10_000_000, 100, 1, vec![c]);
+        let mut p = PhysPlan::new();
+        let scan = p.add(node(
+            PhysOp::Scan {
+                table: TableId(0),
+                pushed: Predicate::true_pred(),
+                parallel: true,
+                indexed: false,
+            },
+            vec![],
+        ));
+        let ex = p.add(node(
+            PhysOp::Exchange {
+                scheme: Partitioning::Hash(vec![ColId(0)]),
+                dop: 50,
+            },
+            vec![scan],
+        ));
+        let agg = p.add(node(
+            PhysOp::HashAgg {
+                keys: vec![ColId(0)],
+                aggs: vec![],
+                partial: false,
+            },
+            vec![ex],
+        ));
+        let out = p.add(node(PhysOp::Output { stream: 0 }, vec![agg]));
+        p.set_root(out);
+        (p, cat)
+    }
+
+    #[test]
+    fn stage_cut_at_exchange() {
+        let (plan, cat) = two_stage_plan();
+        let cluster = ClusterConfig::noiseless();
+        let truths = replay(&plan, &cat);
+        let mut works = vec![NodeWork::default(); plan.len()];
+        for id in plan.reachable() {
+            let n = plan.node(id);
+            let ch: Vec<&NodeTruth> = n.children.iter().map(|c| &truths[c.index()]).collect();
+            works[id.index()] = node_work(&n.op, &truths[id.index()], &ch, &cat, &cluster);
+        }
+        let stages = build_stages(&plan, &truths, &works);
+        // Stage 0: scan + exchange (producer side). Stage 1: agg + output.
+        assert_eq!(stages.stages.len(), 2);
+        assert_eq!(stages.node_stage[0], 0);
+        assert_eq!(stages.node_stage[1], 0);
+        assert_eq!(stages.node_stage[2], 1);
+        assert_eq!(stages.node_stage[3], 1);
+        assert_eq!(stages.stages[1].deps, vec![0]);
+        assert_eq!(stages.root_stage, 1);
+    }
+
+    #[test]
+    fn makespan_respects_dependencies_and_waves() {
+        let g = StageGraph {
+            stages: vec![
+                Stage { elapsed: 10.0, dop: 50, deps: vec![] },
+                Stage { elapsed: 5.0, dop: 100, deps: vec![0] },
+            ],
+            node_stage: vec![],
+            root_stage: 1,
+        };
+        let m50 = makespan(&g, 50);
+        // Stage 1 at dop 100 with 50 tokens runs in 2 waves.
+        let expected = (10.0 + STAGE_OVERHEAD_S + WAVE_OVERHEAD_S)
+            + (5.0 * 2.0 + STAGE_OVERHEAD_S + 2.0 * WAVE_OVERHEAD_S);
+        assert!((m50 - expected).abs() < 1e-9);
+        // More tokens → no waves → faster.
+        assert!(makespan(&g, 100) < m50);
+    }
+
+    #[test]
+    fn execution_is_deterministic_without_noise() {
+        let (plan, cat) = two_stage_plan();
+        let cluster = ClusterConfig::noiseless();
+        let a = execute_deterministic(&plan, &cat, &cluster);
+        let b = execute_deterministic(&plan, &cat, &cluster);
+        assert_eq!(a, b);
+        assert!(a.runtime > 0.0);
+        assert!(a.cpu_time > 0.0);
+        assert!(a.io_time > 0.0);
+    }
+
+    #[test]
+    fn noise_is_seed_stable_and_mean_one_ish() {
+        let (plan, cat) = two_stage_plan();
+        let cluster = ClusterConfig::ab_testing();
+        let base = execute_deterministic(&plan, &cat, &cluster);
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = execute(&plan, &cat, &cluster, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let b = execute(&plan, &cat, &cluster, &mut rng2);
+        assert_eq!(a, b);
+        // Mean-one noise: across many trials the average is close to base.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean: f64 = (0..500)
+            .map(|_| execute(&plan, &cat, &cluster, &mut rng).runtime)
+            .sum::<f64>()
+            / 500.0;
+        assert!((mean / base.runtime - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn metric_selector_roundtrip() {
+        let m = RunMetrics {
+            runtime: 1.0,
+            cpu_time: 2.0,
+            io_time: 3.0,
+        };
+        assert_eq!(m.get(Metric::Runtime), 1.0);
+        assert_eq!(m.get(Metric::CpuTime), 2.0);
+        assert_eq!(m.get(Metric::IoTime), 3.0);
+        assert_eq!(Metric::ALL.len(), 3);
+    }
+}

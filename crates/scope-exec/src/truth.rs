@@ -1,0 +1,450 @@
+//! Ground-truth property replay: true cardinalities, byte volumes, and
+//! per-vertex data shares for every node of a physical plan.
+//!
+//! This is the half of the world the optimizer never sees: correlated
+//! predicate selectivities, true join fanout including key skew, true UDO
+//! behaviour, and the partition share of the busiest vertex under each
+//! partitioning scheme.
+
+use scope_ir::ids::ColId;
+use scope_ir::{JoinKind, TrueCatalog};
+use scope_optimizer::{Partitioning, PhysOp, PhysPlan};
+
+/// True runtime properties of one physical node's output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeTruth {
+    /// True output rows.
+    pub rows: f64,
+    /// True output bytes.
+    pub bytes: f64,
+    /// Share of the output held by the busiest vertex (1.0 = everything on
+    /// one vertex or replicated everywhere; 1/dop = perfectly uniform).
+    pub share: f64,
+    /// Parallelism this node actually runs with.
+    pub dop: u32,
+}
+
+impl NodeTruth {
+    /// Bytes per row (guarded).
+    pub fn row_bytes(&self) -> f64 {
+        if self.rows > 0.0 {
+            self.bytes / self.rows
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The busiest-vertex share after hash partitioning on `cols` at `dop`.
+/// The partition holding a column's heaviest value carries at least that
+/// value's share; compound keys distribute finer (take the smallest skew).
+pub fn hash_share(cat: &TrueCatalog, cols: &[ColId], dop: u32) -> f64 {
+    let uniform = 1.0 / dop.max(1) as f64;
+    let key_skew = cols
+        .iter()
+        .map(|c| cat.columns.get(c.index()).map(|s| s.skew).unwrap_or(0.0))
+        .fold(f64::INFINITY, f64::min);
+    if key_skew.is_finite() {
+        uniform.max(key_skew)
+    } else {
+        uniform
+    }
+}
+
+/// True join output cardinality: uniform fanout plus the heavy-hitter term
+/// the optimizer's uniformity assumption misses.
+fn join_rows(cat: &TrueCatalog, kind: JoinKind, keys: &[(ColId, ColId)], l: &NodeTruth, r: &NodeTruth) -> f64 {
+    let mut rows = match keys.first() {
+        Some(&(lk, rk)) => {
+            let ndv_l = cat.columns.get(lk.index()).map(|c| c.ndv).unwrap_or(1000);
+            let ndv_r = cat.columns.get(rk.index()).map(|c| c.ndv).unwrap_or(1000);
+            let skew_l = cat.columns.get(lk.index()).map(|c| c.skew).unwrap_or(0.0);
+            let skew_r = cat.columns.get(rk.index()).map(|c| c.skew).unwrap_or(0.0);
+            let uniform = l.rows * r.rows / ndv_l.max(ndv_r).max(1) as f64;
+            let heavy = skew_l * l.rows * skew_r * r.rows;
+            (uniform + heavy).min(l.rows * r.rows)
+        }
+        None => l.rows * r.rows,
+    };
+    for _ in keys.iter().skip(1) {
+        rows *= 0.3;
+    }
+    match kind {
+        JoinKind::Inner => rows,
+        JoinKind::LeftOuter => rows.max(l.rows),
+        JoinKind::Semi => (l.rows * 0.7).min(rows).max(0.0),
+    }
+    .max(0.0)
+}
+
+/// Derive the true properties of `op` from its children's true properties.
+pub fn derive_truth(op: &PhysOp, children: &[&NodeTruth], cat: &TrueCatalog) -> NodeTruth {
+    let child = |i: usize| -> &NodeTruth { children[i] };
+    match op {
+        PhysOp::Scan {
+            table,
+            pushed,
+            parallel,
+            ..
+        } => {
+            let t = cat.tables.get(table.index());
+            let raw_rows = t.map(|t| t.rows as f64).unwrap_or(0.0);
+            let row_bytes = t.map(|t| t.row_bytes as f64).unwrap_or(100.0);
+            let sel = if pushed.is_true() {
+                1.0
+            } else {
+                cat.true_conj_selectivity(&pushed.atoms)
+            };
+            let rows = raw_rows * sel;
+            let dop = if *parallel {
+                scope_optimizer::cost::dop_for_bytes(raw_rows * row_bytes)
+            } else {
+                1
+            };
+            NodeTruth {
+                rows,
+                bytes: rows * row_bytes,
+                share: 1.0 / dop as f64,
+                dop,
+            }
+        }
+        PhysOp::Filter { predicate } => {
+            let c = child(0);
+            let sel = cat.true_conj_selectivity(&predicate.atoms);
+            NodeTruth {
+                rows: c.rows * sel,
+                bytes: c.bytes * sel,
+                share: c.share,
+                dop: c.dop,
+            }
+        }
+        PhysOp::Project { cols, computed } => {
+            let c = child(0);
+            let width = 12.0 + 8.0 * (cols.len() + *computed as usize) as f64;
+            NodeTruth {
+                rows: c.rows,
+                bytes: c.rows * width,
+                share: c.share,
+                dop: c.dop,
+            }
+        }
+        PhysOp::HashJoin { kind, keys, .. }
+        | PhysOp::MergeJoin { kind, keys }
+        | PhysOp::BroadcastJoin { kind, keys }
+        | PhysOp::LoopJoin { kind, keys }
+        | PhysOp::IndexJoin { kind, keys } => {
+            let l = child(0);
+            let r = child(1);
+            let rows = join_rows(cat, *kind, keys, l, r);
+            let width = match kind {
+                JoinKind::Semi => l.row_bytes(),
+                _ => l.row_bytes() + r.row_bytes(),
+            };
+            // The join runs where its (exchanged) inputs live; broadcast
+            // joins inherit only the probe side's distribution.
+            let (share, dop) = match op {
+                PhysOp::BroadcastJoin { .. } | PhysOp::IndexJoin { .. } => (l.share, l.dop),
+                PhysOp::LoopJoin { .. } => (1.0, 1),
+                _ => (l.share.max(r.share), l.dop.max(r.dop)),
+            };
+            NodeTruth {
+                rows,
+                bytes: rows * width,
+                share,
+                dop,
+            }
+        }
+        PhysOp::HashAgg { keys, aggs, partial }
+        | PhysOp::SortAgg { keys, aggs, partial }
+        | PhysOp::StreamAgg { keys, aggs, partial } => {
+            let c = child(0);
+            let mut groups = 1.0_f64;
+            for k in keys {
+                groups *= cat.columns.get(k.index()).map(|s| s.ndv).unwrap_or(1000) as f64;
+            }
+            let rows = if *partial {
+                (groups * c.dop as f64).min(c.rows)
+            } else {
+                groups.min(c.rows)
+            };
+            let width = 16.0 + 8.0 * (keys.len() + aggs.len()) as f64;
+            // After a grouped aggregation the heaviest key collapses to one
+            // row, so output skew dissolves; the busiest vertex still did
+            // the skewed *work* (accounted in the work model).
+            NodeTruth {
+                rows: rows.max(1.0),
+                bytes: rows.max(1.0) * width,
+                share: 1.0 / c.dop.max(1) as f64,
+                dop: c.dop,
+            }
+        }
+        PhysOp::UnionAll { serial } => {
+            let rows: f64 = children.iter().map(|c| c.rows).sum();
+            let bytes: f64 = children.iter().map(|c| c.bytes).sum();
+            if *serial {
+                NodeTruth {
+                    rows,
+                    bytes,
+                    share: 1.0,
+                    dop: 1,
+                }
+            } else {
+                // Streaming concat preserves whatever skew the inputs have.
+                let share = children.iter().map(|c| c.share).fold(0.0, f64::max);
+                let dop = children.iter().map(|c| c.dop).max().unwrap_or(1);
+                NodeTruth {
+                    rows,
+                    bytes,
+                    share,
+                    dop,
+                }
+            }
+        }
+        PhysOp::VirtualDataset => {
+            let rows: f64 = children.iter().map(|c| c.rows).sum();
+            let bytes: f64 = children.iter().map(|c| c.bytes).sum();
+            // Materialization rewrites the dataset uniformly: skew resets.
+            let dop = scope_optimizer::cost::dop_for_bytes(bytes);
+            NodeTruth {
+                rows,
+                bytes,
+                share: 1.0 / dop as f64,
+                dop,
+            }
+        }
+        PhysOp::Top { k, heap } => {
+            let c = child(0);
+            let rows = (*k as f64).min(c.rows);
+            NodeTruth {
+                rows,
+                bytes: rows * c.row_bytes(),
+                share: if *heap { 1.0 } else { 1.0 },
+                dop: 1,
+            }
+        }
+        PhysOp::Sort { parallel, .. } => {
+            let c = child(0);
+            NodeTruth {
+                rows: c.rows,
+                bytes: c.bytes,
+                share: if *parallel { c.share } else { 1.0 },
+                dop: if *parallel { c.dop } else { 1 },
+            }
+        }
+        PhysOp::Window { .. } => {
+            let c = child(0);
+            NodeTruth {
+                rows: c.rows,
+                bytes: c.bytes,
+                share: c.share,
+                dop: c.dop,
+            }
+        }
+        PhysOp::Process { udo, parallel } => {
+            let c = child(0);
+            let truth = cat.udo_truth(*udo);
+            let rows = c.rows * truth.selectivity;
+            NodeTruth {
+                rows,
+                bytes: rows * c.row_bytes() * 1.2,
+                share: if *parallel { c.share } else { 1.0 },
+                dop: if *parallel { c.dop } else { 1 },
+            }
+        }
+        PhysOp::Output { .. } => {
+            let c = child(0);
+            c.clone()
+        }
+        PhysOp::Exchange { scheme, dop } => {
+            let c = child(0);
+            let share = match scheme {
+                Partitioning::Hash(cols) => hash_share(cat, cols, *dop),
+                Partitioning::Range(_) => 1.0 / (*dop).max(1) as f64,
+                Partitioning::Broadcast => 1.0,
+                Partitioning::Singleton => 1.0,
+                Partitioning::Any => 1.0 / (*dop).max(1) as f64,
+            };
+            NodeTruth {
+                rows: c.rows,
+                bytes: c.bytes,
+                share,
+                dop: (*dop).max(1),
+            }
+        }
+    }
+}
+
+/// Replay truth through an entire plan; returns per-node truths indexed by
+/// node id (unreachable nodes get zeroed entries).
+pub fn replay(plan: &PhysPlan, cat: &TrueCatalog) -> Vec<NodeTruth> {
+    let zero = NodeTruth {
+        rows: 0.0,
+        bytes: 0.0,
+        share: 1.0,
+        dop: 1,
+    };
+    let mut truths = vec![zero; plan.len()];
+    for id in plan.reachable() {
+        let node = plan.node(id);
+        let children: Vec<&NodeTruth> = node.children.iter().map(|c| &truths[c.index()]).collect();
+        truths[id.index()] = derive_truth(&node.op, &children, cat);
+    }
+    truths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_ir::expr::{CmpOp, Literal, PredAtom, Predicate};
+    use scope_ir::ids::{DomainId, PredId, TableId};
+
+    fn skewed_catalog() -> TrueCatalog {
+        let mut cat = TrueCatalog::new();
+        cat.add_column(10_000, 0.5, DomainId(0)); // heavily skewed join key
+        cat.add_column(10_000, 0.0, DomainId(0)); // uniform join key
+        cat.add_table(1_000_000, 100, 1, vec![ColId(0), ColId(1)]);
+        cat
+    }
+
+    fn truth(rows: f64, share: f64, dop: u32) -> NodeTruth {
+        NodeTruth {
+            rows,
+            bytes: rows * 100.0,
+            share,
+            dop,
+        }
+    }
+
+    #[test]
+    fn hash_share_respects_skew() {
+        let cat = skewed_catalog();
+        assert_eq!(hash_share(&cat, &[ColId(1)], 50), 1.0 / 50.0);
+        assert_eq!(hash_share(&cat, &[ColId(0)], 50), 0.5);
+        // Compound key takes the finer (smaller) skew.
+        assert_eq!(hash_share(&cat, &[ColId(0), ColId(1)], 50), 1.0 / 50.0);
+    }
+
+    #[test]
+    fn skewed_join_produces_heavy_hitter_rows() {
+        let cat = skewed_catalog();
+        let l = truth(100_000.0, 0.02, 50);
+        let r = truth(100_000.0, 0.02, 50);
+        let skewed = join_rows(
+            &cat,
+            JoinKind::Inner,
+            &[(ColId(0), ColId(0))],
+            &l,
+            &r,
+        );
+        let uniform = join_rows(
+            &cat,
+            JoinKind::Inner,
+            &[(ColId(1), ColId(1))],
+            &l,
+            &r,
+        );
+        assert!(skewed > uniform * 100.0, "{skewed} vs {uniform}");
+    }
+
+    #[test]
+    fn correlated_filter_truth_differs_from_estimate() {
+        let mut cat = TrueCatalog::new();
+        let col = cat.add_column(1000, 0.0, DomainId(0));
+        let g = cat.add_corr_group(1.0);
+        let p1 = cat.add_pred(0.1, Some(g));
+        let p2 = cat.add_pred(0.1, Some(g));
+        cat.add_table(1_000_000, 100, 1, vec![col]);
+        let atoms = vec![
+            PredAtom {
+                col,
+                op: CmpOp::Like,
+                literal: Literal::Int(0),
+                pred: p1,
+            },
+            PredAtom {
+                col,
+                op: CmpOp::Like,
+                literal: Literal::Int(1),
+                pred: p2,
+            },
+        ];
+        let c = truth(1_000_000.0, 0.02, 50);
+        let out = derive_truth(
+            &PhysOp::Filter {
+                predicate: Predicate { atoms },
+            },
+            &[&c],
+            &cat,
+        );
+        // Fully correlated: min(0.1, 0.1) = 0.1 → 100k rows, not 10k.
+        assert!((out.rows - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn unknown_pred_truth_matches_shape_heuristic() {
+        let mut cat = TrueCatalog::new();
+        let col = cat.add_column(1000, 0.0, DomainId(0));
+        cat.add_table(1000, 100, 1, vec![col]);
+        let atom = PredAtom {
+            col,
+            op: CmpOp::Range,
+            literal: Literal::Int(0),
+            pred: PredId::UNKNOWN,
+        };
+        let c = truth(900.0, 0.1, 10);
+        let out = derive_truth(
+            &PhysOp::Filter {
+                predicate: Predicate { atoms: vec![atom] },
+            },
+            &[&c],
+            &cat,
+        );
+        assert!((out.rows - 300.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn virtual_dataset_resets_skew() {
+        let cat = skewed_catalog();
+        let skewed_in = truth(1e8, 0.5, 50);
+        let out = derive_truth(&PhysOp::VirtualDataset, &[&skewed_in, &skewed_in], &cat);
+        assert!(out.share < 0.5);
+        assert_eq!(out.rows, 2e8);
+    }
+
+    #[test]
+    fn exploding_udo_truth() {
+        let mut cat = TrueCatalog::new();
+        let udo = cat.add_udo(25.0, 3.0);
+        let c = truth(1000.0, 0.1, 10);
+        let out = derive_truth(
+            &PhysOp::Process {
+                udo,
+                parallel: true,
+            },
+            &[&c],
+            &cat,
+        );
+        assert_eq!(out.rows, 3000.0);
+    }
+
+    #[test]
+    fn scan_replays_pushed_predicate_truth() {
+        let mut cat = TrueCatalog::new();
+        let col = cat.add_column(1_000, 0.0, DomainId(0));
+        let p = cat.add_pred(0.001, None);
+        cat.add_table(1_000_000, 100, 1, vec![col]);
+        let op = PhysOp::Scan {
+            table: TableId(0),
+            pushed: Predicate::atom(PredAtom {
+                col,
+                op: CmpOp::Eq,
+                literal: Literal::Int(0),
+                pred: p,
+            }),
+            parallel: true,
+            indexed: false,
+        };
+        let out = derive_truth(&op, &[], &cat);
+        assert!((out.rows - 1000.0).abs() < 1e-6);
+    }
+}

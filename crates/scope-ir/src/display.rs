@@ -1,0 +1,126 @@
+//! Human-readable rendering of plans: an indented tree view (with DAG
+//! sharing annotated) and Graphviz DOT export.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::ids::NodeId;
+use crate::ops::LogicalOp;
+use crate::plan::PlanGraph;
+
+fn op_label(op: &LogicalOp) -> String {
+    match op {
+        LogicalOp::Get { table } => format!("Get(t{table})"),
+        LogicalOp::RangeGet { table, pushed } => {
+            if pushed.is_true() {
+                format!("RangeGet(t{table})")
+            } else {
+                format!("RangeGet(t{table}, {} pushed preds)", pushed.len())
+            }
+        }
+        LogicalOp::Select { predicate } => format!("Select({} preds)", predicate.len()),
+        LogicalOp::Filter { predicate } => format!("Filter({} preds)", predicate.len()),
+        LogicalOp::Project { cols, computed } => {
+            format!("Project({} cols, {computed} computed)", cols.len())
+        }
+        LogicalOp::Join { kind, keys } => format!("Join({kind:?}, {} keys)", keys.len()),
+        LogicalOp::GroupBy { keys, aggs, partial } => format!(
+            "GroupBy({} keys, {} aggs{})",
+            keys.len(),
+            aggs.len(),
+            if *partial { ", partial" } else { "" }
+        ),
+        LogicalOp::UnionAll => "UnionAll".to_string(),
+        LogicalOp::VirtualDataset => "VirtualDataset".to_string(),
+        LogicalOp::Top { k } => format!("Top({k})"),
+        LogicalOp::Sort { keys } => format!("Sort({} keys)", keys.len()),
+        LogicalOp::Window { keys } => format!("Window({} keys)", keys.len()),
+        LogicalOp::Process { udo } => format!("Process(udo{udo})"),
+        LogicalOp::Output { stream } => format!("Output({stream:08x})"),
+    }
+}
+
+/// Render the plan as an indented tree rooted at the plan root. Shared
+/// subplans are expanded once and referenced as `^N` afterwards.
+pub fn render_tree(plan: &PlanGraph) -> String {
+    let mut out = String::new();
+    let Some(root) = plan.root() else {
+        return "<empty plan>".to_string();
+    };
+    let mut seen = HashSet::new();
+    render_rec(plan, root, 0, &mut seen, &mut out);
+    out
+}
+
+fn render_rec(
+    plan: &PlanGraph,
+    id: NodeId,
+    depth: usize,
+    seen: &mut HashSet<NodeId>,
+    out: &mut String,
+) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    if !seen.insert(id) {
+        let _ = writeln!(out, "^{id}");
+        return;
+    }
+    let node = plan.node(id);
+    let _ = writeln!(out, "[{id}] {}", op_label(&node.op));
+    for &c in &node.children {
+        render_rec(plan, c, depth + 1, seen, out);
+    }
+}
+
+/// Export the reachable part of the plan as Graphviz DOT.
+pub fn to_dot(plan: &PlanGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    for id in plan.reachable() {
+        let node = plan.node(id);
+        let _ = writeln!(out, "  n{id} [label=\"{}\"];", op_label(&node.op));
+        for &c in &node.children {
+            let _ = writeln!(out, "  n{c} -> n{id};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TableId;
+
+    fn shared_plan() -> PlanGraph {
+        let mut g = PlanGraph::new();
+        let s = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
+        let t = g.add_unchecked(LogicalOp::Top { k: 5 }, vec![s]);
+        let u = g.add_unchecked(LogicalOp::UnionAll, vec![t, t]);
+        let o = g.add_unchecked(LogicalOp::Output { stream: 1 }, vec![u]);
+        g.set_root(o);
+        g
+    }
+
+    #[test]
+    fn tree_render_marks_shared_nodes() {
+        let text = render_tree(&shared_plan());
+        assert!(text.contains("UnionAll"));
+        assert!(text.contains("^1"), "shared node should render as backref:\n{text}");
+    }
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let dot = to_dot(&shared_plan(), "t");
+        assert!(dot.starts_with("digraph"));
+        // UnionAll has two edges from the same child.
+        assert_eq!(dot.matches("n1 -> n2").count(), 2);
+    }
+
+    #[test]
+    fn empty_plan_renders_placeholder() {
+        assert_eq!(render_tree(&PlanGraph::new()), "<empty plan>");
+    }
+}

@@ -1,0 +1,160 @@
+//! Newtype identifiers used across the IR.
+//!
+//! All identifiers are plain `u32` indexes into arenas (plan nodes, catalog
+//! tables, columns, predicates) except [`TemplateId`] and [`JobId`], which
+//! are 64-bit hashes/counters.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Index into the backing arena.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A node in a [`crate::plan::PlanGraph`] arena.
+    NodeId,
+    u32
+);
+id_type!(
+    /// A base table (input stream) in a catalog.
+    TableId,
+    u32
+);
+id_type!(
+    /// A column in a catalog's global column namespace.
+    ColId,
+    u32
+);
+id_type!(
+    /// A join-key domain: two columns may be joined only when they share a
+    /// domain, which also determines the true join fanout.
+    DomainId,
+    u32
+);
+id_type!(
+    /// A user-defined operator registered in the catalog.
+    UdoId,
+    u32
+);
+
+/// A predicate atom's identity in the true catalog.
+///
+/// The workload generator assigns every generated atom a `PredId` pointing at
+/// its true selectivity (and, possibly, correlation group). Hand-built plans
+/// may use [`PredId::UNKNOWN`], in which case the simulator falls back to the
+/// same shape heuristic the optimizer uses — i.e., no estimation error.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    /// Sentinel for predicates with no registered ground truth.
+    pub const UNKNOWN: PredId = PredId(u32::MAX);
+
+    /// Whether this predicate has registered ground truth.
+    #[inline]
+    pub fn is_known(self) -> bool {
+        self != Self::UNKNOWN
+    }
+
+    /// Index into the true catalog's predicate table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "PredId({})", self.0)
+        } else {
+            write!(f, "PredId(?)")
+        }
+    }
+}
+
+/// A recurring-job template identifier: the structural hash of the query
+/// graph with all variable values (predicate literals) erased, but input
+/// stream names retained — matching the paper's definition in §3.1.1/§6.4.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TemplateId(pub u64);
+
+impl fmt::Debug for TemplateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TemplateId({:016x})", self.0)
+    }
+}
+
+impl fmt::Display for TemplateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A unique job identifier assigned by the workload generator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JobId({})", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_ordering() {
+        let a = NodeId(3);
+        let b = NodeId(7);
+        assert!(a < b);
+        assert_eq!(a.index(), 3);
+        assert_eq!(format!("{a:?}"), "NodeId(3)");
+        assert_eq!(format!("{a}"), "3");
+    }
+
+    #[test]
+    fn unknown_pred_is_not_known() {
+        assert!(!PredId::UNKNOWN.is_known());
+        assert!(PredId(0).is_known());
+        assert_eq!(format!("{:?}", PredId::UNKNOWN), "PredId(?)");
+    }
+
+    #[test]
+    fn template_id_formats_as_hex() {
+        let t = TemplateId(0xdead_beef);
+        assert_eq!(format!("{t}"), "00000000deadbeef");
+    }
+}

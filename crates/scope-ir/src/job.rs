@@ -1,0 +1,161 @@
+//! Jobs: a plan, its ground-truth world, and recurring-job metadata.
+
+use crate::catalog::TrueCatalog;
+use crate::ids::{JobId, TemplateId};
+use crate::plan::PlanGraph;
+
+/// One input stream reference: its (hashed) name and its size on the job's
+/// day. Input sizes drift day to day for recurring templates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct InputRef {
+    /// Hash of the stream name, e.g. `/shares/prod/clicks/2021-02-03`.
+    pub name_hash: u64,
+    /// Size in bytes on this day (observable).
+    pub bytes: u64,
+}
+
+/// A SCOPE job: one submitted instance of a (possibly recurring) template.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Unique id assigned by the workload generator.
+    pub id: JobId,
+    /// The logical plan as written (pre-normalization operators).
+    pub plan: PlanGraph,
+    /// Ground truth about this job's inputs. The optimizer must only use
+    /// [`TrueCatalog::observe`].
+    pub catalog: TrueCatalog,
+    /// Recurring-template identity (literal-erased structural hash,
+    /// including input names).
+    pub template: TemplateId,
+    /// The job's input streams.
+    pub inputs: Vec<InputRef>,
+    /// Day index within the workload window (0-based).
+    pub day: u32,
+    /// Tokens (concurrent containers) requested by the customer. A/B runs
+    /// override this with a fixed value (50 in the paper).
+    pub requested_tokens: u32,
+    /// Customer-supplied rule hints: raw rule ids the customer's script
+    /// enables on top of the engine default ("rule flags are already
+    /// available and often used by customers", §3.3). These explain why
+    /// off-by-default rules appear in production signatures (Table 2).
+    pub hints: Vec<u16>,
+}
+
+impl Job {
+    /// Construct a job, deriving its template hash from the plan and inputs.
+    pub fn new(
+        id: JobId,
+        plan: PlanGraph,
+        catalog: TrueCatalog,
+        inputs: Vec<InputRef>,
+        day: u32,
+        requested_tokens: u32,
+    ) -> Self {
+        let names: Vec<u64> = inputs.iter().map(|i| i.name_hash).collect();
+        let template = plan.template_hash(&names);
+        Job {
+            id,
+            plan,
+            catalog,
+            template,
+            inputs,
+            day,
+            requested_tokens,
+            hints: Vec::new(),
+        }
+    }
+
+    /// Attach customer rule hints (builder style).
+    pub fn with_hints(mut self, hints: Vec<u16>) -> Self {
+        self.hints = hints;
+        self
+    }
+
+    /// Total observable input bytes.
+    pub fn total_input_bytes(&self) -> u64 {
+        self.inputs.iter().map(|i| i.bytes).sum()
+    }
+
+    /// Number of reachable operators in the plan.
+    pub fn plan_size(&self) -> usize {
+        self.plan.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TableId;
+    use crate::ops::LogicalOp;
+
+    fn tiny_plan() -> PlanGraph {
+        let mut g = PlanGraph::new();
+        let s = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
+        let o = g.add_unchecked(LogicalOp::Output { stream: 0 }, vec![s]);
+        g.set_root(o);
+        g
+    }
+
+    #[test]
+    fn template_derives_from_plan_and_inputs() {
+        let j1 = Job::new(
+            JobId(1),
+            tiny_plan(),
+            TrueCatalog::new(),
+            vec![InputRef {
+                name_hash: 10,
+                bytes: 100,
+            }],
+            0,
+            50,
+        );
+        let j2 = Job::new(
+            JobId(2),
+            tiny_plan(),
+            TrueCatalog::new(),
+            vec![InputRef {
+                name_hash: 10,
+                bytes: 999, // size differs, name does not
+            }],
+            1,
+            50,
+        );
+        assert_eq!(j1.template, j2.template);
+
+        let j3 = Job::new(
+            JobId(3),
+            tiny_plan(),
+            TrueCatalog::new(),
+            vec![InputRef {
+                name_hash: 11, // different input name ⇒ different template
+                bytes: 100,
+            }],
+            0,
+            50,
+        );
+        assert_ne!(j1.template, j3.template);
+    }
+
+    #[test]
+    fn input_bytes_sum() {
+        let j = Job::new(
+            JobId(1),
+            tiny_plan(),
+            TrueCatalog::new(),
+            vec![
+                InputRef {
+                    name_hash: 1,
+                    bytes: 100,
+                },
+                InputRef {
+                    name_hash: 2,
+                    bytes: 50,
+                },
+            ],
+            0,
+            50,
+        );
+        assert_eq!(j.total_input_bytes(), 150);
+        assert_eq!(j.plan_size(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Small numeric helpers shared across crates: summary statistics and
+//! distribution sampling for the simulators and experiment harnesses.
+
+use rand::Rng;
+
+/// Arithmetic mean; `0.0` for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; `0.0` for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Percentile via linear interpolation on sorted copies. `p` in `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Sample a lognormal variate with the given parameters of the *underlying*
+/// normal distribution, via Box–Muller.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// Sample an index from unnormalized weights. Panics on empty or all-zero
+/// weights.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weighted_index needs positive total weight");
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+/// Percentage change from `base` to `new` (negative = improvement when the
+/// metric is a cost). Returns `0` for a zero base.
+pub fn pct_change(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        100.0 * (new - base) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(median(&xs), 5.0);
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_centered() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..4000).map(|_| lognormal(&mut rng, 0.0, 0.25)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        // Median of lognormal(mu=0) is 1.
+        let m = median(&samples);
+        assert!((m - 1.0).abs() < 0.05, "median {m}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[weighted_index(&mut rng, &[1.0, 0.0, 3.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 2);
+    }
+
+    #[test]
+    fn pct_change_signs() {
+        assert!((pct_change(100.0, 50.0) + 50.0).abs() < 1e-12);
+        assert!((pct_change(100.0, 150.0) - 50.0).abs() < 1e-12);
+        assert_eq!(pct_change(0.0, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests over plan construction and hashing invariants.
+
+use proptest::prelude::*;
+use scope_ir::expr::{CmpOp, Literal, PredAtom, Predicate};
+use scope_ir::ids::{ColId, NodeId, TableId};
+use scope_ir::ops::{AggFunc, JoinKind, LogicalOp};
+use scope_ir::PlanGraph;
+
+/// A strategy producing random-but-valid plan graphs: every node's children
+/// are earlier nodes with compatible arity.
+fn arb_plan() -> impl Strategy<Value = PlanGraph> {
+    // A recipe is a list of op choices; we materialize greedily.
+    proptest::collection::vec((0u8..8, any::<i64>(), 0u32..6), 1..40).prop_map(|recipe| {
+        let mut g = PlanGraph::new();
+        let mut nodes: Vec<NodeId> = Vec::new();
+        // Seed with two scans so unary/binary ops always have children.
+        nodes.push(g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]));
+        nodes.push(g.add_unchecked(LogicalOp::Get { table: TableId(1) }, vec![]));
+        for (choice, lit, col) in recipe {
+            let pick = |off: usize| nodes[(off + lit.unsigned_abs() as usize) % nodes.len()];
+            let id = match choice {
+                0 => g.add_unchecked(LogicalOp::Get { table: TableId(col) }, vec![]),
+                1 => g.add_unchecked(
+                    LogicalOp::Select {
+                        predicate: Predicate::atom(PredAtom::unknown(
+                            ColId(col),
+                            CmpOp::Eq,
+                            Literal::Int(lit),
+                        )),
+                    },
+                    vec![pick(0)],
+                ),
+                2 => g.add_unchecked(
+                    LogicalOp::Project {
+                        cols: vec![ColId(col)],
+                        computed: (col % 3) as u8,
+                    },
+                    vec![pick(1)],
+                ),
+                3 => g.add_unchecked(
+                    LogicalOp::Join {
+                        kind: JoinKind::Inner,
+                        keys: vec![(ColId(col), ColId(col + 1))],
+                    },
+                    vec![pick(0), pick(2)],
+                ),
+                4 => g.add_unchecked(
+                    LogicalOp::GroupBy {
+                        keys: vec![ColId(col)],
+                        aggs: vec![AggFunc::Count],
+                        partial: false,
+                    },
+                    vec![pick(0)],
+                ),
+                5 => g.add_unchecked(LogicalOp::UnionAll, vec![pick(0), pick(3)]),
+                6 => g.add_unchecked(LogicalOp::Top { k: 1 + (col as u64) }, vec![pick(0)]),
+                _ => g.add_unchecked(
+                    LogicalOp::Sort {
+                        keys: vec![ColId(col)],
+                    },
+                    vec![pick(0)],
+                ),
+            };
+            nodes.push(id);
+        }
+        let root_child = *nodes.last().expect("nonempty");
+        let out = g.add_unchecked(LogicalOp::Output { stream: 7 }, vec![root_child]);
+        g.set_root(out);
+        g
+    })
+}
+
+proptest! {
+    /// Every generated plan validates, and reachability is a subset of the
+    /// arena in children-first order.
+    #[test]
+    fn generated_plans_validate(plan in arb_plan()) {
+        prop_assert!(plan.validate().is_ok());
+        let order = plan.reachable();
+        prop_assert!(order.len() <= plan.len());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for &id in &order {
+            for &c in &plan.node(id).children {
+                prop_assert!(pos[&c] < pos[&id], "child after parent");
+            }
+        }
+    }
+
+    /// Template hash is invariant under literal refresh; plan hash is not
+    /// (whenever the plan actually has a literal to change).
+    #[test]
+    fn literal_refresh_preserves_template(plan in arb_plan(), new_lit in any::<i64>()) {
+        let t0 = plan.template_hash(&[1, 2]);
+        let h0 = plan.plan_hash();
+        // Only literals on *reachable* nodes affect the plan hash.
+        let reachable: std::collections::HashSet<_> =
+            plan.reachable().into_iter().collect();
+        let selects_reachable: Vec<bool> = plan
+            .iter()
+            .map(|(id, node)| {
+                reachable.contains(&id)
+                    && matches!(&node.op, LogicalOp::Select { predicate }
+                        if predicate.atoms.iter().any(|a| a.literal != Literal::Int(new_lit)))
+            })
+            .collect();
+        let changed = selects_reachable.iter().any(|&b| b);
+        let mut plan2 = plan.clone();
+        plan2.map_ops(|op| {
+            if let LogicalOp::Select { predicate } = op {
+                for a in &mut predicate.atoms {
+                    a.literal = Literal::Int(new_lit);
+                }
+            }
+        });
+        prop_assert_eq!(plan2.template_hash(&[1, 2]), t0);
+        if changed {
+            prop_assert_ne!(plan2.plan_hash(), h0);
+        }
+    }
+
+    /// Op counts over reachable nodes sum to the reachable size.
+    #[test]
+    fn op_counts_sum_to_size(plan in arb_plan()) {
+        let counts = plan.op_counts();
+        let total: u32 = counts.iter().sum();
+        prop_assert_eq!(total as usize, plan.size());
+    }
+
+    /// Template hash depends on input names.
+    #[test]
+    fn template_hash_sensitive_to_inputs(plan in arb_plan(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(plan.template_hash(&[a]), plan.template_hash(&[b]));
+    }
+}

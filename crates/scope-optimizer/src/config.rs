@@ -1,0 +1,273 @@
+//! Rule configurations (Definition 3.1), rule signatures (Definition 3.2)
+//! and RuleDiff (Definition 6.1).
+
+use crate::rules::RuleCatalog;
+use crate::ruleset::{RuleId, RuleSet};
+
+/// Definition 3.1 — a bit vector specifying whether each rule is enabled
+/// when optimizing a job. Required rules are clamped on: they can never be
+/// disabled through this type.
+///
+/// ```
+/// use scope_optimizer::{RuleCatalog, RuleConfig};
+///
+/// let cat = RuleCatalog::global();
+/// let mut config = RuleConfig::default_config();
+/// assert_eq!(config.disabled().len(), 46); // the off-by-default rules
+///
+/// // Steering: disable a join implementation, enable an off-by-default rule.
+/// config.disable(cat.find("HashJoinImpl1").unwrap());
+/// config.enable(cat.find("GroupbyOnJoin").unwrap());
+/// let (newly_disabled, newly_enabled) = config.delta_from_default();
+/// assert_eq!(newly_disabled.len(), 1);
+/// assert_eq!(newly_enabled.len(), 1);
+///
+/// // Required rules cannot be turned off.
+/// config.disable(cat.find("EnforceExchange").unwrap());
+/// assert!(config.is_enabled(cat.find("EnforceExchange").unwrap()));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RuleConfig {
+    enabled: RuleSet,
+}
+
+impl RuleConfig {
+    /// SCOPE's default configuration: everything enabled except the 46
+    /// off-by-default rules.
+    pub fn default_config() -> RuleConfig {
+        let cat = RuleCatalog::global();
+        RuleConfig {
+            enabled: RuleSet::FULL.difference(cat.off_by_default()),
+        }
+    }
+
+    /// Build from an explicit enabled set; required rules are forced on.
+    pub fn from_enabled(enabled: RuleSet) -> RuleConfig {
+        let cat = RuleCatalog::global();
+        RuleConfig {
+            enabled: enabled.union(cat.required()),
+        }
+    }
+
+    /// Whether `id` is enabled.
+    #[inline]
+    pub fn is_enabled(&self, id: RuleId) -> bool {
+        self.enabled.contains(id)
+    }
+
+    /// Disable a rule. Disabling a required rule is a no-op (the paper's
+    /// hints cannot turn those off either).
+    pub fn disable(&mut self, id: RuleId) {
+        if !RuleCatalog::global().required().contains(id) {
+            self.enabled.remove(id);
+        }
+    }
+
+    /// Disable every rule in `set` (required rules are skipped).
+    pub fn disable_all(&mut self, set: &RuleSet) {
+        let cat = RuleCatalog::global();
+        self.enabled = self.enabled.difference(&set.difference(cat.required()));
+    }
+
+    /// Enable a rule.
+    pub fn enable(&mut self, id: RuleId) {
+        self.enabled.insert(id);
+    }
+
+    /// The enabled set.
+    pub fn enabled(&self) -> &RuleSet {
+        &self.enabled
+    }
+
+    /// The disabled set.
+    pub fn disabled(&self) -> RuleSet {
+        RuleSet::FULL.difference(&self.enabled)
+    }
+
+    /// Rules disabled here but not in the default configuration, and vice
+    /// versa — a compact description of "what this config changes".
+    pub fn delta_from_default(&self) -> (RuleSet, RuleSet) {
+        let default = RuleConfig::default_config();
+        let newly_disabled = default.enabled.difference(&self.enabled);
+        let newly_enabled = self.enabled.difference(&default.enabled);
+        (newly_disabled, newly_enabled)
+    }
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        Self::default_config()
+    }
+}
+
+/// Definition 3.2 — the set of rules that directly contributed to the final
+/// query plan produced by the optimizer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct RuleSignature(pub RuleSet);
+
+impl RuleSignature {
+    /// Rules that are *on* in this signature.
+    pub fn on_rules(&self) -> impl Iterator<Item = RuleId> + '_ {
+        self.0.iter()
+    }
+
+    /// Number of on rules.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no rule fired (only possible for degenerate plans).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: RuleId) -> bool {
+        self.0.contains(id)
+    }
+
+    /// The paper's bit-vector rendering.
+    pub fn to_bit_string(&self) -> String {
+        self.0.to_bit_string()
+    }
+}
+
+/// Definition 6.1 — which rule changes between two signatures *actually
+/// impacted the query plan*.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleDiff {
+    /// Rules used by the default plan but not by the new plan.
+    pub only_in_default: RuleSet,
+    /// Rules used by the new plan but not by the default plan.
+    pub only_in_new: RuleSet,
+}
+
+impl RuleDiff {
+    /// Compare a default signature against a new configuration's signature.
+    pub fn between(default_sig: &RuleSignature, new_sig: &RuleSignature) -> RuleDiff {
+        RuleDiff {
+            only_in_default: default_sig.0.difference(&new_sig.0),
+            only_in_new: new_sig.0.difference(&default_sig.0),
+        }
+    }
+
+    /// Whether the two plans used exactly the same rules.
+    pub fn is_empty(&self) -> bool {
+        self.only_in_default.is_empty() && self.only_in_new.is_empty()
+    }
+
+    /// Total number of differing rules.
+    pub fn len(&self) -> usize {
+        self.only_in_default.len() + self.only_in_new.len()
+    }
+
+    /// Fixed-width feature encoding used by the learned model (§7.2): for
+    /// each rule, `-1` if only in default, `+1` if only in new, else `0`.
+    pub fn to_feature_vec(&self) -> Vec<f64> {
+        let mut v = vec![0.0; crate::ruleset::NUM_RULES];
+        for id in self.only_in_default.iter() {
+            v[id.index()] = -1.0;
+        }
+        for id in self.only_in_new.iter() {
+            v[id.index()] = 1.0;
+        }
+        v
+    }
+
+    /// Human-readable summary with rule names.
+    pub fn render(&self) -> String {
+        let cat = RuleCatalog::global();
+        let names = |set: &RuleSet| -> String {
+            set.iter()
+                .map(|id| cat.rule(id).name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!(
+            "only in default plan: [{}]; only in new plan: [{}]",
+            names(&self.only_in_default),
+            names(&self.only_in_new)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleCategory;
+
+    #[test]
+    fn default_config_disables_exactly_off_by_default() {
+        let cfg = RuleConfig::default_config();
+        let cat = RuleCatalog::global();
+        for rule in cat.rules() {
+            let expect = rule.category != RuleCategory::OffByDefault;
+            assert_eq!(cfg.is_enabled(rule.id), expect, "{}", rule.name);
+        }
+        assert_eq!(cfg.disabled().len(), 46);
+    }
+
+    #[test]
+    fn required_rules_cannot_be_disabled() {
+        let cat = RuleCatalog::global();
+        let required_id = cat.find("EnforceExchange").unwrap();
+        let mut cfg = RuleConfig::default_config();
+        cfg.disable(required_id);
+        assert!(cfg.is_enabled(required_id));
+        // from_enabled clamps too.
+        let cfg2 = RuleConfig::from_enabled(RuleSet::EMPTY);
+        assert!(cfg2.is_enabled(required_id));
+        assert_eq!(cfg2.enabled().len(), 37);
+    }
+
+    #[test]
+    fn disable_all_skips_required() {
+        let mut cfg = RuleConfig::default_config();
+        cfg.disable_all(&RuleSet::FULL);
+        assert_eq!(*cfg.enabled(), *RuleCatalog::global().required());
+    }
+
+    #[test]
+    fn delta_from_default() {
+        let cat = RuleCatalog::global();
+        let on_rule = cat.find("CollapseSelects").unwrap();
+        let off_rule = cat.find("GroupbyOnJoin").unwrap();
+        let mut cfg = RuleConfig::default_config();
+        cfg.disable(on_rule);
+        cfg.enable(off_rule);
+        let (newly_disabled, newly_enabled) = cfg.delta_from_default();
+        assert_eq!(newly_disabled.iter().collect::<Vec<_>>(), vec![on_rule]);
+        assert_eq!(newly_enabled.iter().collect::<Vec<_>>(), vec![off_rule]);
+    }
+
+    #[test]
+    fn rule_diff_matches_definition() {
+        let a = RuleSignature([RuleId(1), RuleId(2), RuleId(3)].into_iter().collect());
+        let b = RuleSignature([RuleId(2), RuleId(3), RuleId(9)].into_iter().collect());
+        let diff = RuleDiff::between(&a, &b);
+        assert_eq!(diff.only_in_default.iter().collect::<Vec<_>>(), vec![RuleId(1)]);
+        assert_eq!(diff.only_in_new.iter().collect::<Vec<_>>(), vec![RuleId(9)]);
+        assert_eq!(diff.len(), 2);
+        assert!(!diff.is_empty());
+        assert!(RuleDiff::between(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn rule_diff_feature_vec_encoding() {
+        let a = RuleSignature([RuleId(0)].into_iter().collect());
+        let b = RuleSignature([RuleId(255)].into_iter().collect());
+        let v = RuleDiff::between(&a, &b).to_feature_vec();
+        assert_eq!(v[0], -1.0);
+        assert_eq!(v[255], 1.0);
+        assert_eq!(v.iter().filter(|&&x| x != 0.0).count(), 2);
+    }
+
+    #[test]
+    fn signature_bit_string_has_on_rules() {
+        let sig = RuleSignature([RuleId(0), RuleId(5)].into_iter().collect());
+        let s = sig.to_bit_string();
+        assert_eq!(&s[..6], "100001");
+        assert_eq!(sig.len(), 2);
+        assert!(sig.contains(RuleId(5)));
+    }
+}

@@ -1,0 +1,396 @@
+//! The optimizer's *estimated* logical properties: cardinality, width, and
+//! available columns.
+//!
+//! Estimates are deliberately heuristic — independence with exponential
+//! backoff for conjunctions, uniformity for join keys, a global constant for
+//! user-defined operators — because the gap between these heuristics and the
+//! ground truth in [`scope_ir::TrueCatalog`] is what rule steering exploits.
+//!
+//! Crucially, conjunct selectivity is **order-sensitive** (atoms are damped
+//! in the order they appear, like SQL Server's exponential backoff), so
+//! rewrite rules that reorder or relocate predicates change *estimated*
+//! cardinalities without changing the truth. This is the mechanism behind
+//! the paper's §5.3 observation that recompiled plans can have estimated
+//! costs below the default plan's.
+
+use scope_ir::catalog::shape_selectivity;
+use scope_ir::ids::ColId;
+use scope_ir::{JoinKind, LogicalOp, ObservableCatalog, PredAtom};
+
+/// Estimated logical properties of one expression's output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogicalEst {
+    /// Estimated row count (≥ 0, not necessarily integral).
+    pub rows: f64,
+    /// Estimated bytes per row.
+    pub row_bytes: f64,
+    /// Columns available to parents (computed/aggregate outputs are
+    /// anonymous and not listed).
+    pub cols: Vec<ColId>,
+}
+
+impl LogicalEst {
+    /// Estimated total bytes.
+    pub fn bytes(&self) -> f64 {
+        self.rows * self.row_bytes
+    }
+}
+
+/// Number of leading conjuncts that contribute to a backoff estimate.
+const BACKOFF_ATOMS: usize = 4;
+
+/// Derives estimates for operators given their children's estimates.
+pub struct Estimator<'a> {
+    obs: &'a ObservableCatalog,
+}
+
+impl<'a> Estimator<'a> {
+    pub fn new(obs: &'a ObservableCatalog) -> Self {
+        Estimator { obs }
+    }
+
+    /// The observable catalog backing this estimator.
+    pub fn observed(&self) -> &ObservableCatalog {
+        self.obs
+    }
+
+    /// Estimated selectivity of one atom, from its shape only.
+    pub fn atom_selectivity(&self, atom: &PredAtom) -> f64 {
+        shape_selectivity(atom.op, self.obs.col_ndv(atom.col))
+    }
+
+    /// Order-sensitive conjunction selectivity with exponential backoff:
+    /// the i-th atom (0-based, first four only) contributes
+    /// `sel_i ^ (1/2^i)`.
+    pub fn conj_selectivity(&self, atoms: &[PredAtom]) -> f64 {
+        let mut sel = 1.0_f64;
+        for (i, atom) in atoms.iter().take(BACKOFF_ATOMS).enumerate() {
+            let s = self.atom_selectivity(atom);
+            sel *= s.powf(1.0 / (1u32 << i) as f64);
+        }
+        sel.clamp(1e-9, 1.0)
+    }
+
+    /// Derive the estimate for `op` from its children's estimates
+    /// (children given in operator child order).
+    pub fn derive(&self, op: &LogicalOp, children: &[&LogicalEst]) -> LogicalEst {
+        match op {
+            LogicalOp::Get { table } | LogicalOp::RangeGet { table, .. } => {
+                let rows = self.obs.table_rows(*table) as f64;
+                let sel = match op {
+                    LogicalOp::RangeGet { pushed, .. } if !pushed.is_true() => {
+                        self.conj_selectivity(&pushed.atoms)
+                    }
+                    _ => 1.0,
+                };
+                let cols = self
+                    .obs
+                    .tables
+                    .get(table.index())
+                    .map(|t| t.cols.clone())
+                    .unwrap_or_default();
+                LogicalEst {
+                    rows: (rows * sel).max(1.0),
+                    row_bytes: self.obs.table_row_bytes(*table) as f64,
+                    cols,
+                }
+            }
+            LogicalOp::Select { predicate } | LogicalOp::Filter { predicate } => {
+                let c = children[0];
+                LogicalEst {
+                    rows: (c.rows * self.conj_selectivity(&predicate.atoms)).max(1.0),
+                    row_bytes: c.row_bytes,
+                    cols: c.cols.clone(),
+                }
+            }
+            LogicalOp::Project { cols, computed } => {
+                let c = children[0];
+                LogicalEst {
+                    rows: c.rows,
+                    row_bytes: 12.0 + 8.0 * (cols.len() + *computed as usize) as f64,
+                    cols: cols.clone(),
+                }
+            }
+            LogicalOp::Join { kind, keys } => {
+                let l = children[0];
+                let r = children[1];
+                let mut rows = match keys.first() {
+                    Some(&(lk, rk)) => {
+                        let ndv = self.obs.col_ndv(lk).max(self.obs.col_ndv(rk)).max(1);
+                        l.rows * r.rows / ndv as f64
+                    }
+                    None => l.rows * r.rows, // cross join
+                };
+                // Additional keys are assumed 30%-selective each.
+                for _ in keys.iter().skip(1) {
+                    rows *= 0.3;
+                }
+                rows = match kind {
+                    JoinKind::Inner => rows,
+                    JoinKind::LeftOuter => rows.max(l.rows),
+                    JoinKind::Semi => (l.rows * 0.7).min(rows).max(1.0),
+                };
+                let mut cols = l.cols.clone();
+                cols.extend_from_slice(&r.cols);
+                LogicalEst {
+                    rows: rows.max(1.0),
+                    row_bytes: match kind {
+                        JoinKind::Semi => l.row_bytes,
+                        _ => l.row_bytes + r.row_bytes,
+                    },
+                    cols: match kind {
+                        JoinKind::Semi => l.cols.clone(),
+                        _ => cols,
+                    },
+                }
+            }
+            LogicalOp::GroupBy { keys, aggs, partial } => {
+                let c = children[0];
+                let mut groups = 1.0_f64;
+                for &k in keys {
+                    groups *= self.obs.col_ndv(k) as f64;
+                }
+                // Distinct combinations can't exceed input rows; partial
+                // aggregation produces up to `groups` per partition (we
+                // assume the planned default parallelism of 50).
+                let rows = if *partial {
+                    (groups * 50.0).min(c.rows)
+                } else {
+                    groups.min(c.rows * 0.9)
+                };
+                LogicalEst {
+                    rows: rows.max(1.0),
+                    row_bytes: 16.0 + 8.0 * (keys.len() + aggs.len()) as f64,
+                    cols: keys.clone(),
+                }
+            }
+            LogicalOp::UnionAll | LogicalOp::VirtualDataset => {
+                let rows = children.iter().map(|c| c.rows).sum::<f64>();
+                let row_bytes = children
+                    .iter()
+                    .map(|c| c.row_bytes)
+                    .fold(0.0_f64, f64::max);
+                // Columns safe to reference above a union: those available
+                // in every branch.
+                let mut cols = children
+                    .first()
+                    .map(|c| c.cols.clone())
+                    .unwrap_or_default();
+                for c in children.iter().skip(1) {
+                    cols.retain(|col| c.cols.contains(col));
+                }
+                LogicalEst {
+                    rows: rows.max(1.0),
+                    row_bytes,
+                    cols,
+                }
+            }
+            LogicalOp::Top { k } => {
+                let c = children[0];
+                LogicalEst {
+                    rows: (*k as f64).min(c.rows).max(1.0),
+                    row_bytes: c.row_bytes,
+                    cols: c.cols.clone(),
+                }
+            }
+            LogicalOp::Sort { .. } | LogicalOp::Window { .. } | LogicalOp::Output { .. } => {
+                let c = children[0];
+                LogicalEst {
+                    rows: c.rows,
+                    row_bytes: c.row_bytes,
+                    cols: c.cols.clone(),
+                }
+            }
+            LogicalOp::Process { .. } => {
+                let c = children[0];
+                // One global assumption for all UDOs: pass-through
+                // cardinality, slightly wider rows.
+                LogicalEst {
+                    rows: (c.rows * scope_ir::catalog::DEFAULT_UDO_SELECTIVITY).max(1.0),
+                    row_bytes: c.row_bytes * 1.2,
+                    cols: c.cols.clone(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_ir::expr::{CmpOp, Literal, Predicate};
+    use scope_ir::AggFunc;
+    use scope_ir::ids::{DomainId, TableId};
+    use scope_ir::TrueCatalog;
+
+    fn setup() -> (TrueCatalog, Vec<ColId>) {
+        let mut cat = TrueCatalog::new();
+        let c0 = cat.add_column(1000, 0.0, DomainId(0));
+        let c1 = cat.add_column(100, 0.0, DomainId(1));
+        let c2 = cat.add_column(1000, 0.0, DomainId(0));
+        cat.add_table(1_000_000, 100, 1, vec![c0, c1]);
+        cat.add_table(500_000, 80, 2, vec![c2]);
+        (cat, vec![c0, c1, c2])
+    }
+
+    fn atom(col: ColId, op: CmpOp) -> PredAtom {
+        PredAtom::unknown(col, op, Literal::Int(1))
+    }
+
+    #[test]
+    fn scan_estimate_uses_table_stats() {
+        let (cat, cols) = setup();
+        let obs = cat.observe();
+        let est = Estimator::new(&obs);
+        let scan = est.derive(
+            &LogicalOp::RangeGet {
+                table: TableId(0),
+                pushed: Predicate::true_pred(),
+            },
+            &[],
+        );
+        assert_eq!(est.observed().table_rows(TableId(0)), 1_000_000);
+        assert_eq!(scan.rows, 1_000_000.0);
+        assert_eq!(scan.row_bytes, 100.0);
+        assert_eq!(scan.cols, vec![cols[0], cols[1]]);
+    }
+
+    #[test]
+    fn backoff_is_order_sensitive() {
+        let (cat, cols) = setup();
+        let obs = cat.observe();
+        let est = Estimator::new(&obs);
+        // Eq on ndv=1024 (rounded) → sel ~1/1024; Range → 1/3.
+        let a = atom(cols[0], CmpOp::Eq);
+        let b = atom(cols[1], CmpOp::Range);
+        let sel_ab = est.conj_selectivity(&[a.clone(), b.clone()]);
+        let sel_ba = est.conj_selectivity(&[b, a]);
+        assert!(
+            (sel_ab - sel_ba).abs() > 1e-6,
+            "reordering must change the estimate: {sel_ab} vs {sel_ba}"
+        );
+        // Most-selective-first yields the smaller combined estimate.
+        assert!(sel_ab < sel_ba);
+    }
+
+    #[test]
+    fn backoff_ignores_atoms_beyond_fourth() {
+        let (cat, cols) = setup();
+        let obs = cat.observe();
+        let est = Estimator::new(&obs);
+        let four: Vec<PredAtom> = (0..4).map(|_| atom(cols[1], CmpOp::Range)).collect();
+        let five: Vec<PredAtom> = (0..5).map(|_| atom(cols[1], CmpOp::Range)).collect();
+        assert_eq!(est.conj_selectivity(&four), est.conj_selectivity(&five));
+    }
+
+    #[test]
+    fn join_estimate_divides_by_max_ndv() {
+        let (cat, cols) = setup();
+        let obs = cat.observe();
+        let est = Estimator::new(&obs);
+        let l = LogicalEst {
+            rows: 1000.0,
+            row_bytes: 50.0,
+            cols: vec![cols[0]],
+        };
+        let r = LogicalEst {
+            rows: 2000.0,
+            row_bytes: 30.0,
+            cols: vec![cols[2]],
+        };
+        let join = est.derive(
+            &LogicalOp::Join {
+                kind: JoinKind::Inner,
+                keys: vec![(cols[0], cols[2])],
+            },
+            &[&l, &r],
+        );
+        // ndv both 1024 after rounding.
+        assert!((join.rows - 1000.0 * 2000.0 / 1024.0).abs() < 1e-6);
+        assert_eq!(join.row_bytes, 80.0);
+        assert_eq!(join.cols.len(), 2);
+    }
+
+    #[test]
+    fn semi_join_keeps_left_schema() {
+        let (cat, cols) = setup();
+        let obs = cat.observe();
+        let est = Estimator::new(&obs);
+        let l = LogicalEst {
+            rows: 1000.0,
+            row_bytes: 50.0,
+            cols: vec![cols[0]],
+        };
+        let r = LogicalEst {
+            rows: 2000.0,
+            row_bytes: 30.0,
+            cols: vec![cols[2]],
+        };
+        let join = est.derive(
+            &LogicalOp::Join {
+                kind: JoinKind::Semi,
+                keys: vec![(cols[0], cols[2])],
+            },
+            &[&l, &r],
+        );
+        assert_eq!(join.cols, vec![cols[0]]);
+        assert!(join.rows <= 1000.0);
+    }
+
+    #[test]
+    fn groupby_caps_at_input_rows() {
+        let (cat, cols) = setup();
+        let obs = cat.observe();
+        let est = Estimator::new(&obs);
+        let c = LogicalEst {
+            rows: 50.0,
+            row_bytes: 100.0,
+            cols: vec![cols[0]],
+        };
+        let g = est.derive(
+            &LogicalOp::GroupBy {
+                keys: vec![cols[0]],
+                aggs: vec![AggFunc::Count],
+                partial: false,
+            },
+            &[&c],
+        );
+        assert!(g.rows <= 50.0);
+        assert_eq!(g.cols, vec![cols[0]]);
+    }
+
+    #[test]
+    fn union_intersects_columns_and_sums_rows() {
+        let (cat, cols) = setup();
+        let obs = cat.observe();
+        let est = Estimator::new(&obs);
+        let a = LogicalEst {
+            rows: 10.0,
+            row_bytes: 40.0,
+            cols: vec![cols[0], cols[1]],
+        };
+        let b = LogicalEst {
+            rows: 20.0,
+            row_bytes: 60.0,
+            cols: vec![cols[1], cols[2]],
+        };
+        let u = est.derive(&LogicalOp::UnionAll, &[&a, &b]);
+        assert_eq!(u.rows, 30.0);
+        assert_eq!(u.row_bytes, 60.0);
+        assert_eq!(u.cols, vec![cols[1]]);
+    }
+
+    #[test]
+    fn top_caps_rows() {
+        let (cat, cols) = setup();
+        let obs = cat.observe();
+        let est = Estimator::new(&obs);
+        let c = LogicalEst {
+            rows: 1e6,
+            row_bytes: 10.0,
+            cols: vec![cols[0]],
+        };
+        let t = est.derive(&LogicalOp::Top { k: 100 }, &[&c]);
+        assert_eq!(t.rows, 100.0);
+    }
+}

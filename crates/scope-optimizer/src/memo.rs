@@ -1,0 +1,348 @@
+//! The Cascades memo: hash-consed groups of logically-equivalent
+//! expressions.
+//!
+//! Groups hold alternative expressions ([`MExpr`]) plus the logical
+//! estimates derived from the group's *canonical* (first) expression.
+//! Estimates are also kept **per expression**: two equivalent shapes can
+//! carry different estimated cardinalities (order-sensitive backoff, moved
+//! predicates), which is exactly why estimated costs across rule
+//! configurations are not comparable (§5.3).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use scope_ir::ids::NodeId;
+use scope_ir::{LogicalOp, PlanGraph};
+
+use crate::estimate::{Estimator, LogicalEst};
+use crate::ruleset::RuleId;
+
+/// Maximum alternative expressions per group; further additions are
+/// rejected (exploration budget, like real optimizers' promise cutoffs).
+pub const MAX_EXPRS_PER_GROUP: usize = 24;
+
+/// Maximum total expressions in a memo; exploration stops beyond this.
+pub const MAX_TOTAL_EXPRS: usize = 20_000;
+
+/// Id of a memo group.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GroupId({})", self.0)
+    }
+}
+
+/// Id of a memo expression.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MExprId(pub u32);
+
+impl MExprId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MExprId({})", self.0)
+    }
+}
+
+/// One expression: an operator over child *groups*.
+#[derive(Clone, Debug)]
+pub struct MExpr {
+    pub op: LogicalOp,
+    pub children: Vec<GroupId>,
+    /// Group this expression belongs to.
+    pub group: GroupId,
+    /// Transformation rule that created it (`None` for original nodes).
+    pub created_by: Option<RuleId>,
+    /// This expression's own estimated output.
+    pub est: LogicalEst,
+}
+
+/// A set of logically-equivalent expressions.
+#[derive(Clone, Debug)]
+pub struct Group {
+    pub exprs: Vec<MExprId>,
+    /// Canonical logical estimate (from the first expression).
+    pub est: LogicalEst,
+}
+
+/// The memo.
+pub struct Memo {
+    groups: Vec<Group>,
+    exprs: Vec<MExpr>,
+    /// `(op value-hash, children)` → first expression anywhere; used to
+    /// reuse groups when a rewrite re-creates a known sub-expression.
+    any_group: HashMap<u64, MExprId>,
+    /// `(op value-hash, children, group)` → expression; prevents duplicate
+    /// alternatives within one group while still allowing the same shape to
+    /// appear in several groups (needed for identity-elimination rewrites).
+    by_group: HashMap<(u64, GroupId), MExprId>,
+}
+
+fn expr_key(op: &LogicalOp, children: &[GroupId]) -> u64 {
+    let mut h = DefaultHasher::new();
+    op.memo_hash(&mut h);
+    children.hash(&mut h);
+    h.finish()
+}
+
+/// Outcome of inserting an expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inserted {
+    /// Fresh expression added to this group.
+    New(MExprId),
+    /// Expression already existed (same or different group).
+    Duplicate(MExprId),
+    /// Rejected by the per-group or global budget.
+    Budget,
+}
+
+impl Memo {
+    /// Ingest a normalized logical plan. Shared DAG nodes map to shared
+    /// groups. Returns the memo and the root group.
+    pub fn from_plan(plan: &PlanGraph, est: &Estimator<'_>) -> (Memo, GroupId) {
+        let mut memo = Memo::empty();
+        let mut node_group: HashMap<NodeId, GroupId> = HashMap::new();
+        let reachable = plan.reachable();
+        for id in &reachable {
+            let node = plan.node(*id);
+            let children: Vec<GroupId> = node
+                .children
+                .iter()
+                .map(|c| node_group[c])
+                .collect();
+            let gid = match memo.insert(node.op.clone(), children, None, None, est) {
+                Inserted::New(e) | Inserted::Duplicate(e) => memo.exprs[e.index()].group,
+                Inserted::Budget => unreachable!("ingest cannot exceed budget"),
+            };
+            node_group.insert(*id, gid);
+        }
+        let root = node_group[&plan.root().expect("plan has root")];
+        (memo, root)
+    }
+
+    /// An empty memo (mainly for tests; normal use is [`Memo::from_plan`]).
+    pub fn empty() -> Memo {
+        Memo {
+            groups: Vec::new(),
+            exprs: Vec::new(),
+            any_group: HashMap::new(),
+            by_group: HashMap::new(),
+        }
+    }
+
+    /// Insert an expression. If `target` is `Some`, the expression is an
+    /// alternative for that group; otherwise a new group is created (unless
+    /// the expression already exists somewhere, in which case its group is
+    /// reused).
+    pub fn insert(
+        &mut self,
+        op: LogicalOp,
+        children: Vec<GroupId>,
+        target: Option<GroupId>,
+        created_by: Option<RuleId>,
+        est: &Estimator<'_>,
+    ) -> Inserted {
+        let key = expr_key(&op, &children);
+        match target {
+            None => {
+                if let Some(&existing) = self.any_group.get(&key) {
+                    return Inserted::Duplicate(existing);
+                }
+            }
+            Some(g) => {
+                if let Some(&existing) = self.by_group.get(&(key, g)) {
+                    return Inserted::Duplicate(existing);
+                }
+                if self.groups[g.index()].exprs.len() >= MAX_EXPRS_PER_GROUP {
+                    return Inserted::Budget;
+                }
+            }
+        }
+        if self.exprs.len() >= MAX_TOTAL_EXPRS {
+            return Inserted::Budget;
+        }
+        let child_ests: Vec<&LogicalEst> = children
+            .iter()
+            .map(|g| &self.groups[g.index()].est)
+            .collect();
+        let e = est.derive(&op, &child_ests);
+        let group = match target {
+            Some(g) => g,
+            None => {
+                let g = GroupId(self.groups.len() as u32);
+                self.groups.push(Group {
+                    exprs: Vec::new(),
+                    est: e.clone(),
+                });
+                g
+            }
+        };
+        let id = MExprId(self.exprs.len() as u32);
+        self.exprs.push(MExpr {
+            op,
+            children,
+            group,
+            created_by,
+            est: e,
+        });
+        self.groups[group.index()].exprs.push(id);
+        self.any_group.entry(key).or_insert(id);
+        self.by_group.insert((key, group), id);
+        Inserted::New(id)
+    }
+
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id.index()]
+    }
+
+    pub fn expr(&self, id: MExprId) -> &MExpr {
+        &self.exprs[id.index()]
+    }
+
+    /// The canonical (first) expression of a group.
+    pub fn canonical(&self, id: GroupId) -> &MExpr {
+        let e = self.groups[id.index()].exprs[0];
+        &self.exprs[e.index()]
+    }
+
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn num_exprs(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Iterate all expression ids (insertion order — original plan first,
+    /// then rule outputs).
+    pub fn expr_ids(&self) -> impl Iterator<Item = MExprId> {
+        (0..self.exprs.len() as u32).map(MExprId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_ir::expr::{CmpOp, Literal, PredAtom, Predicate};
+    use scope_ir::ids::{ColId, DomainId, TableId};
+    use scope_ir::TrueCatalog;
+
+    fn cat() -> TrueCatalog {
+        let mut cat = TrueCatalog::new();
+        let c0 = cat.add_column(100, 0.0, DomainId(0));
+        cat.add_table(10_000, 100, 1, vec![c0]);
+        cat
+    }
+
+    fn filter_op(lit: i64) -> LogicalOp {
+        LogicalOp::Filter {
+            predicate: Predicate::atom(PredAtom::unknown(ColId(0), CmpOp::Eq, Literal::Int(lit))),
+        }
+    }
+
+    #[test]
+    fn ingest_dedups_shared_nodes() {
+        let mut plan = PlanGraph::new();
+        let s = plan.add_unchecked(LogicalOp::RangeGet { table: TableId(0), pushed: Predicate::true_pred() }, vec![]);
+        let f = plan.add_unchecked(filter_op(1), vec![s]);
+        let u = plan.add_unchecked(LogicalOp::UnionAll, vec![f, f]);
+        let o = plan.add_unchecked(LogicalOp::Output { stream: 0 }, vec![u]);
+        plan.set_root(o);
+
+        let cat = cat();
+        let obs = cat.observe();
+        let est = Estimator::new(&obs);
+        let (memo, root) = Memo::from_plan(&plan, &est);
+        // scan, filter, union, output — shared filter ingested once.
+        assert_eq!(memo.num_groups(), 4);
+        assert_eq!(memo.num_exprs(), 4);
+        assert_eq!(memo.canonical(root).op.kind(), scope_ir::OpKind::Output);
+    }
+
+    #[test]
+    fn insert_dedups_identical_expressions() {
+        let cat = cat();
+        let obs = cat.observe();
+        let est = Estimator::new(&obs);
+        let mut memo = Memo::empty();
+        let scan = LogicalOp::RangeGet { table: TableId(0), pushed: Predicate::true_pred() };
+        let first = memo.insert(scan.clone(), vec![], None, None, &est);
+        let Inserted::New(e1) = first else { panic!() };
+        let second = memo.insert(scan, vec![], None, None, &est);
+        assert_eq!(second, Inserted::Duplicate(e1));
+        assert_eq!(memo.num_groups(), 1);
+    }
+
+    #[test]
+    fn alternative_exprs_share_group_but_keep_own_estimates() {
+        let cat = cat();
+        let obs = cat.observe();
+        let est = Estimator::new(&obs);
+        let mut memo = Memo::empty();
+        let scan = LogicalOp::RangeGet { table: TableId(0), pushed: Predicate::true_pred() };
+        let Inserted::New(scan_e) = memo.insert(scan, vec![], None, None, &est) else {
+            panic!()
+        };
+        let scan_g = memo.expr(scan_e).group;
+        let Inserted::New(f1) = memo.insert(filter_op(1), vec![scan_g], None, None, &est) else {
+            panic!()
+        };
+        let fg = memo.expr(f1).group;
+        // An alternative in the same group: the same filter with the
+        // predicate pushed into the scan would be the realistic case; here
+        // we just add a differently-valued filter as a stand-in alternative.
+        let Inserted::New(f2) =
+            memo.insert(filter_op(2), vec![scan_g], Some(fg), Some(RuleId(90)), &est)
+        else {
+            panic!()
+        };
+        assert_eq!(memo.expr(f2).group, fg);
+        assert_eq!(memo.group(fg).exprs.len(), 2);
+        assert_eq!(memo.expr(f2).created_by, Some(RuleId(90)));
+        // Canonical estimate is from the first expression.
+        assert_eq!(memo.group(fg).est.rows, memo.expr(f1).est.rows);
+    }
+
+    #[test]
+    fn group_budget_is_enforced() {
+        let cat = cat();
+        let obs = cat.observe();
+        let est = Estimator::new(&obs);
+        let mut memo = Memo::empty();
+        let scan = LogicalOp::RangeGet { table: TableId(0), pushed: Predicate::true_pred() };
+        let Inserted::New(scan_e) = memo.insert(scan, vec![], None, None, &est) else {
+            panic!()
+        };
+        let scan_g = memo.expr(scan_e).group;
+        let Inserted::New(f) = memo.insert(filter_op(0), vec![scan_g], None, None, &est) else {
+            panic!()
+        };
+        let fg = memo.expr(f).group;
+        let mut budget_hit = false;
+        for lit in 1..100 {
+            match memo.insert(filter_op(lit), vec![scan_g], Some(fg), None, &est) {
+                Inserted::Budget => {
+                    budget_hit = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(budget_hit);
+        assert_eq!(memo.group(fg).exprs.len(), MAX_EXPRS_PER_GROUP);
+    }
+}

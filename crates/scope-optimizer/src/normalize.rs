@@ -1,0 +1,119 @@
+//! The required normalization pass.
+//!
+//! Before cost-based exploration, the required rules rewrite the raw script
+//! plan into normalized form: `Get` → `RangeGet` (`GetToRange`), `Select` →
+//! `Filter` (`SelectToFilter`), and the output is marked (`BuildOutput`).
+//! These rules cannot be disabled; they always contribute to the rule
+//! signature when they fire.
+
+use scope_ir::{LogicalOp, PlanGraph, Predicate};
+
+use crate::rules::RuleCatalog;
+use crate::ruleset::RuleSet;
+
+/// Result of normalization: the rewritten plan plus the required rules that
+/// fired.
+pub struct Normalized {
+    pub plan: PlanGraph,
+    pub fired: RuleSet,
+}
+
+/// Apply the required normalizers. The input plan keeps its node ids
+/// (rewrites here are 1:1).
+pub fn normalize(plan: &PlanGraph) -> Normalized {
+    let cat = RuleCatalog::global();
+    let get_to_range = cat.find("GetToRange").expect("catalog rule");
+    let select_to_filter = cat.find("SelectToFilter").expect("catalog rule");
+    let build_output = cat.find("BuildOutput").expect("catalog rule");
+
+    let mut fired = RuleSet::EMPTY;
+    let mut out = PlanGraph::new();
+    for (_, node) in plan.iter() {
+        let op = match &node.op {
+            LogicalOp::Get { table } => {
+                fired.insert(get_to_range);
+                LogicalOp::RangeGet {
+                    table: *table,
+                    pushed: Predicate::true_pred(),
+                }
+            }
+            LogicalOp::Select { predicate } => {
+                fired.insert(select_to_filter);
+                LogicalOp::Filter {
+                    predicate: predicate.clone(),
+                }
+            }
+            other => other.clone(),
+        };
+        out.add_unchecked(op, node.children.clone());
+    }
+    if let Some(root) = plan.root() {
+        out.set_root(root);
+        if matches!(out.node(root).op, LogicalOp::Output { .. }) {
+            fired.insert(build_output);
+        }
+    }
+    Normalized { plan: out, fired }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_ir::expr::{CmpOp, Literal, PredAtom};
+    use scope_ir::ids::{ColId, TableId};
+    use scope_ir::OpKind;
+
+    #[test]
+    fn normalizes_get_and_select() {
+        let mut g = PlanGraph::new();
+        let s = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
+        let f = g.add_unchecked(
+            LogicalOp::Select {
+                predicate: Predicate::atom(PredAtom::unknown(
+                    ColId(0),
+                    CmpOp::Eq,
+                    Literal::Int(1),
+                )),
+            },
+            vec![s],
+        );
+        let o = g.add_unchecked(LogicalOp::Output { stream: 0 }, vec![f]);
+        g.set_root(o);
+
+        let n = normalize(&g);
+        let counts = n.plan.op_counts();
+        assert_eq!(counts[OpKind::Get as usize], 0);
+        assert_eq!(counts[OpKind::Select as usize], 0);
+        assert_eq!(counts[OpKind::RangeGet as usize], 1);
+        assert_eq!(counts[OpKind::Filter as usize], 1);
+
+        let cat = RuleCatalog::global();
+        assert!(n.fired.contains(cat.find("GetToRange").unwrap()));
+        assert!(n.fired.contains(cat.find("SelectToFilter").unwrap()));
+        assert!(n.fired.contains(cat.find("BuildOutput").unwrap()));
+        // Predicate preserved.
+        let f_node = n
+            .plan
+            .iter()
+            .find(|(_, node)| node.op.kind() == OpKind::Filter)
+            .unwrap();
+        assert_eq!(f_node.1.op.predicate().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn already_normalized_plan_fires_only_build_output() {
+        let mut g = PlanGraph::new();
+        let s = g.add_unchecked(
+            LogicalOp::RangeGet {
+                table: TableId(0),
+                pushed: Predicate::true_pred(),
+            },
+            vec![],
+        );
+        let o = g.add_unchecked(LogicalOp::Output { stream: 0 }, vec![s]);
+        g.set_root(o);
+        let n = normalize(&g);
+        assert_eq!(n.fired.len(), 1);
+        assert_eq!(n.plan.size(), 2);
+    }
+}

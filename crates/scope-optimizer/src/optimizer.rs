@@ -1,0 +1,156 @@
+//! Top-level compilation: normalize → ingest → explore → implement →
+//! extract, producing a physical plan, its estimated cost, and the job's
+//! rule signature.
+
+use std::collections::BTreeSet;
+
+use scope_ir::ids::ColId;
+use scope_ir::{Job, ObservableCatalog, OpKind, PlanGraph};
+
+use crate::config::{RuleConfig, RuleSignature};
+use crate::estimate::Estimator;
+use crate::memo::Memo;
+use crate::normalize::normalize;
+use crate::physical::PhysPlan;
+use crate::rules::catalog::COMPLEX_KINDS;
+use crate::rules::{RuleAction, RuleCatalog};
+use crate::ruleset::RuleSet;
+use crate::search::{explore, implement, CompileError};
+use crate::transform::{referenced_cols, TransformCtx};
+
+/// A successfully compiled job.
+#[derive(Debug)]
+pub struct CompiledPlan {
+    /// The winning physical plan.
+    pub plan: PhysPlan,
+    /// The optimizer's total estimated cost for the plan.
+    pub est_cost: f64,
+    /// Definition 3.2 — every rule that contributed to this plan.
+    pub signature: RuleSignature,
+    /// Diagnostics: memo size after exploration.
+    pub memo_groups: usize,
+    /// Diagnostics: number of memo expressions after exploration.
+    pub memo_exprs: usize,
+}
+
+/// Compile a logical plan under a rule configuration.
+///
+/// ```
+/// use scope_ir::{LogicalOp, PlanGraph, TrueCatalog};
+/// use scope_ir::ids::{DomainId, TableId};
+/// use scope_optimizer::{compile, RuleConfig};
+///
+/// let mut cat = TrueCatalog::new();
+/// let col = cat.add_column(100, 0.0, DomainId(0));
+/// cat.add_table(1_000_000, 100, 7, vec![col]);
+///
+/// let mut plan = PlanGraph::new();
+/// let scan = plan.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
+/// let out = plan.add_unchecked(LogicalOp::Output { stream: 1 }, vec![scan]);
+/// plan.set_root(out);
+///
+/// let compiled = compile(&plan, &cat.observe(), &RuleConfig::default_config()).unwrap();
+/// assert!(compiled.est_cost > 0.0);
+/// assert!(compiled.signature.len() >= 2); // GetToRange, BuildOutput, ...
+/// ```
+pub fn compile(
+    plan: &PlanGraph,
+    obs: &ObservableCatalog,
+    config: &RuleConfig,
+) -> Result<CompiledPlan, CompileError> {
+    let normalized = normalize(plan);
+    let estimator = Estimator::new(obs);
+
+    // Columns referenced anywhere in the query: the safe retention set for
+    // pruning rewrites.
+    let mut referenced: BTreeSet<ColId> = BTreeSet::new();
+    for (_, node) in normalized.plan.iter() {
+        referenced_cols(&node.op, &mut referenced);
+    }
+
+    let ctx = TransformCtx {
+        est: &estimator,
+        referenced: &referenced,
+    };
+
+    let (mut memo, root) = Memo::from_plan(&normalized.plan, &estimator);
+    explore(&mut memo, config, &ctx);
+    let outcome = implement(&memo, root, config, obs)?;
+
+    // Marker rules fire on the normalized plan's operator-kind counts.
+    let kind_counts = normalized.plan.op_counts();
+    let mut fired = normalized.fired.union(&outcome.used_rules);
+    let cat = RuleCatalog::global();
+    for &marker_id in cat.markers() {
+        let rule = cat.rule(marker_id);
+        let required = cat.required().contains(marker_id);
+        if !required && !config.is_enabled(marker_id) {
+            continue;
+        }
+        let fires = match &rule.action {
+            RuleAction::Canonicalize(kind) => {
+                COMPLEX_KINDS.contains(kind) && kind_counts[*kind as usize] > 0
+            }
+            RuleAction::Guard { kind, min_count } | RuleAction::Marker { kind, min_count } => {
+                kind_counts[*kind as usize] >= *min_count as u32
+            }
+            _ => false,
+        };
+        if fires {
+            fired.insert(marker_id);
+        }
+    }
+
+    debug_assert!(
+        fired
+            .difference(&config.enabled().union(cat.required()))
+            .is_empty(),
+        "signature must be a subset of enabled ∪ required"
+    );
+
+    Ok(CompiledPlan {
+        est_cost: outcome.est_cost,
+        plan: outcome.plan,
+        signature: RuleSignature(fired),
+        memo_groups: memo.num_groups(),
+        memo_exprs: memo.num_exprs(),
+    })
+}
+
+/// The effective configuration for a job: the base configuration plus the
+/// customer's rule hints (§3.3 — hints are additive enables).
+pub fn effective_config(job: &Job, base: &RuleConfig) -> RuleConfig {
+    if job.hints.is_empty() {
+        return base.clone();
+    }
+    let mut config = base.clone();
+    for &raw in &job.hints {
+        if (raw as usize) < crate::ruleset::NUM_RULES {
+            config.enable(crate::ruleset::RuleId(raw));
+        }
+    }
+    config
+}
+
+/// Compile a job (convenience wrapper deriving the observable catalog and
+/// applying the job's customer hints on top of `config`).
+pub fn compile_job(job: &Job, config: &RuleConfig) -> Result<CompiledPlan, CompileError> {
+    let obs = job.catalog.observe();
+    compile(&job.plan, &obs, &effective_config(job, config))
+}
+
+/// The set of operator kinds appearing in a compiled plan's *logical*
+/// normalized form (diagnostic helper used by experiments).
+pub fn normalized_kind_counts(plan: &PlanGraph) -> [u32; OpKind::COUNT] {
+    normalize(plan).plan.op_counts()
+}
+
+/// Count, for a set of signatures, how many catalog rules never appear —
+/// the "unused rules" statistic of Table 2.
+pub fn unused_rules(signatures: &[RuleSignature]) -> RuleSet {
+    let mut seen = RuleSet::EMPTY;
+    for sig in signatures {
+        seen = seen.union(&sig.0);
+    }
+    RuleSet::FULL.difference(&seen)
+}

@@ -1,0 +1,257 @@
+//! Fixed-width bit sets over the optimizer's 256 rules.
+//!
+//! Both *rule configurations* (Definition 3.1: which rules are enabled) and
+//! *rule signatures* (Definition 3.2: which rules contributed to the final
+//! plan) are bit vectors over the same rule-id space; [`RuleSet`] is the
+//! shared representation.
+
+use std::fmt;
+
+/// Total number of rules in the catalog (matches the paper's SCOPE count).
+pub const NUM_RULES: usize = 256;
+
+const WORDS: usize = NUM_RULES / 64;
+
+/// Identifier of a rule: an index in `0..NUM_RULES`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RuleId(pub u16);
+
+impl RuleId {
+    /// Index into the catalog arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RuleId({})", self.0)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A set of rule ids as a 256-bit vector.
+///
+/// ```
+/// use scope_optimizer::{RuleId, RuleSet};
+///
+/// let a: RuleSet = [RuleId(1), RuleId(200)].into_iter().collect();
+/// let b: RuleSet = [RuleId(200)].into_iter().collect();
+/// assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![RuleId(1)]);
+/// assert_eq!(RuleSet::from_bit_string(&a.to_bit_string()), a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RuleSet {
+    bits: [u64; WORDS],
+}
+
+impl RuleSet {
+    /// The empty set.
+    pub const EMPTY: RuleSet = RuleSet { bits: [0; WORDS] };
+
+    /// The full set (all 256 rules).
+    pub const FULL: RuleSet = RuleSet {
+        bits: [u64::MAX; WORDS],
+    };
+
+    /// Build from an iterator of rule ids.
+    pub fn from_iter<I: IntoIterator<Item = RuleId>>(iter: I) -> Self {
+        let mut s = Self::EMPTY;
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Insert a rule id. Out-of-range ids panic in debug builds.
+    #[inline]
+    pub fn insert(&mut self, id: RuleId) {
+        debug_assert!(id.index() < NUM_RULES);
+        self.bits[id.index() / 64] |= 1u64 << (id.index() % 64);
+    }
+
+    /// Remove a rule id.
+    #[inline]
+    pub fn remove(&mut self, id: RuleId) {
+        debug_assert!(id.index() < NUM_RULES);
+        self.bits[id.index() / 64] &= !(1u64 << (id.index() % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: RuleId) -> bool {
+        debug_assert!(id.index() < NUM_RULES);
+        self.bits[id.index() / 64] & (1u64 << (id.index() % 64)) != 0
+    }
+
+    /// Number of rules in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &RuleSet) -> RuleSet {
+        let mut out = *self;
+        for (a, b) in out.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= b;
+        }
+        out
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &RuleSet) -> RuleSet {
+        let mut out = *self;
+        for (a, b) in out.bits.iter_mut().zip(other.bits.iter()) {
+            *a &= b;
+        }
+        out
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(&self, other: &RuleSet) -> RuleSet {
+        let mut out = *self;
+        for (a, b) in out.bits.iter_mut().zip(other.bits.iter()) {
+            *a &= !b;
+        }
+        out
+    }
+
+    /// Iterate members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = RuleId> + '_ {
+        (0..WORDS).flat_map(move |w| {
+            let mut word = self.bits[w];
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros();
+                word &= word - 1;
+                Some(RuleId((w * 64) as u16 + bit as u16))
+            })
+        })
+    }
+
+    /// Render as the paper's bit-vector notation (256 chars, rule 0 first).
+    pub fn to_bit_string(&self) -> String {
+        (0..NUM_RULES)
+            .map(|i| {
+                if self.contains(RuleId(i as u16)) {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
+            .collect()
+    }
+
+    /// Parse the bit-vector notation produced by [`Self::to_bit_string`].
+    /// Shorter strings are zero-extended; characters other than `'1'` are
+    /// treated as `0`.
+    pub fn from_bit_string(s: &str) -> Self {
+        let mut set = Self::EMPTY;
+        for (i, c) in s.chars().take(NUM_RULES).enumerate() {
+            if c == '1' {
+                set.insert(RuleId(i as u16));
+            }
+        }
+        set
+    }
+}
+
+impl fmt::Debug for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RuleSet{{")?;
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<RuleId> for RuleSet {
+    fn from_iter<T: IntoIterator<Item = RuleId>>(iter: T) -> Self {
+        RuleSet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = RuleSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(RuleId(0));
+        s.insert(RuleId(63));
+        s.insert(RuleId(64));
+        s.insert(RuleId(255));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(RuleId(63)));
+        assert!(!s.contains(RuleId(62)));
+        s.remove(RuleId(63));
+        assert!(!s.contains(RuleId(63)));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let ids = [5u16, 200, 64, 0, 127, 128];
+        let s: RuleSet = ids.iter().map(|&i| RuleId(i)).collect();
+        let got: Vec<u16> = s.iter().map(|r| r.0).collect();
+        assert_eq!(got, vec![0, 5, 64, 127, 128, 200]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: RuleSet = [RuleId(1), RuleId(2), RuleId(3)].into_iter().collect();
+        let b: RuleSet = [RuleId(2), RuleId(3), RuleId(4)].into_iter().collect();
+        assert_eq!(
+            a.union(&b).iter().count(),
+            4
+        );
+        assert_eq!(a.intersection(&b).len(), 2);
+        let d = a.difference(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![RuleId(1)]);
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(RuleSet::FULL.len(), NUM_RULES);
+        assert_eq!(RuleSet::EMPTY.len(), 0);
+        assert_eq!(RuleSet::FULL.difference(&RuleSet::FULL), RuleSet::EMPTY);
+    }
+
+    #[test]
+    fn bit_string_roundtrip() {
+        let s: RuleSet = [RuleId(0), RuleId(9), RuleId(255)].into_iter().collect();
+        let text = s.to_bit_string();
+        assert_eq!(text.len(), NUM_RULES);
+        assert!(text.starts_with("1000000001"));
+        assert!(text.ends_with('1'));
+        assert_eq!(RuleSet::from_bit_string(&text), s);
+    }
+
+    #[test]
+    fn bit_string_partial_parse() {
+        let s = RuleSet::from_bit_string("101");
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![RuleId(0), RuleId(2)]
+        );
+    }
+}

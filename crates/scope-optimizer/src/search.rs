@@ -1,0 +1,480 @@
+//! Cost-based search: memo exploration with the enabled transformation
+//! rules, implementation with the enabled implementation rules (inserting
+//! enforcer exchanges where partitioning requirements are unmet), and
+//! extraction of the winning physical plan.
+
+use std::collections::HashMap;
+
+use scope_ir::ids::NodeId;
+use scope_ir::{LogicalOp, OpKind};
+
+use crate::config::RuleConfig;
+use crate::cost::{exchange_cost, exchange_impl_for, impl_cost, output_part, required_child_parts};
+use crate::estimate::LogicalEst;
+use crate::memo::{GroupId, MExprId, Memo};
+use crate::physical::{Partitioning, PhysNode, PhysOp, PhysPlan};
+use crate::rules::{PhysImpl, RuleAction, RuleCatalog};
+use crate::ruleset::{RuleId, RuleSet};
+use crate::transform::{apply_rule, TransformCtx};
+
+/// Compilation failures caused by rule configurations — the paper's
+/// "many of these may not compile successfully due to implicit
+/// dependencies".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// Every implementation rule for this operator kind is disabled.
+    NoImplementation { kind: OpKind },
+    /// A required exchange's implementation rule is disabled.
+    NoExchangeImplementation,
+    /// Internal guard: the memo contained a cycle (should never happen).
+    CyclicMemo,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::NoImplementation { kind } => {
+                write!(f, "no enabled implementation rule for {}", kind.name())
+            }
+            CompileError::NoExchangeImplementation => {
+                write!(f, "no enabled exchange implementation for a required repartitioning")
+            }
+            CompileError::CyclicMemo => write!(f, "cyclic memo"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Result of a successful search.
+pub struct SearchOutcome {
+    pub plan: PhysPlan,
+    pub est_cost: f64,
+    /// Rules that contributed to the winning plan (transformations,
+    /// implementations, enforcer + exchange implementations).
+    pub used_rules: RuleSet,
+}
+
+/// Explore the memo: run every enabled transformation rule over every
+/// expression (including rule outputs) until the list is exhausted or
+/// budgets bite. Returns the number of expressions added.
+pub fn explore(memo: &mut Memo, config: &RuleConfig, ctx: &TransformCtx<'_>) -> usize {
+    let cat = RuleCatalog::global();
+    let before = memo.num_exprs();
+    let mut idx = 0usize;
+    while idx < memo.num_exprs() {
+        let expr_id = MExprId(idx as u32);
+        let kind = memo.expr(expr_id).op.kind();
+        // Collect applicable rules first (cheap: ids only).
+        let rule_ids: Vec<RuleId> = cat
+            .transforms_for(kind)
+            .iter()
+            .copied()
+            .filter(|id| config.is_enabled(*id))
+            .collect();
+        for rid in rule_ids {
+            let rule = cat.rule(rid);
+            apply_rule(rule, expr_id, memo, ctx);
+        }
+        idx += 1;
+    }
+    memo.num_exprs() - before
+}
+
+/// Per-group winning implementation.
+#[derive(Clone, Debug)]
+struct Winner {
+    cost: f64,
+    expr: MExprId,
+    phys: PhysImpl,
+    impl_rule: RuleId,
+    out_part: Partitioning,
+    dop: u32,
+    /// Per child: exchange to insert (impl, rule id, scheme, dop), if any.
+    exchanges: Vec<Option<(PhysImpl, RuleId, Partitioning, u32)>>,
+    est: LogicalEst,
+}
+
+/// Compute winners for all groups reachable from `root` and extract the
+/// cheapest physical plan.
+pub fn implement(
+    memo: &Memo,
+    root: GroupId,
+    config: &RuleConfig,
+    obs: &scope_ir::ObservableCatalog,
+) -> Result<SearchOutcome, CompileError> {
+    let mut winners: HashMap<GroupId, Winner> = HashMap::new();
+    let mut failures: HashMap<GroupId, CompileError> = HashMap::new();
+    let mut visiting: Vec<bool> = vec![false; memo.num_groups()];
+    best(memo, root, config, obs, &mut winners, &mut failures, &mut visiting)?;
+
+    // Extraction.
+    let mut plan = PhysPlan::new();
+    let mut built: HashMap<GroupId, NodeId> = HashMap::new();
+    let mut used = RuleSet::EMPTY;
+    let cat = RuleCatalog::global();
+    let enforce = cat.find("EnforceExchange").expect("catalog rule");
+    let root_node = extract(memo, root, &winners, &mut plan, &mut built, &mut used, enforce);
+    plan.set_root(root_node);
+    let est_cost = plan.total_est_cost();
+    Ok(SearchOutcome {
+        plan,
+        est_cost,
+        used_rules: used,
+    })
+}
+
+fn best(
+    memo: &Memo,
+    group: GroupId,
+    config: &RuleConfig,
+    obs: &scope_ir::ObservableCatalog,
+    winners: &mut HashMap<GroupId, Winner>,
+    failures: &mut HashMap<GroupId, CompileError>,
+    visiting: &mut Vec<bool>,
+) -> Result<f64, CompileError> {
+    if let Some(w) = winners.get(&group) {
+        return Ok(w.cost);
+    }
+    if let Some(e) = failures.get(&group) {
+        return Err(e.clone());
+    }
+    if visiting[group.index()] {
+        return Err(CompileError::CyclicMemo);
+    }
+    visiting[group.index()] = true;
+
+    let cat = RuleCatalog::global();
+    let mut best_winner: Option<Winner> = None;
+    let mut kind_without_impl: Option<OpKind> = None;
+    let mut exchange_blocked = false;
+    let mut child_failure: Option<CompileError> = None;
+
+    let expr_ids = memo.group(group).exprs.clone();
+    for expr_id in expr_ids {
+        let expr = memo.expr(expr_id);
+        let kind = expr.op.kind();
+        let children = expr.children.clone();
+        // Resolve children first. A child group with no feasible
+        // implementation only disqualifies *this alternative* — other
+        // expressions in the group may avoid that subtree entirely.
+        // Compilation as a whole fails only when the root group ends up
+        // with no feasible implementation.
+        let mut ok = true;
+        for &c in &children {
+            match best(memo, c, config, obs, winners, failures, visiting) {
+                Ok(_) => {}
+                Err(CompileError::NoExchangeImplementation) => {
+                    exchange_blocked = true;
+                    ok = false;
+                    break;
+                }
+                Err(e) => {
+                    if !matches!(e, CompileError::CyclicMemo) {
+                        child_failure.get_or_insert(e);
+                    }
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+
+        let enabled_impls: Vec<RuleId> = cat
+            .impls_for(kind)
+            .iter()
+            .copied()
+            .filter(|id| config.is_enabled(*id))
+            .collect();
+        if enabled_impls.is_empty() {
+            kind_without_impl = Some(kind);
+            continue;
+        }
+
+        let expr = memo.expr(expr_id);
+        let child_ests: Vec<&LogicalEst> = children
+            .iter()
+            .map(|g| &memo.group(*g).est)
+            .collect();
+
+        for impl_rule in enabled_impls {
+            let RuleAction::Impl(phys) = &cat.rule(impl_rule).action else {
+                continue;
+            };
+            let phys = *phys;
+            let oc = impl_cost(phys, &expr.op, &expr.est, &child_ests, obs);
+            let reqs = required_child_parts(phys, &expr.op, children.len());
+            let mut exchanges = Vec::with_capacity(children.len());
+            let mut candidate_cost = oc.cost;
+            let mut child_parts = Vec::with_capacity(children.len());
+            let mut feasible = true;
+            for (i, &c) in children.iter().enumerate() {
+                let req = reqs.get(i).cloned().unwrap_or(Partitioning::Any);
+                let child_w = &winners[&c];
+                candidate_cost += child_w.cost;
+                if child_w.out_part.satisfies(&req) {
+                    exchanges.push(None);
+                    child_parts.push(child_w.out_part.clone());
+                } else {
+                    let Some(ex_impl) = exchange_impl_for(&req) else {
+                        exchanges.push(None);
+                        child_parts.push(child_w.out_part.clone());
+                        continue;
+                    };
+                    let ex_rule = cat
+                        .rules()
+                        .iter()
+                        .find(|r| r.action == RuleAction::Impl(ex_impl))
+                        .map(|r| r.id)
+                        .expect("exchange impl rule exists");
+                    if !config.is_enabled(ex_rule) {
+                        exchange_blocked = true;
+                        feasible = false;
+                        break;
+                    }
+                    let ex_dop = match req {
+                        Partitioning::Singleton => 1,
+                        _ => oc.dop,
+                    };
+                    let ex_cost = exchange_cost(ex_impl, child_w.est.bytes(), oc.dop.max(1));
+                    candidate_cost += ex_cost.cost;
+                    exchanges.push(Some((ex_impl, ex_rule, req.clone(), ex_dop)));
+                    child_parts.push(req);
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            let out_part = output_part(phys, &expr.op, &child_parts);
+            let better = match &best_winner {
+                None => true,
+                Some(w) => candidate_cost < w.cost,
+            };
+            if better {
+                best_winner = Some(Winner {
+                    cost: candidate_cost,
+                    expr: expr_id,
+                    phys,
+                    impl_rule,
+                    out_part,
+                    dop: oc.dop,
+                    exchanges,
+                    est: expr.est.clone(),
+                });
+            }
+        }
+    }
+
+    visiting[group.index()] = false;
+    match best_winner {
+        Some(w) => {
+            let cost = w.cost;
+            winners.insert(group, w);
+            Ok(cost)
+        }
+        None => {
+            // Prefer the most specific cause: a kind with no enabled
+            // implementation here, then a child subtree's cause, then the
+            // exchange enforcer.
+            let err = if let Some(kind) = kind_without_impl {
+                CompileError::NoImplementation { kind }
+            } else if let Some(e) = child_failure {
+                e
+            } else if exchange_blocked {
+                CompileError::NoExchangeImplementation
+            } else {
+                CompileError::NoImplementation {
+                    kind: memo.canonical(group).op.kind(),
+                }
+            };
+            failures.insert(group, err.clone());
+            Err(err)
+        }
+    }
+}
+
+fn extract(
+    memo: &Memo,
+    group: GroupId,
+    winners: &HashMap<GroupId, Winner>,
+    plan: &mut PhysPlan,
+    built: &mut HashMap<GroupId, NodeId>,
+    used: &mut RuleSet,
+    enforce_rule: RuleId,
+) -> NodeId {
+    if let Some(&node) = built.get(&group) {
+        return node;
+    }
+    let w = winners.get(&group).expect("winner for reachable group");
+    let expr = memo.expr(w.expr);
+    let mut child_nodes = Vec::with_capacity(expr.children.len());
+    for (i, &c) in expr.children.iter().enumerate() {
+        let mut node = extract(memo, c, winners, plan, built, used, enforce_rule);
+        if let Some((ex_impl, ex_rule, scheme, ex_dop)) = &w.exchanges[i] {
+            let child_w = &winners[&c];
+            let ex_cost = exchange_cost(*ex_impl, child_w.est.bytes(), w.dop.max(1));
+            node = plan.add(PhysNode {
+                op: PhysOp::Exchange {
+                    scheme: scheme.clone(),
+                    dop: *ex_dop,
+                },
+                children: vec![node],
+                est_rows: child_w.est.rows,
+                est_bytes: child_w.est.bytes(),
+                est_cost: ex_cost.cost,
+                partitioning: scheme.clone(),
+                dop: *ex_dop,
+                created_by: Some(*ex_rule),
+                logical_rule: None,
+            });
+            used.insert(*ex_rule);
+            used.insert(enforce_rule);
+        }
+        child_nodes.push(node);
+    }
+    let own_cost = w.cost
+        - expr
+            .children
+            .iter()
+            .map(|c| winners[c].cost)
+            .sum::<f64>()
+        - w.exchanges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                e.as_ref().map(|(ex_impl, _, _, _)| {
+                    exchange_cost(*ex_impl, winners[&expr.children[i]].est.bytes(), w.dop.max(1))
+                        .cost
+                })
+            })
+            .sum::<f64>();
+    let node = plan.add(PhysNode {
+        op: phys_op_for(w.phys, &expr.op),
+        children: child_nodes,
+        est_rows: w.est.rows,
+        est_bytes: w.est.bytes(),
+        est_cost: own_cost.max(0.0),
+        partitioning: w.out_part.clone(),
+        dop: w.dop,
+        created_by: Some(w.impl_rule),
+        logical_rule: expr.created_by,
+    });
+    used.insert(w.impl_rule);
+    if let Some(t) = expr.created_by {
+        used.insert(t);
+    }
+    built.insert(group, node);
+    node
+}
+
+/// Map a logical operator plus chosen implementation to a physical operator.
+fn phys_op_for(phys: PhysImpl, op: &LogicalOp) -> PhysOp {
+    use PhysImpl::*;
+    match (phys, op) {
+        (ScanSerial, LogicalOp::RangeGet { table, pushed }) => PhysOp::Scan {
+            table: *table,
+            pushed: pushed.clone(),
+            parallel: false,
+            indexed: false,
+        },
+        (ScanParallel, LogicalOp::RangeGet { table, pushed }) => PhysOp::Scan {
+            table: *table,
+            pushed: pushed.clone(),
+            parallel: true,
+            indexed: false,
+        },
+        (ScanIndexed, LogicalOp::RangeGet { table, pushed }) => PhysOp::Scan {
+            table: *table,
+            pushed: pushed.clone(),
+            parallel: true,
+            indexed: true,
+        },
+        (FilterImpl, LogicalOp::Filter { predicate }) => PhysOp::Filter {
+            predicate: predicate.clone(),
+        },
+        (ProjectImpl, LogicalOp::Project { cols, computed }) => PhysOp::Project {
+            cols: cols.clone(),
+            computed: *computed,
+        },
+        (HashJoin1, LogicalOp::Join { kind, keys }) => PhysOp::HashJoin {
+            kind: *kind,
+            keys: keys.clone(),
+            variant: 1,
+        },
+        (HashJoin2, LogicalOp::Join { kind, keys }) => PhysOp::HashJoin {
+            kind: *kind,
+            keys: keys.clone(),
+            variant: 2,
+        },
+        (HashJoin3, LogicalOp::Join { kind, keys }) => PhysOp::HashJoin {
+            kind: *kind,
+            keys: keys.clone(),
+            variant: 3,
+        },
+        (MergeJoin, LogicalOp::Join { kind, keys }) => PhysOp::MergeJoin {
+            kind: *kind,
+            keys: keys.clone(),
+        },
+        (BroadcastJoin, LogicalOp::Join { kind, keys }) => PhysOp::BroadcastJoin {
+            kind: *kind,
+            keys: keys.clone(),
+        },
+        (LoopJoin, LogicalOp::Join { kind, keys }) => PhysOp::LoopJoin {
+            kind: *kind,
+            keys: keys.clone(),
+        },
+        (IndexJoin, LogicalOp::Join { kind, keys }) => PhysOp::IndexJoin {
+            kind: *kind,
+            keys: keys.clone(),
+        },
+        (HashAgg, LogicalOp::GroupBy { keys, aggs, partial }) => PhysOp::HashAgg {
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+            partial: *partial,
+        },
+        (SortAgg, LogicalOp::GroupBy { keys, aggs, partial }) => PhysOp::SortAgg {
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+            partial: *partial,
+        },
+        (StreamAgg, LogicalOp::GroupBy { keys, aggs, partial }) => PhysOp::StreamAgg {
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+            partial: *partial,
+        },
+        (UnionConcat, LogicalOp::UnionAll) => PhysOp::UnionAll { serial: false },
+        (UnionSerial, LogicalOp::UnionAll) => PhysOp::UnionAll { serial: true },
+        (UnionVirtual, LogicalOp::UnionAll) => PhysOp::VirtualDataset,
+        (VirtualDatasetImpl, LogicalOp::VirtualDataset) => PhysOp::VirtualDataset,
+        (TopN, LogicalOp::Top { k }) => PhysOp::Top { k: *k, heap: true },
+        (TopSort, LogicalOp::Top { k }) => PhysOp::Top { k: *k, heap: false },
+        (SortParallel, LogicalOp::Sort { keys }) => PhysOp::Sort {
+            keys: keys.clone(),
+            parallel: true,
+        },
+        (SortSerial, LogicalOp::Sort { keys }) => PhysOp::Sort {
+            keys: keys.clone(),
+            parallel: false,
+        },
+        (WindowHash, LogicalOp::Window { keys }) => PhysOp::Window {
+            keys: keys.clone(),
+            hash_based: true,
+        },
+        (WindowSort, LogicalOp::Window { keys }) => PhysOp::Window {
+            keys: keys.clone(),
+            hash_based: false,
+        },
+        (ProcessParallel, LogicalOp::Process { udo }) => PhysOp::Process {
+            udo: *udo,
+            parallel: true,
+        },
+        (ProcessSerial, LogicalOp::Process { udo }) => PhysOp::Process {
+            udo: *udo,
+            parallel: false,
+        },
+        (OutputImpl, LogicalOp::Output { stream }) => PhysOp::Output { stream: *stream },
+        (p, o) => unreachable!("implementation {p:?} cannot implement {:?}", o.kind()),
+    }
+}

@@ -1,0 +1,944 @@
+//! Interpretation of transformation-rule families on the memo.
+//!
+//! [`apply_rule`] pattern-matches a rule against one memo expression (using
+//! canonical child expressions, as classic Cascades implementations do for
+//! cheap binding) and inserts the rewritten alternatives. Sub-expressions
+//! created along the way get their own (new or deduplicated) groups; the
+//! top-level result is inserted as an alternative of the matched
+//! expression's group.
+
+use std::collections::BTreeSet;
+
+use scope_ir::ids::ColId;
+use scope_ir::{JoinKind, LogicalOp, OpKind, PredAtom, Predicate};
+
+use crate::estimate::Estimator;
+use crate::memo::{GroupId, Inserted, MExprId, Memo};
+use crate::rules::{AtomOrder, Rule, RuleAction};
+use crate::ruleset::RuleId;
+
+/// Shared context for transformations.
+pub struct TransformCtx<'a> {
+    pub est: &'a Estimator<'a>,
+    /// Every column referenced anywhere in the original query — the safe
+    /// retention set for pruning projections.
+    pub referenced: &'a BTreeSet<ColId>,
+}
+
+/// Columns referenced by an operator (keys, predicate atoms, projections,
+/// aggregate arguments).
+pub fn referenced_cols(op: &LogicalOp, out: &mut BTreeSet<ColId>) {
+    match op {
+        LogicalOp::Get { .. } | LogicalOp::UnionAll | LogicalOp::VirtualDataset
+        | LogicalOp::Output { .. } | LogicalOp::Process { .. } | LogicalOp::Top { .. } => {}
+        LogicalOp::RangeGet { pushed, .. } => {
+            out.extend(pushed.atoms.iter().map(|a| a.col));
+        }
+        LogicalOp::Select { predicate } | LogicalOp::Filter { predicate } => {
+            out.extend(predicate.atoms.iter().map(|a| a.col));
+        }
+        LogicalOp::Project { cols, .. } => out.extend(cols.iter().copied()),
+        LogicalOp::Join { keys, .. } => {
+            for &(l, r) in keys {
+                out.insert(l);
+                out.insert(r);
+            }
+        }
+        LogicalOp::GroupBy { keys, aggs, .. } => {
+            out.extend(keys.iter().copied());
+            for agg in aggs {
+                match agg {
+                    scope_ir::AggFunc::Count => {}
+                    scope_ir::AggFunc::Sum(c)
+                    | scope_ir::AggFunc::Min(c)
+                    | scope_ir::AggFunc::Max(c)
+                    | scope_ir::AggFunc::Avg(c) => {
+                        out.insert(*c);
+                    }
+                }
+            }
+        }
+        LogicalOp::Sort { keys } | LogicalOp::Window { keys } => out.extend(keys.iter().copied()),
+    }
+}
+
+/// Budget headroom a single rewrite may consume (sub-expressions plus the
+/// alternative itself; bounded by union arity which the workload caps).
+const REWRITE_MARGIN: usize = 64;
+
+/// Apply `rule` to `expr_id`; returns how many new expressions were added.
+pub fn apply_rule(rule: &Rule, expr_id: MExprId, memo: &mut Memo, ctx: &TransformCtx<'_>) -> usize {
+    if memo.num_exprs() + REWRITE_MARGIN >= crate::memo::MAX_TOTAL_EXPRS {
+        return 0;
+    }
+    let rewriter = Rewriter {
+        rule_id: rule.id,
+        expr_id,
+        ctx,
+    };
+    rewriter.dispatch(&rule.action, memo)
+}
+
+struct Rewriter<'a, 'b> {
+    rule_id: RuleId,
+    expr_id: MExprId,
+    ctx: &'a TransformCtx<'b>,
+}
+
+impl Rewriter<'_, '_> {
+    /// Insert a sub-expression (own group) created by this rule.
+    /// `apply_rule` guarantees a budget margin, so this cannot fail.
+    fn sub(&self, memo: &mut Memo, op: LogicalOp, children: Vec<GroupId>) -> GroupId {
+        match memo.insert(op, children, None, Some(self.rule_id), self.ctx.est) {
+            Inserted::New(e) | Inserted::Duplicate(e) => memo.expr(e).group,
+            Inserted::Budget => unreachable!("apply_rule reserves budget margin"),
+        }
+    }
+
+    /// Insert an alternative into the matched expression's group.
+    fn alt(&self, memo: &mut Memo, op: LogicalOp, children: Vec<GroupId>) -> usize {
+        let target = memo.expr(self.expr_id).group;
+        match memo.insert(op, children, Some(target), Some(self.rule_id), self.ctx.est) {
+            Inserted::New(_) => 1,
+            _ => 0,
+        }
+    }
+
+    fn dispatch(&self, action: &RuleAction, memo: &mut Memo) -> usize {
+        use RuleAction::*;
+        let expr = memo.expr(self.expr_id).clone();
+        match action {
+            CollapseFilters => self.collapse_filters(memo, &expr),
+            DropTrueFilter => self.drop_true_filter(memo, &expr),
+            FilterIntoScan => self.filter_into_scan(memo, &expr),
+            FilterBelow { kind, eq_only } => self.filter_below(memo, &expr, *kind, *eq_only),
+            ReorderAtoms(order) => self.reorder_atoms(memo, &expr, *order),
+            MergeProjects => self.merge_projects(memo, &expr),
+            ProjectBelow(kind) => self.project_below(memo, &expr, *kind),
+            PruneBelow { kind, eager } => self.prune_below(memo, &expr, *kind, *eager),
+            JoinCommute { guarded } => self.join_commute(memo, &expr, *guarded),
+            JoinAssoc { right, guarded } => self.join_assoc(memo, &expr, *right, *guarded),
+            JoinOnUnion { max_arity, left } => {
+                self.join_on_union(memo, &expr, *max_arity as usize, *left)
+            }
+            GroupByOnJoin { variant } => self.groupby_on_join(memo, &expr, *variant),
+            GroupByBelowUnion { variant } => self.groupby_below_union(memo, &expr, *variant),
+            SplitGroupBy { variant } => self.split_groupby(memo, &expr, *variant),
+            UnionFlatten { deep } => self.union_flatten(memo, &expr, *deep),
+            ProcessBelowUnion { .. } => self.process_below_union(memo, &expr),
+            TopBelowUnion { .. } => self.top_below_union(memo, &expr),
+            SwapUnary { parent, child, .. } => self.swap_unary(memo, &expr, *parent, *child),
+            NormalizeReduce { variant } => self.normalize_reduce(memo, &expr, *variant),
+            EliminateIdentity(kind) => self.eliminate_identity(memo, &expr, *kind),
+            CollapseSame(kind) => self.collapse_same(memo, &expr, *kind),
+            // Normalizers, markers, and implementation rules are handled
+            // elsewhere.
+            _ => 0,
+        }
+    }
+
+    // ---- Filter rewrites -------------------------------------------------
+
+    fn collapse_filters(&self, memo: &mut Memo, expr: &ExprView) -> usize {
+        let LogicalOp::Filter { predicate: p_up } = &expr.op else { return 0 };
+        let child = memo.canonical(expr.children[0]).clone();
+        let LogicalOp::Filter { predicate: p_down } = &child.op else { return 0 };
+        let merged = p_up.clone().and(p_down.clone());
+        self.alt(
+            memo,
+            LogicalOp::Filter { predicate: merged },
+            child.children.clone(),
+        )
+    }
+
+    fn drop_true_filter(&self, memo: &mut Memo, expr: &ExprView) -> usize {
+        let LogicalOp::Filter { predicate } = &expr.op else { return 0 };
+        if !predicate.is_true() {
+            return 0;
+        }
+        let child = memo.canonical(expr.children[0]).clone();
+        self.alt(memo, child.op, child.children)
+    }
+
+    fn filter_into_scan(&self, memo: &mut Memo, expr: &ExprView) -> usize {
+        let LogicalOp::Filter { predicate } = &expr.op else { return 0 };
+        if predicate.is_true() {
+            return 0;
+        }
+        let child = memo.canonical(expr.children[0]).clone();
+        let LogicalOp::RangeGet { table, pushed } = &child.op else { return 0 };
+        let merged = pushed.clone().and(predicate.clone());
+        self.alt(
+            memo,
+            LogicalOp::RangeGet {
+                table: *table,
+                pushed: merged,
+            },
+            vec![],
+        )
+    }
+
+    fn filter_below(&self, memo: &mut Memo, expr: &ExprView, kind: OpKind, eq_only: bool) -> usize {
+        let LogicalOp::Filter { predicate } = &expr.op else { return 0 };
+        if predicate.is_true() {
+            return 0;
+        }
+        let child_group = expr.children[0];
+        let child = memo.canonical(child_group).clone();
+        if child.op.kind() != kind {
+            return 0;
+        }
+        // Partition atoms into pushable and residual.
+        let (pushable, residual): (Vec<PredAtom>, Vec<PredAtom>) = predicate
+            .atoms
+            .iter()
+            .cloned()
+            .partition(|a| !eq_only || a.op == scope_ir::CmpOp::Eq);
+        if pushable.is_empty() {
+            return 0;
+        }
+        match &child.op {
+            LogicalOp::Project { .. }
+            | LogicalOp::Sort { .. }
+            | LogicalOp::Window { .. }
+            | LogicalOp::Top { .. }
+            | LogicalOp::Process { .. } => {
+                // Single push below a unary operator.
+                let below = self.sub(
+                    memo,
+                    LogicalOp::Filter {
+                        predicate: Predicate { atoms: pushable },
+                    },
+                    vec![child.children[0]],
+                );
+                let inner = self.sub(memo, child.op.clone(), vec![below]);
+                self.wrap_residual(memo, inner, residual)
+            }
+            LogicalOp::UnionAll | LogicalOp::VirtualDataset => {
+                let pred = Predicate { atoms: pushable };
+                let mut pushed_children = Vec::with_capacity(child.children.len());
+                for &g in &child.children {
+                    pushed_children.push(self.sub(
+                        memo,
+                        LogicalOp::Filter {
+                            predicate: pred.clone(),
+                        },
+                        vec![g],
+                    ));
+                }
+                let inner = self.sub(memo, child.op.clone(), pushed_children);
+                self.wrap_residual(memo, inner, residual)
+            }
+            LogicalOp::Join { kind: jk, keys } => {
+                let l_cols: BTreeSet<ColId> =
+                    memo.group(child.children[0]).est.cols.iter().copied().collect();
+                let r_cols: BTreeSet<ColId> =
+                    memo.group(child.children[1]).est.cols.iter().copied().collect();
+                let mut l_atoms = Vec::new();
+                let mut r_atoms = Vec::new();
+                let mut rest = residual;
+                for atom in pushable {
+                    if l_cols.contains(&atom.col) {
+                        l_atoms.push(atom);
+                    } else if r_cols.contains(&atom.col) {
+                        r_atoms.push(atom);
+                    } else {
+                        rest.push(atom);
+                    }
+                }
+                if l_atoms.is_empty() && r_atoms.is_empty() {
+                    return 0;
+                }
+                let mut lg = child.children[0];
+                let mut rg = child.children[1];
+                if !l_atoms.is_empty() {
+                    lg = self.sub(
+                        memo,
+                        LogicalOp::Filter {
+                            predicate: Predicate { atoms: l_atoms },
+                        },
+                        vec![lg],
+                    );
+                }
+                if !r_atoms.is_empty() {
+                    rg = self.sub(
+                        memo,
+                        LogicalOp::Filter {
+                            predicate: Predicate { atoms: r_atoms },
+                        },
+                        vec![rg],
+                    );
+                }
+                let inner = self.sub(
+                    memo,
+                    LogicalOp::Join {
+                        kind: *jk,
+                        keys: keys.clone(),
+                    },
+                    vec![lg, rg],
+                );
+                self.wrap_residual(memo, inner, rest)
+            }
+            LogicalOp::GroupBy { keys, .. } => {
+                let key_set: BTreeSet<ColId> = keys.iter().copied().collect();
+                let (on_keys, rest): (Vec<PredAtom>, Vec<PredAtom>) = pushable
+                    .into_iter()
+                    .partition(|a| key_set.contains(&a.col));
+                if on_keys.is_empty() {
+                    return 0;
+                }
+                let below = self.sub(
+                    memo,
+                    LogicalOp::Filter {
+                        predicate: Predicate { atoms: on_keys },
+                    },
+                    vec![child.children[0]],
+                );
+                let inner = self.sub(memo, child.op.clone(), vec![below]);
+                let mut all_rest = residual;
+                all_rest.extend(rest);
+                self.wrap_residual(memo, inner, all_rest)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Wrap residual atoms (if any) above `inner` and insert as an
+    /// alternative of the matched group.
+    fn wrap_residual(&self, memo: &mut Memo, inner: GroupId, residual: Vec<PredAtom>) -> usize {
+        if residual.is_empty() {
+            let canon = memo.canonical(inner).clone();
+            self.alt(memo, canon.op, canon.children)
+        } else {
+            self.alt(
+                memo,
+                LogicalOp::Filter {
+                    predicate: Predicate { atoms: residual },
+                },
+                vec![inner],
+            )
+        }
+    }
+
+    fn reorder_atoms(&self, memo: &mut Memo, expr: &ExprView, order: AtomOrder) -> usize {
+        let LogicalOp::Filter { predicate } = &expr.op else { return 0 };
+        if predicate.len() < 2 {
+            return 0;
+        }
+        let mut atoms = predicate.atoms.clone();
+        match order {
+            AtomOrder::SelAsc => atoms.sort_by(|a, b| {
+                self.ctx
+                    .est
+                    .atom_selectivity(a)
+                    .partial_cmp(&self.ctx.est.atom_selectivity(b))
+                    .unwrap()
+            }),
+            AtomOrder::SelDesc => atoms.sort_by(|a, b| {
+                self.ctx
+                    .est
+                    .atom_selectivity(b)
+                    .partial_cmp(&self.ctx.est.atom_selectivity(a))
+                    .unwrap()
+            }),
+            AtomOrder::EqFirst => atoms.sort_by_key(|a| match a.op {
+                scope_ir::CmpOp::Eq => 0u8,
+                scope_ir::CmpOp::Between | scope_ir::CmpOp::Range => 1,
+                _ => 2,
+            }),
+            AtomOrder::ByCol => atoms.sort_by_key(|a| a.col),
+        }
+        if atoms == predicate.atoms {
+            return 0;
+        }
+        self.alt(
+            memo,
+            LogicalOp::Filter {
+                predicate: Predicate { atoms },
+            },
+            expr.children.clone(),
+        )
+    }
+
+    // ---- Project rewrites ------------------------------------------------
+
+    fn merge_projects(&self, memo: &mut Memo, expr: &ExprView) -> usize {
+        let LogicalOp::Project { cols, computed } = &expr.op else { return 0 };
+        let child = memo.canonical(expr.children[0]).clone();
+        let LogicalOp::Project { computed: c2, .. } = &child.op else { return 0 };
+        self.alt(
+            memo,
+            LogicalOp::Project {
+                cols: cols.clone(),
+                computed: computed.saturating_add(*c2),
+            },
+            child.children.clone(),
+        )
+    }
+
+    fn project_below(&self, memo: &mut Memo, expr: &ExprView, kind: OpKind) -> usize {
+        let LogicalOp::Project { cols, computed } = &expr.op else { return 0 };
+        let child = memo.canonical(expr.children[0]).clone();
+        if child.op.kind() != kind {
+            return 0;
+        }
+        match &child.op {
+            LogicalOp::UnionAll => {
+                let mut pushed = Vec::with_capacity(child.children.len());
+                for &g in &child.children {
+                    pushed.push(self.sub(
+                        memo,
+                        LogicalOp::Project {
+                            cols: cols.clone(),
+                            computed: *computed,
+                        },
+                        vec![g],
+                    ));
+                }
+                self.alt(memo, LogicalOp::UnionAll, pushed)
+            }
+            LogicalOp::Join { kind: jk, keys } => {
+                if *computed > 0 {
+                    return 0;
+                }
+                let mut need: BTreeSet<ColId> = cols.iter().copied().collect();
+                for &(l, r) in keys {
+                    need.insert(l);
+                    need.insert(r);
+                }
+                let narrow = |memo: &mut Memo, g: GroupId, this: &Self| -> GroupId {
+                    let avail: Vec<ColId> = memo.group(g).est.cols.clone();
+                    let kept: Vec<ColId> =
+                        avail.iter().copied().filter(|c| need.contains(c)).collect();
+                    if kept.len() == avail.len() || kept.is_empty() {
+                        g
+                    } else {
+                        this.sub(
+                            memo,
+                            LogicalOp::Project {
+                                cols: kept,
+                                computed: 0,
+                            },
+                            vec![g],
+                        )
+                    }
+                };
+                let lg = narrow(memo, child.children[0], self);
+                let rg = narrow(memo, child.children[1], self);
+                if lg == child.children[0] && rg == child.children[1] {
+                    return 0;
+                }
+                let inner = self.sub(
+                    memo,
+                    LogicalOp::Join {
+                        kind: *jk,
+                        keys: keys.clone(),
+                    },
+                    vec![lg, rg],
+                );
+                self.alt(
+                    memo,
+                    LogicalOp::Project {
+                        cols: cols.clone(),
+                        computed: 0,
+                    },
+                    vec![inner],
+                )
+            }
+            LogicalOp::Sort { keys } | LogicalOp::Window { keys } => {
+                let mut kept: Vec<ColId> = cols.clone();
+                for &k in keys {
+                    if !kept.contains(&k) {
+                        kept.push(k);
+                    }
+                }
+                let below = self.sub(
+                    memo,
+                    LogicalOp::Project {
+                        cols: kept,
+                        computed: *computed,
+                    },
+                    vec![child.children[0]],
+                );
+                self.alt(memo, child.op.clone(), vec![below])
+            }
+            LogicalOp::Filter { predicate } => {
+                let covered = predicate.atoms.iter().all(|a| cols.contains(&a.col));
+                if !covered {
+                    return 0;
+                }
+                let below = self.sub(
+                    memo,
+                    LogicalOp::Project {
+                        cols: cols.clone(),
+                        computed: *computed,
+                    },
+                    vec![child.children[0]],
+                );
+                self.alt(
+                    memo,
+                    LogicalOp::Filter {
+                        predicate: predicate.clone(),
+                    },
+                    vec![below],
+                )
+            }
+            LogicalOp::Top { k } => {
+                let below = self.sub(
+                    memo,
+                    LogicalOp::Project {
+                        cols: cols.clone(),
+                        computed: *computed,
+                    },
+                    vec![child.children[0]],
+                );
+                self.alt(memo, LogicalOp::Top { k: *k }, vec![below])
+            }
+            _ => 0,
+        }
+    }
+
+    fn prune_below(&self, memo: &mut Memo, expr: &ExprView, kind: OpKind, eager: bool) -> usize {
+        if expr.op.kind() != kind {
+            return 0;
+        }
+        let min_drop = if eager { 1 } else { 4 };
+        let mut changed = false;
+        let mut new_children = expr.children.clone();
+        for slot in new_children.iter_mut() {
+            let g = *slot;
+            let canon_kind = memo.canonical(g).op.kind();
+            if canon_kind == OpKind::Project {
+                continue; // already narrowed
+            }
+            let avail: Vec<ColId> = memo.group(g).est.cols.clone();
+            let kept: Vec<ColId> = avail
+                .iter()
+                .copied()
+                .filter(|c| self.ctx.referenced.contains(c))
+                .collect();
+            if kept.is_empty() || avail.len() - kept.len() < min_drop {
+                continue;
+            }
+            *slot = self.sub(
+                memo,
+                LogicalOp::Project {
+                    cols: kept,
+                    computed: 0,
+                },
+                vec![g],
+            );
+            changed = true;
+        }
+        if !changed {
+            return 0;
+        }
+        self.alt(memo, expr.op.clone(), new_children)
+    }
+
+    // ---- Join rewrites ---------------------------------------------------
+
+    fn join_commute(&self, memo: &mut Memo, expr: &ExprView, guarded: bool) -> usize {
+        let LogicalOp::Join { kind, keys } = &expr.op else { return 0 };
+        if *kind != JoinKind::Inner {
+            return 0;
+        }
+        if guarded {
+            let l = memo.group(expr.children[0]).est.rows;
+            let r = memo.group(expr.children[1]).est.rows;
+            // Guarded commute only fires to move the smaller input right.
+            if r <= l {
+                return 0;
+            }
+        }
+        let swapped: Vec<(ColId, ColId)> = keys.iter().map(|&(l, r)| (r, l)).collect();
+        self.alt(
+            memo,
+            LogicalOp::Join {
+                kind: *kind,
+                keys: swapped,
+            },
+            vec![expr.children[1], expr.children[0]],
+        )
+    }
+
+    fn join_assoc(&self, memo: &mut Memo, expr: &ExprView, right: bool, guarded: bool) -> usize {
+        let LogicalOp::Join { kind, keys } = &expr.op else { return 0 };
+        if *kind != JoinKind::Inner {
+            return 0;
+        }
+        let (outer_idx, inner_idx) = if right { (1, 0) } else { (0, 1) };
+        let nested = memo.canonical(expr.children[outer_idx]).clone();
+        let LogicalOp::Join { kind: k2, keys: keys2 } = &nested.op else { return 0 };
+        if *k2 != JoinKind::Inner {
+            return 0;
+        }
+        // (A ⋈k2 B) ⋈k1 C  →  A ⋈k2' (B ⋈k1 C)  when k1's outer-side
+        // columns all come from B.
+        let a = nested.children[0];
+        let b = nested.children[1];
+        let c = expr.children[inner_idx];
+        let b_cols: BTreeSet<ColId> = memo.group(b).est.cols.iter().copied().collect();
+        let outer_key_ok = keys.iter().all(|&(l, r)| {
+            let outer_col = if right { r } else { l };
+            b_cols.contains(&outer_col)
+        });
+        if !outer_key_ok {
+            return 0;
+        }
+        let inner_keys: Vec<(ColId, ColId)> = if right {
+            keys.iter().map(|&(l, r)| (r, l)).collect()
+        } else {
+            keys.clone()
+        };
+        let new_inner = self.sub(
+            memo,
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                keys: inner_keys,
+            },
+            vec![b, c],
+        );
+        if guarded {
+            let before = memo.group(expr.children[outer_idx]).est.rows;
+            let after = memo.group(new_inner).est.rows;
+            if after >= before {
+                return 0;
+            }
+        }
+        self.alt(
+            memo,
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                keys: keys2.clone(),
+            },
+            vec![a, new_inner],
+        )
+    }
+
+    fn join_on_union(&self, memo: &mut Memo, expr: &ExprView, max_arity: usize, left: bool) -> usize {
+        let LogicalOp::Join { kind, keys } = &expr.op else { return 0 };
+        if *kind != JoinKind::Inner {
+            return 0;
+        }
+        let (union_side, other_side) = if left {
+            (expr.children[0], expr.children[1])
+        } else {
+            (expr.children[1], expr.children[0])
+        };
+        let union = memo.canonical(union_side).clone();
+        if union.op.kind() != OpKind::UnionAll || union.children.len() > max_arity {
+            return 0;
+        }
+        let mut joined = Vec::with_capacity(union.children.len());
+        for &branch in &union.children {
+            let (lg, rg) = if left {
+                (branch, other_side)
+            } else {
+                (other_side, branch)
+            };
+            joined.push(self.sub(
+                memo,
+                LogicalOp::Join {
+                    kind: JoinKind::Inner,
+                    keys: keys.clone(),
+                },
+                vec![lg, rg],
+            ));
+        }
+        self.alt(memo, LogicalOp::UnionAll, joined)
+    }
+
+    // ---- Aggregation rewrites ---------------------------------------------
+
+    fn groupby_on_join(&self, memo: &mut Memo, expr: &ExprView, variant: u8) -> usize {
+        let LogicalOp::GroupBy { keys, aggs, partial } = &expr.op else { return 0 };
+        if *partial {
+            return 0;
+        }
+        let child = memo.canonical(expr.children[0]).clone();
+        let LogicalOp::Join { kind: jk, keys: jkeys } = &child.op else { return 0 };
+        let side = (variant % 2) as usize; // variants alternate push side
+        let side_group = child.children[side];
+        let side_cols: BTreeSet<ColId> =
+            memo.group(side_group).est.cols.iter().copied().collect();
+        if !keys.iter().all(|k| side_cols.contains(k)) {
+            return 0;
+        }
+        // Partial-aggregate the chosen side on (group keys ∪ join keys).
+        let mut pkeys = keys.clone();
+        for &(l, r) in jkeys {
+            let jc = if side == 0 { l } else { r };
+            if side_cols.contains(&jc) && !pkeys.contains(&jc) {
+                pkeys.push(jc);
+            }
+        }
+        // Higher variants fire unconditionally; low variants require a
+        // plausibly-reducing aggregation.
+        if variant < 2 {
+            let rows = memo.group(side_group).est.rows;
+            if rows < 10_000.0 {
+                return 0;
+            }
+        }
+        let partial_agg = self.sub(
+            memo,
+            LogicalOp::GroupBy {
+                keys: pkeys,
+                aggs: aggs.clone(),
+                partial: true,
+            },
+            vec![side_group],
+        );
+        let mut join_children = child.children.clone();
+        join_children[side] = partial_agg;
+        let new_join = self.sub(
+            memo,
+            LogicalOp::Join {
+                kind: *jk,
+                keys: jkeys.clone(),
+            },
+            vec![join_children[0], join_children[1]],
+        );
+        self.alt(
+            memo,
+            LogicalOp::GroupBy {
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+                partial: false,
+            },
+            vec![new_join],
+        )
+    }
+
+    fn groupby_below_union(&self, memo: &mut Memo, expr: &ExprView, variant: u8) -> usize {
+        let LogicalOp::GroupBy { keys, aggs, partial } = &expr.op else { return 0 };
+        if *partial {
+            return 0;
+        }
+        let child = memo.canonical(expr.children[0]).clone();
+        if child.op.kind() != OpKind::UnionAll {
+            return 0;
+        }
+        // Variant 0 requires a reducing aggregation estimate; higher
+        // variants fire more eagerly.
+        if variant == 0 && memo.group(expr.children[0]).est.rows < 10_000.0 {
+            return 0;
+        }
+        let mut partials = Vec::with_capacity(child.children.len());
+        for &branch in &child.children {
+            partials.push(self.sub(
+                memo,
+                LogicalOp::GroupBy {
+                    keys: keys.clone(),
+                    aggs: aggs.clone(),
+                    partial: true,
+                },
+                vec![branch],
+            ));
+        }
+        let new_union = self.sub(memo, LogicalOp::UnionAll, partials);
+        self.alt(
+            memo,
+            LogicalOp::GroupBy {
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+                partial: false,
+            },
+            vec![new_union],
+        )
+    }
+
+    fn split_groupby(&self, memo: &mut Memo, expr: &ExprView, variant: u8) -> usize {
+        let LogicalOp::GroupBy { keys, aggs, partial } = &expr.op else { return 0 };
+        if *partial || keys.is_empty() {
+            return 0;
+        }
+        let child_rows = memo.group(expr.children[0]).est.rows;
+        let threshold = match variant {
+            0 => 100_000.0,
+            1 => 10_000.0,
+            _ => 0.0, // aggressive variants always fire
+        };
+        if child_rows < threshold {
+            return 0;
+        }
+        // Avoid re-splitting an already-split aggregation.
+        if memo.canonical(expr.children[0]).op.kind() == OpKind::GroupBy {
+            return 0;
+        }
+        let partial_agg = self.sub(
+            memo,
+            LogicalOp::GroupBy {
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+                partial: true,
+            },
+            vec![expr.children[0]],
+        );
+        self.alt(
+            memo,
+            LogicalOp::GroupBy {
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+                partial: false,
+            },
+            vec![partial_agg],
+        )
+    }
+
+    fn normalize_reduce(&self, memo: &mut Memo, expr: &ExprView, variant: u8) -> usize {
+        let LogicalOp::GroupBy { keys, aggs, partial } = &expr.op else { return 0 };
+        if keys.len() < 2 {
+            return 0;
+        }
+        let mut sorted = keys.clone();
+        match variant {
+            0 => sorted.sort_unstable(),
+            1 => sorted.sort_unstable_by(|a, b| b.cmp(a)),
+            _ => sorted.sort_by_key(|c| self.ctx.est.observed().col_ndv(*c)),
+        }
+        if sorted == *keys {
+            return 0;
+        }
+        self.alt(
+            memo,
+            LogicalOp::GroupBy {
+                keys: sorted,
+                aggs: aggs.clone(),
+                partial: *partial,
+            },
+            expr.children.clone(),
+        )
+    }
+
+    // ---- Union / process / top rewrites -----------------------------------
+
+    fn union_flatten(&self, memo: &mut Memo, expr: &ExprView, deep: bool) -> usize {
+        if expr.op.kind() != OpKind::UnionAll {
+            return 0;
+        }
+        let mut flat: Vec<GroupId> = Vec::new();
+        let mut changed = false;
+        let mut stack: Vec<(GroupId, usize)> = expr.children.iter().map(|&g| (g, 0)).collect();
+        stack.reverse();
+        while let Some((g, depth)) = stack.pop() {
+            let canon = memo.canonical(g);
+            let is_union = canon.op.kind() == OpKind::UnionAll;
+            let may_recurse = depth == 0 || deep;
+            if is_union && may_recurse {
+                changed = true;
+                let children = canon.children.clone();
+                for &c in children.iter().rev() {
+                    stack.push((c, depth + 1));
+                }
+            } else {
+                flat.push(g);
+            }
+        }
+        if !changed || flat.len() < 2 {
+            return 0;
+        }
+        self.alt(memo, LogicalOp::UnionAll, flat)
+    }
+
+    fn process_below_union(&self, memo: &mut Memo, expr: &ExprView) -> usize {
+        let LogicalOp::Process { udo } = &expr.op else { return 0 };
+        let child = memo.canonical(expr.children[0]).clone();
+        if child.op.kind() != OpKind::UnionAll {
+            return 0;
+        }
+        let mut pushed = Vec::with_capacity(child.children.len());
+        for &branch in &child.children {
+            pushed.push(self.sub(memo, LogicalOp::Process { udo: *udo }, vec![branch]));
+        }
+        self.alt(memo, LogicalOp::UnionAll, pushed)
+    }
+
+    fn top_below_union(&self, memo: &mut Memo, expr: &ExprView) -> usize {
+        let LogicalOp::Top { k } = &expr.op else { return 0 };
+        let child = memo.canonical(expr.children[0]).clone();
+        if child.op.kind() != OpKind::UnionAll {
+            return 0;
+        }
+        let mut pushed = Vec::with_capacity(child.children.len());
+        for &branch in &child.children {
+            pushed.push(self.sub(memo, LogicalOp::Top { k: *k }, vec![branch]));
+        }
+        let new_union = self.sub(memo, LogicalOp::UnionAll, pushed);
+        self.alt(memo, LogicalOp::Top { k: *k }, vec![new_union])
+    }
+
+    // ---- Generic unary rewrites --------------------------------------------
+
+    fn swap_unary(&self, memo: &mut Memo, expr: &ExprView, parent: OpKind, child_kind: OpKind) -> usize {
+        if expr.op.kind() != parent || expr.children.len() != 1 {
+            return 0;
+        }
+        let child = memo.canonical(expr.children[0]).clone();
+        if child.op.kind() != child_kind || child.children.len() != 1 {
+            return 0;
+        }
+        let below = self.sub(memo, expr.op.clone(), vec![child.children[0]]);
+        self.alt(memo, child.op.clone(), vec![below])
+    }
+
+    fn eliminate_identity(&self, memo: &mut Memo, expr: &ExprView, kind: OpKind) -> usize {
+        if expr.op.kind() != kind {
+            return 0;
+        }
+        let replace_with_child = match (&expr.op, kind) {
+            (LogicalOp::Project { cols, computed }, OpKind::Project) => {
+                *computed == 0 && {
+                    let avail = &memo.group(expr.children[0]).est.cols;
+                    cols.len() == avail.len() && cols.iter().all(|c| avail.contains(c))
+                }
+            }
+            (LogicalOp::Top { k }, OpKind::Top) => {
+                // Risky: trusts the estimate.
+                (*k as f64) >= memo.group(expr.children[0]).est.rows
+            }
+            (LogicalOp::Sort { keys }, OpKind::Sort) => {
+                // Sort whose keys prefix an identical child sort.
+                match &memo.canonical(expr.children[0]).op {
+                    LogicalOp::Sort { keys: inner } => inner.starts_with(keys),
+                    _ => false,
+                }
+            }
+            (LogicalOp::UnionAll, OpKind::UnionAll) => expr.children.len() == 1,
+            _ => false,
+        };
+        if !replace_with_child {
+            return 0;
+        }
+        let child = memo.canonical(expr.children[0]).clone();
+        self.alt(memo, child.op, child.children)
+    }
+
+    fn collapse_same(&self, memo: &mut Memo, expr: &ExprView, kind: OpKind) -> usize {
+        if expr.op.kind() != kind || expr.children.len() != 1 {
+            return 0;
+        }
+        let child = memo.canonical(expr.children[0]).clone();
+        if child.op.kind() != kind {
+            return 0;
+        }
+        let merged = match (&expr.op, &child.op) {
+            (LogicalOp::Sort { keys }, LogicalOp::Sort { .. }) => {
+                LogicalOp::Sort { keys: keys.clone() }
+            }
+            (LogicalOp::Top { k: k1 }, LogicalOp::Top { k: k2 }) => {
+                LogicalOp::Top { k: (*k1).min(*k2) }
+            }
+            (LogicalOp::Window { keys }, LogicalOp::Window { .. }) => {
+                LogicalOp::Window { keys: keys.clone() }
+            }
+            _ => return 0,
+        };
+        self.alt(memo, merged, child.children)
+    }
+}
+
+/// A cloned view of a memo expression (avoids holding borrows during
+/// rewrites).
+type ExprView = crate::memo::MExpr;

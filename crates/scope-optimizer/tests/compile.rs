@@ -1,0 +1,201 @@
+//! End-to-end compilation tests: raw script plan → physical plan +
+//! signature, under the default and steered rule configurations.
+
+use scope_ir::expr::{CmpOp, Literal, PredAtom, Predicate};
+use scope_ir::ids::{ColId, DomainId, TableId};
+use scope_ir::ops::{AggFunc, JoinKind, LogicalOp};
+use scope_ir::{PlanGraph, TrueCatalog};
+use scope_optimizer::rules::RuleCategory;
+use scope_optimizer::{compile, CompileError, PhysOp, RuleCatalog, RuleConfig, RuleSet};
+
+/// A catalog with two joinable tables and a couple of filterable columns.
+fn test_catalog() -> (TrueCatalog, Vec<ColId>) {
+    let mut cat = TrueCatalog::new();
+    let k0 = cat.add_column(50_000, 0.0, DomainId(0)); // join key, left
+    let a = cat.add_column(200, 0.0, DomainId(1)); // filter col
+    let k1 = cat.add_column(50_000, 0.0, DomainId(0)); // join key, right
+    let b = cat.add_column(1_000, 0.0, DomainId(2)); // group key
+    cat.add_table(2_000_000, 120, 11, vec![k0, a]);
+    cat.add_table(800_000, 80, 22, vec![k1, b]);
+    (cat, vec![k0, a, k1, b])
+}
+
+/// SELECT b, count(*) FROM t0 JOIN t1 ON k0=k1 WHERE a=? GROUP BY b → out
+fn join_agg_plan(cols: &[ColId]) -> PlanGraph {
+    let mut g = PlanGraph::new();
+    let s0 = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
+    let f = g.add_unchecked(
+        LogicalOp::Select {
+            predicate: Predicate::atom(PredAtom::unknown(cols[1], CmpOp::Eq, Literal::Int(7))),
+        },
+        vec![s0],
+    );
+    let s1 = g.add_unchecked(LogicalOp::Get { table: TableId(1) }, vec![]);
+    let j = g.add_unchecked(
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            keys: vec![(cols[0], cols[2])],
+        },
+        vec![f, s1],
+    );
+    let agg = g.add_unchecked(
+        LogicalOp::GroupBy {
+            keys: vec![cols[3]],
+            aggs: vec![AggFunc::Count],
+            partial: false,
+        },
+        vec![j],
+    );
+    let o = g.add_unchecked(LogicalOp::Output { stream: 99 }, vec![agg]);
+    g.set_root(o);
+    g
+}
+
+#[test]
+fn default_config_compiles_join_agg_job() {
+    let (cat, cols) = test_catalog();
+    let obs = cat.observe();
+    let plan = join_agg_plan(&cols);
+    let compiled = compile(&plan, &obs, &RuleConfig::default_config()).expect("compiles");
+    assert!(compiled.est_cost > 0.0);
+    assert!(compiled.plan.len() >= 6);
+    // The signature contains required rules and at least one impl rule.
+    let catlg = RuleCatalog::global();
+    assert!(compiled.signature.contains(catlg.find("GetToRange").unwrap()));
+    assert!(compiled.signature.contains(catlg.find("BuildOutput").unwrap()));
+    let has_impl = compiled
+        .signature
+        .on_rules()
+        .any(|id| catlg.rule(id).category == RuleCategory::Implementation);
+    assert!(has_impl, "signature must include implementation rules");
+    // Exploration actually happened.
+    assert!(compiled.memo_exprs > compiled.memo_groups);
+}
+
+#[test]
+fn signature_is_subset_of_enabled_union_required() {
+    let (cat, cols) = test_catalog();
+    let obs = cat.observe();
+    let plan = join_agg_plan(&cols);
+    let config = RuleConfig::default_config();
+    let compiled = compile(&plan, &obs, &config).unwrap();
+    let catlg = RuleCatalog::global();
+    let allowed = config.enabled().union(catlg.required());
+    assert!(compiled.signature.0.difference(&allowed).is_empty());
+}
+
+#[test]
+fn disabling_all_join_impls_fails_compilation() {
+    let (cat, cols) = test_catalog();
+    let obs = cat.observe();
+    let plan = join_agg_plan(&cols);
+    let catlg = RuleCatalog::global();
+    let mut config = RuleConfig::default_config();
+    for rule in catlg.impls_for(scope_ir::OpKind::Join) {
+        config.disable(*rule);
+    }
+    let err = compile(&plan, &obs, &config).unwrap_err();
+    assert_eq!(
+        err,
+        CompileError::NoImplementation {
+            kind: scope_ir::OpKind::Join
+        }
+    );
+}
+
+#[test]
+fn disabling_used_join_impl_steers_to_alternative() {
+    let (cat, cols) = test_catalog();
+    let obs = cat.observe();
+    let plan = join_agg_plan(&cols);
+    let catlg = RuleCatalog::global();
+
+    let default = compile(&plan, &obs, &RuleConfig::default_config()).unwrap();
+    // Find which join impl won by inspecting the physical plan.
+    let join_node = default
+        .plan
+        .reachable()
+        .into_iter()
+        .find(|&id| {
+            matches!(
+                default.plan.node(id).op,
+                PhysOp::HashJoin { .. }
+                    | PhysOp::MergeJoin { .. }
+                    | PhysOp::BroadcastJoin { .. }
+                    | PhysOp::LoopJoin { .. }
+                    | PhysOp::IndexJoin { .. }
+            )
+        })
+        .expect("plan has a join");
+    let winner_rule = default.plan.node(join_node).created_by.unwrap();
+
+    let mut config = RuleConfig::default_config();
+    config.disable(winner_rule);
+    let steered = compile(&plan, &obs, &config).unwrap();
+    assert!(
+        !steered.signature.contains(winner_rule),
+        "disabled rule must not appear in the new signature"
+    );
+    // A different join implementation was chosen.
+    let new_join = steered
+        .plan
+        .reachable()
+        .into_iter()
+        .find_map(|id| steered.plan.node(id).created_by.filter(|r| {
+            catlg.rule(*r).category == RuleCategory::Implementation
+                && catlg
+                    .rule(*r)
+                    .name
+                    .contains("Join")
+        }))
+        .expect("steered plan has a join impl");
+    assert_ne!(new_join, winner_rule);
+}
+
+#[test]
+fn exchanges_are_inserted_and_enforce_exchange_fires() {
+    let (cat, cols) = test_catalog();
+    let obs = cat.observe();
+    let plan = join_agg_plan(&cols);
+    let compiled = compile(&plan, &obs, &RuleConfig::default_config()).unwrap();
+    assert!(compiled.plan.num_exchanges() > 0, "distributed plan needs exchanges");
+    let catlg = RuleCatalog::global();
+    assert!(compiled
+        .signature
+        .contains(catlg.find("EnforceExchange").unwrap()));
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let (cat, cols) = test_catalog();
+    let obs = cat.observe();
+    let plan = join_agg_plan(&cols);
+    let a = compile(&plan, &obs, &RuleConfig::default_config()).unwrap();
+    let b = compile(&plan, &obs, &RuleConfig::default_config()).unwrap();
+    assert_eq!(a.est_cost, b.est_cost);
+    assert_eq!(a.signature, b.signature);
+    assert_eq!(a.plan.len(), b.plan.len());
+}
+
+#[test]
+fn alternate_configs_can_change_estimated_cost() {
+    let (cat, cols) = test_catalog();
+    let obs = cat.observe();
+    let plan = join_agg_plan(&cols);
+    let default = compile(&plan, &obs, &RuleConfig::default_config()).unwrap();
+
+    // Disable every on-by-default transformation that fired; the optimizer
+    // must still compile (implementation rules remain) and will generally
+    // produce a different plan/cost.
+    let catlg = RuleCatalog::global();
+    let mut config = RuleConfig::default_config();
+    let fired_transforms: RuleSet = default
+        .signature
+        .on_rules()
+        .filter(|id| catlg.rule(*id).category == RuleCategory::OnByDefault)
+        .collect();
+    config.disable_all(&fired_transforms);
+    let steered = compile(&plan, &obs, &config).unwrap();
+    // Signatures must differ (the disabled rules are gone).
+    assert!(default.signature != steered.signature || default.est_cost != steered.est_cost);
+}

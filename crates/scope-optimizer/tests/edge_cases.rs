@@ -1,0 +1,199 @@
+//! Edge cases for the compiler: degenerate inputs, extreme statistics, and
+//! adversarial configurations.
+
+use scope_ir::expr::{CmpOp, Literal, PredAtom, Predicate};
+use scope_ir::ids::{ColId, DomainId, TableId};
+use scope_ir::ops::{AggFunc, JoinKind, LogicalOp};
+use scope_ir::{PlanGraph, TrueCatalog};
+use scope_optimizer::{compile, RuleCatalog, RuleConfig, RuleSet};
+
+fn obs_with(rows: u64) -> scope_ir::ObservableCatalog {
+    let mut cat = TrueCatalog::new();
+    let c = cat.add_column(100, 0.0, DomainId(0));
+    cat.add_table(rows, 100, 1, vec![c]);
+    cat.observe()
+}
+
+fn scan_out() -> PlanGraph {
+    let mut g = PlanGraph::new();
+    let s = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
+    let o = g.add_unchecked(LogicalOp::Output { stream: 0 }, vec![s]);
+    g.set_root(o);
+    g
+}
+
+#[test]
+fn tiny_and_huge_tables_both_compile() {
+    let plan = scan_out();
+    for rows in [1u64, 100, 1_000_000_000, u64::MAX / 1_000_000] {
+        let compiled = compile(&plan, &obs_with(rows), &RuleConfig::default_config())
+            .unwrap_or_else(|e| panic!("rows={rows}: {e}"));
+        assert!(compiled.est_cost.is_finite());
+        assert!(compiled.est_cost >= 0.0);
+    }
+}
+
+#[test]
+fn unknown_table_id_compiles_with_zero_rows() {
+    // A plan referencing a table absent from the catalog: the estimator
+    // treats it as empty rather than panicking.
+    let mut g = PlanGraph::new();
+    let s = g.add_unchecked(LogicalOp::Get { table: TableId(99) }, vec![]);
+    let o = g.add_unchecked(LogicalOp::Output { stream: 0 }, vec![s]);
+    g.set_root(o);
+    let compiled = compile(&g, &obs_with(100), &RuleConfig::default_config()).unwrap();
+    assert!(compiled.est_cost.is_finite());
+}
+
+#[test]
+fn cross_join_compiles_via_gather() {
+    let mut cat = TrueCatalog::new();
+    let c0 = cat.add_column(10, 0.0, DomainId(0));
+    let c1 = cat.add_column(10, 0.0, DomainId(1));
+    cat.add_table(100, 50, 1, vec![c0]);
+    cat.add_table(100, 50, 2, vec![c1]);
+    let mut g = PlanGraph::new();
+    let a = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
+    let b = g.add_unchecked(LogicalOp::Get { table: TableId(1) }, vec![]);
+    let j = g.add_unchecked(
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            keys: vec![], // cross join
+        },
+        vec![a, b],
+    );
+    let o = g.add_unchecked(LogicalOp::Output { stream: 0 }, vec![j]);
+    g.set_root(o);
+    let compiled = compile(&g, &cat.observe(), &RuleConfig::default_config()).unwrap();
+    // Cross joins degenerate to singleton execution: for these tiny serial
+    // scans the join's inputs are already singletons (no exchange needed),
+    // and the join itself runs on one vertex.
+    let join = compiled
+        .plan
+        .reachable()
+        .into_iter()
+        .find(|&id| compiled.plan.node(id).op.name().contains("Join"))
+        .expect("plan has a join");
+    assert_eq!(compiled.plan.node(join).dop, 1);
+}
+
+#[test]
+fn deep_filter_chain_compiles_and_collapses() {
+    let mut cat = TrueCatalog::new();
+    let c = cat.add_column(1000, 0.0, DomainId(0));
+    cat.add_table(10_000_000, 100, 1, vec![c]);
+    let mut g = PlanGraph::new();
+    let mut node = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
+    for i in 0..25 {
+        node = g.add_unchecked(
+            LogicalOp::Select {
+                predicate: Predicate::atom(PredAtom::unknown(
+                    ColId(0),
+                    CmpOp::Range,
+                    Literal::Int(i),
+                )),
+            },
+            vec![node],
+        );
+    }
+    let o = g.add_unchecked(LogicalOp::Output { stream: 0 }, vec![node]);
+    g.set_root(o);
+    let compiled = compile(&g, &cat.observe(), &RuleConfig::default_config()).unwrap();
+    // Filter-collapsing + scan pushdown shrink the 25-filter chain
+    // substantially in the winning plan.
+    let filters = compiled
+        .plan
+        .reachable()
+        .into_iter()
+        .filter(|&id| compiled.plan.node(id).op.name() == "Filter")
+        .count();
+    assert!(filters < 25, "got {filters} physical filters");
+}
+
+#[test]
+fn wide_union_compiles_within_budget() {
+    let mut cat = TrueCatalog::new();
+    let c = cat.add_column(1000, 0.0, DomainId(0));
+    let mut branches = Vec::new();
+    let mut g = PlanGraph::new();
+    for i in 0..30 {
+        cat.add_table(100_000 + i, 100, i, vec![c]);
+        branches.push(g.add_unchecked(
+            LogicalOp::Get {
+                table: TableId(i as u32),
+            },
+            vec![],
+        ));
+    }
+    let u = g.add_unchecked(LogicalOp::UnionAll, branches);
+    let agg = g.add_unchecked(
+        LogicalOp::GroupBy {
+            keys: vec![c],
+            aggs: vec![AggFunc::Count],
+            partial: false,
+        },
+        vec![u],
+    );
+    let o = g.add_unchecked(LogicalOp::Output { stream: 0 }, vec![agg]);
+    g.set_root(o);
+    let compiled = compile(&g, &cat.observe(), &RuleConfig::default_config()).unwrap();
+    assert!(compiled.memo_exprs <= scope_optimizer::memo::MAX_TOTAL_EXPRS);
+    assert!(compiled.est_cost.is_finite());
+}
+
+#[test]
+fn minimal_configuration_still_compiles_simple_plans() {
+    // Only required rules + one implementation per needed kind.
+    let cat = RuleCatalog::global();
+    let mut enabled = RuleSet::EMPTY;
+    for name in [
+        "ParallelScanImpl",
+        "OutputImpl",
+        "HashExchangeImpl",
+        "GatherExchangeImpl",
+    ] {
+        enabled.insert(cat.find(name).unwrap());
+    }
+    let config = RuleConfig::from_enabled(enabled);
+    let compiled = compile(&scan_out(), &obs_with(1_000_000), &config).unwrap();
+    // With no rewrites enabled the signature is small and contains only
+    // the allowed rules plus required ones.
+    let allowed = config.enabled().union(cat.required());
+    assert!(compiled.signature.0.difference(&allowed).is_empty());
+}
+
+#[test]
+fn all_non_required_disabled_fails_with_no_scan_impl() {
+    let config = RuleConfig::from_enabled(RuleSet::EMPTY);
+    let err = compile(&scan_out(), &obs_with(1000), &config).unwrap_err();
+    assert!(matches!(
+        err,
+        scope_optimizer::CompileError::NoImplementation { .. }
+    ));
+}
+
+#[test]
+fn empty_predicate_select_is_eliminated() {
+    let mut cat = TrueCatalog::new();
+    let c = cat.add_column(100, 0.0, DomainId(0));
+    cat.add_table(1_000_000, 100, 1, vec![c]);
+    let mut g = PlanGraph::new();
+    let s = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
+    let f = g.add_unchecked(
+        LogicalOp::Select {
+            predicate: Predicate::true_pred(),
+        },
+        vec![s],
+    );
+    let o = g.add_unchecked(LogicalOp::Output { stream: 0 }, vec![f]);
+    g.set_root(o);
+    let compiled = compile(&g, &cat.observe(), &RuleConfig::default_config()).unwrap();
+    // SelectOnTrue drops the trivially-true filter from the winning plan.
+    let filters = compiled
+        .plan
+        .reachable()
+        .into_iter()
+        .filter(|&id| compiled.plan.node(id).op.name() == "Filter")
+        .count();
+    assert_eq!(filters, 0, "TRUE filter survived:\n{}", compiled.plan.render());
+}

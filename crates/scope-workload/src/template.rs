@@ -1,0 +1,175 @@
+//! Recurring templates and their daily instantiation into jobs.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use scope_ir::ids::JobId;
+use scope_ir::{InputRef, Job, Literal, LogicalOp};
+
+use crate::inputs::InputPool;
+use crate::motifs::{Motif, TemplateParts};
+
+/// One recurring template.
+#[derive(Clone, Debug)]
+pub struct Template {
+    /// Index within the workload.
+    pub idx: usize,
+    pub motif: Motif,
+    pub parts: TemplateParts,
+    /// Whether this template's scripts embed the date in input names —
+    /// yielding a different template id every day (§6.4's identification
+    /// flaw).
+    pub dated_inputs: bool,
+    /// Workload seed (for per-day deterministic randomness).
+    pub seed: u64,
+    /// Customer rule hints (raw rule ids) this template's script enables.
+    pub hints: Vec<u16>,
+}
+
+impl Template {
+    /// Deterministic per-(template, day, n) rng.
+    fn day_rng(&self, day: u32, salt: u64) -> StdRng {
+        let mut h = DefaultHasher::new();
+        self.seed.hash(&mut h);
+        self.idx.hash(&mut h);
+        day.hash(&mut h);
+        salt.hash(&mut h);
+        StdRng::seed_from_u64(h.finish())
+    }
+
+    /// Instantiate this template's `n`-th job of `day`.
+    pub fn instantiate(&self, pool: &InputPool, day: u32, n: u32, job_id: JobId) -> Job {
+        let mut rng = self.day_rng(day, 0x10B + n as u64);
+        let mut catalog = self.parts.catalog.clone();
+        let mut inputs = Vec::with_capacity(self.parts.table_streams.len());
+        for (ti, &si) in self.parts.table_streams.iter().enumerate() {
+            let stream = &pool.streams[si];
+            let rows = stream.rows_on(day);
+            let name = if self.dated_inputs {
+                stream.dated_name(day)
+            } else {
+                stream.name_hash
+            };
+            let table = &mut catalog.tables[ti];
+            table.rows = rows;
+            table.name_hash = name;
+            inputs.push(InputRef {
+                name_hash: name,
+                bytes: rows.saturating_mul(table.row_bytes as u64),
+            });
+        }
+        // Fresh predicate constants: different job, same template.
+        let mut plan = self.parts.plan.clone();
+        plan.map_ops(|op| {
+            let refresh = |lit: &mut Literal, rng: &mut StdRng| {
+                *lit = Literal::Int(rng.gen());
+            };
+            match op {
+                LogicalOp::Select { predicate }
+                | LogicalOp::Filter { predicate } => {
+                    for atom in &mut predicate.atoms {
+                        refresh(&mut atom.literal, &mut rng);
+                    }
+                }
+                LogicalOp::RangeGet { pushed, .. } => {
+                    for atom in &mut pushed.atoms {
+                        refresh(&mut atom.literal, &mut rng);
+                    }
+                }
+                _ => {}
+            }
+        });
+        let tokens = *[25u32, 50, 100, 150, 200]
+            .get(rng.gen_range(0..5))
+            .expect("token choice");
+        Job::new(job_id, plan, catalog, inputs, day, tokens).with_hints(self.hints.clone())
+    }
+
+    /// How many jobs this template submits on `day` (0 when inactive).
+    /// The expected count is calibrated so the workload hits its profile's
+    /// daily job target.
+    pub fn jobs_on(&self, day: u32, activity: f64, mean_jobs: f64) -> u32 {
+        let mut rng = self.day_rng(day, 0xAC71);
+        if !rng.gen_bool(activity.clamp(0.0, 1.0)) {
+            return 0;
+        }
+        // k = 1 + Binomial(4, p) with 4p = mean_jobs - 1.
+        let p = ((mean_jobs - 1.0) / 4.0).clamp(0.0, 1.0);
+        let extra = (0..4).filter(|_| rng.gen_bool(p)).count() as u32;
+        1 + extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::WorkloadProfile;
+
+    fn template() -> (Template, InputPool) {
+        let profile = WorkloadProfile::workload_a(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = InputPool::generate(100, 15.0, 2.0, 0.25, &mut rng);
+        let parts = Motif::UnionJoinAgg.build(&profile, &pool, &mut rng);
+        (
+            Template {
+                idx: 0,
+                motif: Motif::UnionJoinAgg,
+                parts,
+                dated_inputs: false,
+                seed: 99,
+                hints: Vec::new(),
+            },
+            pool,
+        )
+    }
+
+    #[test]
+    fn same_template_same_day_same_n_is_identical() {
+        let (t, pool) = template();
+        let a = t.instantiate(&pool, 3, 0, JobId(1));
+        let b = t.instantiate(&pool, 3, 0, JobId(2));
+        assert_eq!(a.template, b.template);
+        assert_eq!(a.plan.plan_hash(), b.plan.plan_hash());
+    }
+
+    #[test]
+    fn template_id_stable_across_days_literals_differ() {
+        let (t, pool) = template();
+        let d1 = t.instantiate(&pool, 1, 0, JobId(1));
+        let d2 = t.instantiate(&pool, 2, 0, JobId(2));
+        assert_eq!(d1.template, d2.template, "recurring template identity");
+        assert_ne!(d1.plan.plan_hash(), d2.plan.plan_hash(), "fresh literals");
+        // Sizes drift.
+        assert_ne!(d1.total_input_bytes(), d2.total_input_bytes());
+    }
+
+    #[test]
+    fn dated_inputs_change_template_identity() {
+        let (mut t, pool) = template();
+        t.dated_inputs = true;
+        let d1 = t.instantiate(&pool, 1, 0, JobId(1));
+        let d2 = t.instantiate(&pool, 2, 0, JobId(2));
+        assert_ne!(d1.template, d2.template);
+    }
+
+    #[test]
+    fn catalog_rows_match_stream_drift() {
+        let (t, pool) = template();
+        let job = t.instantiate(&pool, 5, 0, JobId(1));
+        for (ti, &si) in t.parts.table_streams.iter().enumerate() {
+            assert_eq!(job.catalog.tables[ti].rows, pool.streams[si].rows_on(5));
+        }
+    }
+
+    #[test]
+    fn jobs_on_is_deterministic_and_calibrated() {
+        let (t, _) = template();
+        assert_eq!(t.jobs_on(1, 0.95, 1.9), t.jobs_on(1, 0.95, 1.9));
+        let total: u32 = (0..2000).map(|d| t.jobs_on(d, 1.0, 2.0)).sum();
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 2.0).abs() < 0.15, "mean {mean}");
+    }
+}

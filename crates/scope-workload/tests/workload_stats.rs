@@ -1,0 +1,134 @@
+//! Statistical shape tests over the generated workloads: the Table 1 /
+//! Figure 2 invariants the experiments rely on.
+
+use std::collections::{HashMap, HashSet};
+
+use scope_ir::OpKind;
+use scope_workload::{Motif, Workload, WorkloadProfile, WorkloadTag};
+
+fn workload(tag: WorkloadTag) -> Workload {
+    Workload::generate(WorkloadProfile::for_tag(tag, 0.3))
+}
+
+#[test]
+fn all_workloads_hit_their_daily_targets() {
+    for tag in WorkloadTag::ALL {
+        let w = workload(tag);
+        let counts: Vec<usize> = (0..4).map(|d| w.day(d).len()).collect();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        let target = w.profile.daily_jobs as f64;
+        assert!(
+            (mean / target - 1.0).abs() < 0.35,
+            "{tag:?}: mean {mean} vs target {target}"
+        );
+    }
+}
+
+#[test]
+fn template_to_job_ratios_match_profiles() {
+    for tag in WorkloadTag::ALL {
+        let w = workload(tag);
+        let jobs = w.day(0);
+        let templates: HashSet<_> = jobs.iter().map(|j| j.template).collect();
+        let ratio = templates.len() as f64 / jobs.len() as f64;
+        let expected = w.profile.templates_per_job;
+        assert!(
+            (ratio - expected).abs() < 0.2,
+            "{tag:?}: template ratio {ratio:.2} vs profile {expected:.2}"
+        );
+    }
+}
+
+#[test]
+fn motif_mixture_is_respected() {
+    let w = workload(WorkloadTag::A);
+    let mut counts: HashMap<Motif, usize> = HashMap::new();
+    for t in &w.templates {
+        *counts.entry(t.motif).or_insert(0) += 1;
+    }
+    let total = w.templates.len() as f64;
+    // Every motif appears, and the dominant ones match the profile weights
+    // loosely.
+    for motif in Motif::ALL {
+        assert!(
+            counts.get(&motif).copied().unwrap_or(0) > 0,
+            "{motif:?} absent"
+        );
+    }
+    let etl_share = counts[&Motif::EtlCook] as f64 / total;
+    assert!(
+        (etl_share - w.profile.mix.etl_cook).abs() < 0.12,
+        "etl share {etl_share}"
+    );
+}
+
+#[test]
+fn input_pool_is_shared_across_templates() {
+    let w = workload(WorkloadTag::A);
+    let mut stream_users: HashMap<usize, usize> = HashMap::new();
+    for t in &w.templates {
+        for &s in &t.parts.table_streams {
+            *stream_users.entry(s).or_insert(0) += 1;
+        }
+    }
+    let shared = stream_users.values().filter(|&&c| c >= 2).count();
+    assert!(
+        shared * 2 > stream_users.len(),
+        "most streams should feed several templates ({shared}/{})",
+        stream_users.len()
+    );
+}
+
+#[test]
+fn plan_sizes_are_heterogeneous() {
+    let w = workload(WorkloadTag::A);
+    let sizes: Vec<usize> = w.day(0).iter().map(|j| j.plan_size()).collect();
+    let min = *sizes.iter().min().unwrap();
+    let max = *sizes.iter().max().unwrap();
+    assert!(min >= 3);
+    assert!(max >= 20, "largest plan only {max} operators");
+    assert!(max >= min * 3, "not enough size spread: {min}..{max}");
+}
+
+#[test]
+fn every_plan_uses_raw_script_operators() {
+    // Generated scripts are pre-normalization: they contain `Get`/`Select`,
+    // never `RangeGet`/`Filter`.
+    let w = workload(WorkloadTag::B);
+    for job in w.day(0) {
+        let counts = job.plan.op_counts();
+        assert!(counts[OpKind::Get as usize] > 0, "job without scans");
+        assert_eq!(counts[OpKind::RangeGet as usize], 0);
+        assert_eq!(counts[OpKind::Filter as usize], 0);
+    }
+}
+
+#[test]
+fn some_templates_carry_customer_hints() {
+    let w = workload(WorkloadTag::A);
+    let hinted = w.templates.iter().filter(|t| !t.hints.is_empty()).count();
+    assert!(hinted > 0, "no customer hints generated");
+    assert!(
+        (hinted as f64 / w.templates.len() as f64) < 0.25,
+        "too many hinted templates"
+    );
+    // Hints reference off-by-default rules only.
+    let cat = scope_optimizer::RuleCatalog::global();
+    for t in &w.templates {
+        for &h in &t.hints {
+            assert!(cat.off_by_default().contains(scope_optimizer::RuleId(h)));
+        }
+    }
+}
+
+#[test]
+fn dated_input_templates_churn_identity() {
+    let w = workload(WorkloadTag::A);
+    let dated = w.templates.iter().filter(|t| t.dated_inputs).count();
+    assert!(dated > 0, "no dated-input templates");
+    // A dated template produces different template ids on different days.
+    let t = w.templates.iter().find(|t| t.dated_inputs).unwrap();
+    let j0 = t.instantiate(&w.pool, 0, 0, scope_ir::ids::JobId(1));
+    let j1 = t.instantiate(&w.pool, 1, 0, scope_ir::ids::JobId(2));
+    assert_ne!(j0.template, j1.template);
+}

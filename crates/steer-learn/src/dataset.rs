@@ -1,0 +1,140 @@
+//! Dataset construction (§7.1): for one job group, execute each of the K
+//! candidate configurations on every sampled job and record runtimes plus
+//! raw features.
+
+use scope_exec::ABTester;
+use scope_ir::ids::JobId;
+use scope_ir::Job;
+use scope_optimizer::{compile_job, RuleConfig};
+
+use crate::features::{assemble, config_features, job_features};
+
+/// One training/evaluation sample.
+#[derive(Clone, Debug)]
+pub struct GroupSample {
+    pub job_id: JobId,
+    pub day: u32,
+    /// Raw (unnormalized) feature vector.
+    pub features: Vec<f64>,
+    /// Observed runtime of each candidate configuration (index-aligned with
+    /// [`GroupDataset::configs`]).
+    pub runtimes: Vec<f64>,
+}
+
+/// The per-job-group learning dataset.
+#[derive(Clone, Debug)]
+pub struct GroupDataset {
+    /// Candidate configurations; index 0 is always the default (the model
+    /// may choose it — Figure 8 jobs "without green or red bars").
+    pub configs: Vec<RuleConfig>,
+    pub samples: Vec<GroupSample>,
+    pub feature_dim: usize,
+    /// Jobs dropped because some candidate failed to compile for them.
+    pub skipped: usize,
+}
+
+impl GroupDataset {
+    /// Number of candidate configurations (the paper's K).
+    pub fn k(&self) -> usize {
+        self.configs.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Build a dataset by compiling and A/B-executing every candidate on every
+/// job. Jobs that fail to compile under any candidate are skipped (rare —
+/// candidates come from same-group winners).
+pub fn build_group_dataset(
+    jobs: &[&Job],
+    alt_configs: &[RuleConfig],
+    ab: &ABTester,
+) -> GroupDataset {
+    let mut configs = Vec::with_capacity(alt_configs.len() + 1);
+    configs.push(RuleConfig::default_config());
+    configs.extend(alt_configs.iter().cloned());
+
+    let mut samples = Vec::with_capacity(jobs.len());
+    let mut feature_dim = 0;
+    let mut skipped = 0;
+    'jobs: for job in jobs {
+        let Ok(default) = compile_job(job, &configs[0]) else {
+            skipped += 1;
+            continue;
+        };
+        let jf = job_features(job, &default);
+        let mut per_config = Vec::with_capacity(configs.len());
+        let mut runtimes = Vec::with_capacity(configs.len());
+        for config in &configs {
+            let Ok(compiled) = compile_job(job, config) else {
+                skipped += 1;
+                continue 'jobs;
+            };
+            per_config.push(config_features(
+                &default.signature,
+                compiled.est_cost,
+                &compiled.signature,
+            ));
+            runtimes.push(ab.run(job, &compiled.plan, 0).runtime);
+        }
+        let features = assemble(&jf, &per_config);
+        feature_dim = features.len();
+        samples.push(GroupSample {
+            job_id: job.id,
+            day: job.day,
+            features,
+            runtimes,
+        });
+    }
+    GroupDataset {
+        configs,
+        samples,
+        feature_dim,
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_optimizer::RuleCatalog;
+    use scope_workload::{Workload, WorkloadProfile};
+
+    #[test]
+    fn dataset_rows_align_configs_and_runtimes() {
+        let w = Workload::generate(WorkloadProfile::workload_b(0.15));
+        let jobs = w.day(0);
+        let refs: Vec<&Job> = jobs.iter().take(6).collect();
+        // One alternative: disable the hash join family.
+        let cat = RuleCatalog::global();
+        let mut alt = RuleConfig::default_config();
+        alt.disable(cat.find("HashJoinImpl1").unwrap());
+        alt.disable(cat.find("HashJoinImpl2").unwrap());
+        let ab = ABTester::new(3);
+        let ds = build_group_dataset(&refs, &[alt], &ab);
+        assert_eq!(ds.k(), 2);
+        assert!(!ds.is_empty());
+        for s in &ds.samples {
+            assert_eq!(s.runtimes.len(), 2);
+            assert_eq!(s.features.len(), ds.feature_dim);
+            assert!(s.runtimes.iter().all(|&r| r > 0.0));
+        }
+    }
+
+    #[test]
+    fn default_config_is_index_zero() {
+        let w = Workload::generate(WorkloadProfile::workload_b(0.15));
+        let jobs = w.day(0);
+        let refs: Vec<&Job> = jobs.iter().take(2).collect();
+        let ab = ABTester::new(3);
+        let ds = build_group_dataset(&refs, &[], &ab);
+        assert_eq!(ds.k(), 1);
+        assert_eq!(ds.configs[0], RuleConfig::default_config());
+    }
+}

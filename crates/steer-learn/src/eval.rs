@@ -1,0 +1,122 @@
+//! Evaluation on the held-out test split: the Best / Default / Learned
+//! runtime statistics of Table 5 and the per-query deltas of Figure 8.
+
+use scope_ir::ids::JobId;
+use scope_ir::stats::{mean, percentile};
+
+use crate::dataset::GroupDataset;
+use crate::trainer::{LearnedChooser, Split};
+
+/// Mean / 90th / 99th percentile runtimes (Table 5 columns).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RuntimeStats {
+    pub mean: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+impl RuntimeStats {
+    pub fn from(runtimes: &[f64]) -> RuntimeStats {
+        RuntimeStats {
+            mean: mean(runtimes),
+            p90: percentile(runtimes, 90.0),
+            p99: percentile(runtimes, 99.0),
+        }
+    }
+}
+
+/// One test-set query's outcome (a Figure 8 bar).
+#[derive(Clone, Debug)]
+pub struct PerQuery {
+    pub job_id: JobId,
+    pub day: u32,
+    pub default_runtime: f64,
+    pub learned_runtime: f64,
+    pub best_runtime: f64,
+    /// Index of the configuration the model picked (0 = default).
+    pub chosen: usize,
+}
+
+impl PerQuery {
+    /// Runtime change of the learned choice vs default (negative =
+    /// improvement; zero when the model picks the default).
+    pub fn change_s(&self) -> f64 {
+        self.learned_runtime - self.default_runtime
+    }
+
+    /// Percentage change of the learned choice vs default.
+    pub fn change_pct(&self) -> f64 {
+        if self.default_runtime > 0.0 {
+            100.0 * self.change_s() / self.default_runtime
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Table 5 row for one job group.
+#[derive(Clone, Debug)]
+pub struct GroupEval {
+    pub best: RuntimeStats,
+    pub default: RuntimeStats,
+    pub learned: RuntimeStats,
+    pub per_query: Vec<PerQuery>,
+}
+
+/// Evaluate a chooser over the dataset's test split.
+pub fn evaluate(ds: &GroupDataset, chooser: &LearnedChooser, split: &Split) -> GroupEval {
+    let mut best = Vec::new();
+    let mut default = Vec::new();
+    let mut learned = Vec::new();
+    let mut per_query = Vec::new();
+    for &i in &split.test {
+        let s = &ds.samples[i];
+        let chosen = chooser.choose(&s.features);
+        let b = s.runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
+        best.push(b);
+        default.push(s.runtimes[0]);
+        learned.push(s.runtimes[chosen]);
+        per_query.push(PerQuery {
+            job_id: s.job_id,
+            day: s.day,
+            default_runtime: s.runtimes[0],
+            learned_runtime: s.runtimes[chosen],
+            best_runtime: b,
+            chosen,
+        });
+    }
+    GroupEval {
+        best: RuntimeStats::from(&best),
+        default: RuntimeStats::from(&default),
+        learned: RuntimeStats::from(&learned),
+        per_query,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_stats_match_reference() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = RuntimeStats::from(&xs);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.p90 - 90.1).abs() < 1e-9);
+        assert!((s.p99 - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_query_changes() {
+        let q = PerQuery {
+            job_id: JobId(1),
+            day: 0,
+            default_runtime: 200.0,
+            learned_runtime: 150.0,
+            best_runtime: 100.0,
+            chosen: 2,
+        };
+        assert_eq!(q.change_s(), -50.0);
+        assert_eq!(q.change_pct(), -25.0);
+    }
+}

@@ -1,0 +1,8 @@
+//! A dependency-free neural-network implementation sized for the paper's
+//! lightweight per-group models.
+
+pub mod matrix;
+pub mod mlp;
+
+pub use matrix::Matrix;
+pub use mlp::{bce_loss, Mlp};

@@ -1,0 +1,158 @@
+//! Text persistence for trained choosers.
+//!
+//! The paper's per-group models (~30 MB each) are deployment artifacts: the
+//! online system loads one per job group. This module serializes a trained
+//! [`Mlp`] plus its [`Normalizer`] to a dependency-free text format
+//! (header line with dimensions, then whitespace-separated `f64`s encoded
+//! via `to_bits` hex for exact round-trips).
+
+use crate::encode::Normalizer;
+use crate::nn::{Matrix, Mlp};
+
+/// Serialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// Header missing or malformed.
+    BadHeader,
+    /// Fewer values than the header promises, or an unparsable value.
+    BadPayload,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadHeader => write!(f, "malformed model header"),
+            PersistError::BadPayload => write!(f, "malformed model payload"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn push_floats(out: &mut String, values: impl IntoIterator<Item = f64>) {
+    for v in values {
+        out.push_str(&format!("{:016x} ", v.to_bits()));
+    }
+    out.push('\n');
+}
+
+fn read_floats<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    n: usize,
+) -> Result<Vec<f64>, PersistError> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tok = tokens.next().ok_or(PersistError::BadPayload)?;
+        let bits = u64::from_str_radix(tok, 16).map_err(|_| PersistError::BadPayload)?;
+        out.push(f64::from_bits(bits));
+    }
+    Ok(out)
+}
+
+/// Serialize a model and its normalizer.
+pub fn save_model(mlp: &Mlp, normalizer: &Normalizer) -> String {
+    let (input, hidden, output) = mlp.dims();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "scope-steer-mlp v1 {input} {hidden} {output} {}\n",
+        normalizer.dim()
+    ));
+    let (w1, b1, w2, b2) = mlp.params();
+    push_floats(&mut out, w1.data().iter().copied());
+    push_floats(&mut out, b1.iter().copied());
+    push_floats(&mut out, w2.data().iter().copied());
+    push_floats(&mut out, b2.iter().copied());
+    let (mins, maxs) = normalizer.bounds();
+    push_floats(&mut out, mins.iter().copied());
+    push_floats(&mut out, maxs.iter().copied());
+    out
+}
+
+/// Deserialize a model and its normalizer.
+pub fn load_model(text: &str) -> Result<(Mlp, Normalizer), PersistError> {
+    let mut tokens = text.split_whitespace();
+    for expected in ["scope-steer-mlp", "v1"] {
+        if tokens.next() != Some(expected) {
+            return Err(PersistError::BadHeader);
+        }
+    }
+    let dim = |t: &mut dyn Iterator<Item = &str>| -> Result<usize, PersistError> {
+        t.next()
+            .and_then(|v| v.parse().ok())
+            .ok_or(PersistError::BadHeader)
+    };
+    let input = dim(&mut tokens)?;
+    let hidden = dim(&mut tokens)?;
+    let output = dim(&mut tokens)?;
+    let norm_dim = dim(&mut tokens)?;
+
+    let w1 = read_floats(&mut tokens, hidden * input)?;
+    let b1 = read_floats(&mut tokens, hidden)?;
+    let w2 = read_floats(&mut tokens, output * hidden)?;
+    let b2 = read_floats(&mut tokens, output)?;
+    let mins = read_floats(&mut tokens, norm_dim)?;
+    let maxs = read_floats(&mut tokens, norm_dim)?;
+
+    let mut m1 = Matrix::zeros(hidden, input);
+    m1.data_mut().copy_from_slice(&w1);
+    let mut m2 = Matrix::zeros(output, hidden);
+    m2.data_mut().copy_from_slice(&w2);
+    Ok((
+        Mlp::from_params(m1, b1, m2, b2),
+        Normalizer::from_bounds(mins, maxs),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_preserves_predictions_exactly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut mlp = Mlp::new(12, 16, 4, &mut rng);
+        let xs = vec![vec![0.5; 12]];
+        let ys = vec![vec![0.0, 1.0, 0.5, 0.25]];
+        for _ in 0..20 {
+            mlp.train_batch(&xs, &ys, 1e-3);
+        }
+        let normalizer = Normalizer::fit(&[vec![0.0; 12], vec![2.0; 12]]);
+        let text = save_model(&mlp, &normalizer);
+        let (loaded, loaded_norm) = load_model(&text).expect("round trip");
+        let x: Vec<f64> = (0..12).map(|i| i as f64 / 7.0).collect();
+        assert_eq!(mlp.predict(&x), loaded.predict(&x));
+        assert_eq!(normalizer.transform(&x), loaded_norm.transform(&x));
+    }
+
+    #[test]
+    fn header_and_payload_errors() {
+        assert_eq!(load_model("not a model").unwrap_err(), PersistError::BadHeader);
+        assert_eq!(
+            load_model("scope-steer-mlp v2 1 1 1 1").unwrap_err(),
+            PersistError::BadHeader
+        );
+        // Truncated payload.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(2, 2, 1, &mut rng);
+        let norm = Normalizer::fit(&[vec![0.0; 2]]);
+        let text = save_model(&mlp, &norm);
+        let truncated = &text[..text.len() / 2];
+        assert_eq!(load_model(truncated).unwrap_err(), PersistError::BadPayload);
+    }
+
+    #[test]
+    fn size_scales_with_architecture() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let small = save_model(
+            &Mlp::new(4, 4, 2, &mut rng),
+            &Normalizer::fit(&[vec![0.0; 4]]),
+        );
+        let big = save_model(
+            &Mlp::new(64, 64, 8, &mut rng),
+            &Normalizer::fit(&[vec![0.0; 64]]),
+        );
+        assert!(big.len() > small.len() * 20);
+    }
+}

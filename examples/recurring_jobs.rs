@@ -1,0 +1,87 @@
+//! Recurring jobs and rule-signature job groups: generate a week of a
+//! workload, show templates recurring with drifting inputs, group jobs by
+//! their default rule signature (Definition 6.2), and extrapolate a
+//! discovered configuration to unseen same-group jobs (§6.4 / Figure 1).
+//!
+//! Run: `cargo run --release --example recurring_jobs`
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scope_steer::exec::ABTester;
+use scope_steer::ir::Job;
+use scope_steer::steer::{extrapolate, group_jobs, winning_configs, Pipeline, PipelineParams};
+use scope_steer::workload::{Workload, WorkloadProfile};
+
+fn main() {
+    let workload = Workload::generate(WorkloadProfile::workload_b(0.6));
+    let days: Vec<Vec<Job>> = (0..7).map(|d| workload.day(d)).collect();
+
+    // ── Recurrence: the same template across days, different inputs. ─────
+    let mut by_template: HashMap<_, Vec<&Job>> = HashMap::new();
+    for job in days.iter().flatten() {
+        by_template.entry(job.template).or_default().push(job);
+    }
+    let (template, instances) = by_template
+        .iter()
+        .max_by_key(|(_, v)| v.len())
+        .expect("jobs exist");
+    println!(
+        "most recurrent template {template}: {} instances over 7 days",
+        instances.len()
+    );
+    for job in instances.iter().take(5) {
+        println!(
+            "  day {}: job {} reads {:.1} GB (literals refreshed, same template hash)",
+            job.day,
+            job.id,
+            job.total_input_bytes() as f64 / 1e9
+        );
+    }
+
+    // ── Job groups: cluster day 0 by default rule signature. ─────────────
+    let groups = group_jobs(&days[0]);
+    let mut sizes: Vec<usize> = groups.values().map(|v| v.len()).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!(
+        "\nday 0: {} jobs fall into {} signature groups; largest groups: {:?}",
+        days[0].len(),
+        groups.len(),
+        &sizes[..sizes.len().min(5)]
+    );
+
+    // ── Discover on day 0, extrapolate over the rest of the week. ────────
+    let ab = ABTester::new(2021);
+    let pipeline = Pipeline::new(
+        ab.clone(),
+        PipelineParams {
+            m_candidates: 200,
+            sample_frac: 1.0,
+            min_runtime_s: 120.0,
+            ..PipelineParams::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    let report = pipeline.discover(&days[0], &mut rng);
+    let winners = winning_configs(&report.outcomes, 10.0);
+    println!(
+        "\ndiscovered {} winning configurations on day 0",
+        winners.len()
+    );
+
+    let later_jobs: Vec<&Job> = days[1..].iter().flatten().collect();
+    let runs = extrapolate(&winners, &later_jobs, &ab);
+    let improved = runs.iter().filter(|r| r.change_pct < 0.0).count();
+    println!(
+        "extrapolated to {} unseen same-group jobs on days 1–6: {} improved",
+        runs.len(),
+        improved
+    );
+    for r in runs.iter().take(8) {
+        println!(
+            "  day {} job {}: {:.0}s → {:.0}s ({:+.1}%)",
+            r.day, r.job_id, r.default_runtime, r.steered_runtime, r.change_pct
+        );
+    }
+}

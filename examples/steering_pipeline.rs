@@ -1,0 +1,68 @@
+//! The paper's offline discovery pipeline end to end on one day of a
+//! synthetic production workload: job selection, span computation,
+//! candidate search, recompilation, A/B execution of the ten cheapest
+//! alternatives, and RuleDiff analysis of the winners (§5–§6).
+//!
+//! Run: `cargo run --release --example steering_pipeline`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scope_steer::exec::{ABTester, Metric};
+use scope_steer::optimizer::{RuleCatalog, RuleDiff};
+use scope_steer::steer::{Pipeline, PipelineParams};
+use scope_steer::workload::{Workload, WorkloadProfile};
+
+fn main() {
+    // A 1/10-scale Workload A day (~95 jobs).
+    let workload = Workload::generate(WorkloadProfile::workload_a(0.1));
+    let jobs = workload.day(0);
+    println!("generated {} jobs for day 0", jobs.len());
+
+    let pipeline = Pipeline::new(
+        ABTester::new(2021),
+        PipelineParams {
+            m_candidates: 200,
+            sample_frac: 1.0,
+            ..PipelineParams::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(42);
+    let report = pipeline.discover(&jobs, &mut rng);
+    println!(
+        "selected {} jobs for execution ({} in-window but not selected, {} outside the 5min–1h window)",
+        report.outcomes.len(),
+        report.not_selected,
+        report.out_of_window
+    );
+
+    let rules = RuleCatalog::global();
+    for outcome in &report.outcomes {
+        let change = outcome.best_runtime_change_pct();
+        println!(
+            "\njob {} (span {} rules, {} candidates, {} cheaper than default, selected by {:?})",
+            outcome.job_id, outcome.span_size, outcome.n_candidates, outcome.n_cheaper, outcome.reason
+        );
+        println!(
+            "  default: {:.0}s (est cost {:.0}); best alternative: {:+.1}%",
+            outcome.default_metrics.runtime, outcome.default_cost, change
+        );
+        if change < -5.0 {
+            let best = outcome.best_by(Metric::Runtime).expect("executed");
+            let diff = RuleDiff::between(&outcome.group, &best.signature);
+            let names = |set: &scope_steer::optimizer::RuleSet| {
+                set.iter()
+                    .map(|id| rules.rule(id).name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            println!("  RuleDiff — only in default plan: [{}]", names(&diff.only_in_default));
+            println!("  RuleDiff — only in best plan:    [{}]", names(&diff.only_in_new));
+        }
+    }
+
+    let summary = scope_steer::steer::best_known_summary(&report.outcomes);
+    println!(
+        "\nalways choosing the best-known configuration: {:.0}s mean saving ({:+.0}%) over {} jobs",
+        -summary.mean_delta_runtime_s, summary.mean_delta_pct, summary.n_jobs
+    );
+}

@@ -1,0 +1,320 @@
+//! `scope-steer` — command-line interface to the steering stack.
+//!
+//! ```text
+//! scope-steer workload --tag A --scale 0.1 --day 0      # day statistics
+//! scope-steer compile  --tag A --job 3                  # plan + signature
+//! scope-steer span     --tag A --job 3                  # Algorithm 1
+//! scope-steer search   --tag A --job 3 --m 200          # candidate configs
+//! scope-steer explain  --tag A --job 3                  # EXPLAIN ANALYZE trace
+//! scope-steer pipeline --tag A --scale 0.1              # §6.1 discovery
+//! scope-steer hints    --tag A --scale 0.1 --days 3     # discover + revalidate + print hint file
+//! ```
+//!
+//! All subcommands are deterministic for fixed arguments.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scope_steer::exec::ABTester;
+use scope_steer::ir::Job;
+use scope_steer::optimizer::{compile_job, RuleCatalog, RuleConfig};
+use scope_steer::steer::{
+    approximate_span, candidate_configs, discover_independent_groups, winning_configs, HintStore,
+    Pipeline, PipelineParams,
+};
+use scope_steer::workload::{Workload, WorkloadProfile, WorkloadTag};
+
+struct Args {
+    cmd: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Option<Args> {
+        let mut argv = std::env::args().skip(1);
+        let cmd = argv.next()?;
+        let mut flags = HashMap::new();
+        let mut key: Option<String> = None;
+        for a in argv {
+            if let Some(stripped) = a.strip_prefix("--") {
+                if let Some((k, v)) = stripped.split_once('=') {
+                    flags.insert(k.to_string(), v.to_string());
+                } else {
+                    key = Some(stripped.to_string());
+                    flags.insert(stripped.to_string(), "true".to_string());
+                }
+            } else if let Some(k) = key.take() {
+                flags.insert(k, a);
+            }
+        }
+        Some(Args { cmd, flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn tag(&self) -> WorkloadTag {
+        match self.flags.get("tag").map(String::as_str) {
+            Some("B") | Some("b") => WorkloadTag::B,
+            Some("C") | Some("c") => WorkloadTag::C,
+            _ => WorkloadTag::A,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scope-steer <workload|compile|span|search|independence|explain|pipeline|hints> \
+         [--tag A|B|C] [--scale 0.1] [--day 0] [--job N] [--m 200] [--days 3]"
+    );
+    std::process::exit(2)
+}
+
+fn load_day(args: &Args) -> (Workload, Vec<Job>) {
+    let scale: f64 = args.get("scale", 0.1);
+    let day: u32 = args.get("day", 0);
+    let w = Workload::generate(WorkloadProfile::for_tag(args.tag(), scale));
+    let jobs = w.day(day);
+    (w, jobs)
+}
+
+fn pick_job<'a>(args: &Args, jobs: &'a [Job]) -> &'a Job {
+    let idx: usize = args.get("job", 0);
+    jobs.get(idx).unwrap_or_else(|| {
+        eprintln!("--job {idx} out of range (day has {} jobs)", jobs.len());
+        std::process::exit(2)
+    })
+}
+
+fn main() {
+    let Some(args) = Args::parse() else { usage() };
+    let rules = RuleCatalog::global();
+    match args.cmd.as_str() {
+        "workload" => {
+            let (w, jobs) = load_day(&args);
+            let templates: std::collections::HashSet<_> =
+                jobs.iter().map(|j| j.template).collect();
+            println!(
+                "workload {} scale {}: {} jobs, {} templates, {} recurring pool templates",
+                w.profile.tag.name(),
+                args.get::<f64>("scale", 0.1),
+                jobs.len(),
+                templates.len(),
+                w.templates.len()
+            );
+            let mut sizes: Vec<usize> = jobs.iter().map(|j| j.plan_size()).collect();
+            sizes.sort_unstable();
+            println!(
+                "plan sizes: min {} / median {} / max {} operators",
+                sizes.first().unwrap_or(&0),
+                sizes.get(sizes.len() / 2).unwrap_or(&0),
+                sizes.last().unwrap_or(&0)
+            );
+        }
+        "compile" => {
+            let (_, jobs) = load_day(&args);
+            let job = pick_job(&args, &jobs);
+            let compiled = compile_job(job, &RuleConfig::default_config()).expect("compiles");
+            println!("job {} (template {})", job.id, job.template);
+            println!("estimated cost: {:.1}", compiled.est_cost);
+            println!("{}", compiled.plan.render());
+            println!("rule signature ({} rules):", compiled.signature.len());
+            for id in compiled.signature.on_rules() {
+                println!("  {:>3} {} [{:?}]", id, rules.rule(id).name, rules.rule(id).category);
+            }
+        }
+        "span" => {
+            let (_, jobs) = load_day(&args);
+            let job = pick_job(&args, &jobs);
+            let obs = job.catalog.observe();
+            let span = approximate_span(&job.plan, &obs);
+            println!(
+                "job {}: span has {} of 219 non-required rules ({} compiles, compile-failure hit: {})",
+                job.id,
+                span.len(),
+                span.iterations,
+                span.hit_compile_failure
+            );
+            for id in span.rules.iter() {
+                println!("  {:>3} {} [{:?}]", id, rules.rule(id).name, rules.rule(id).category);
+            }
+        }
+        "search" => {
+            let (_, jobs) = load_day(&args);
+            let job = pick_job(&args, &jobs);
+            let obs = job.catalog.observe();
+            let span = approximate_span(&job.plan, &obs);
+            let m: usize = args.get("m", 200);
+            let mut rng = StdRng::seed_from_u64(args.get("seed", 7u64));
+            let configs = candidate_configs(&span, m, &mut rng);
+            let default = compile_job(job, &RuleConfig::default_config()).expect("compiles");
+            let mut cheaper = 0usize;
+            let mut failed = 0usize;
+            let mut best: Option<(f64, RuleConfig)> = None;
+            for config in configs.iter() {
+                match compile_job(job, config) {
+                    Ok(c) => {
+                        if c.est_cost < default.est_cost {
+                            cheaper += 1;
+                        }
+                        if best.as_ref().map_or(true, |(cost, _)| c.est_cost < *cost) {
+                            best = Some((c.est_cost, config.clone()));
+                        }
+                    }
+                    Err(_) => failed += 1,
+                }
+            }
+            println!(
+                "job {}: {} candidates, {} cheaper than default (cost {:.1}), {} failed to compile",
+                job.id,
+                configs.len(),
+                cheaper,
+                default.est_cost,
+                failed
+            );
+            if let Some((cost, config)) = best {
+                let (disabled, enabled) = config.delta_from_default();
+                println!("cheapest candidate: cost {:.1}", cost);
+                println!(
+                    "  disables: {}",
+                    disabled
+                        .iter()
+                        .map(|id| rules.rule(id).name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                if !enabled.is_empty() {
+                    println!(
+                        "  enables:  {}",
+                        enabled
+                            .iter()
+                            .map(|id| rules.rule(id).name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+            }
+        }
+        "independence" => {
+            let (_, jobs) = load_day(&args);
+            let job = pick_job(&args, &jobs);
+            let obs = job.catalog.observe();
+            let span = approximate_span(&job.plan, &obs);
+            let groups =
+                discover_independent_groups(&job.plan, &obs, &span, args.get("pairs", 400));
+            println!(
+                "job {}: span {} rules → {} independent groups in {} compiles (search space 2^{:.1} vs 2^{})",
+                job.id,
+                span.len(),
+                groups.groups.len(),
+                groups.compiles,
+                groups.search_space_log2(),
+                span.len()
+            );
+            for g in &groups.groups {
+                let names: Vec<_> = g.iter().map(|id| rules.rule(id).name.clone()).collect();
+                println!("  [{}]", names.join(", "));
+            }
+        }
+        "explain" => {
+            let (_, jobs) = load_day(&args);
+            let job = pick_job(&args, &jobs);
+            let compiled = compile_job(job, &RuleConfig::default_config()).expect("compiles");
+            let cluster = scope_steer::exec::ClusterConfig::ab_testing();
+            let trace = scope_steer::exec::explain(&compiled.plan, &job.catalog, &cluster);
+            println!("job {} — default plan execution trace:", job.id);
+            print!("{}", trace.render());
+            println!("\nworst cardinality estimates:");
+            for r in trace.worst_estimates(3) {
+                println!(
+                    "  node {} {}: est {:.0} vs true {:.0} rows (q-error {:.1})",
+                    r.node.index(),
+                    r.op,
+                    r.est_rows,
+                    r.true_rows,
+                    r.q_error()
+                );
+            }
+            println!("hottest operators:");
+            for r in trace.hottest_nodes(3) {
+                println!(
+                    "  node {} {}: {:.1}s elapsed (share {:.3}, dop {})",
+                    r.node.index(),
+                    r.op,
+                    r.work.elapsed,
+                    r.share,
+                    r.dop
+                );
+            }
+        }
+        "pipeline" => {
+            let (_, jobs) = load_day(&args);
+            let pipeline = Pipeline::new(
+                ABTester::new(args.get("seed", 2021u64)),
+                PipelineParams {
+                    m_candidates: args.get("m", 200),
+                    sample_frac: 1.0,
+                    ..PipelineParams::default()
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(args.get("seed", 2021u64));
+            let report = pipeline.discover(&jobs, &mut rng);
+            println!(
+                "selected {} jobs ({} in-window not selected, {} outside 5min-1h window)",
+                report.outcomes.len(),
+                report.not_selected,
+                report.out_of_window
+            );
+            for o in &report.outcomes {
+                println!(
+                    "  job {}: default {:.0}s, best alternative {:+.1}% ({} candidates, {} cheaper)",
+                    o.job_id,
+                    o.default_metrics.runtime,
+                    o.best_runtime_change_pct(),
+                    o.n_candidates,
+                    o.n_cheaper
+                );
+            }
+            let summary = scope_steer::steer::best_known_summary(&report.outcomes);
+            println!(
+                "best-known: {:+.0}s / {:+.0}% mean over {} jobs",
+                summary.mean_delta_runtime_s, summary.mean_delta_pct, summary.n_jobs
+            );
+        }
+        "hints" => {
+            let scale: f64 = args.get("scale", 0.1);
+            let days: u32 = args.get("days", 3);
+            let w = Workload::generate(WorkloadProfile::for_tag(args.tag(), scale));
+            let ab = ABTester::new(args.get("seed", 2021u64));
+            let pipeline = Pipeline::new(
+                ab.clone(),
+                PipelineParams {
+                    m_candidates: args.get("m", 200),
+                    sample_frac: 1.0,
+                    ..PipelineParams::default()
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(args.get("seed", 2021u64));
+            let report = pipeline.discover(&w.day(0), &mut rng);
+            let winners = winning_configs(&report.outcomes, 10.0);
+            let mut store = HintStore::new();
+            store.install(&winners, 0);
+            println!("day 0: installed {} hints", store.len());
+            for day in 1..days {
+                let r = store.revalidate(&w.day(day), &ab, day, 2.0);
+                println!(
+                    "day {day}: checked {} groups over {} jobs, mean change {:+.1}%, suspended {}",
+                    r.groups_checked, r.jobs_executed, r.mean_change_pct, r.groups_suspended
+                );
+            }
+            println!("\n# hint file (signature -> disabled/enabled rule ids)");
+            println!("{}", store.to_hint_text());
+        }
+        _ => usage(),
+    }
+}

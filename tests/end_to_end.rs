@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: workload generation → compilation →
+//! simulated execution → steering pipeline → learning, end to end.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scope_steer::exec::{ABTester, Metric};
+use scope_steer::ir::Job;
+use scope_steer::optimizer::{compile_job, RuleCatalog, RuleConfig};
+use scope_steer::steer::{
+    approximate_span, best_known_summary, extrapolate, winning_configs, Pipeline, PipelineParams,
+};
+use scope_steer::workload::{Workload, WorkloadProfile, WorkloadTag};
+
+fn small_a() -> Workload {
+    Workload::generate(WorkloadProfile::workload_a(0.06))
+}
+
+#[test]
+fn every_generated_job_compiles_and_executes_under_default() {
+    let w = small_a();
+    let ab = ABTester::new(1);
+    let jobs = w.day(0);
+    assert!(!jobs.is_empty());
+    for job in &jobs {
+        let compiled = compile_job(job, &RuleConfig::default_config())
+            .unwrap_or_else(|e| panic!("job {} failed: {e}", job.id));
+        assert!(compiled.est_cost > 0.0);
+        assert!(compiled.signature.len() >= 4, "too few signature rules");
+        let m = ab.run(job, &compiled.plan, 0);
+        assert!(m.runtime > 0.0 && m.runtime.is_finite());
+        assert!(m.cpu_time > 0.0 && m.io_time >= 0.0);
+    }
+}
+
+#[test]
+fn signatures_are_subsets_of_effective_config() {
+    let w = small_a();
+    let cat = RuleCatalog::global();
+    for job in w.day(0).iter().take(30) {
+        let base = RuleConfig::default_config();
+        let compiled = compile_job(job, &base).unwrap();
+        let effective = scope_steer::optimizer::optimizer::effective_config(job, &base);
+        let allowed = effective.enabled().union(cat.required());
+        assert!(
+            compiled.signature.0.difference(&allowed).is_empty(),
+            "job {} signature outside effective config",
+            job.id
+        );
+    }
+}
+
+#[test]
+fn spans_cover_default_signatures() {
+    let w = small_a();
+    let cat = RuleCatalog::global();
+    for job in w.day(0).iter().take(10) {
+        let obs = job.catalog.observe();
+        let span = approximate_span(&job.plan, &obs);
+        // The span is computed from the all-enabled configuration, which is
+        // a superset of the default: every *configurable, hint-free* rule
+        // in the default signature that also fires under the full
+        // configuration must be in the span.
+        let full = RuleConfig::from_enabled(cat.non_required());
+        let compiled = scope_steer::optimizer::compile(&job.plan, &obs, &full).unwrap();
+        let configurable = compiled.signature.0.difference(cat.required());
+        assert!(
+            configurable.difference(&span.rules).is_empty(),
+            "job {}: span missing full-config signature rules",
+            job.id
+        );
+    }
+}
+
+#[test]
+fn pipeline_to_extrapolation_round_trip() {
+    let w = small_a();
+    let ab = ABTester::new(5);
+    let pipeline = Pipeline::new(
+        ab.clone(),
+        PipelineParams {
+            m_candidates: 120,
+            execute_top_k: 6,
+            sample_frac: 1.0,
+            ..PipelineParams::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+    let day0 = w.day(0);
+    let report = pipeline.discover(&day0, &mut rng);
+    assert!(!report.outcomes.is_empty(), "pipeline selected nothing");
+
+    // Summary invariants.
+    let summary = best_known_summary(&report.outcomes);
+    assert!(summary.mean_delta_runtime_s <= 0.0, "best-known can't be worse");
+    assert!(summary.mean_delta_pct <= 0.0);
+
+    // Outcome invariants.
+    for o in &report.outcomes {
+        assert!(o.executed.len() <= 6);
+        assert!(o.n_cheaper <= o.n_candidates);
+        assert!(o.best_known_runtime() <= o.default_metrics.runtime);
+        if let Some(best) = o.best_by(Metric::Runtime) {
+            assert!(best.metrics.runtime <= o.executed[0].metrics.runtime);
+        }
+    }
+
+    // Extrapolate winners to the next day.
+    let winners = winning_configs(&report.outcomes, 5.0);
+    if !winners.is_empty() {
+        let day1 = w.day(1);
+        let refs: Vec<&Job> = day1.iter().collect();
+        let runs = extrapolate(&winners, &refs, &ab);
+        for r in &runs {
+            assert!(r.default_runtime > 0.0);
+            assert!(r.steered_runtime > 0.0);
+        }
+    }
+}
+
+#[test]
+fn workloads_differ_but_are_individually_deterministic() {
+    for tag in WorkloadTag::ALL {
+        let p = WorkloadProfile::for_tag(tag, 0.05);
+        let a = Workload::generate(p.clone()).day(0);
+        let b = Workload::generate(p).day(0);
+        assert_eq!(a.len(), b.len(), "{tag:?} nondeterministic");
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.plan.plan_hash(), y.plan.plan_hash());
+        }
+    }
+    let a = Workload::generate(WorkloadProfile::workload_a(0.05)).day(0);
+    let c = Workload::generate(WorkloadProfile::workload_c(0.05)).day(0);
+    let a_hashes: Vec<u64> = a.iter().map(|j| j.plan.plan_hash()).collect();
+    let c_hashes: Vec<u64> = c.iter().map(|j| j.plan.plan_hash()).collect();
+    assert_ne!(a_hashes, c_hashes);
+}
+
+#[test]
+fn steering_changes_plans_not_truth() {
+    // Two configs produce different plans for the same job; the truth
+    // catalog (and therefore the job) is untouched.
+    let w = small_a();
+    let jobs = w.day(0);
+    let cat = RuleCatalog::global();
+    let job = jobs
+        .iter()
+        .find(|j| {
+            compile_job(j, &RuleConfig::default_config())
+                .map(|c| c.plan.len() > 8)
+                .unwrap_or(false)
+        })
+        .expect("a nontrivial job");
+    let before = job.catalog.clone();
+    let default = compile_job(job, &RuleConfig::default_config()).unwrap();
+    let mut config = RuleConfig::default_config();
+    for id in default.signature.on_rules() {
+        if !cat.required().contains(id) {
+            config.disable(id);
+        }
+    }
+    let _ = compile_job(job, &config); // may or may not compile
+    assert_eq!(job.catalog, before, "compilation must not mutate ground truth");
+}
