@@ -1,0 +1,148 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace.
+//!
+//! `cargo bench` still runs every bench target and prints a per-benchmark
+//! best-of-N wall-clock time, but there is no warm-up calibration, outlier
+//! analysis, or HTML report. The goal is to keep the bench code compiling
+//! and producing usable numbers without network access to crates.io.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized; accepted for API compatibility and
+/// otherwise ignored by this harness.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    best: Option<Duration>,
+    rounds: u32,
+    iters_per_round: u32,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            best: None,
+            rounds: 5,
+            iters_per_round: 3,
+        }
+    }
+
+    fn record(&mut self, total: Duration, iters: u32) {
+        let per_iter = total / iters.max(1);
+        self.best = Some(match self.best {
+            Some(b) if b <= per_iter => b,
+            _ => per_iter,
+        });
+    }
+
+    /// Time a routine: best per-iteration time over a few rounds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.rounds {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_round {
+                std::hint::black_box(routine());
+            }
+            self.record(start.elapsed(), self.iters_per_round);
+        }
+    }
+
+    /// Time a routine with untimed per-iteration setup.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.rounds {
+            let inputs: Vec<I> = (0..self.iters_per_round).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.record(start.elapsed(), self.iters_per_round);
+        }
+    }
+}
+
+fn run_one(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    match b.best {
+        Some(d) => println!("bench {name:<45} {:>12.3?}/iter", d),
+        None => println!("bench {name:<45} (no measurement)"),
+    }
+}
+
+/// A named group of benchmarks (prefixes the benchmark names).
+pub struct BenchmarkGroup<'c> {
+    prefix: String,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.prefix, name), |b| f(b));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, |b| f(b));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// The bench-target entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_time() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 40, |x| x + 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,58 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use rand::Rng;
+
+use crate::Strategy;
+
+/// Size specification for [`vec`]: a fixed length or a half-open range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+/// A strategy for `Vec<S::Value>` with length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The result of [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+        let len = if self.size.min + 1 == self.size.max_exclusive {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..self.size.max_exclusive)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -76,11 +76,14 @@ fn main() {
     // Steering probe: for 20 medium jobs, try 30 random configs built by
     // disabling subsets of fired rules / enabling off-by-default rules.
     let cat = RuleCatalog::global();
-    let mut probe_jobs: Vec<&(&scope_ir::Job, scope_optimizer::CompiledPlan, scope_exec::RunMetrics)> =
-        compiled_jobs
-            .iter()
-            .filter(|(_, _, m)| m.runtime > 300.0 && m.runtime < 20_000.0)
-            .collect();
+    let mut probe_jobs: Vec<&(
+        &scope_ir::Job,
+        scope_optimizer::CompiledPlan,
+        scope_exec::RunMetrics,
+    )> = compiled_jobs
+        .iter()
+        .filter(|(_, _, m)| m.runtime > 300.0 && m.runtime < 20_000.0)
+        .collect();
     probe_jobs.truncate(20);
     let mut rng = StdRng::seed_from_u64(99);
     let mut improvements = Vec::new();

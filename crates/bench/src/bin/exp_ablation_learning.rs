@@ -28,7 +28,10 @@ use steer_learn::{
 
 fn main() {
     let scale = scale_arg();
-    banner("Ablation", "supervised vs bandit vs cost-model configuration choice (Workload B)");
+    banner(
+        "Ablation",
+        "supervised vs bandit vs cost-model configuration choice (Workload B)",
+    );
     let w = workload(WorkloadTag::B, scale);
     let ab = ABTester::new(AB_SEED);
 
@@ -49,10 +52,8 @@ fn main() {
             groups.entry(g.to_bit_string()).or_default().push(job);
         }
     }
-    let mut ranked: Vec<(&String, &Vec<&Job>)> = groups
-        .iter()
-        .filter(|(_, jobs)| jobs.len() >= 12)
-        .collect();
+    let mut ranked: Vec<(&String, &Vec<&Job>)> =
+        groups.iter().filter(|(_, jobs)| jobs.len() >= 12).collect();
     // Total order: size descending, then group key — HashMap iteration
     // order must not leak into results.
     ranked.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(b.0)));

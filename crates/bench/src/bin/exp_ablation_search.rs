@@ -39,7 +39,10 @@ fn sample_config<R: Rng + ?Sized>(
 
 fn main() {
     let scale = scale_arg();
-    banner("Ablation", "feedback-guided search and span-quality ablations (§8 future work)");
+    banner(
+        "Ablation",
+        "feedback-guided search and span-quality ablations (§8 future work)",
+    );
     let w = workload(WorkloadTag::A, scale);
     let ab = ABTester::new(AB_SEED);
     let compiled = compile_day(&w, 0, &ab);
@@ -106,8 +109,7 @@ fn main() {
                     let total: f64 = round_gain.iter().sum();
                     if total > 0.0 {
                         for i in 0..3 {
-                            weights[i] =
-                                (0.5 + 1.5 * round_gain[i] / total).clamp(0.25, 2.0);
+                            weights[i] = (0.5 + 1.5 * round_gain[i] / total).clamp(0.25, 2.0);
                         }
                     }
                 }
@@ -120,7 +122,12 @@ fn main() {
             csv.push(format!("{},{},{:.2}", feedback, t.job.id, change));
         }
         rows.push(vec![
-            if feedback { "feedback-guided" } else { "pure random" }.to_string(),
+            if feedback {
+                "feedback-guided"
+            } else {
+                "pure random"
+            }
+            .to_string(),
             budget.to_string(),
             wins.to_string(),
             format!("{:.1}%", total_best_change / targets.len().max(1) as f64),
@@ -129,7 +136,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["search strategy", "compiles/job", "jobs improved >5%", "mean best change"],
+            &[
+                "search strategy",
+                "compiles/job",
+                "jobs improved >5%",
+                "mean best change"
+            ],
             &rows
         )
     );
@@ -158,10 +170,10 @@ fn main() {
             config.disable(id);
             match compile_job(&t.job, &config) {
                 Ok(c) => {
-                    if c.signature != baseline || baseline.contains(id) {
-                        if baseline.contains(id) || c.signature.contains(id) {
-                            probed.insert(id);
-                        }
+                    if (c.signature != baseline || baseline.contains(id))
+                        && (baseline.contains(id) || c.signature.contains(id))
+                    {
+                        probed.insert(id);
                     }
                 }
                 Err(_) => {
@@ -183,7 +195,10 @@ fn main() {
     ]);
     println!(
         "{}",
-        markdown_table(&["span method", "mean span size", "compiles per job"], &rows2)
+        markdown_table(
+            &["span method", "mean span size", "compiles per job"],
+            &rows2
+        )
     );
     println!("Algorithm 1 reaches comparable coverage at a fraction of the compile budget — the paper's rationale for the iterative heuristic.");
 }

@@ -16,7 +16,10 @@ use steer_core::{minimize_config, winning_configs, HintStore};
 
 fn main() {
     let scale = scale_arg();
-    banner("Deployment", "plan-hint lifecycle: discover → minimize → install → revalidate (Workload A)");
+    banner(
+        "Deployment",
+        "plan-hint lifecycle: discover → minimize → install → revalidate (Workload A)",
+    );
     let w = workload(WorkloadTag::A, scale);
     let ab = ABTester::new(AB_SEED);
     let p = pipeline(scale);
@@ -79,7 +82,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["day", "groups checked", "jobs executed", "mean change", "suspended"],
+            &[
+                "day",
+                "groups checked",
+                "jobs executed",
+                "mean change",
+                "suspended"
+            ],
             &rows
         )
     );

@@ -1,0 +1,196 @@
+//! **Fault sweep**: how steering quality degrades as the cluster gets
+//! less reliable. For each vertex-failure rate we run the full lifecycle —
+//! discovery under faults on day 0, hint minimization + installation, then
+//! a day of production traffic through the deployment guardrail — and
+//! compare steered wall-clock against a default-only baseline on the same
+//! faulty cluster. The guardrail's fallback-to-default keeps the steered
+//! column from ever losing more than the wasted attempt (§3.3's "safe to
+//! deploy" story, stress-tested).
+//!
+//! Run: `cargo run -p scope-steer-bench --release --bin exp_fault_sweep -- [--scale=0.3]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scope_exec::{ABTester, FaultProfile, RetryPolicy};
+use scope_optimizer::{compile_job, RuleConfig};
+use scope_steer_bench::harness::{pipeline_params, workload, AB_SEED};
+use scope_steer_bench::reporting::{banner, markdown_table, scale_arg, write_csv};
+use scope_workload::WorkloadTag;
+use steer_core::{minimize_config, winning_configs, HintStore, Pipeline, PipelineParams};
+
+/// Vertex-level transient failure probabilities to sweep. 0 is the
+/// fault-free control; the top end is an unhealthy cluster where most
+/// wide stages lose at least one vertex.
+const RATES: [f64; 6] = [0.0, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2];
+
+struct SweepRow {
+    rate: f64,
+    selected: usize,
+    failed_defaults: usize,
+    failed_candidates: usize,
+    winners: usize,
+    steered: usize,
+    fallbacks: usize,
+    failed_jobs: usize,
+    delta_pct: f64,
+}
+
+fn main() {
+    let scale = scale_arg();
+    banner(
+        "FaultSweep",
+        "steering quality vs cluster fault rate (Workload A, guardrail deployment)",
+    );
+    let policy = RetryPolicy::default();
+    let mut rows = Vec::new();
+
+    for rate in RATES {
+        let profile = FaultProfile::with_vertex_failures(rate);
+        let ab = ABTester::new(AB_SEED).with_faults(profile);
+        let p = Pipeline::new(
+            ab.clone(),
+            PipelineParams {
+                retry: policy.clone(),
+                ..pipeline_params(scale)
+            },
+        );
+        let w = workload(WorkloadTag::A, scale);
+
+        // Day 0: discovery on the faulty cluster. Failed trials are
+        // discarded by the pipeline, never promoted to hints.
+        let day0 = w.day(0);
+        let mut rng = StdRng::seed_from_u64(0xFA017);
+        let report = p.discover(&day0, &mut rng);
+        let raw_winners = winning_configs(&report.outcomes, 10.0);
+
+        let mut minimized = Vec::new();
+        for winner in &raw_winners {
+            let Some(job) = day0.iter().find(|j| j.id == winner.base_job) else {
+                continue;
+            };
+            if let Some(min) = minimize_config(job, &winner.config) {
+                let mut m = winner.clone();
+                m.config = min.config;
+                minimized.push(m);
+            }
+        }
+        let mut store = HintStore::new();
+        store.install(&minimized, 0);
+
+        // Day 1: production traffic through the guardrail, vs a
+        // default-only baseline on the same faulty cluster.
+        let day1 = w.day(1);
+        let default_cfg = RuleConfig::default_config();
+        let mut steered = 0usize;
+        let mut fallbacks = 0usize;
+        let mut failed_jobs = 0usize;
+        let mut guarded_total = 0.0f64;
+        let mut baseline_total = 0.0f64;
+        for job in &day1 {
+            let Ok(default) = compile_job(job, &default_cfg) else {
+                continue;
+            };
+            let Some(run) = store.run_with_guardrail(job, &ab, &policy) else {
+                continue;
+            };
+            let base = ab.run_with_retry(job, &default.plan, 1, &policy);
+            if !run.outcome.is_success() || !base.outcome.is_success() {
+                // Even the fallback (or the baseline itself) died within
+                // its retry budget: count it, but keep the totals to jobs
+                // both sides finished.
+                failed_jobs += 1;
+                continue;
+            }
+            if run.steered {
+                steered += 1;
+            }
+            if run.used_fallback {
+                fallbacks += 1;
+            }
+            guarded_total += run.metrics.runtime;
+            baseline_total += base.metrics.runtime;
+        }
+        let delta_pct = if baseline_total > 0.0 {
+            (guarded_total - baseline_total) / baseline_total * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "rate {rate:.0e}: {} selected, {} winners, day-1 steered {} / fallback {} / failed {} (Δ {:+.1}%)",
+            report.outcomes.len(),
+            minimized.len(),
+            steered,
+            fallbacks,
+            failed_jobs,
+            delta_pct
+        );
+        rows.push(SweepRow {
+            rate,
+            selected: report.outcomes.len(),
+            failed_defaults: report.failed_defaults,
+            failed_candidates: report.failed_candidates,
+            winners: minimized.len(),
+            steered,
+            fallbacks,
+            failed_jobs,
+            delta_pct,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0e}", r.rate),
+                r.selected.to_string(),
+                r.failed_defaults.to_string(),
+                r.failed_candidates.to_string(),
+                r.winners.to_string(),
+                r.steered.to_string(),
+                r.fallbacks.to_string(),
+                r.failed_jobs.to_string(),
+                format!("{:+.1}%", r.delta_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "vertex p_fail",
+                "jobs selected",
+                "failed defaults",
+                "failed trials",
+                "hints",
+                "steered",
+                "fallbacks",
+                "failed jobs",
+                "Δ runtime vs default"
+            ],
+            &table
+        )
+    );
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{},{},{},{},{},{},{:.3}",
+                r.rate,
+                r.selected,
+                r.failed_defaults,
+                r.failed_candidates,
+                r.winners,
+                r.steered,
+                r.fallbacks,
+                r.failed_jobs,
+                r.delta_pct
+            )
+        })
+        .collect();
+    let path = write_csv(
+        "fault_sweep.csv",
+        "vertex_failure_prob,jobs_selected,failed_defaults,failed_candidate_trials,hints,steered_jobs,fallback_jobs,failed_jobs,delta_runtime_pct",
+        &csv,
+    );
+    println!("wrote {}", path.display());
+}

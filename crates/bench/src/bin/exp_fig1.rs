@@ -13,7 +13,10 @@ use steer_core::{extrapolate, winning_configs};
 
 fn main() {
     let scale = scale_arg();
-    banner("Figure 1", "one winning configuration applied to a job group across 7 days (Workload A)");
+    banner(
+        "Figure 1",
+        "one winning configuration applied to a job group across 7 days (Workload A)",
+    );
     let report = run_discovery(WorkloadTag::A, scale);
     let winners = winning_configs(&report.outcomes, 20.0);
     assert!(

@@ -15,7 +15,10 @@ use scope_workload::WorkloadTag;
 
 fn main() {
     let scale = scale_arg();
-    banner("Figure 2", "runtime / rule-usage / rules-per-job / signature distributions (Workload A)");
+    banner(
+        "Figure 2",
+        "runtime / rule-usage / rules-per-job / signature distributions (Workload A)",
+    );
     let w = workload(WorkloadTag::A, scale);
     let ab = ABTester::new(AB_SEED);
     let compiled = compile_day(&w, 0, &ab);

@@ -18,7 +18,10 @@ use steer_core::{approximate_span, candidate_configs};
 
 fn main() {
     let scale = scale_arg();
-    banner("Figure 4", "default vs candidate estimated costs (15 random jobs, Workload A)");
+    banner(
+        "Figure 4",
+        "default vs candidate estimated costs (15 random jobs, Workload A)",
+    );
     let w = workload(WorkloadTag::A, scale);
     let ab = ABTester::new(AB_SEED);
     let compiled = compile_day(&w, 0, &ab);
@@ -66,7 +69,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["job", "default cost", "#candidates", "#cheaper", "min cand cost", "max cand cost"],
+            &[
+                "job",
+                "default cost",
+                "#candidates",
+                "#cheaper",
+                "min cand cost",
+                "max cand cost"
+            ],
             &rows
         )
     );

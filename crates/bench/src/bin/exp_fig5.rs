@@ -33,10 +33,13 @@ fn main() {
         if c.metrics.runtime > 4.0 * c.compiled.est_cost && c.metrics.runtime > 300.0 {
             outliers += 1;
         }
-        csv.push(format!("{:.3},{:.1}", c.compiled.est_cost, c.metrics.runtime));
+        csv.push(format!(
+            "{:.3},{:.1}",
+            c.compiled.est_cost, c.metrics.runtime
+        ));
     }
-    let corr = (n * sxy - sx * sy)
-        / ((n * sx2 - sx * sx).sqrt() * (n * sy2 - sy * sy).sqrt()).max(1e-12);
+    let corr =
+        (n * sxy - sx * sy) / ((n * sx2 - sx * sx).sqrt() * (n * sy2 - sy * sy).sqrt()).max(1e-12);
     println!(
         "jobs: {}; log-log correlation(cost, runtime) = {corr:.2}; low-cost/high-runtime outliers: {outliers} ({:.1}%)",
         compiled.len(),

@@ -11,7 +11,10 @@ use scope_workload::WorkloadTag;
 
 fn main() {
     let scale = scale_arg();
-    banner("Figure 6", "best-alternative runtime change per selected job");
+    banner(
+        "Figure 6",
+        "best-alternative runtime change per selected job",
+    );
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for tag in WorkloadTag::ALL {
@@ -49,7 +52,15 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Workload", "jobs", "improved", "improved >50%", "best %", "median %", "mean %"],
+            &[
+                "Workload",
+                "jobs",
+                "improved",
+                "improved >50%",
+                "best %",
+                "median %",
+                "mean %"
+            ],
             &rows
         )
     );

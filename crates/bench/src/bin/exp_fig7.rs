@@ -19,7 +19,10 @@ use steer_core::{DiscoveryReport, Pipeline};
 
 fn main() {
     let scale = scale_arg();
-    banner("Figure 7", "metric trade-offs when selecting for runtime / CPU / IO (Workload B)");
+    banner(
+        "Figure 7",
+        "metric trade-offs when selecting for runtime / CPU / IO (Workload B)",
+    );
     let w = workload(WorkloadTag::B, scale);
     let mut params = pipeline_params(scale);
     params.min_runtime_s = 120.0;

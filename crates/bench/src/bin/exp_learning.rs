@@ -58,10 +58,8 @@ fn main() {
     // The paper selects groups with more than a dozen jobs per day and no
     // single always-winning configuration; we take the three largest groups
     // of substantial jobs.
-    let mut ranked: Vec<(&String, &Vec<&Job>)> = groups
-        .iter()
-        .filter(|(_, jobs)| jobs.len() >= 12)
-        .collect();
+    let mut ranked: Vec<(&String, &Vec<&Job>)> =
+        groups.iter().filter(|(_, jobs)| jobs.len() >= 12).collect();
     // Total order: size descending, then group key — HashMap iteration
     // order must not leak into results.
     ranked.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(b.0)));
@@ -157,7 +155,11 @@ fn main() {
                 q.chosen
             ));
         }
-        let improved = eval.per_query.iter().filter(|q| q.change_s() < -1.0).count();
+        let improved = eval
+            .per_query
+            .iter()
+            .filter(|q| q.change_s() < -1.0)
+            .count();
         let regressed = eval.per_query.iter().filter(|q| q.change_s() > 1.0).count();
         let default_picked = eval.per_query.iter().filter(|q| q.chosen == 0).count();
         println!(

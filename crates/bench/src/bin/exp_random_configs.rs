@@ -96,7 +96,9 @@ fn main() {
         cheapest_sig_better,
         jobs.len()
     );
-    println!("Paper: random selection found only ONE significantly-better plan across twenty jobs.");
+    println!(
+        "Paper: random selection found only ONE significantly-better plan across twenty jobs."
+    );
     println!(
         "Divergence: in this reproduction improvements are DENSE in the candidate space — each planted \
          trap has a single cause, so a large fraction of span configurations fixes it and random \

@@ -11,7 +11,10 @@ use scope_workload::WorkloadTag;
 
 fn main() {
     let scale = scale_arg();
-    banner("Table 2", "rule categories and unused rules (Workload A, one day)");
+    banner(
+        "Table 2",
+        "rule categories and unused rules (Workload A, one day)",
+    );
     let w = workload(WorkloadTag::A, scale);
     let ab = ABTester::new(AB_SEED);
     let compiled = compile_day(&w, 0, &ab);
@@ -37,12 +40,7 @@ fn main() {
             .take(3)
             .map(|r| r.name.as_str())
             .collect();
-        csv.push(format!(
-            "{},{},{}",
-            category.name(),
-            in_cat.len(),
-            unused
-        ));
+        csv.push(format!("{},{},{}", category.name(), in_cat.len(), unused));
         rows.push(vec![
             category.name().to_string(),
             in_cat.len().to_string(),
@@ -52,7 +50,10 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["Category", "#Rules", "#Unused Rules", "Used examples"], &rows)
+        markdown_table(
+            &["Category", "#Rules", "#Unused Rules", "Used examples"],
+            &rows
+        )
     );
     println!("Paper: Required 37/9 unused, Off-by-default 46/36, On-by-default 141/37, Implementation 32/4");
     let path = write_csv("table2.csv", "category,rules,unused", &csv);

@@ -10,7 +10,10 @@ use steer_core::best_known_summary;
 
 fn main() {
     let scale = scale_arg();
-    banner("Table 3", "mean runtime change with best-known configurations");
+    banner(
+        "Table 3",
+        "mean runtime change with best-known configurations",
+    );
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for tag in WorkloadTag::ALL {
@@ -32,7 +35,10 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["Workload", "# Queries", "Δ Runtime", "Δ Percentage"], &rows)
+        markdown_table(
+            &["Workload", "# Queries", "Δ Runtime", "Δ Percentage"],
+            &rows
+        )
     );
     println!("Paper: A 36 queries / −1689s / −30%; B 155 / −663s / −15%; C 45 / −400s / −7%.");
     let path = write_csv(

@@ -12,7 +12,10 @@ use scope_workload::WorkloadTag;
 
 fn main() {
     let scale = scale_arg();
-    banner("Table 4", "RuleDiff for the best configurations of top-improving jobs");
+    banner(
+        "Table 4",
+        "RuleDiff for the best configurations of top-improving jobs",
+    );
     let cat = RuleCatalog::global();
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -30,10 +33,7 @@ fn main() {
             };
             let diff = RuleDiff::between(&o.group, &best.signature);
             let names = |set: &scope_optimizer::RuleSet| -> String {
-                let v: Vec<String> = set
-                    .iter()
-                    .map(|id| cat.rule(id).name.clone())
-                    .collect();
+                let v: Vec<String> = set.iter().map(|id| cat.rule(id).name.clone()).collect();
                 if v.len() > 4 {
                     format!("{}, +{} more rules", v[..3].join(", "), v.len() - 3)
                 } else if v.is_empty() {
@@ -60,7 +60,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Job", "Runtime %change", "Rules only in default plan", "Rules only in best plan"],
+            &[
+                "Job",
+                "Runtime %change",
+                "Rules only in default plan",
+                "Rules only in best plan"
+            ],
             &rows
         )
     );

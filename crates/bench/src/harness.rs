@@ -1,7 +1,6 @@
 //! Shared experiment plumbing: compiled-and-executed days, parallel
 //! fan-out, and the default experiment-scale pipeline parameters.
 
-use crossbeam::thread;
 use scope_exec::{ABTester, RunMetrics};
 use scope_ir::Job;
 use scope_optimizer::{compile_job, CompiledPlan, RuleConfig};
@@ -23,44 +22,83 @@ pub fn workload(tag: WorkloadTag, scale: f64) -> Workload {
     Workload::generate(WorkloadProfile::for_tag(tag, scale))
 }
 
-/// Compile and execute one day under the default configuration, in
-/// parallel across available cores.
-pub fn compile_day(w: &Workload, day: u32, ab: &ABTester) -> Vec<CompiledJob> {
-    let jobs = w.day(day);
-    let default = RuleConfig::default_config();
+/// Fan `items` out over available cores in contiguous chunks and collect
+/// each chunk's mapped results in order. A chunk whose worker panics is
+/// logged (with `describe` applied to its items) and dropped — the other
+/// chunks' results survive, so one poisoned job cannot abort a whole
+/// experiment.
+pub fn run_chunked<T, U, F, D>(items: &[T], map: F, describe: D) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Option<U> + Sync,
+    D: Fn(&T) -> String,
+{
     let n_threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    let chunks: Vec<&[Job]> = jobs.chunks(jobs.len().div_ceil(n_threads).max(1)).collect();
-    let mut out: Vec<CompiledJob> = Vec::with_capacity(jobs.len());
-    thread::scope(|s| {
+        .unwrap_or(4);
+    run_chunked_on(items, n_threads, map, describe)
+}
+
+/// [`run_chunked`] with an explicit worker count (exposed for tests, which
+/// must not depend on the machine's core count).
+pub fn run_chunked_on<T, U, F, D>(items: &[T], n_threads: usize, map: F, describe: D) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Option<U> + Sync,
+    D: Fn(&T) -> String,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let n_threads = n_threads.clamp(1, items.len());
+    let chunks: Vec<&[T]> = items.chunks(items.len().div_ceil(n_threads)).collect();
+    let mut out: Vec<U> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
-                let default = &default;
-                s.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .filter_map(|job| {
-                            let compiled = compile_job(job, default).ok()?;
-                            let metrics = ab.run(job, &compiled.plan, 0);
-                            Some(CompiledJob {
-                                job: job.clone(),
-                                compiled,
-                                metrics,
-                            })
-                        })
-                        .collect::<Vec<_>>()
-                })
+                let map = &map;
+                s.spawn(move || chunk.iter().filter_map(map).collect::<Vec<_>>())
             })
             .collect();
-        for h in handles {
-            out.extend(h.join().expect("worker panicked"));
+        for (handle, chunk) in handles.into_iter().zip(&chunks) {
+            match handle.join() {
+                Ok(results) => out.extend(results),
+                Err(_) => {
+                    let affected: Vec<String> = chunk.iter().map(&describe).collect();
+                    eprintln!(
+                        "warning: a worker panicked; dropping its chunk of {} items: [{}]",
+                        chunk.len(),
+                        affected.join(", ")
+                    );
+                }
+            }
         }
-    })
-    .expect("scoped threads");
+    });
     out
+}
+
+/// Compile and execute one day under the default configuration, in
+/// parallel across available cores. Jobs in a chunk whose worker panics
+/// are logged and skipped rather than aborting the experiment.
+pub fn compile_day(w: &Workload, day: u32, ab: &ABTester) -> Vec<CompiledJob> {
+    let jobs = w.day(day);
+    let default = RuleConfig::default_config();
+    run_chunked(
+        &jobs,
+        |job| {
+            let compiled = compile_job(job, &default).ok()?;
+            let metrics = ab.run(job, &compiled.plan, 0);
+            Some(CompiledJob {
+                job: job.clone(),
+                compiled,
+                metrics,
+            })
+        },
+        |job| format!("job {}", job.id.0),
+    )
 }
 
 /// Pipeline parameters scaled for experiment runs: candidate counts shrink
@@ -112,5 +150,39 @@ mod tests {
     fn params_scale_with_workload_scale() {
         assert_eq!(pipeline_params(1.0).m_candidates, 1000);
         assert_eq!(pipeline_params(0.1).m_candidates, 100);
+    }
+
+    #[test]
+    fn run_chunked_survives_a_panicking_worker() {
+        // Many items → many chunks; a panic on one item loses only its own
+        // chunk, never the whole run.
+        let items: Vec<u32> = (0..64).collect();
+        let out = run_chunked_on(
+            &items,
+            8,
+            |&i| {
+                if i == 13 {
+                    panic!("poisoned item");
+                }
+                Some(i * 2)
+            },
+            |&i| format!("item {i}"),
+        );
+        assert!(!out.is_empty(), "surviving chunks must be kept");
+        assert!(out.len() < items.len(), "the poisoned chunk is dropped");
+        assert!(out.iter().all(|&v| v % 2 == 0));
+        assert!(
+            !out.contains(&26),
+            "results from the poisoned chunk are gone"
+        );
+    }
+
+    #[test]
+    fn run_chunked_handles_empty_and_filtered_input() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_chunked(&empty, |&i| Some(i), |i| i.to_string()).is_empty());
+        let items = [1u32, 2, 3, 4];
+        let odd_only = run_chunked(&items, |&i| (i % 2 == 1).then_some(i), |i| i.to_string());
+        assert_eq!(odd_only, vec![1, 3]);
     }
 }

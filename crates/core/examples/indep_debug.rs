@@ -20,17 +20,40 @@ fn main() {
     cat.add_table(800_000, 80, 22, vec![k1, b]);
     let mut g = PlanGraph::new();
     let s0 = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
-    let f = g.add_unchecked(LogicalOp::Select { predicate: Predicate::atom(PredAtom::unknown(a, CmpOp::Eq, Literal::Int(7))) }, vec![s0]);
+    let f = g.add_unchecked(
+        LogicalOp::Select {
+            predicate: Predicate::atom(PredAtom::unknown(a, CmpOp::Eq, Literal::Int(7))),
+        },
+        vec![s0],
+    );
     let s1 = g.add_unchecked(LogicalOp::Get { table: TableId(1) }, vec![]);
-    let j = g.add_unchecked(LogicalOp::Join { kind: JoinKind::Inner, keys: vec![(k0, k1)] }, vec![f, s1]);
-    let agg = g.add_unchecked(LogicalOp::GroupBy { keys: vec![b], aggs: vec![AggFunc::Count], partial: false }, vec![j]);
+    let j = g.add_unchecked(
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            keys: vec![(k0, k1)],
+        },
+        vec![f, s1],
+    );
+    let agg = g.add_unchecked(
+        LogicalOp::GroupBy {
+            keys: vec![b],
+            aggs: vec![AggFunc::Count],
+            partial: false,
+        },
+        vec![j],
+    );
     let o = g.add_unchecked(LogicalOp::Output { stream: 99 }, vec![agg]);
     g.set_root(o);
     let obs = cat.observe();
     let span = approximate_span(&g, &obs);
     let groups = discover_independent_groups(&g, &obs, &span, 500);
     let catg = RuleCatalog::global();
-    println!("span {} rules, {} groups, {} compiles", span.len(), groups.groups.len(), groups.compiles);
+    println!(
+        "span {} rules, {} groups, {} compiles",
+        span.len(),
+        groups.groups.len(),
+        groups.compiles
+    );
     for grp in &groups.groups {
         let names: Vec<_> = grp.iter().map(|id| catg.rule(id).name.clone()).collect();
         println!("  [{}]", names.join(", "));

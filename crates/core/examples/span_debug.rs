@@ -20,10 +20,28 @@ fn main() {
     cat.add_table(800_000, 80, 22, vec![k1, b]);
     let mut g = PlanGraph::new();
     let s0 = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
-    let f = g.add_unchecked(LogicalOp::Select { predicate: Predicate::atom(PredAtom::unknown(a, CmpOp::Eq, Literal::Int(7))) }, vec![s0]);
+    let f = g.add_unchecked(
+        LogicalOp::Select {
+            predicate: Predicate::atom(PredAtom::unknown(a, CmpOp::Eq, Literal::Int(7))),
+        },
+        vec![s0],
+    );
     let s1 = g.add_unchecked(LogicalOp::Get { table: TableId(1) }, vec![]);
-    let j = g.add_unchecked(LogicalOp::Join { kind: JoinKind::Inner, keys: vec![(k0, k1)] }, vec![f, s1]);
-    let agg = g.add_unchecked(LogicalOp::GroupBy { keys: vec![b], aggs: vec![AggFunc::Count], partial: false }, vec![j]);
+    let j = g.add_unchecked(
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            keys: vec![(k0, k1)],
+        },
+        vec![f, s1],
+    );
+    let agg = g.add_unchecked(
+        LogicalOp::GroupBy {
+            keys: vec![b],
+            aggs: vec![AggFunc::Count],
+            partial: false,
+        },
+        vec![j],
+    );
     let o = g.add_unchecked(LogicalOp::Output { stream: 99 }, vec![agg]);
     g.set_root(o);
     let obs = cat.observe();
@@ -32,10 +50,19 @@ fn main() {
     let full = RuleConfig::from_enabled(catg.non_required());
     let c = compile(&g, &obs, &full).unwrap();
     println!("full-config signature:");
-    for id in c.signature.on_rules() { println!("  {} [{:?}]", catg.rule(id).name, catg.rule(id).category); }
+    for id in c.signature.on_rules() {
+        println!("  {} [{:?}]", catg.rule(id).name, catg.rule(id).category);
+    }
     println!("plan:\n{}", c.plan.render());
 
     let span = approximate_span(&g, &obs);
-    println!("span ({} rules, {} iters, fail={}):", span.len(), span.iterations, span.hit_compile_failure);
-    for id in span.rules.iter() { println!("  {} [{:?}]", catg.rule(id).name, catg.rule(id).category); }
+    println!(
+        "span ({} rules, {} iters, fail={}):",
+        span.len(),
+        span.iterations,
+        span.hit_compile_failure
+    );
+    for id in span.rules.iter() {
+        println!("  {} [{:?}]", catg.rule(id).name, catg.rule(id).category);
+    }
 }

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use scope_exec::ABTester;
+use scope_exec::{ABTester, JobOutcome as ExecOutcome, RetryPolicy, RunMetrics};
 use scope_ir::stats::{mean, pct_change};
 use scope_ir::Job;
 use scope_optimizer::{compile_job, RuleConfig, RuleSet};
@@ -33,6 +33,9 @@ pub struct ValidationRecord {
     pub jobs: usize,
     pub improved: usize,
     pub mean_change_pct: f64,
+    /// Steered validation runs that failed or timed out this day. These
+    /// are first-class evidence against the hint, not missing data.
+    pub failures: usize,
 }
 
 /// A stored hint for one job group.
@@ -46,6 +49,9 @@ pub struct StoredHint {
     pub discovered_day: u32,
     pub status: HintStatus,
     pub validations: Vec<ValidationRecord>,
+    /// Cumulative failed/timed-out steered validation runs across all
+    /// re-validation sweeps.
+    pub failed_validations: u32,
 }
 
 /// Outcome of a re-validation sweep.
@@ -55,12 +61,41 @@ pub struct RevalidationReport {
     pub groups_suspended: usize,
     pub jobs_executed: usize,
     pub mean_change_pct: f64,
+    /// Steered validation runs that failed or timed out this sweep.
+    pub failed_runs: usize,
+}
+
+/// One production-style run through the deployment guardrail.
+#[derive(Clone, Debug)]
+pub struct GuardrailRun {
+    /// Wall-clock/CPU/IO as the customer would observe them, including any
+    /// wasted steered attempt that had to be re-run on the default plan.
+    pub metrics: RunMetrics,
+    /// Whether a stored hint was applied to this job.
+    pub steered: bool,
+    /// Whether the steered run died and the default plan was re-run.
+    pub used_fallback: bool,
+    /// How the run that produced the output (steered or fallback) ended.
+    pub outcome: ExecOutcome,
 }
 
 /// The per-group hint store.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct HintStore {
     entries: HashMap<String, StoredHint>,
+    /// Suspend a hint once this many of its steered validation runs have
+    /// failed or timed out, regardless of the runtimes it produced when it
+    /// did finish.
+    pub max_validation_failures: u32,
+}
+
+impl Default for HintStore {
+    fn default() -> HintStore {
+        HintStore {
+            entries: HashMap::new(),
+            max_validation_failures: 3,
+        }
+    }
 }
 
 impl HintStore {
@@ -88,6 +123,7 @@ impl HintStore {
                         discovered_day: day,
                         status: HintStatus::Active,
                         validations: Vec::new(),
+                        failed_validations: 0,
                     },
                 );
             }
@@ -121,6 +157,12 @@ impl HintStore {
     /// default vs steered for each same-group job, record the outcome, and
     /// suspend hints whose mean change exceeds `regression_threshold_pct`
     /// (e.g. `2.0` = suspend when jobs get >2 % slower on average).
+    ///
+    /// Failed or timed-out *steered* runs count as evidence against the
+    /// hint: they accumulate in `failed_validations` and suspend it once
+    /// they reach [`Self::max_validation_failures`], even if the runs that
+    /// did finish looked fine. A failed *default* run says nothing about
+    /// the hint (the cluster was having a bad day), so the pair is skipped.
     pub fn revalidate(
         &mut self,
         jobs: &[Job],
@@ -150,6 +192,7 @@ impl HintStore {
             };
             report.groups_checked += 1;
             let mut changes = Vec::new();
+            let mut failures = 0usize;
             for job in group_jobs {
                 let Ok(default) = compile_job(job, &RuleConfig::default_config()) else {
                     continue;
@@ -157,29 +200,95 @@ impl HintStore {
                 let Ok(steered) = compile_job(job, &entry.config) else {
                     continue;
                 };
-                let dm = ab.run(job, &default.plan, 0);
-                let sm = ab.run(job, &steered.plan, 0);
-                changes.push(pct_change(dm.runtime, sm.runtime));
+                let sm = ab.run_outcome(job, &steered.plan, 0);
+                if !sm.outcome.is_success() {
+                    failures += 1;
+                    continue;
+                }
+                let dm = ab.run_outcome(job, &default.plan, 0);
+                if !dm.outcome.is_success() {
+                    continue; // no trustworthy baseline for this pair
+                }
+                changes.push(pct_change(dm.metrics.runtime, sm.metrics.runtime));
             }
-            if changes.is_empty() {
+            if changes.is_empty() && failures == 0 {
                 continue;
             }
-            report.jobs_executed += changes.len();
-            let mean_change = mean(&changes);
+            report.jobs_executed += changes.len() + failures;
+            report.failed_runs += failures;
+            entry.failed_validations += failures as u32;
+            let mean_change = if changes.is_empty() {
+                0.0
+            } else {
+                mean(&changes)
+            };
             entry.validations.push(ValidationRecord {
                 day,
-                jobs: changes.len(),
+                jobs: changes.len() + failures,
                 improved: changes.iter().filter(|&&c| c < 0.0).count(),
                 mean_change_pct: mean_change,
+                failures,
             });
+            let regressed = !changes.is_empty() && mean_change > regression_threshold_pct;
             all_changes.extend(changes);
-            if mean_change > regression_threshold_pct {
+            if regressed || entry.failed_validations >= self.max_validation_failures {
                 entry.status = HintStatus::Suspended;
                 report.groups_suspended += 1;
             }
         }
-        report.mean_change_pct = mean(&all_changes);
+        if !all_changes.is_empty() {
+            report.mean_change_pct = mean(&all_changes);
+        }
         report
+    }
+
+    /// Run one job the way a steered production cluster would (§3.3's
+    /// guardrail): apply the stored hint for the job's group when there is
+    /// one, and if the steered run fails or times out, fall back to the
+    /// default plan — a steering mishap must never lose the job. The
+    /// wasted steered attempt is billed to the reported metrics.
+    pub fn run_with_guardrail(
+        &self,
+        job: &Job,
+        ab: &ABTester,
+        policy: &RetryPolicy,
+    ) -> Option<GuardrailRun> {
+        let default = compile_job(job, &RuleConfig::default_config()).ok()?;
+        let steered_plan = self
+            .recommend(&default.signature)
+            .and_then(|cfg| compile_job(job, cfg).ok());
+
+        let Some(steered) = steered_plan else {
+            let run = ab.run_with_retry(job, &default.plan, 0, policy);
+            return Some(GuardrailRun {
+                metrics: run.metrics,
+                steered: false,
+                used_fallback: false,
+                outcome: run.outcome,
+            });
+        };
+
+        let run = ab.run_with_retry(job, &steered.plan, 0, policy);
+        if run.outcome.is_success() {
+            return Some(GuardrailRun {
+                metrics: run.metrics,
+                steered: true,
+                used_fallback: false,
+                outcome: run.outcome,
+            });
+        }
+        let fallback = ab.run_with_retry(job, &default.plan, 0, policy);
+        let metrics = RunMetrics {
+            runtime: fallback.metrics.runtime + run.metrics.runtime,
+            cpu_time: fallback.metrics.cpu_time + run.metrics.cpu_time,
+            io_time: fallback.metrics.io_time + run.metrics.io_time,
+        };
+        Some(GuardrailRun {
+            metrics,
+            steered: true,
+            used_fallback: true,
+            outcome: fallback.outcome,
+        })
     }
 
     /// Serialize to the plain-text hint format customers would check in:
@@ -251,6 +360,7 @@ impl HintStore {
                         HintStatus::Active
                     },
                     validations: Vec::new(),
+                    failed_validations: 0,
                 },
             );
         }
@@ -261,31 +371,14 @@ impl HintStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::groups::winning_configs;
-    use crate::pipeline::{Pipeline, PipelineParams};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use scope_optimizer::{RuleCatalog, RuleSignature};
-    use scope_workload::{Workload, WorkloadProfile};
+    use scope_workload::Workload;
 
     fn discovered_store() -> (HintStore, Workload, ABTester) {
-        let w = Workload::generate(WorkloadProfile::workload_a(0.05));
-        let ab = ABTester::new(5);
-        let pipeline = Pipeline::new(
-            ab.clone(),
-            PipelineParams {
-                m_candidates: 100,
-                execute_top_k: 5,
-                sample_frac: 1.0,
-                ..PipelineParams::default()
-            },
-        );
-        let mut rng = StdRng::seed_from_u64(4);
-        let report = pipeline.discover(&w.day(0), &mut rng);
-        let winners = winning_configs(&report.outcomes, 5.0);
+        let d = crate::testutil::discover_winners(5.0);
         let mut store = HintStore::new();
-        store.install(&winners, 0);
-        (store, w, ab)
+        store.install(&d.winners, 0);
+        (store, d.workload, d.ab)
     }
 
     #[test]
@@ -343,6 +436,67 @@ mod tests {
     }
 
     #[test]
+    fn failed_validations_suspend_a_hint() {
+        use scope_exec::FaultProfile;
+        let (mut store, w, ab) = discovered_store();
+        // Re-validate on a cluster where steered runs essentially always
+        // die; a single failure is enough to suspend.
+        store.max_validation_failures = 1;
+        let mut profile = FaultProfile::with_vertex_failures(1.0);
+        profile.max_retries = 0;
+        let faulty = ab.clone().with_faults(profile);
+        let report = store.revalidate(&w.day(1), &faulty, 1, 2.0);
+        assert!(report.failed_runs > 0, "steered runs should have failed");
+        assert!(report.groups_suspended > 0);
+        let suspended = store
+            .hints()
+            .filter(|h| h.status == HintStatus::Suspended)
+            .count();
+        assert_eq!(suspended, report.groups_suspended);
+        // The failure evidence is recorded on the hint itself.
+        assert!(store
+            .hints()
+            .any(|h| h.failed_validations > 0 && h.validations.iter().any(|v| v.failures > 0)));
+    }
+
+    #[test]
+    fn guardrail_falls_back_to_default_when_steering_dies() {
+        use scope_exec::{FaultProfile, RetryPolicy};
+        let (store, w, ab) = discovered_store();
+        let d1 = w.day(1);
+        let policy = RetryPolicy::no_retries();
+
+        // Fault-free: steered jobs run steered, nobody falls back.
+        let mut steered_jobs = 0;
+        for job in &d1 {
+            let run = store.run_with_guardrail(job, &ab, &policy).unwrap();
+            assert!(!run.used_fallback);
+            assert!(run.outcome.is_success());
+            assert!(run.metrics.is_valid());
+            if run.steered {
+                steered_jobs += 1;
+            }
+        }
+        assert!(steered_jobs > 0, "some next-day job should match a hint");
+
+        // Total steering breakdown: every steered run dies, yet every job
+        // still completes — on its default plan, with the wasted steered
+        // attempt billed.
+        let mut profile = FaultProfile::with_vertex_failures(1.0);
+        profile.max_retries = 0;
+        let faulty = ab.clone().with_faults(profile);
+        let mut fallbacks = 0;
+        for job in &d1 {
+            let run = store.run_with_guardrail(job, &faulty, &policy).unwrap();
+            assert!(run.metrics.is_valid());
+            if run.used_fallback {
+                fallbacks += 1;
+            }
+        }
+        assert!(fallbacks > 0, "steered runs should have fallen back");
+    }
+
+    #[test]
     fn install_keeps_best_per_group() {
         let cat = RuleCatalog::global();
         let group = RuleSignature(RuleSet::from_bit_string("101"));
@@ -357,7 +511,10 @@ mod tests {
             base_job: scope_ir::ids::JobId(1),
         };
         let mut store = HintStore::new();
-        store.install(&[mk(-20.0, "CollapseSelects"), mk(-60.0, "SelectOnJoin")], 0);
+        store.install(
+            &[mk(-20.0, "CollapseSelects"), mk(-60.0, "SelectOnJoin")],
+            0,
+        );
         assert_eq!(store.len(), 1);
         let hint = store.hints().next().unwrap();
         assert_eq!(hint.base_change_pct, -60.0);

@@ -149,9 +149,7 @@ pub fn discover_independent_groups(
                     let delta_i = xor(si, b);
                     let delta_j = xor(sj, b);
                     let delta_pair = xor(p, b);
-                    !delta_pair
-                        .difference(&delta_i.union(&delta_j))
-                        .is_empty()
+                    !delta_pair.difference(&delta_i.union(&delta_j)).is_empty()
                 }
                 // A compile failure appearing only under the pair (or only
                 // under a single) is itself an interaction.
@@ -167,7 +165,10 @@ pub fn discover_independent_groups(
     // Materialize groups.
     let mut by_root: std::collections::HashMap<usize, RuleSet> = std::collections::HashMap::new();
     for (idx, &r) in rules.iter().enumerate() {
-        by_root.entry(dsu.find(idx)).or_insert(RuleSet::EMPTY).insert(r);
+        by_root
+            .entry(dsu.find(idx))
+            .or_insert(RuleSet::EMPTY)
+            .insert(r);
     }
     let mut groups: Vec<RuleSet> = by_root.into_values().collect();
     groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
@@ -179,7 +180,7 @@ mod tests {
     use super::*;
     use crate::span::approximate_span;
     use scope_ir::expr::{CmpOp, Literal, PredAtom, Predicate};
-    use scope_ir::ids::{ColId, DomainId, TableId};
+    use scope_ir::ids::{DomainId, TableId};
     use scope_ir::ops::{AggFunc, JoinKind, LogicalOp};
     use scope_ir::TrueCatalog;
 
@@ -269,6 +270,9 @@ mod tests {
         for rule in span.rules.iter() {
             assert!(groups.group_of(rule).is_some());
         }
-        assert!(groups.group_of(RuleId(0)).is_none(), "required rule not in span");
+        assert!(
+            groups.group_of(RuleId(0)).is_none(),
+            "required rule not in span"
+        );
     }
 }

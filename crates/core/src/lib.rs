@@ -31,8 +31,13 @@ pub mod report;
 pub mod search;
 pub mod span;
 
-pub use deploy::{HintStatus, HintStore, RevalidationReport, StoredHint};
-pub use groups::{extrapolate, group_jobs, group_of, winning_configs, ExtrapolatedRun, GroupConfig};
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use deploy::{GuardrailRun, HintStatus, HintStore, RevalidationReport, StoredHint};
+pub use groups::{
+    extrapolate, group_jobs, group_of, winning_configs, ExtrapolatedRun, GroupConfig,
+};
 pub use independence::{discover_independent_groups, IndependentGroups};
 pub use minimize::{minimize_config, MinimizedConfig};
 pub use pipeline::{

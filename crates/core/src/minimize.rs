@@ -73,28 +73,15 @@ pub fn minimize_config(job: &Job, config: &RuleConfig) -> Option<MinimizedConfig
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{Pipeline, PipelineParams};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use scope_exec::{ABTester, Metric};
+    use scope_exec::Metric;
     use scope_workload::{Workload, WorkloadProfile};
 
     #[test]
     fn minimization_preserves_plan_and_shrinks_delta() {
-        let w = Workload::generate(WorkloadProfile::workload_a(0.05));
-        let jobs = w.day(0);
-        let pipeline = Pipeline::new(
-            ABTester::new(5),
-            PipelineParams {
-                m_candidates: 100,
-                execute_top_k: 5,
-                sample_frac: 1.0,
-                ..PipelineParams::default()
-            },
-        );
-        let mut rng = StdRng::seed_from_u64(4);
-        let report = pipeline.discover(&jobs, &mut rng);
-        let outcome = report
+        let d = crate::testutil::discover_winners(10.0);
+        let jobs = d.workload.day(0);
+        let outcome = d
+            .report
             .outcomes
             .iter()
             .find(|o| o.best_runtime_change_pct() < -10.0)

@@ -6,7 +6,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use scope_exec::{ABTester, Metric, RunMetrics};
+use scope_exec::{ABTester, FaultedRun, Metric, RetryPolicy, RunMetrics};
 use scope_ir::ids::{JobId, TemplateId};
 use scope_ir::stats::pct_change;
 use scope_ir::Job;
@@ -35,6 +35,10 @@ pub struct PipelineParams {
     /// `outlier_ratio * default_estimated_cost` (the optimizer expected the
     /// job to be several times faster than it was).
     pub outlier_ratio: f64,
+    /// Retry/timeout scheduling for every A/B trial the pipeline submits.
+    /// With no faults injected the policy never engages, so the default
+    /// keeps fault-free discovery bit-identical to the historical runs.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PipelineParams {
@@ -47,6 +51,7 @@ impl Default for PipelineParams {
             sample_frac: 0.5,
             cheaper_frac: 0.05,
             outlier_ratio: 4.0,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -84,18 +89,19 @@ pub struct JobOutcome {
     /// Candidates whose estimated cost undercut the default's (Figure 4).
     pub n_cheaper: usize,
     pub reason: SelectionReason,
+    /// Successfully executed alternatives. Candidates whose A/B trial
+    /// failed or timed out are discarded and counted in `n_failed`.
     pub executed: Vec<CandidateOutcome>,
+    /// Candidate trials that failed or timed out (after retries).
+    pub n_failed: usize,
 }
 
 impl JobOutcome {
     /// The executed alternative best on `metric` (ignoring the default).
     pub fn best_by(&self, metric: Metric) -> Option<&CandidateOutcome> {
-        self.executed.iter().min_by(|a, b| {
-            a.metrics
-                .get(metric)
-                .partial_cmp(&b.metrics.get(metric))
-                .expect("metrics are finite")
-        })
+        self.executed
+            .iter()
+            .min_by(|a, b| a.metrics.get(metric).total_cmp(&b.metrics.get(metric)))
     }
 
     /// Percentage change of the best alternative's runtime vs the default
@@ -136,6 +142,11 @@ pub struct DiscoveryReport {
     pub not_selected: usize,
     /// Jobs outside the runtime window.
     pub out_of_window: usize,
+    /// Jobs skipped because their *default* run failed or timed out: with
+    /// no trustworthy baseline there is nothing to compare against.
+    pub failed_defaults: usize,
+    /// Candidate trials discarded across all jobs (failed or timed out).
+    pub failed_candidates: usize,
 }
 
 impl DiscoveryReport {
@@ -162,20 +173,38 @@ impl Pipeline {
 
     /// Compile and A/B-execute a job's default plan.
     pub fn default_run(&self, job: &Job) -> Option<(CompiledPlan, RunMetrics)> {
-        let compiled = compile_job(job, &RuleConfig::default_config()).ok()?;
-        let metrics = self.ab.run(job, &compiled.plan, 0);
-        Some((compiled, metrics))
+        let (compiled, run) = self.default_run_outcome(job)?;
+        Some((compiled, run.metrics))
     }
 
-    /// Run the full discovery pipeline over one day's jobs.
+    /// Like [`Self::default_run`], but reports how the run ended so callers
+    /// can skip jobs whose baseline is untrustworthy.
+    pub fn default_run_outcome(&self, job: &Job) -> Option<(CompiledPlan, FaultedRun)> {
+        let compiled = compile_job(job, &RuleConfig::default_config()).ok()?;
+        let run = self
+            .ab
+            .run_with_retry(job, &compiled.plan, 0, &self.params.retry);
+        Some((compiled, run))
+    }
+
+    /// Run the full discovery pipeline over one day's jobs. Degrades
+    /// gracefully under injected faults: jobs whose default run dies are
+    /// skipped (counted in `failed_defaults`), failed candidate trials are
+    /// discarded (counted in `failed_candidates`), and no failure ever
+    /// panics the pipeline or leaks NaN into the rankings.
     pub fn discover<R: Rng + ?Sized>(&self, jobs: &[Job], rng: &mut R) -> DiscoveryReport {
         let mut report = DiscoveryReport::default();
         // Select jobs in the runtime window, then sample.
         let mut in_window: Vec<(&Job, CompiledPlan, RunMetrics)> = Vec::new();
         for job in jobs {
-            let Some((compiled, metrics)) = self.default_run(job) else {
+            let Some((compiled, run)) = self.default_run_outcome(job) else {
                 continue;
             };
+            if !run.outcome.is_success() {
+                report.failed_defaults += 1;
+                continue;
+            }
+            let metrics = run.metrics;
             if metrics.runtime < self.params.min_runtime_s
                 || metrics.runtime > self.params.max_runtime_s
             {
@@ -190,7 +219,10 @@ impl Pipeline {
 
         for (job, compiled, metrics) in in_window {
             match self.analyze_job(job, &compiled, metrics, rng) {
-                Some(outcome) => report.outcomes.push(outcome),
+                Some(outcome) => {
+                    report.failed_candidates += outcome.n_failed;
+                    report.outcomes.push(outcome);
+                }
                 None => report.not_selected += 1,
             }
         }
@@ -236,25 +268,26 @@ impl Pipeline {
             return None;
         };
 
-        // Execute the K cheapest alternatives.
-        recompiled.sort_by(|a, b| {
-            a.1.est_cost
-                .partial_cmp(&b.1.est_cost)
-                .expect("finite costs")
-        });
+        // Execute the K cheapest alternatives. Trials that fail or time
+        // out (after the retry policy gives up) are evidence against the
+        // candidate, not a reason to abort the job: discard and count.
+        recompiled.sort_by(|a, b| a.1.est_cost.total_cmp(&b.1.est_cost));
         recompiled.truncate(self.params.execute_top_k);
-        let executed = recompiled
-            .into_iter()
-            .map(|(config, c)| {
-                let metrics = self.ab.run(job, &c.plan, 0);
-                CandidateOutcome {
-                    config,
-                    est_cost: c.est_cost,
-                    signature: c.signature,
-                    metrics,
-                }
-            })
-            .collect();
+        let mut executed = Vec::new();
+        let mut n_failed = 0usize;
+        for (config, c) in recompiled {
+            let run = self.ab.run_with_retry(job, &c.plan, 0, &self.params.retry);
+            if !run.outcome.is_success() || !run.metrics.is_valid() {
+                n_failed += 1;
+                continue;
+            }
+            executed.push(CandidateOutcome {
+                config,
+                est_cost: c.est_cost,
+                signature: c.signature,
+                metrics: run.metrics,
+            });
+        }
 
         Some(JobOutcome {
             job_id: job.id,
@@ -268,6 +301,7 @@ impl Pipeline {
             n_cheaper,
             reason,
             executed,
+            n_failed,
         })
     }
 }
@@ -344,5 +378,85 @@ mod tests {
             .outcomes
             .iter()
             .any(|o| o.reason == SelectionReason::CheaperPlans));
+    }
+
+    #[test]
+    fn faultless_discovery_is_unchanged_by_the_fault_plumbing() {
+        let w = Workload::generate(WorkloadProfile::workload_a(0.06));
+        let jobs = w.day(0);
+        let p = pipeline();
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = p.discover(&jobs, &mut rng);
+        assert_eq!(report.failed_defaults, 0);
+        assert_eq!(report.failed_candidates, 0);
+        for o in &report.outcomes {
+            assert_eq!(o.n_failed, 0);
+        }
+    }
+
+    #[test]
+    fn discovery_survives_injected_faults_and_discards_failures() {
+        use scope_exec::FaultProfile;
+        let w = Workload::generate(WorkloadProfile::workload_a(0.06));
+        let jobs = w.day(0);
+        // A cluster bad enough that many trials die even after retries.
+        let mut profile = FaultProfile::with_vertex_failures(5e-3);
+        profile.max_retries = 1;
+        let ab = ABTester::new(11).with_faults(profile);
+        let p = Pipeline::new(
+            ab,
+            PipelineParams {
+                m_candidates: 120,
+                execute_top_k: 5,
+                sample_frac: 1.0,
+                retry: scope_exec::RetryPolicy::no_retries(),
+                ..PipelineParams::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        // The guarantee under test: no panic, no NaN, failures accounted.
+        let report = p.discover(&jobs, &mut rng);
+        let failed: usize = report.outcomes.iter().map(|o| o.n_failed).sum();
+        assert_eq!(report.failed_candidates, failed);
+        assert!(
+            report.failed_defaults > 0 || failed > 0,
+            "this fault rate should kill at least one trial"
+        );
+        for o in &report.outcomes {
+            for c in &o.executed {
+                assert!(c.metrics.is_valid());
+            }
+            // best_by must stay well-defined on whatever survived.
+            if !o.executed.is_empty() {
+                assert!(o.best_by(Metric::Runtime).is_some());
+                assert!(o.best_runtime_change_pct().is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_with_failing_defaults_are_skipped_not_analyzed() {
+        use scope_exec::FaultProfile;
+        let w = Workload::generate(WorkloadProfile::workload_a(0.06));
+        let jobs = w.day(0);
+        // Every attempt of every stage dies: no default baseline survives.
+        let mut profile = FaultProfile::with_vertex_failures(1.0);
+        profile.max_retries = 0;
+        let ab = ABTester::new(11).with_faults(profile);
+        let p = Pipeline::new(
+            ab,
+            PipelineParams {
+                sample_frac: 1.0,
+                retry: scope_exec::RetryPolicy::no_retries(),
+                ..PipelineParams::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = p.discover(&jobs, &mut rng);
+        assert!(report.failed_defaults > 0);
+        assert!(
+            report.outcomes.is_empty(),
+            "no job should survive a 100% vertex failure rate"
+        );
     }
 }

@@ -78,6 +78,7 @@ mod tests {
             n_candidates: 10,
             n_cheaper: 2,
             reason: SelectionReason::CheaperPlans,
+            n_failed: 0,
             executed: vec![CandidateOutcome {
                 config: RuleConfig::default_config(),
                 est_cost: 90.0,

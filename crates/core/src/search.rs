@@ -18,7 +18,11 @@ pub const DEFAULT_M: usize = 1000;
 
 /// Generate up to `m` unique candidate configurations for a job with the
 /// given span. The default configuration is *not* included.
-pub fn candidate_configs<R: Rng + ?Sized>(span: &JobSpan, m: usize, rng: &mut R) -> Vec<RuleConfig> {
+pub fn candidate_configs<R: Rng + ?Sized>(
+    span: &JobSpan,
+    m: usize,
+    rng: &mut R,
+) -> Vec<RuleConfig> {
     let by_category: Vec<RuleSet> = [
         RuleCategory::OffByDefault,
         RuleCategory::OnByDefault,

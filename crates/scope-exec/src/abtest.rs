@@ -13,7 +13,8 @@ use scope_ir::{Job, TrueCatalog};
 use scope_optimizer::{PhysOp, PhysPlan};
 
 use crate::cluster::ClusterConfig;
-use crate::simulate::{execute, execute_deterministic, RunMetrics};
+use crate::faults::{execute_with_faults, FaultProfile, FaultedRun, JobOutcome};
+use crate::simulate::{execute_deterministic, RunMetrics};
 
 /// Stable fingerprint of a physical plan's structure (used to seed
 /// per-plan noise so that re-running the same plan in the same trial is
@@ -34,12 +35,49 @@ pub fn plan_fingerprint(plan: &PhysPlan) -> u64 {
     h.finish()
 }
 
+/// How the A/B harness retries failed or timed-out trials.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Wait before the first re-attempt (seconds); doubles per attempt.
+    /// The wait is billed to the reported wall-clock runtime.
+    pub backoff_base_s: f64,
+    /// Per-trial wall-clock cap: a single attempt running past this is
+    /// treated as timed out (and retried, budget permitting).
+    pub trial_timeout_s: Option<f64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_s: 30.0,
+            trial_timeout_s: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never times out (one bare attempt).
+    pub fn no_retries() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_s: 0.0,
+            trial_timeout_s: None,
+        }
+    }
+}
+
 /// The pre-production A/B runner.
 #[derive(Clone, Debug)]
 pub struct ABTester {
     pub cluster: ClusterConfig,
     /// Base seed; combined with job, plan, and trial for noise.
     pub seed: u64,
+    /// Faults injected into every run ([`FaultProfile::none`] keeps the
+    /// harness bit-identical to the noise-only simulator).
+    pub faults: FaultProfile,
 }
 
 impl ABTester {
@@ -48,6 +86,7 @@ impl ABTester {
         ABTester {
             cluster: ClusterConfig::ab_testing(),
             seed,
+            faults: FaultProfile::none(),
         }
     }
 
@@ -56,7 +95,41 @@ impl ABTester {
         ABTester {
             cluster: ClusterConfig::noiseless(),
             seed,
+            faults: FaultProfile::none(),
         }
+    }
+
+    /// Same harness with faults injected into every run.
+    pub fn with_faults(mut self, faults: FaultProfile) -> ABTester {
+        self.faults = faults;
+        self
+    }
+
+    /// The per-run RNG: seeded from (base seed, job tag, plan fingerprint,
+    /// trial). The attempt index participates only for re-attempts, so
+    /// attempt 0 reproduces the historical single-attempt stream exactly.
+    fn rng_for(&self, tag: u64, fingerprint: u64, trial: u32, attempt: u32) -> StdRng {
+        let mut h = DefaultHasher::new();
+        self.seed.hash(&mut h);
+        tag.hash(&mut h);
+        fingerprint.hash(&mut h);
+        trial.hash(&mut h);
+        if attempt > 0 {
+            attempt.hash(&mut h);
+        }
+        StdRng::seed_from_u64(h.finish())
+    }
+
+    fn attempt(
+        &self,
+        tag: u64,
+        cat: &TrueCatalog,
+        plan: &PhysPlan,
+        trial: u32,
+        attempt: u32,
+    ) -> FaultedRun {
+        let mut rng = self.rng_for(tag, plan_fingerprint(plan), trial, attempt);
+        execute_with_faults(plan, cat, &self.cluster, &self.faults, &mut rng)
     }
 
     /// Re-execute `plan` for `job` (trial index distinguishes repeated
@@ -73,13 +146,80 @@ impl ABTester {
         plan: &PhysPlan,
         trial: u32,
     ) -> RunMetrics {
-        let mut h = DefaultHasher::new();
-        self.seed.hash(&mut h);
-        tag.hash(&mut h);
-        plan_fingerprint(plan).hash(&mut h);
-        trial.hash(&mut h);
-        let mut rng = StdRng::seed_from_u64(h.finish());
-        execute(plan, cat, &self.cluster, &mut rng)
+        self.attempt(tag, cat, plan, trial, 0).metrics
+    }
+
+    /// Like [`Self::run`], but also reports how the run ended. Callers
+    /// that rank configurations should discard non-successful runs.
+    pub fn run_outcome(&self, job: &Job, plan: &PhysPlan, trial: u32) -> FaultedRun {
+        self.run_outcome_with_catalog(job.id.0, &job.catalog, plan, trial)
+    }
+
+    /// [`Self::run_outcome`] with an explicit catalog.
+    pub fn run_outcome_with_catalog(
+        &self,
+        tag: u64,
+        cat: &TrueCatalog,
+        plan: &PhysPlan,
+        trial: u32,
+    ) -> FaultedRun {
+        self.attempt(tag, cat, plan, trial, 0)
+    }
+
+    /// Re-execute with retry-with-backoff scheduling: failed or timed-out
+    /// attempts are re-submitted (each with a fresh fault roll) up to the
+    /// policy's budget, and backoff waits are billed to the reported
+    /// runtime. Returns the first successful attempt, or the last failing
+    /// one when the budget runs out.
+    pub fn run_with_retry(
+        &self,
+        job: &Job,
+        plan: &PhysPlan,
+        trial: u32,
+        policy: &RetryPolicy,
+    ) -> FaultedRun {
+        self.run_with_retry_with_catalog(job.id.0, &job.catalog, plan, trial, policy)
+    }
+
+    /// [`Self::run_with_retry`] with an explicit catalog.
+    pub fn run_with_retry_with_catalog(
+        &self,
+        tag: u64,
+        cat: &TrueCatalog,
+        plan: &PhysPlan,
+        trial: u32,
+        policy: &RetryPolicy,
+    ) -> FaultedRun {
+        let attempts = policy.max_attempts.max(1);
+        // Wall time already burnt by earlier failed attempts and backoffs.
+        let mut elapsed_before = 0.0;
+        let mut last = None;
+        for attempt in 0..attempts {
+            let mut run = self.attempt(tag, cat, plan, trial, attempt);
+            if let Some(t) = policy.trial_timeout_s {
+                if run.metrics.runtime > t {
+                    let done_frac = (t / run.metrics.runtime).clamp(0.0, 1.0);
+                    run.metrics.runtime = t;
+                    run.metrics.cpu_time *= done_frac;
+                    run.metrics.io_time *= done_frac;
+                    run.outcome = JobOutcome::TimedOut;
+                }
+            }
+            let attempt_runtime = run.metrics.runtime;
+            run.metrics.runtime += elapsed_before;
+            if run.outcome.is_success() {
+                if attempt > 0 {
+                    let retries = run.outcome.retries() + attempt;
+                    run.outcome = JobOutcome::SuccessWithRetries { retries };
+                    run.retries += attempt;
+                }
+                return run;
+            }
+            elapsed_before += attempt_runtime
+                + policy.backoff_base_s.max(0.0) * f64::powi(2.0, attempt.min(6) as i32);
+            last = Some(run);
+        }
+        last.expect("max_attempts >= 1 always produces a run")
     }
 
     /// The noise-free ground truth for a plan.
@@ -190,5 +330,106 @@ mod tests {
         let a = ab.run_with_catalog(1, &cat, &plan, 0);
         let t = ab.run_true(&cat, &plan);
         assert_eq!(a, t);
+    }
+
+    #[test]
+    fn faultless_harness_is_bit_identical_to_noise_only() {
+        let (plan, cat) = tiny_plan();
+        let plain = ABTester::new(7);
+        let faulted = ABTester::new(7).with_faults(FaultProfile::none());
+        for trial in 0..5 {
+            assert_eq!(
+                plain.run_with_catalog(1, &cat, &plan, trial),
+                faulted.run_with_catalog(1, &cat, &plan, trial)
+            );
+        }
+        let run = faulted.run_outcome_with_catalog(1, &cat, &plan, 0);
+        assert_eq!(run.outcome, JobOutcome::Success);
+        assert_eq!(run.metrics, plain.run_with_catalog(1, &cat, &plan, 0));
+        assert_eq!(run.retries, 0);
+    }
+
+    #[test]
+    fn faulted_outcomes_are_deterministic_per_seed() {
+        let (plan, cat) = tiny_plan();
+        let ab = ABTester::new(7).with_faults(FaultProfile::heavy());
+        for trial in 0..10 {
+            let a = ab.run_outcome_with_catalog(1, &cat, &plan, trial);
+            let b = ab.run_outcome_with_catalog(1, &cat, &plan, trial);
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.retries, b.retries);
+            assert!(a.metrics.is_valid());
+        }
+    }
+
+    #[test]
+    fn job_timeout_clamps_runtime_and_reports_timed_out() {
+        let (plan, cat) = tiny_plan();
+        let base = ABTester::new(7).run_with_catalog(1, &cat, &plan, 0);
+        let cap = base.runtime / 2.0;
+        let ab = ABTester::new(7).with_faults(FaultProfile::none().with_timeout(cap));
+        let run = ab.run_outcome_with_catalog(1, &cat, &plan, 0);
+        assert_eq!(run.outcome, JobOutcome::TimedOut);
+        assert!((run.metrics.runtime - cap).abs() < 1e-9);
+        assert!(run.metrics.is_valid());
+    }
+
+    #[test]
+    fn trial_timeout_in_policy_retries_then_gives_up() {
+        let (plan, cat) = tiny_plan();
+        let ab = ABTester::new(7);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff_base_s: 10.0,
+            trial_timeout_s: Some(1e-3), // nothing finishes this fast
+        };
+        let run = ab.run_with_retry_with_catalog(1, &cat, &plan, 0, &policy);
+        assert_eq!(run.outcome, JobOutcome::TimedOut);
+        // Two failed attempts (1e-3 each) plus their backoffs (10 + 20)
+        // precede the final capped attempt.
+        assert!((run.metrics.runtime - (30.0 + 3e-3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn retries_rescue_flaky_runs() {
+        let (plan, cat) = tiny_plan();
+        // A very flaky cluster with no in-run retry budget: individual
+        // attempts often fail outright.
+        let mut profile = FaultProfile::with_vertex_failures(0.5);
+        profile.max_retries = 0;
+        let ab = ABTester::new(7).with_faults(profile);
+        let bare = RetryPolicy::no_retries();
+        let patient = RetryPolicy {
+            max_attempts: 5,
+            backoff_base_s: 1.0,
+            trial_timeout_s: None,
+        };
+        let trials = 40;
+        let bare_ok = (0..trials)
+            .filter(|&t| {
+                ab.run_with_retry_with_catalog(1, &cat, &plan, t, &bare)
+                    .outcome
+                    .is_success()
+            })
+            .count();
+        let patient_ok = (0..trials)
+            .filter(|&t| {
+                ab.run_with_retry_with_catalog(1, &cat, &plan, t, &patient)
+                    .outcome
+                    .is_success()
+            })
+            .count();
+        assert!(
+            patient_ok > bare_ok,
+            "retries must rescue some trials: {patient_ok} vs {bare_ok}"
+        );
+        // A rescued run reports the attempts it consumed.
+        let rescued = (0..trials)
+            .map(|t| ab.run_with_retry_with_catalog(1, &cat, &plan, t, &patient))
+            .find(|r| matches!(r.outcome, JobOutcome::SuccessWithRetries { .. }));
+        if let Some(r) = rescued {
+            assert!(r.outcome.retries() > 0);
+        }
     }
 }

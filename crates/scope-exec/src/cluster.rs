@@ -45,6 +45,12 @@ impl ClusterConfig {
         self.noise_sigma_long
             + self.noise_sigma_short * (-runtime_s / self.noise_decay_s.max(1.0)).exp()
     }
+
+    /// Vertex waves a stage of the given parallelism needs under this
+    /// cluster's token limit.
+    pub fn waves_for(&self, dop: u32) -> f64 {
+        crate::simulate::waves_for_tokens(dop, self.tokens)
+    }
 }
 
 impl Default for ClusterConfig {
@@ -74,5 +80,14 @@ mod tests {
     fn noiseless_cluster_has_zero_sigma() {
         let c = ClusterConfig::noiseless();
         assert_eq!(c.sigma_for_runtime(10.0), 0.0);
+    }
+
+    #[test]
+    fn wave_counts_follow_token_limit() {
+        let c = ClusterConfig::ab_testing();
+        assert_eq!(c.waves_for(1), 1.0);
+        assert_eq!(c.waves_for(50), 1.0);
+        assert_eq!(c.waves_for(51), 2.0);
+        assert_eq!(c.waves_for(500), 10.0);
     }
 }

@@ -73,12 +73,7 @@ impl ExecutionTrace {
     /// Nodes sorted by elapsed contribution, hottest first.
     pub fn hottest_nodes(&self, n: usize) -> Vec<&NodeReport> {
         let mut refs: Vec<&NodeReport> = self.nodes.iter().collect();
-        refs.sort_by(|a, b| {
-            b.work
-                .elapsed
-                .partial_cmp(&a.work.elapsed)
-                .expect("finite")
-        });
+        refs.sort_by(|a, b| b.work.elapsed.partial_cmp(&a.work.elapsed).expect("finite"));
         refs.truncate(n);
         refs
     }
@@ -89,7 +84,17 @@ impl ExecutionTrace {
         let _ = writeln!(
             out,
             "{:>4} {:>5} {:<14} {:>12} {:>12} {:>8} {:>9} {:>9} {:>9} {:>8} {:>5}",
-            "node", "stage", "op", "est rows", "true rows", "q-err", "cpu s", "io s", "elapsed", "share", "dop"
+            "node",
+            "stage",
+            "op",
+            "est rows",
+            "true rows",
+            "q-err",
+            "cpu s",
+            "io s",
+            "elapsed",
+            "share",
+            "dop"
         );
         for r in &self.nodes {
             let _ = writeln!(
@@ -126,8 +131,7 @@ pub fn explain(plan: &PhysPlan, cat: &TrueCatalog, cluster: &ClusterConfig) -> E
     let mut works = vec![NodeWork::default(); plan.len()];
     for id in plan.reachable() {
         let node = plan.node(id);
-        let children: Vec<&NodeTruth> =
-            node.children.iter().map(|c| &truths[c.index()]).collect();
+        let children: Vec<&NodeTruth> = node.children.iter().map(|c| &truths[c.index()]).collect();
         works[id.index()] = node_work(&node.op, &truths[id.index()], &children, cat, cluster);
     }
     let stages = build_stages(plan, &truths, &works);
@@ -196,7 +200,12 @@ mod tests {
         cat.add_table(50_000_000, 120, 11, vec![k0, a]);
         cat.add_table(800_000, 80, 22, vec![k1, b]);
         let mut g = PlanGraph::new();
-        let s0 = g.add_unchecked(LogicalOp::Get { table: scope_ir::ids::TableId(0) }, vec![]);
+        let s0 = g.add_unchecked(
+            LogicalOp::Get {
+                table: scope_ir::ids::TableId(0),
+            },
+            vec![],
+        );
         let f = g.add_unchecked(
             LogicalOp::Select {
                 predicate: Predicate::atom(PredAtom {
@@ -208,7 +217,12 @@ mod tests {
             },
             vec![s0],
         );
-        let s1 = g.add_unchecked(LogicalOp::Get { table: scope_ir::ids::TableId(1) }, vec![]);
+        let s1 = g.add_unchecked(
+            LogicalOp::Get {
+                table: scope_ir::ids::TableId(1),
+            },
+            vec![],
+        );
         let j = g.add_unchecked(
             LogicalOp::Join {
                 kind: JoinKind::Inner,

@@ -1,0 +1,498 @@
+//! Seeded, deterministic fault injection for the cluster simulator.
+//!
+//! Production SCOPE clusters lose vertices to transient machine failures,
+//! grow stragglers on hot or degraded nodes, and occasionally have whole
+//! stages preempted when capacity is reclaimed. The paper's steering
+//! pipeline has to survive all of that: a candidate configuration whose
+//! A/B trial dies is *evidence to discard*, not a panic, and a steered
+//! production run that fails falls back to the default plan (§3.3's
+//! guardrail). This module injects those failure modes into the simulator
+//! in a seeded, reproducible way:
+//!
+//! * [`FaultProfile`] — per-run fault rates: transient per-vertex failure
+//!   probability, straggler probability and slowdown, stage preemption,
+//!   retry budget with exponential backoff, and an optional job timeout.
+//! * [`JobOutcome`] — what happened: clean success, success after retries,
+//!   retry-budget exhaustion, or timeout.
+//! * [`execute_with_faults`] — the faulted twin of
+//!   [`execute`](crate::simulate::execute). With [`FaultProfile::none`] it
+//!   delegates to the noise-only simulator and is bit-identical to it.
+//!
+//! Failed vertices force their stage to re-run: retries consume a shared
+//! job-level budget, add exponential backoff to the critical path, and
+//! inflate CPU/IO by the re-executed work. Stragglers stretch a stage's
+//! wall time; with speculative execution enabled the scheduler launches a
+//! backup copy, capping the stretch but duplicating the stage's work.
+
+use rand::Rng;
+
+use scope_ir::stats::lognormal;
+use scope_ir::TrueCatalog;
+use scope_optimizer::PhysPlan;
+
+use crate::cluster::ClusterConfig;
+use crate::simulate::{
+    build_stages, execute, waves_for_tokens, RunMetrics, StageGraph, STAGE_OVERHEAD_S,
+    WAVE_OVERHEAD_S,
+};
+use crate::truth::{replay, NodeTruth};
+use crate::work::{node_work, NodeWork};
+
+/// Speculative execution caps a straggling stage's stretch at this factor
+/// (the backup copy usually finishes first).
+const SPECULATION_CAP: f64 = 1.5;
+/// Exponential backoff stops doubling after this many retries.
+const BACKOFF_DOUBLING_CAP: u32 = 6;
+
+/// Fault rates applied to one simulated run. All probabilities are per
+/// stage *attempt*; vertex failures compound with the stage's parallelism.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultProfile {
+    /// Probability that a single vertex attempt fails transiently. A stage
+    /// with `dop` vertices fails with probability `1 - (1-p)^dop`.
+    pub vertex_failure_prob: f64,
+    /// Probability that a stage attempt grows a straggler.
+    pub straggler_prob: f64,
+    /// Wall-time multiplier for a straggling stage attempt (≥ 1).
+    pub straggler_slowdown: f64,
+    /// Probability that a stage attempt is preempted by capacity reclaim
+    /// (kills the whole attempt, like a failure).
+    pub preemption_prob: f64,
+    /// Job-level retry budget shared across all stages.
+    pub max_retries: u32,
+    /// Backoff before the first retry (seconds); doubles per retry.
+    pub backoff_base_s: f64,
+    /// Launch backup copies for stragglers (caps the stretch, duplicates
+    /// the stage's work).
+    pub speculative_execution: bool,
+    /// Job-level wall-clock timeout in seconds.
+    pub timeout_s: Option<f64>,
+}
+
+impl FaultProfile {
+    /// No faults at all. [`execute_with_faults`] with this profile is
+    /// bit-identical to the noise-only simulator.
+    pub fn none() -> FaultProfile {
+        FaultProfile {
+            vertex_failure_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_slowdown: 1.0,
+            preemption_prob: 0.0,
+            max_retries: 3,
+            backoff_base_s: 5.0,
+            speculative_execution: true,
+            timeout_s: None,
+        }
+    }
+
+    /// A mildly unhealthy cluster: rare vertex failures, occasional
+    /// stragglers.
+    pub fn light() -> FaultProfile {
+        FaultProfile {
+            vertex_failure_prob: 2e-4,
+            straggler_prob: 0.02,
+            straggler_slowdown: 2.5,
+            preemption_prob: 0.002,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// A bad day: frequent vertex failures, common stragglers, real
+    /// preemption pressure.
+    pub fn heavy() -> FaultProfile {
+        FaultProfile {
+            vertex_failure_prob: 2e-3,
+            straggler_prob: 0.10,
+            straggler_slowdown: 4.0,
+            preemption_prob: 0.01,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// A profile that only injects transient vertex failures at `p` (used
+    /// by the fault-sweep experiment).
+    pub fn with_vertex_failures(p: f64) -> FaultProfile {
+        FaultProfile {
+            vertex_failure_prob: p,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Same profile with a job-level timeout.
+    pub fn with_timeout(mut self, timeout_s: f64) -> FaultProfile {
+        self.timeout_s = Some(timeout_s);
+        self
+    }
+
+    /// True when the profile cannot change an execution in any way.
+    pub fn is_none(&self) -> bool {
+        self.vertex_failure_prob <= 0.0
+            && self.straggler_prob <= 0.0
+            && self.preemption_prob <= 0.0
+            && self.timeout_s.is_none()
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::none()
+    }
+}
+
+/// How a simulated job run ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome {
+    /// Finished with no faults observed.
+    Success,
+    /// Finished, but some stages had to be re-run.
+    SuccessWithRetries { retries: u32 },
+    /// The retry budget ran out before the job completed.
+    Failed { reason: String },
+    /// The job exceeded its wall-clock timeout.
+    TimedOut,
+}
+
+impl JobOutcome {
+    /// Whether the job produced its output.
+    pub fn is_success(&self) -> bool {
+        matches!(
+            self,
+            JobOutcome::Success | JobOutcome::SuccessWithRetries { .. }
+        )
+    }
+
+    /// Retries consumed (0 unless `SuccessWithRetries`).
+    pub fn retries(&self) -> u32 {
+        match self {
+            JobOutcome::SuccessWithRetries { retries } => *retries,
+            _ => 0,
+        }
+    }
+}
+
+/// One faulted execution: metrics plus how the run ended.
+#[derive(Clone, Debug)]
+pub struct FaultedRun {
+    /// For failed/timed-out runs these are the *partial* metrics up to the
+    /// abort point — still finite and non-negative, never NaN.
+    pub metrics: RunMetrics,
+    pub outcome: JobOutcome,
+    /// Stage re-executions consumed from the retry budget.
+    pub retries: u32,
+    /// Speculative backup copies launched for stragglers.
+    pub speculative_copies: u32,
+}
+
+/// Fault accounting for one pass over the stage graph.
+struct Schedule {
+    runtime: f64,
+    /// Stage-elapsed seconds that were executed more than once (retried
+    /// fractions, speculative copies). Inflates CPU and IO.
+    rework_elapsed: f64,
+    /// Fault-free stage-elapsed seconds (denominator for the rework
+    /// fraction).
+    clean_elapsed: f64,
+    retries: u32,
+    speculative_copies: u32,
+    /// Stage index where the retry budget ran out, if any.
+    failed_at: Option<usize>,
+}
+
+/// Walk the stage graph in topological order, rolling faults per stage
+/// attempt. Failures and preemptions kill the attempt partway through and
+/// consume the shared retry budget (plus exponential backoff); stragglers
+/// stretch the attempt, capped when speculative execution is on.
+fn schedule_with_faults<R: Rng + ?Sized>(
+    stages: &StageGraph,
+    tokens: u32,
+    profile: &FaultProfile,
+    rng: &mut R,
+) -> Schedule {
+    let n = stages.stages.len();
+    let mut finish = vec![0.0_f64; n];
+    let mut sched = Schedule {
+        runtime: STAGE_OVERHEAD_S,
+        rework_elapsed: 0.0,
+        clean_elapsed: 0.0,
+        retries: 0,
+        speculative_copies: 0,
+        failed_at: None,
+    };
+    let mut retries_left = profile.max_retries;
+
+    for (i, stage) in stages.stages.iter().enumerate() {
+        let start = stage
+            .deps
+            .iter()
+            .map(|&d| finish[d])
+            .fold(0.0_f64, f64::max);
+        let waves = waves_for_tokens(stage.dop, tokens);
+        let clean = stage.elapsed * waves + STAGE_OVERHEAD_S + WAVE_OVERHEAD_S * waves;
+        sched.clean_elapsed += stage.elapsed;
+
+        // A stage attempt dies when any of its vertices fails transiently
+        // (compounding with parallelism) or the attempt is preempted.
+        let p_vertex_escalated = if profile.vertex_failure_prob > 0.0 {
+            1.0 - (1.0 - profile.vertex_failure_prob.min(1.0)).powi(stage.dop.max(1) as i32)
+        } else {
+            0.0
+        };
+        let p_attempt_dies = (p_vertex_escalated + profile.preemption_prob).clamp(0.0, 0.95);
+
+        let mut time = 0.0;
+        loop {
+            let mut attempt_time = clean;
+            if profile.straggler_prob > 0.0 && rng.gen_bool(profile.straggler_prob.min(1.0)) {
+                let slow = profile.straggler_slowdown.max(1.0);
+                if profile.speculative_execution {
+                    attempt_time = clean * slow.min(SPECULATION_CAP);
+                    sched.speculative_copies += 1;
+                    // The backup duplicates the straggling stage's work.
+                    sched.rework_elapsed += stage.elapsed;
+                } else {
+                    attempt_time = clean * slow;
+                }
+            }
+            if p_attempt_dies > 0.0 && rng.gen_bool(p_attempt_dies) {
+                // The attempt dies partway through; its work is wasted.
+                let done_frac: f64 = rng.gen_range(0.1..0.9);
+                time += attempt_time * done_frac;
+                sched.rework_elapsed += stage.elapsed * done_frac;
+                if retries_left == 0 {
+                    finish[i] = start + time;
+                    sched.failed_at = Some(i);
+                    sched.runtime = finish[i];
+                    return sched;
+                }
+                retries_left -= 1;
+                sched.retries += 1;
+                let doubling = (sched.retries - 1).min(BACKOFF_DOUBLING_CAP);
+                time += profile.backoff_base_s.max(0.0) * f64::powi(2.0, doubling as i32);
+                continue;
+            }
+            time += attempt_time;
+            break;
+        }
+        finish[i] = start + time;
+    }
+
+    sched.runtime = finish
+        .get(stages.root_stage)
+        .copied()
+        .unwrap_or(STAGE_OVERHEAD_S);
+    sched
+}
+
+/// Execute a plan under a fault profile. With [`FaultProfile::none`] this
+/// is bit-identical to [`execute`](crate::simulate::execute) (same RNG
+/// stream, same metrics); otherwise faults are rolled deterministically
+/// from `rng`, so a fixed seed gives a fixed outcome.
+pub fn execute_with_faults<R: Rng + ?Sized>(
+    plan: &PhysPlan,
+    cat: &TrueCatalog,
+    cluster: &ClusterConfig,
+    profile: &FaultProfile,
+    rng: &mut R,
+) -> FaultedRun {
+    if profile.is_none() {
+        let metrics = execute(plan, cat, cluster, rng);
+        return FaultedRun {
+            metrics,
+            outcome: JobOutcome::Success,
+            retries: 0,
+            speculative_copies: 0,
+        };
+    }
+
+    let truths = replay(plan, cat);
+    let mut works = vec![NodeWork::default(); plan.len()];
+    for id in plan.reachable() {
+        let node = plan.node(id);
+        let children: Vec<&NodeTruth> = node.children.iter().map(|c| &truths[c.index()]).collect();
+        works[id.index()] = node_work(&node.op, &truths[id.index()], &children, cat, cluster);
+    }
+    let stages = build_stages(plan, &truths, &works);
+    let sched = schedule_with_faults(&stages, cluster.tokens, profile, rng);
+
+    let mut cpu = 0.0;
+    let mut io = 0.0;
+    for id in plan.reachable() {
+        cpu += works[id.index()].cpu;
+        io += works[id.index()].io + works[id.index()].net;
+    }
+    // Re-executed work burns CPU and re-reads inputs proportionally.
+    let rework_frac = if sched.clean_elapsed > 0.0 {
+        sched.rework_elapsed / sched.clean_elapsed
+    } else {
+        0.0
+    };
+    cpu *= 1.0 + rework_frac;
+    io *= 1.0 + rework_frac;
+
+    // The same mean-one lognormal cluster noise as the fault-free path.
+    let sigma = cluster.sigma_for_runtime(sched.runtime);
+    let mut metrics = if sigma == 0.0 {
+        RunMetrics {
+            runtime: sched.runtime,
+            cpu_time: cpu,
+            io_time: io,
+        }
+    } else {
+        let mut mean_one = |s: f64| lognormal(rng, -s * s / 2.0, s);
+        RunMetrics {
+            runtime: sched.runtime * mean_one(sigma),
+            cpu_time: cpu * mean_one(sigma * 0.5),
+            io_time: io * mean_one(sigma * 0.5),
+        }
+    };
+
+    let outcome = if let Some(stage) = sched.failed_at {
+        JobOutcome::Failed {
+            reason: format!(
+                "retry budget ({}) exhausted at stage {stage}",
+                profile.max_retries
+            ),
+        }
+    } else if matches!(profile.timeout_s, Some(t) if metrics.runtime > t) {
+        // The job is killed at the deadline; work done up to it is billed.
+        let t = profile.timeout_s.unwrap();
+        let done_frac = (t / metrics.runtime).clamp(0.0, 1.0);
+        metrics.runtime = t;
+        metrics.cpu_time *= done_frac;
+        metrics.io_time *= done_frac;
+        JobOutcome::TimedOut
+    } else if sched.retries > 0 {
+        JobOutcome::SuccessWithRetries {
+            retries: sched.retries,
+        }
+    } else {
+        JobOutcome::Success
+    };
+
+    debug_assert!(
+        metrics.is_valid(),
+        "faulted metrics must stay finite and non-negative: {metrics:?}"
+    );
+    FaultedRun {
+        metrics,
+        outcome,
+        retries: sched.retries,
+        speculative_copies: sched.speculative_copies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::Stage;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain_graph(elapsed: f64, dop: u32, n: usize) -> StageGraph {
+        let stages = (0..n)
+            .map(|i| Stage {
+                elapsed,
+                dop,
+                deps: if i == 0 { vec![] } else { vec![i - 1] },
+            })
+            .collect();
+        StageGraph {
+            stages,
+            node_stage: vec![],
+            root_stage: n - 1,
+        }
+    }
+
+    #[test]
+    fn none_profile_is_inert() {
+        let p = FaultProfile::none();
+        assert!(p.is_none());
+        assert!(!FaultProfile::light().is_none());
+        assert!(!FaultProfile::heavy().is_none());
+        assert!(!FaultProfile::none().with_timeout(60.0).is_none());
+    }
+
+    #[test]
+    fn schedule_without_faults_matches_makespan() {
+        let g = chain_graph(10.0, 50, 3);
+        let p = FaultProfile::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sched = schedule_with_faults(&g, 50, &p, &mut rng);
+        let expected = crate::simulate::makespan(&g, 50);
+        assert!((sched.runtime - expected).abs() < 1e-9);
+        assert_eq!(sched.retries, 0);
+        assert!(sched.failed_at.is_none());
+        assert_eq!(sched.rework_elapsed, 0.0);
+    }
+
+    #[test]
+    fn retries_add_time_and_rework() {
+        let g = chain_graph(10.0, 100, 4);
+        let mut p = FaultProfile::with_vertex_failures(0.01);
+        p.max_retries = 50;
+        // With dop 100 and p=0.01, each attempt dies with ~63% probability:
+        // retries are essentially guaranteed over 4 stages.
+        let mut rng = StdRng::seed_from_u64(3);
+        let sched = schedule_with_faults(&g, 100, &p, &mut rng);
+        assert!(sched.retries > 0);
+        assert!(sched.failed_at.is_none(), "budget of 50 should suffice");
+        assert!(sched.rework_elapsed > 0.0);
+        assert!(sched.runtime > crate::simulate::makespan(&g, 100));
+    }
+
+    #[test]
+    fn budget_exhaustion_fails_the_job() {
+        let g = chain_graph(10.0, 1000, 4);
+        let mut p = FaultProfile::with_vertex_failures(0.05);
+        p.max_retries = 2;
+        // dop 1000 at p=0.05 → every attempt dies (capped at 95%).
+        let mut rng = StdRng::seed_from_u64(1);
+        let sched = schedule_with_faults(&g, 100, &p, &mut rng);
+        assert_eq!(sched.retries, 2);
+        assert!(sched.failed_at.is_some());
+        assert!(sched.runtime.is_finite() && sched.runtime > 0.0);
+    }
+
+    #[test]
+    fn stragglers_stretch_but_speculation_caps() {
+        let g = chain_graph(100.0, 50, 6);
+        let mut p = FaultProfile::none();
+        p.straggler_prob = 1.0; // every stage straggles
+        p.straggler_slowdown = 4.0;
+        p.speculative_execution = false;
+        let mut rng = StdRng::seed_from_u64(1);
+        let slow = schedule_with_faults(&g, 50, &p, &mut rng);
+        p.speculative_execution = true;
+        let mut rng = StdRng::seed_from_u64(1);
+        let capped = schedule_with_faults(&g, 50, &p, &mut rng);
+        assert!(capped.runtime < slow.runtime);
+        assert_eq!(capped.speculative_copies, 6);
+        // Speculation trades wall time for duplicated work.
+        assert!(capped.rework_elapsed > slow.rework_elapsed);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let g = chain_graph(20.0, 200, 5);
+        let p = FaultProfile::heavy();
+        let a = schedule_with_faults(&g, 50, &p, &mut StdRng::seed_from_u64(9));
+        let b = schedule_with_faults(&g, 50, &p, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.failed_at, b.failed_at);
+        let c = schedule_with_faults(&g, 50, &p, &mut StdRng::seed_from_u64(10));
+        // A different seed rolls different faults (overwhelmingly likely
+        // under the heavy profile on 5 stages of dop 200).
+        assert!(a.runtime != c.runtime || a.retries != c.retries);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(JobOutcome::Success.is_success());
+        assert!(JobOutcome::SuccessWithRetries { retries: 2 }.is_success());
+        assert_eq!(JobOutcome::SuccessWithRetries { retries: 2 }.retries(), 2);
+        assert!(!JobOutcome::TimedOut.is_success());
+        assert!(!JobOutcome::Failed { reason: "x".into() }.is_success());
+        assert_eq!(JobOutcome::Success.retries(), 0);
+    }
+}

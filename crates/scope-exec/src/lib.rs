@@ -15,19 +15,25 @@
 //!   (runtime, CPU time, total IO time).
 //! * [`abtest`] — §3.1.3's A/B infrastructure: re-execute any compiled plan
 //!   under fixed resources (50 tokens) with seeded, reproducible noise,
+//!   fault injection, and retry-with-backoff scheduling,
+//! * [`faults`] — seeded, deterministic fault injection: transient vertex
+//!   failures with bounded retries, stragglers with speculative
+//!   re-execution, stage preemption, and job timeouts,
 //! * [`mod@explain`] — `EXPLAIN ANALYZE`-style traces: per-operator estimated
 //!   vs true cardinalities (q-errors), work breakdowns, stage assignment.
 
 pub mod abtest;
 pub mod cluster;
 pub mod explain;
+pub mod faults;
 pub mod simulate;
 pub mod truth;
 pub mod work;
 
-pub use abtest::{plan_fingerprint, ABTester};
-pub use explain::{explain, ExecutionTrace, NodeReport, StageReport};
+pub use abtest::{plan_fingerprint, ABTester, RetryPolicy};
 pub use cluster::ClusterConfig;
+pub use explain::{explain, ExecutionTrace, NodeReport, StageReport};
+pub use faults::{execute_with_faults, FaultProfile, FaultedRun, JobOutcome};
 pub use simulate::{execute, execute_deterministic, Metric, RunMetrics};
 pub use truth::{replay, NodeTruth};
 pub use work::NodeWork;

@@ -18,9 +18,15 @@ use crate::truth::{replay, NodeTruth};
 use crate::work::{node_work, NodeWork};
 
 /// Fixed scheduling overhead per stage (seconds).
-const STAGE_OVERHEAD_S: f64 = 2.0;
+pub(crate) const STAGE_OVERHEAD_S: f64 = 2.0;
 /// Additional scheduling overhead per vertex wave.
-const WAVE_OVERHEAD_S: f64 = 0.8;
+pub(crate) const WAVE_OVERHEAD_S: f64 = 0.8;
+
+/// Vertex waves a stage of the given parallelism needs under a token
+/// limit (shared by the fault-free and faulted schedulers).
+pub(crate) fn waves_for_tokens(dop: u32, tokens: u32) -> f64 {
+    (dop as f64 / tokens.max(1) as f64).ceil().max(1.0)
+}
 
 /// The paper's three metrics (§3.1.2), in seconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -41,6 +47,15 @@ impl RunMetrics {
             Metric::CpuTime => self.cpu_time,
             Metric::IoTime => self.io_time,
         }
+    }
+
+    /// All three metrics are finite and non-negative. Every simulator path
+    /// must uphold this — downstream ranking code orders by these values
+    /// and must never see NaN.
+    pub fn is_valid(&self) -> bool {
+        [self.runtime, self.cpu_time, self.io_time]
+            .iter()
+            .all(|v| v.is_finite() && *v >= 0.0)
     }
 }
 
@@ -85,11 +100,7 @@ pub struct StageGraph {
 }
 
 /// Build the stage graph and accumulate per-node work into stages.
-pub fn build_stages(
-    plan: &PhysPlan,
-    truths: &[NodeTruth],
-    works: &[NodeWork],
-) -> StageGraph {
+pub fn build_stages(plan: &PhysPlan, truths: &[NodeTruth], works: &[NodeWork]) -> StageGraph {
     let mut stages: Vec<Stage> = Vec::new();
     let mut node_stage = vec![0usize; plan.len()];
     let reachable = plan.reachable();
@@ -115,10 +126,18 @@ pub fn build_stages(
         }
         let sid = match chosen {
             Some(s) => {
-                stages[s].deps.extend(deps);
+                // Several nodes of one stage can consume the same producer
+                // stage; record each dependency once.
+                for d in deps {
+                    if d != s && !stages[s].deps.contains(&d) {
+                        stages[s].deps.push(d);
+                    }
+                }
                 s
             }
             None => {
+                deps.sort_unstable();
+                deps.dedup();
                 let sid = stages.len();
                 stages.push(Stage {
                     elapsed: 0.0,
@@ -133,10 +152,7 @@ pub fn build_stages(
         stage.elapsed += works[id.index()].elapsed;
         stage.dop = stage.dop.max(truths[id.index()].dop);
     }
-    let root_stage = plan
-        .root()
-        .map(|r| node_stage[r.index()])
-        .unwrap_or(0);
+    let root_stage = plan.root().map(|r| node_stage[r.index()]).unwrap_or(0);
     StageGraph {
         stages,
         node_stage,
@@ -155,7 +171,7 @@ pub fn makespan(stages: &StageGraph, tokens: u32) -> f64 {
             .iter()
             .map(|&d| finish[d])
             .fold(0.0_f64, f64::max);
-        let waves = (stage.dop as f64 / tokens.max(1) as f64).ceil().max(1.0);
+        let waves = waves_for_tokens(stage.dop, tokens);
         let time = stage.elapsed * waves + STAGE_OVERHEAD_S + WAVE_OVERHEAD_S * waves;
         finish[i] = start + time;
     }
@@ -175,8 +191,7 @@ pub fn execute_deterministic(
     let mut works = vec![NodeWork::default(); plan.len()];
     for id in plan.reachable() {
         let node = plan.node(id);
-        let children: Vec<&NodeTruth> =
-            node.children.iter().map(|c| &truths[c.index()]).collect();
+        let children: Vec<&NodeTruth> = node.children.iter().map(|c| &truths[c.index()]).collect();
         works[id.index()] = node_work(&node.op, &truths[id.index()], &children, cat, cluster);
     }
     let stages = build_stages(plan, &truths, &works);
@@ -187,11 +202,16 @@ pub fn execute_deterministic(
         cpu += works[id.index()].cpu;
         io += works[id.index()].io + works[id.index()].net;
     }
-    RunMetrics {
+    let metrics = RunMetrics {
         runtime,
         cpu_time: cpu,
         io_time: io,
-    }
+    };
+    debug_assert!(
+        metrics.is_valid(),
+        "deterministic metrics must stay finite and non-negative: {metrics:?}"
+    );
+    metrics
 }
 
 /// Execute with multiplicative lognormal noise (mean-one), modelling the
@@ -208,11 +228,16 @@ pub fn execute<R: Rng + ?Sized>(
         return base;
     }
     let mean_one = |rng: &mut R, s: f64| lognormal(rng, -s * s / 2.0, s);
-    RunMetrics {
+    let metrics = RunMetrics {
         runtime: base.runtime * mean_one(rng, sigma),
         cpu_time: base.cpu_time * mean_one(rng, sigma * 0.5),
         io_time: base.io_time * mean_one(rng, sigma * 0.5),
-    }
+    };
+    debug_assert!(
+        metrics.is_valid(),
+        "noisy metrics must stay finite and non-negative: {metrics:?}"
+    );
+    metrics
 }
 
 #[cfg(test)]
@@ -298,8 +323,16 @@ mod tests {
     fn makespan_respects_dependencies_and_waves() {
         let g = StageGraph {
             stages: vec![
-                Stage { elapsed: 10.0, dop: 50, deps: vec![] },
-                Stage { elapsed: 5.0, dop: 100, deps: vec![0] },
+                Stage {
+                    elapsed: 10.0,
+                    dop: 50,
+                    deps: vec![],
+                },
+                Stage {
+                    elapsed: 5.0,
+                    dop: 100,
+                    deps: vec![0],
+                },
             ],
             node_stage: vec![],
             root_stage: 1,

@@ -53,7 +53,13 @@ pub fn hash_share(cat: &TrueCatalog, cols: &[ColId], dop: u32) -> f64 {
 
 /// True join output cardinality: uniform fanout plus the heavy-hitter term
 /// the optimizer's uniformity assumption misses.
-fn join_rows(cat: &TrueCatalog, kind: JoinKind, keys: &[(ColId, ColId)], l: &NodeTruth, r: &NodeTruth) -> f64 {
+fn join_rows(
+    cat: &TrueCatalog,
+    kind: JoinKind,
+    keys: &[(ColId, ColId)],
+    l: &NodeTruth,
+    r: &NodeTruth,
+) -> f64 {
     let mut rows = match keys.first() {
         Some(&(lk, rk)) => {
             let ndv_l = cat.columns.get(lk.index()).map(|c| c.ndv).unwrap_or(1000);
@@ -154,9 +160,21 @@ pub fn derive_truth(op: &PhysOp, children: &[&NodeTruth], cat: &TrueCatalog) -> 
                 dop,
             }
         }
-        PhysOp::HashAgg { keys, aggs, partial }
-        | PhysOp::SortAgg { keys, aggs, partial }
-        | PhysOp::StreamAgg { keys, aggs, partial } => {
+        PhysOp::HashAgg {
+            keys,
+            aggs,
+            partial,
+        }
+        | PhysOp::SortAgg {
+            keys,
+            aggs,
+            partial,
+        }
+        | PhysOp::StreamAgg {
+            keys,
+            aggs,
+            partial,
+        } => {
             let c = child(0);
             let mut groups = 1.0_f64;
             for k in keys {
@@ -212,13 +230,13 @@ pub fn derive_truth(op: &PhysOp, children: &[&NodeTruth], cat: &TrueCatalog) -> 
                 dop,
             }
         }
-        PhysOp::Top { k, heap } => {
+        PhysOp::Top { k, .. } => {
             let c = child(0);
             let rows = (*k as f64).min(c.rows);
             NodeTruth {
                 rows,
                 bytes: rows * c.row_bytes(),
-                share: if *heap { 1.0 } else { 1.0 },
+                share: 1.0,
                 dop: 1,
             }
         }
@@ -329,20 +347,8 @@ mod tests {
         let cat = skewed_catalog();
         let l = truth(100_000.0, 0.02, 50);
         let r = truth(100_000.0, 0.02, 50);
-        let skewed = join_rows(
-            &cat,
-            JoinKind::Inner,
-            &[(ColId(0), ColId(0))],
-            &l,
-            &r,
-        );
-        let uniform = join_rows(
-            &cat,
-            JoinKind::Inner,
-            &[(ColId(1), ColId(1))],
-            &l,
-            &r,
-        );
+        let skewed = join_rows(&cat, JoinKind::Inner, &[(ColId(0), ColId(0))], &l, &r);
+        let uniform = join_rows(&cat, JoinKind::Inner, &[(ColId(1), ColId(1))], &l, &r);
         assert!(skewed > uniform * 100.0, "{skewed} vs {uniform}");
     }
 

@@ -50,7 +50,12 @@ pub fn node_work(
     let in_bytes: f64 = children.iter().map(|c| c.bytes).sum();
     let share = c0.map(|c| c.share).unwrap_or(1.0);
     match op {
-        PhysOp::Scan { table, pushed, parallel, indexed } => {
+        PhysOp::Scan {
+            table,
+            pushed,
+            parallel,
+            indexed,
+        } => {
             let t = cat.tables.get(table.index());
             let raw_rows = t.map(|t| t.rows as f64).unwrap_or(0.0);
             let raw_bytes = raw_rows * t.map(|t| t.row_bytes as f64).unwrap_or(100.0);
@@ -154,7 +159,10 @@ pub fn node_work(
                 elapsed: cpu * l.share.max(1.0 / l.dop.max(1) as f64),
             }
         }
-        PhysOp::HashAgg { .. } | PhysOp::Window { hash_based: true, .. } => {
+        PhysOp::HashAgg { .. }
+        | PhysOp::Window {
+            hash_based: true, ..
+        } => {
             let build_pv = in_bytes * share;
             let spill = spill_ratio(build_pv, cluster.mem_per_vertex);
             let cpu = in_rows * C_HASH_ROW * (1.0 + 0.3 * spill);
@@ -166,7 +174,10 @@ pub fn node_work(
                 elapsed: cpu * share + spill_io,
             }
         }
-        PhysOp::SortAgg { .. } | PhysOp::Window { hash_based: false, .. } => {
+        PhysOp::SortAgg { .. }
+        | PhysOp::Window {
+            hash_based: false, ..
+        } => {
             let cpu = in_rows * log2(in_rows * share) * C_SORT_ROW;
             NodeWork {
                 cpu,
@@ -186,7 +197,11 @@ pub fn node_work(
         }
         PhysOp::UnionAll { serial } => {
             let cpu = in_rows * C_CPU_ROW * 0.1;
-            let s = if *serial { 1.0 } else { children.iter().map(|c| c.share).fold(0.0, f64::max) };
+            let s = if *serial {
+                1.0
+            } else {
+                children.iter().map(|c| c.share).fold(0.0, f64::max)
+            };
             NodeWork {
                 cpu,
                 io: 0.0,
@@ -279,7 +294,12 @@ mod tests {
     use scope_ir::JoinKind;
 
     fn t(rows: f64, bytes: f64, share: f64, dop: u32) -> NodeTruth {
-        NodeTruth { rows, bytes, share, dop }
+        NodeTruth {
+            rows,
+            bytes,
+            share,
+            dop,
+        }
     }
 
     fn hj() -> PhysOp {
@@ -363,14 +383,20 @@ mod tests {
         let own = t(1e6, 1e8, 0.02, 50);
         let child = t(1e6, 1e8, 0.02, 50);
         let w = node_work(
-            &PhysOp::Process { udo: heavy, parallel: true },
+            &PhysOp::Process {
+                udo: heavy,
+                parallel: true,
+            },
             &own,
             &[&child],
             &cat,
             &cluster,
         );
         let w_default = node_work(
-            &PhysOp::Process { udo: scope_ir::ids::UdoId(99), parallel: true },
+            &PhysOp::Process {
+                udo: scope_ir::ids::UdoId(99),
+                parallel: true,
+            },
             &own,
             &[&child],
             &cat,

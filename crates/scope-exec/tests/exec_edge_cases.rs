@@ -1,10 +1,10 @@
 //! Failure-injection and edge-case tests for the execution simulator.
 
+use scope_exec::{execute_deterministic, explain, ABTester, ClusterConfig};
 use scope_ir::expr::{CmpOp, Literal, PredAtom, Predicate};
 use scope_ir::ids::{ColId, DomainId, TableId};
 use scope_ir::ops::{AggFunc, JoinKind, LogicalOp};
 use scope_ir::{PlanGraph, TrueCatalog};
-use scope_exec::{execute_deterministic, explain, ABTester, ClusterConfig};
 use scope_optimizer::{compile, RuleConfig};
 
 fn compile_default(plan: &PlanGraph, cat: &TrueCatalog) -> scope_optimizer::PhysPlan {
@@ -25,7 +25,11 @@ fn empty_table_executes_in_overhead_time() {
     let plan = compile_default(&g, &cat);
     let m = execute_deterministic(&plan, &cat, &ClusterConfig::noiseless());
     assert!(m.runtime.is_finite() && m.runtime > 0.0);
-    assert!(m.runtime < 60.0, "empty scan should be overhead-bound: {}", m.runtime);
+    assert!(
+        m.runtime < 60.0,
+        "empty scan should be overhead-bound: {}",
+        m.runtime
+    );
 }
 
 #[test]
@@ -175,7 +179,10 @@ fn more_tokens_never_hurt() {
             ..ClusterConfig::noiseless()
         };
         let m = execute_deterministic(&plan, &cat, &cluster);
-        assert!(m.runtime <= last + 1e-9, "tokens {tokens} regressed runtime");
+        assert!(
+            m.runtime <= last + 1e-9,
+            "tokens {tokens} regressed runtime"
+        );
         last = m.runtime;
     }
 }

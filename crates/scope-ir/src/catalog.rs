@@ -114,7 +114,13 @@ impl TrueCatalog {
     }
 
     /// Register a table; returns its id.
-    pub fn add_table(&mut self, rows: u64, row_bytes: u32, name_hash: u64, cols: Vec<ColId>) -> TableId {
+    pub fn add_table(
+        &mut self,
+        rows: u64,
+        row_bytes: u32,
+        name_hash: u64,
+        cols: Vec<ColId>,
+    ) -> TableId {
         let id = TableId(self.tables.len() as u32);
         self.tables.push(TableStats {
             rows,
@@ -298,7 +304,10 @@ impl ObservableCatalog {
 
     /// Observable row width of a table.
     pub fn table_row_bytes(&self, t: TableId) -> u32 {
-        self.tables.get(t.index()).map(|t| t.row_bytes).unwrap_or(100)
+        self.tables
+            .get(t.index())
+            .map(|t| t.row_bytes)
+            .unwrap_or(100)
     }
 
     /// Observable (rounded) distinct count of a column.

@@ -24,7 +24,11 @@ fn op_label(op: &LogicalOp) -> String {
             format!("Project({} cols, {computed} computed)", cols.len())
         }
         LogicalOp::Join { kind, keys } => format!("Join({kind:?}, {} keys)", keys.len()),
-        LogicalOp::GroupBy { keys, aggs, partial } => format!(
+        LogicalOp::GroupBy {
+            keys,
+            aggs,
+            partial,
+        } => format!(
             "GroupBy({} keys, {} aggs{})",
             keys.len(),
             aggs.len(),
@@ -108,7 +112,10 @@ mod tests {
     fn tree_render_marks_shared_nodes() {
         let text = render_tree(&shared_plan());
         assert!(text.contains("UnionAll"));
-        assert!(text.contains("^1"), "shared node should render as backref:\n{text}");
+        assert!(
+            text.contains("^1"),
+            "shared node should render as backref:\n{text}"
+        );
     }
 
     #[test]

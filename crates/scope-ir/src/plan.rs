@@ -43,7 +43,12 @@ impl std::fmt::Display for PlanError {
         match self {
             PlanError::ForwardEdge { child } => write!(f, "forward edge to node {child}"),
             PlanError::UnknownChild { child } => write!(f, "unknown child node {child}"),
-            PlanError::BadArity { kind, got, min, max } => write!(
+            PlanError::BadArity {
+                kind,
+                got,
+                min,
+                max,
+            } => write!(
                 f,
                 "operator {} takes {min}..={max} children, got {got}",
                 kind.name()
@@ -257,11 +262,7 @@ mod tests {
 
     fn filter(col: u32, lit: i64) -> LogicalOp {
         LogicalOp::Select {
-            predicate: Predicate::atom(PredAtom::unknown(
-                ColId(col),
-                CmpOp::Eq,
-                Literal::Int(lit),
-            )),
+            predicate: Predicate::atom(PredAtom::unknown(ColId(col), CmpOp::Eq, Literal::Int(lit))),
         }
     }
 

@@ -19,7 +19,12 @@ fn arb_plan() -> impl Strategy<Value = PlanGraph> {
         for (choice, lit, col) in recipe {
             let pick = |off: usize| nodes[(off + lit.unsigned_abs() as usize) % nodes.len()];
             let id = match choice {
-                0 => g.add_unchecked(LogicalOp::Get { table: TableId(col) }, vec![]),
+                0 => g.add_unchecked(
+                    LogicalOp::Get {
+                        table: TableId(col),
+                    },
+                    vec![],
+                ),
                 1 => g.add_unchecked(
                     LogicalOp::Select {
                         predicate: Predicate::atom(PredAtom::unknown(
@@ -53,7 +58,12 @@ fn arb_plan() -> impl Strategy<Value = PlanGraph> {
                     vec![pick(0)],
                 ),
                 5 => g.add_unchecked(LogicalOp::UnionAll, vec![pick(0), pick(3)]),
-                6 => g.add_unchecked(LogicalOp::Top { k: 1 + (col as u64) }, vec![pick(0)]),
+                6 => g.add_unchecked(
+                    LogicalOp::Top {
+                        k: 1 + (col as u64),
+                    },
+                    vec![pick(0)],
+                ),
                 _ => g.add_unchecked(
                     LogicalOp::Sort {
                         keys: vec![ColId(col)],

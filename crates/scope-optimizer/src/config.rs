@@ -245,7 +245,10 @@ mod tests {
         let a = RuleSignature([RuleId(1), RuleId(2), RuleId(3)].into_iter().collect());
         let b = RuleSignature([RuleId(2), RuleId(3), RuleId(9)].into_iter().collect());
         let diff = RuleDiff::between(&a, &b);
-        assert_eq!(diff.only_in_default.iter().collect::<Vec<_>>(), vec![RuleId(1)]);
+        assert_eq!(
+            diff.only_in_default.iter().collect::<Vec<_>>(),
+            vec![RuleId(1)]
+        );
         assert_eq!(diff.only_in_new.iter().collect::<Vec<_>>(), vec![RuleId(9)]);
         assert_eq!(diff.len(), 2);
         assert!(!diff.is_empty());

@@ -157,10 +157,9 @@ pub fn output_part(phys: PhysImpl, op: &LogicalOp, child_parts: &[Partitioning])
     match phys {
         ScanSerial => Partitioning::Singleton,
         ScanParallel | ScanIndexed => Partitioning::Any,
-        FilterImpl | ProjectImpl | ProcessParallel | TopN => child_parts
-            .first()
-            .cloned()
-            .unwrap_or(Partitioning::Any),
+        FilterImpl | ProjectImpl | ProcessParallel | TopN => {
+            child_parts.first().cloned().unwrap_or(Partitioning::Any)
+        }
         HashJoin1 | HashJoin2 | HashJoin3 => match op {
             LogicalOp::Join { keys, .. } if !keys.is_empty() => {
                 Partitioning::Hash(keys.iter().map(|&(l, _)| l).collect())
@@ -173,29 +172,28 @@ pub fn output_part(phys: PhysImpl, op: &LogicalOp, child_parts: &[Partitioning])
             }
             _ => Partitioning::Singleton,
         },
-        BroadcastJoin | IndexJoin => child_parts
-            .first()
-            .cloned()
-            .unwrap_or(Partitioning::Any),
+        BroadcastJoin | IndexJoin => child_parts.first().cloned().unwrap_or(Partitioning::Any),
         LoopJoin | TopSort | SortSerial | UnionSerial | ProcessSerial => Partitioning::Singleton,
         HashAgg => match op {
-            LogicalOp::GroupBy { keys, partial: false, .. } if !keys.is_empty() => {
-                Partitioning::Hash(keys.clone())
+            LogicalOp::GroupBy {
+                keys,
+                partial: false,
+                ..
+            } if !keys.is_empty() => Partitioning::Hash(keys.clone()),
+            LogicalOp::GroupBy { partial: true, .. } => {
+                child_parts.first().cloned().unwrap_or(Partitioning::Any)
             }
-            LogicalOp::GroupBy { partial: true, .. } => child_parts
-                .first()
-                .cloned()
-                .unwrap_or(Partitioning::Any),
             _ => Partitioning::Singleton,
         },
         SortAgg | StreamAgg => match op {
-            LogicalOp::GroupBy { keys, partial: false, .. } if !keys.is_empty() => {
-                Partitioning::Range(keys.clone())
+            LogicalOp::GroupBy {
+                keys,
+                partial: false,
+                ..
+            } if !keys.is_empty() => Partitioning::Range(keys.clone()),
+            LogicalOp::GroupBy { partial: true, .. } => {
+                child_parts.first().cloned().unwrap_or(Partitioning::Any)
             }
-            LogicalOp::GroupBy { partial: true, .. } => child_parts
-                .first()
-                .cloned()
-                .unwrap_or(Partitioning::Any),
             _ => Partitioning::Singleton,
         },
         UnionConcat => Partitioning::Any,
@@ -326,7 +324,9 @@ pub fn impl_cost(
             let r = children.get(1).map(|c| c.rows).unwrap_or(1.0);
             let dop = dop_for_bytes(children.first().map(|c| c.bytes()).unwrap_or(0.0));
             OpCost {
-                cost: l * log2(r) * 0.8e-6 / dop as f64 + r * C_CPU_ROW * 0.1 + dop as f64 * C_VERTEX,
+                cost: l * log2(r) * 0.8e-6 / dop as f64
+                    + r * C_CPU_ROW * 0.1
+                    + dop as f64 * C_VERTEX,
                 dop,
             }
         }
@@ -412,8 +412,7 @@ pub fn impl_cost(
             let dop = dop_for_bytes(in_bytes);
             OpCost {
                 // One global assumption for every UDO's per-row cost.
-                cost: in_rows * C_UDO_ROW * scope_ir::catalog::DEFAULT_UDO_CPU_PER_ROW
-                    / dop as f64
+                cost: in_rows * C_UDO_ROW * scope_ir::catalog::DEFAULT_UDO_CPU_PER_ROW / dop as f64
                     + dop as f64 * C_VERTEX,
                 dop,
             }

@@ -144,7 +144,11 @@ impl<'a> Estimator<'a> {
                     },
                 }
             }
-            LogicalOp::GroupBy { keys, aggs, partial } => {
+            LogicalOp::GroupBy {
+                keys,
+                aggs,
+                partial,
+            } => {
                 let c = children[0];
                 let mut groups = 1.0_f64;
                 for &k in keys {
@@ -166,16 +170,10 @@ impl<'a> Estimator<'a> {
             }
             LogicalOp::UnionAll | LogicalOp::VirtualDataset => {
                 let rows = children.iter().map(|c| c.rows).sum::<f64>();
-                let row_bytes = children
-                    .iter()
-                    .map(|c| c.row_bytes)
-                    .fold(0.0_f64, f64::max);
+                let row_bytes = children.iter().map(|c| c.row_bytes).fold(0.0_f64, f64::max);
                 // Columns safe to reference above a union: those available
                 // in every branch.
-                let mut cols = children
-                    .first()
-                    .map(|c| c.cols.clone())
-                    .unwrap_or_default();
+                let mut cols = children.first().map(|c| c.cols.clone()).unwrap_or_default();
                 for c in children.iter().skip(1) {
                     cols.retain(|col| c.cols.contains(col));
                 }
@@ -219,8 +217,8 @@ impl<'a> Estimator<'a> {
 mod tests {
     use super::*;
     use scope_ir::expr::{CmpOp, Literal, Predicate};
-    use scope_ir::AggFunc;
     use scope_ir::ids::{DomainId, TableId};
+    use scope_ir::AggFunc;
     use scope_ir::TrueCatalog;
 
     fn setup() -> (TrueCatalog, Vec<ColId>) {

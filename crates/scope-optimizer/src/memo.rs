@@ -119,11 +119,7 @@ impl Memo {
         let reachable = plan.reachable();
         for id in &reachable {
             let node = plan.node(*id);
-            let children: Vec<GroupId> = node
-                .children
-                .iter()
-                .map(|c| node_group[c])
-                .collect();
+            let children: Vec<GroupId> = node.children.iter().map(|c| node_group[c]).collect();
             let gid = match memo.insert(node.op.clone(), children, None, None, est) {
                 Inserted::New(e) | Inserted::Duplicate(e) => memo.exprs[e.index()].group,
                 Inserted::Budget => unreachable!("ingest cannot exceed budget"),
@@ -257,7 +253,13 @@ mod tests {
     #[test]
     fn ingest_dedups_shared_nodes() {
         let mut plan = PlanGraph::new();
-        let s = plan.add_unchecked(LogicalOp::RangeGet { table: TableId(0), pushed: Predicate::true_pred() }, vec![]);
+        let s = plan.add_unchecked(
+            LogicalOp::RangeGet {
+                table: TableId(0),
+                pushed: Predicate::true_pred(),
+            },
+            vec![],
+        );
         let f = plan.add_unchecked(filter_op(1), vec![s]);
         let u = plan.add_unchecked(LogicalOp::UnionAll, vec![f, f]);
         let o = plan.add_unchecked(LogicalOp::Output { stream: 0 }, vec![u]);
@@ -279,7 +281,10 @@ mod tests {
         let obs = cat.observe();
         let est = Estimator::new(&obs);
         let mut memo = Memo::empty();
-        let scan = LogicalOp::RangeGet { table: TableId(0), pushed: Predicate::true_pred() };
+        let scan = LogicalOp::RangeGet {
+            table: TableId(0),
+            pushed: Predicate::true_pred(),
+        };
         let first = memo.insert(scan.clone(), vec![], None, None, &est);
         let Inserted::New(e1) = first else { panic!() };
         let second = memo.insert(scan, vec![], None, None, &est);
@@ -293,7 +298,10 @@ mod tests {
         let obs = cat.observe();
         let est = Estimator::new(&obs);
         let mut memo = Memo::empty();
-        let scan = LogicalOp::RangeGet { table: TableId(0), pushed: Predicate::true_pred() };
+        let scan = LogicalOp::RangeGet {
+            table: TableId(0),
+            pushed: Predicate::true_pred(),
+        };
         let Inserted::New(scan_e) = memo.insert(scan, vec![], None, None, &est) else {
             panic!()
         };
@@ -323,7 +331,10 @@ mod tests {
         let obs = cat.observe();
         let est = Estimator::new(&obs);
         let mut memo = Memo::empty();
-        let scan = LogicalOp::RangeGet { table: TableId(0), pushed: Predicate::true_pred() };
+        let scan = LogicalOp::RangeGet {
+            table: TableId(0),
+            pushed: Predicate::true_pred(),
+        };
         let Inserted::New(scan_e) = memo.insert(scan, vec![], None, None, &est) else {
             panic!()
         };
@@ -334,12 +345,11 @@ mod tests {
         let fg = memo.expr(f).group;
         let mut budget_hit = false;
         for lit in 1..100 {
-            match memo.insert(filter_op(lit), vec![scan_g], Some(fg), None, &est) {
-                Inserted::Budget => {
-                    budget_hit = true;
-                    break;
-                }
-                _ => {}
+            if let Inserted::Budget =
+                memo.insert(filter_op(lit), vec![scan_g], Some(fg), None, &est)
+            {
+                budget_hit = true;
+                break;
             }
         }
         assert!(budget_hit);

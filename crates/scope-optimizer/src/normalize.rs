@@ -69,11 +69,7 @@ mod tests {
         let s = g.add_unchecked(LogicalOp::Get { table: TableId(0) }, vec![]);
         let f = g.add_unchecked(
             LogicalOp::Select {
-                predicate: Predicate::atom(PredAtom::unknown(
-                    ColId(0),
-                    CmpOp::Eq,
-                    Literal::Int(1),
-                )),
+                predicate: Predicate::atom(PredAtom::unknown(ColId(0), CmpOp::Eq, Literal::Int(1))),
             },
             vec![s],
         );

@@ -52,7 +52,9 @@ impl Builder {
 /// paper's exact category counts — this is checked at startup by every user
 /// of [`RuleCatalog::global`].
 pub fn build() -> RuleCatalog {
-    let mut b = Builder { rules: Vec::with_capacity(NUM_RULES) };
+    let mut b = Builder {
+        rules: Vec::with_capacity(NUM_RULES),
+    };
 
     build_required(&mut b);
     assert_eq!(b.rules.len(), 37, "required block");
@@ -127,9 +129,30 @@ fn build_off_by_default(b: &mut Builder) {
 
     // Pushing filters through user-defined operators is unsafe in general
     // (the UDO may rewrite the filtered column) — experimental.
-    b.push(c, "SelectOnProcess1", FilterBelow { kind: OpKind::Process, eq_only: false });
-    b.push(c, "SelectOnProcess2", FilterBelow { kind: OpKind::Process, eq_only: true });
-    b.push(c, "SelectOnTop", FilterBelow { kind: OpKind::Top, eq_only: false });
+    b.push(
+        c,
+        "SelectOnProcess1",
+        FilterBelow {
+            kind: OpKind::Process,
+            eq_only: false,
+        },
+    );
+    b.push(
+        c,
+        "SelectOnProcess2",
+        FilterBelow {
+            kind: OpKind::Process,
+            eq_only: true,
+        },
+    );
+    b.push(
+        c,
+        "SelectOnTop",
+        FilterBelow {
+            kind: OpKind::Top,
+            eq_only: false,
+        },
+    );
 
     // Experimental operator reorderings.
     let risky_swaps: [(OpKind, OpKind); 10] = [
@@ -148,7 +171,11 @@ fn build_off_by_default(b: &mut Builder) {
         b.push(
             c,
             format!("Exp{}Under{}{}", parent.name(), child.name(), i + 1),
-            SwapUnary { parent, child, variant: i as u8 },
+            SwapUnary {
+                parent,
+                child,
+                variant: i as u8,
+            },
         );
     }
 
@@ -157,8 +184,22 @@ fn build_off_by_default(b: &mut Builder) {
     b.push(c, "TopOnUnionAllAggressive", TopBelowUnion { variant: 1 });
     b.push(c, "SplitGroupByAggressive1", SplitGroupBy { variant: 2 });
     b.push(c, "SplitGroupByAggressive2", SplitGroupBy { variant: 3 });
-    b.push(c, "JoinAssocDeepLeft", JoinAssoc { right: false, guarded: false });
-    b.push(c, "JoinAssocDeepRight", JoinAssoc { right: true, guarded: false });
+    b.push(
+        c,
+        "JoinAssocDeepLeft",
+        JoinAssoc {
+            right: false,
+            guarded: false,
+        },
+    );
+    b.push(
+        c,
+        "JoinAssocDeepRight",
+        JoinAssoc {
+            right: true,
+            guarded: false,
+        },
+    );
 
     for kind in [
         OpKind::Join,
@@ -170,15 +211,40 @@ fn build_off_by_default(b: &mut Builder) {
         OpKind::Top,
         OpKind::Output,
     ] {
-        b.push(c, format!("EagerPrune{}", kind.name()), PruneBelow { kind, eager: true });
+        b.push(
+            c,
+            format!("EagerPrune{}", kind.name()),
+            PruneBelow { kind, eager: true },
+        );
     }
 
     b.push(c, "UnionFlattenDeep", UnionFlatten { deep: true });
     b.push(c, "TopElimination", EliminateIdentity(OpKind::Top));
     b.push(c, "SortElimination", EliminateIdentity(OpKind::Sort));
-    b.push(c, "ExpProcessFusion", Marker { kind: OpKind::Process, min_count: 2 });
-    b.push(c, "ExpJoinGraphAnalysis", Marker { kind: OpKind::Join, min_count: 4 });
-    b.push(c, "ExpUnionTopology", Marker { kind: OpKind::UnionAll, min_count: 3 });
+    b.push(
+        c,
+        "ExpProcessFusion",
+        Marker {
+            kind: OpKind::Process,
+            min_count: 2,
+        },
+    );
+    b.push(
+        c,
+        "ExpJoinGraphAnalysis",
+        Marker {
+            kind: OpKind::Join,
+            min_count: 4,
+        },
+    );
+    b.push(
+        c,
+        "ExpUnionTopology",
+        Marker {
+            kind: OpKind::UnionAll,
+            min_count: 3,
+        },
+    );
 
     assert_eq!(b.count_in(c), 46);
 }
@@ -195,18 +261,102 @@ fn build_on_by_default(b: &mut Builder) {
     b.push(c, "SelectPredEqFirst", ReorderAtoms(AtomOrder::EqFirst));
     b.push(c, "SelectPredByColumn", ReorderAtoms(AtomOrder::ByCol));
     // Filter pushdown family.
-    b.push(c, "SelectOnProject", FilterBelow { kind: OpKind::Project, eq_only: false });
-    b.push(c, "SelectOnJoin", FilterBelow { kind: OpKind::Join, eq_only: false });
-    b.push(c, "SelectOnJoinEq", FilterBelow { kind: OpKind::Join, eq_only: true });
-    b.push(c, "SelectOnUnionAll", FilterBelow { kind: OpKind::UnionAll, eq_only: false });
-    b.push(c, "SelectOnUnionAllEq", FilterBelow { kind: OpKind::UnionAll, eq_only: true });
-    b.push(c, "SelectOnGroupBy", FilterBelow { kind: OpKind::GroupBy, eq_only: false });
-    b.push(c, "SelectOnGroupByEq", FilterBelow { kind: OpKind::GroupBy, eq_only: true });
-    b.push(c, "SelectOnSort", FilterBelow { kind: OpKind::Sort, eq_only: false });
-    b.push(c, "SelectOnSortEq", FilterBelow { kind: OpKind::Sort, eq_only: true });
-    b.push(c, "SelectOnWindow", FilterBelow { kind: OpKind::Window, eq_only: false });
-    b.push(c, "SelectOnWindowEq", FilterBelow { kind: OpKind::Window, eq_only: true });
-    b.push(c, "SelectOnVirtualDataset", FilterBelow { kind: OpKind::VirtualDataset, eq_only: false });
+    b.push(
+        c,
+        "SelectOnProject",
+        FilterBelow {
+            kind: OpKind::Project,
+            eq_only: false,
+        },
+    );
+    b.push(
+        c,
+        "SelectOnJoin",
+        FilterBelow {
+            kind: OpKind::Join,
+            eq_only: false,
+        },
+    );
+    b.push(
+        c,
+        "SelectOnJoinEq",
+        FilterBelow {
+            kind: OpKind::Join,
+            eq_only: true,
+        },
+    );
+    b.push(
+        c,
+        "SelectOnUnionAll",
+        FilterBelow {
+            kind: OpKind::UnionAll,
+            eq_only: false,
+        },
+    );
+    b.push(
+        c,
+        "SelectOnUnionAllEq",
+        FilterBelow {
+            kind: OpKind::UnionAll,
+            eq_only: true,
+        },
+    );
+    b.push(
+        c,
+        "SelectOnGroupBy",
+        FilterBelow {
+            kind: OpKind::GroupBy,
+            eq_only: false,
+        },
+    );
+    b.push(
+        c,
+        "SelectOnGroupByEq",
+        FilterBelow {
+            kind: OpKind::GroupBy,
+            eq_only: true,
+        },
+    );
+    b.push(
+        c,
+        "SelectOnSort",
+        FilterBelow {
+            kind: OpKind::Sort,
+            eq_only: false,
+        },
+    );
+    b.push(
+        c,
+        "SelectOnSortEq",
+        FilterBelow {
+            kind: OpKind::Sort,
+            eq_only: true,
+        },
+    );
+    b.push(
+        c,
+        "SelectOnWindow",
+        FilterBelow {
+            kind: OpKind::Window,
+            eq_only: false,
+        },
+    );
+    b.push(
+        c,
+        "SelectOnWindowEq",
+        FilterBelow {
+            kind: OpKind::Window,
+            eq_only: true,
+        },
+    );
+    b.push(
+        c,
+        "SelectOnVirtualDataset",
+        FilterBelow {
+            kind: OpKind::VirtualDataset,
+            eq_only: false,
+        },
+    );
 
     // Project rewrites.
     b.push(c, "MergeProjects", MergeProjects);
@@ -230,14 +380,32 @@ fn build_on_by_default(b: &mut Builder) {
         OpKind::Top,
         OpKind::Output,
     ] {
-        b.push(c, format!("Prune{}", kind.name()), PruneBelow { kind, eager: false });
+        b.push(
+            c,
+            format!("Prune{}", kind.name()),
+            PruneBelow { kind, eager: false },
+        );
     }
 
     // Join order rules.
     b.push(c, "JoinCommute", JoinCommute { guarded: false });
     b.push(c, "JoinCommuteGuarded", JoinCommute { guarded: true });
-    b.push(c, "JoinAssocLeft", JoinAssoc { right: false, guarded: true });
-    b.push(c, "JoinAssocRight", JoinAssoc { right: true, guarded: true });
+    b.push(
+        c,
+        "JoinAssocLeft",
+        JoinAssoc {
+            right: false,
+            guarded: true,
+        },
+    );
+    b.push(
+        c,
+        "JoinAssocRight",
+        JoinAssoc {
+            right: true,
+            guarded: true,
+        },
+    );
 
     // Aggregation rules.
     b.push(c, "NormalizeReduce", NormalizeReduce { variant: 0 });
@@ -274,13 +442,21 @@ fn build_on_by_default(b: &mut Builder) {
         b.push(
             c,
             format!("Reseq{}On{}", parent.name(), child.name()),
-            SwapUnary { parent, child, variant: 16 + i as u8 },
+            SwapUnary {
+                parent,
+                child,
+                variant: 16 + i as u8,
+            },
         );
     }
 
     // Identity elimination & same-kind collapsing.
     b.push(c, "ProjectElimination", EliminateIdentity(OpKind::Project));
-    b.push(c, "UnionCollapseSingle", EliminateIdentity(OpKind::UnionAll));
+    b.push(
+        c,
+        "UnionCollapseSingle",
+        EliminateIdentity(OpKind::UnionAll),
+    );
     b.push(c, "CollapseSorts", CollapseSame(OpKind::Sort));
     b.push(c, "CollapseTops", CollapseSame(OpKind::Top));
     b.push(c, "CollapseWindows", CollapseSame(OpKind::Window));

@@ -164,7 +164,10 @@ pub enum RuleAction {
     /// Required guard marker: fires when the normalized plan contains at
     /// least `min_count` nodes of `kind`. Most guards never fire — the
     /// "unused required rules" of Table 2.
-    Guard { kind: OpKind, min_count: u8 },
+    Guard {
+        kind: OpKind,
+        min_count: u8,
+    },
 
     // ---- Transformation rules ----
     /// `Filter(Filter(x))` → single `Filter` (paper: `CollapseSelects`).
@@ -175,7 +178,10 @@ pub enum RuleAction {
     FilterIntoScan,
     /// Push a filter below `kind` (paper: `SelectOnProject`, `SelectOn...`).
     /// `eq_only` variants push only equality atoms.
-    FilterBelow { kind: OpKind, eq_only: bool },
+    FilterBelow {
+        kind: OpKind,
+        eq_only: bool,
+    },
     /// Reorder conjunct atoms (paper: `SelectPredNormalized` et al.).
     ReorderAtoms(AtomOrder),
     /// `Project(Project(x))` → single `Project`.
@@ -184,30 +190,53 @@ pub enum RuleAction {
     ProjectBelow(OpKind),
     /// Insert a narrowing projection below `kind` (column pruning).
     /// `eager` variants prune below smaller thresholds.
-    PruneBelow { kind: OpKind, eager: bool },
+    PruneBelow {
+        kind: OpKind,
+        eager: bool,
+    },
     /// Swap a join's inputs.
-    JoinCommute { guarded: bool },
+    JoinCommute {
+        guarded: bool,
+    },
     /// Rotate a join tree; `right` selects rotation direction. Guarded
     /// variants only fire when the intermediate estimate shrinks.
-    JoinAssoc { right: bool, guarded: bool },
+    JoinAssoc {
+        right: bool,
+        guarded: bool,
+    },
     /// Push a join below a union-all: `Join(Union(..), c)` →
     /// `Union(Join(..))` (paper: `CorrelatedJoinOnUnionAll*`). Fires only
     /// when the union is on the given side and has arity ≤ `max_arity`.
-    JoinOnUnion { max_arity: u8, left: bool },
+    JoinOnUnion {
+        max_arity: u8,
+        left: bool,
+    },
     /// Push a (partial) group-by below a join (paper: `GroupbyOnJoin`).
-    GroupByOnJoin { variant: u8 },
+    GroupByOnJoin {
+        variant: u8,
+    },
     /// Push partial aggregation below a union
     /// (paper: `GroupbyBelowUnionAll`).
-    GroupByBelowUnion { variant: u8 },
+    GroupByBelowUnion {
+        variant: u8,
+    },
     /// Split an aggregation into partial + final.
-    SplitGroupBy { variant: u8 },
+    SplitGroupBy {
+        variant: u8,
+    },
     /// Flatten nested unions (paper-adjacent: `UnionAllOnUnionAll`).
-    UnionFlatten { deep: bool },
+    UnionFlatten {
+        deep: bool,
+    },
     /// Push a `Process` below a union (paper: `ProcessOnUnionAll`).
-    ProcessBelowUnion { variant: u8 },
+    ProcessBelowUnion {
+        variant: u8,
+    },
     /// Push a `Top` below a union, keeping the outer Top
     /// (paper: `TopOnRestrRemap`).
-    TopBelowUnion { variant: u8 },
+    TopBelowUnion {
+        variant: u8,
+    },
     /// Commute two adjacent unary operators (`child` directly below
     /// `parent` becomes `parent` below `child`).
     SwapUnary {
@@ -216,7 +245,9 @@ pub enum RuleAction {
         variant: u8,
     },
     /// Canonicalize group-by key order (paper: `NormalizeReduce`).
-    NormalizeReduce { variant: u8 },
+    NormalizeReduce {
+        variant: u8,
+    },
     /// Remove identity operators of `kind` (all-column projections,
     /// single-input unions, `Top` larger than its input estimate, ...).
     EliminateIdentity(OpKind),
@@ -226,7 +257,10 @@ pub enum RuleAction {
     /// `min_count` nodes of `kind`. Models SCOPE's many property-derivation
     /// and task rules that appear in optimizer traces without transforming
     /// the plan.
-    Marker { kind: OpKind, min_count: u8 },
+    Marker {
+        kind: OpKind,
+        min_count: u8,
+    },
 
     // ---- Implementation rules ----
     Impl(PhysImpl),
@@ -244,12 +278,17 @@ impl RuleAction {
             EnforceExchange => return None,
             Canonicalize(k) => *k,
             Guard { kind, .. } => *kind,
-            CollapseFilters | DropTrueFilter | FilterIntoScan | FilterBelow { .. }
+            CollapseFilters
+            | DropTrueFilter
+            | FilterIntoScan
+            | FilterBelow { .. }
             | ReorderAtoms(_) => OpKind::Filter,
             MergeProjects | ProjectBelow(_) => OpKind::Project,
             PruneBelow { kind, .. } => *kind,
             JoinCommute { .. } | JoinAssoc { .. } | JoinOnUnion { .. } => OpKind::Join,
-            GroupByOnJoin { .. } | GroupByBelowUnion { .. } | SplitGroupBy { .. }
+            GroupByOnJoin { .. }
+            | GroupByBelowUnion { .. }
+            | SplitGroupBy { .. }
             | NormalizeReduce { .. } => OpKind::GroupBy,
             UnionFlatten { .. } => OpKind::UnionAll,
             ProcessBelowUnion { .. } => OpKind::Process,
@@ -312,7 +351,11 @@ impl RuleCatalog {
     }
 
     pub(crate) fn from_rules(rules: Vec<Rule>) -> Self {
-        assert_eq!(rules.len(), NUM_RULES, "catalog must have {NUM_RULES} rules");
+        assert_eq!(
+            rules.len(),
+            NUM_RULES,
+            "catalog must have {NUM_RULES} rules"
+        );
         let mut required = RuleSet::EMPTY;
         let mut off_by_default = RuleSet::EMPTY;
         let mut transforms_by_kind = vec![Vec::new(); OpKind::COUNT];
@@ -485,7 +528,9 @@ mod tests {
             ("UnionAllToVirtualDataset", RuleCategory::Implementation),
         ];
         for (name, category) in expect {
-            let id = cat.find(name).unwrap_or_else(|| panic!("missing rule {name}"));
+            let id = cat
+                .find(name)
+                .unwrap_or_else(|| panic!("missing rule {name}"));
             assert_eq!(cat.rule(id).category, category, "{name}");
         }
     }

@@ -60,15 +60,6 @@ impl RuleSet {
         bits: [u64::MAX; WORDS],
     };
 
-    /// Build from an iterator of rule ids.
-    pub fn from_iter<I: IntoIterator<Item = RuleId>>(iter: I) -> Self {
-        let mut s = Self::EMPTY;
-        for id in iter {
-            s.insert(id);
-        }
-        s
-    }
-
     /// Insert a rule id. Out-of-range ids panic in debug builds.
     #[inline]
     pub fn insert(&mut self, id: RuleId) {
@@ -184,7 +175,11 @@ impl fmt::Debug for RuleSet {
 
 impl FromIterator<RuleId> for RuleSet {
     fn from_iter<T: IntoIterator<Item = RuleId>>(iter: T) -> Self {
-        RuleSet::from_iter(iter)
+        let mut s = Self::EMPTY;
+        for id in iter {
+            s.insert(id);
+        }
+        s
     }
 }
 
@@ -220,10 +215,7 @@ mod tests {
     fn set_algebra() {
         let a: RuleSet = [RuleId(1), RuleId(2), RuleId(3)].into_iter().collect();
         let b: RuleSet = [RuleId(2), RuleId(3), RuleId(4)].into_iter().collect();
-        assert_eq!(
-            a.union(&b).iter().count(),
-            4
-        );
+        assert_eq!(a.union(&b).iter().count(), 4);
         assert_eq!(a.intersection(&b).len(), 2);
         let d = a.difference(&b);
         assert_eq!(d.iter().collect::<Vec<_>>(), vec![RuleId(1)]);
@@ -249,9 +241,6 @@ mod tests {
     #[test]
     fn bit_string_partial_parse() {
         let s = RuleSet::from_bit_string("101");
-        assert_eq!(
-            s.iter().collect::<Vec<_>>(),
-            vec![RuleId(0), RuleId(2)]
-        );
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![RuleId(0), RuleId(2)]);
     }
 }

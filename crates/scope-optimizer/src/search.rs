@@ -37,7 +37,10 @@ impl std::fmt::Display for CompileError {
                 write!(f, "no enabled implementation rule for {}", kind.name())
             }
             CompileError::NoExchangeImplementation => {
-                write!(f, "no enabled exchange implementation for a required repartitioning")
+                write!(
+                    f,
+                    "no enabled exchange implementation for a required repartitioning"
+                )
             }
             CompileError::CyclicMemo => write!(f, "cyclic memo"),
         }
@@ -106,7 +109,15 @@ pub fn implement(
     let mut winners: HashMap<GroupId, Winner> = HashMap::new();
     let mut failures: HashMap<GroupId, CompileError> = HashMap::new();
     let mut visiting: Vec<bool> = vec![false; memo.num_groups()];
-    best(memo, root, config, obs, &mut winners, &mut failures, &mut visiting)?;
+    best(
+        memo,
+        root,
+        config,
+        obs,
+        &mut winners,
+        &mut failures,
+        &mut visiting,
+    )?;
 
     // Extraction.
     let mut plan = PhysPlan::new();
@@ -114,7 +125,9 @@ pub fn implement(
     let mut used = RuleSet::EMPTY;
     let cat = RuleCatalog::global();
     let enforce = cat.find("EnforceExchange").expect("catalog rule");
-    let root_node = extract(memo, root, &winners, &mut plan, &mut built, &mut used, enforce);
+    let root_node = extract(
+        memo, root, &winners, &mut plan, &mut built, &mut used, enforce,
+    );
     plan.set_root(root_node);
     let est_cost = plan.total_est_cost();
     Ok(SearchOutcome {
@@ -194,10 +207,7 @@ fn best(
         }
 
         let expr = memo.expr(expr_id);
-        let child_ests: Vec<&LogicalEst> = children
-            .iter()
-            .map(|g| &memo.group(*g).est)
-            .collect();
+        let child_ests: Vec<&LogicalEst> = children.iter().map(|g| &memo.group(*g).est).collect();
 
         for impl_rule in enabled_impls {
             let RuleAction::Impl(phys) = &cat.rule(impl_rule).action else {
@@ -335,18 +345,18 @@ fn extract(
         child_nodes.push(node);
     }
     let own_cost = w.cost
-        - expr
-            .children
-            .iter()
-            .map(|c| winners[c].cost)
-            .sum::<f64>()
+        - expr.children.iter().map(|c| winners[c].cost).sum::<f64>()
         - w.exchanges
             .iter()
             .enumerate()
             .filter_map(|(i, e)| {
                 e.as_ref().map(|(ex_impl, _, _, _)| {
-                    exchange_cost(*ex_impl, winners[&expr.children[i]].est.bytes(), w.dop.max(1))
-                        .cost
+                    exchange_cost(
+                        *ex_impl,
+                        winners[&expr.children[i]].est.bytes(),
+                        w.dop.max(1),
+                    )
+                    .cost
                 })
             })
             .sum::<f64>();
@@ -429,17 +439,38 @@ fn phys_op_for(phys: PhysImpl, op: &LogicalOp) -> PhysOp {
             kind: *kind,
             keys: keys.clone(),
         },
-        (HashAgg, LogicalOp::GroupBy { keys, aggs, partial }) => PhysOp::HashAgg {
+        (
+            HashAgg,
+            LogicalOp::GroupBy {
+                keys,
+                aggs,
+                partial,
+            },
+        ) => PhysOp::HashAgg {
             keys: keys.clone(),
             aggs: aggs.clone(),
             partial: *partial,
         },
-        (SortAgg, LogicalOp::GroupBy { keys, aggs, partial }) => PhysOp::SortAgg {
+        (
+            SortAgg,
+            LogicalOp::GroupBy {
+                keys,
+                aggs,
+                partial,
+            },
+        ) => PhysOp::SortAgg {
             keys: keys.clone(),
             aggs: aggs.clone(),
             partial: *partial,
         },
-        (StreamAgg, LogicalOp::GroupBy { keys, aggs, partial }) => PhysOp::StreamAgg {
+        (
+            StreamAgg,
+            LogicalOp::GroupBy {
+                keys,
+                aggs,
+                partial,
+            },
+        ) => PhysOp::StreamAgg {
             keys: keys.clone(),
             aggs: aggs.clone(),
             partial: *partial,

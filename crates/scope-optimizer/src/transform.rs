@@ -29,8 +29,12 @@ pub struct TransformCtx<'a> {
 /// aggregate arguments).
 pub fn referenced_cols(op: &LogicalOp, out: &mut BTreeSet<ColId>) {
     match op {
-        LogicalOp::Get { .. } | LogicalOp::UnionAll | LogicalOp::VirtualDataset
-        | LogicalOp::Output { .. } | LogicalOp::Process { .. } | LogicalOp::Top { .. } => {}
+        LogicalOp::Get { .. }
+        | LogicalOp::UnionAll
+        | LogicalOp::VirtualDataset
+        | LogicalOp::Output { .. }
+        | LogicalOp::Process { .. }
+        | LogicalOp::Top { .. } => {}
         LogicalOp::RangeGet { pushed, .. } => {
             out.extend(pushed.atoms.iter().map(|a| a.col));
         }
@@ -140,9 +144,13 @@ impl Rewriter<'_, '_> {
     // ---- Filter rewrites -------------------------------------------------
 
     fn collapse_filters(&self, memo: &mut Memo, expr: &ExprView) -> usize {
-        let LogicalOp::Filter { predicate: p_up } = &expr.op else { return 0 };
+        let LogicalOp::Filter { predicate: p_up } = &expr.op else {
+            return 0;
+        };
         let child = memo.canonical(expr.children[0]).clone();
-        let LogicalOp::Filter { predicate: p_down } = &child.op else { return 0 };
+        let LogicalOp::Filter { predicate: p_down } = &child.op else {
+            return 0;
+        };
         let merged = p_up.clone().and(p_down.clone());
         self.alt(
             memo,
@@ -152,7 +160,9 @@ impl Rewriter<'_, '_> {
     }
 
     fn drop_true_filter(&self, memo: &mut Memo, expr: &ExprView) -> usize {
-        let LogicalOp::Filter { predicate } = &expr.op else { return 0 };
+        let LogicalOp::Filter { predicate } = &expr.op else {
+            return 0;
+        };
         if !predicate.is_true() {
             return 0;
         }
@@ -161,12 +171,16 @@ impl Rewriter<'_, '_> {
     }
 
     fn filter_into_scan(&self, memo: &mut Memo, expr: &ExprView) -> usize {
-        let LogicalOp::Filter { predicate } = &expr.op else { return 0 };
+        let LogicalOp::Filter { predicate } = &expr.op else {
+            return 0;
+        };
         if predicate.is_true() {
             return 0;
         }
         let child = memo.canonical(expr.children[0]).clone();
-        let LogicalOp::RangeGet { table, pushed } = &child.op else { return 0 };
+        let LogicalOp::RangeGet { table, pushed } = &child.op else {
+            return 0;
+        };
         let merged = pushed.clone().and(predicate.clone());
         self.alt(
             memo,
@@ -179,7 +193,9 @@ impl Rewriter<'_, '_> {
     }
 
     fn filter_below(&self, memo: &mut Memo, expr: &ExprView, kind: OpKind, eq_only: bool) -> usize {
-        let LogicalOp::Filter { predicate } = &expr.op else { return 0 };
+        let LogicalOp::Filter { predicate } = &expr.op else {
+            return 0;
+        };
         if predicate.is_true() {
             return 0;
         }
@@ -230,10 +246,20 @@ impl Rewriter<'_, '_> {
                 self.wrap_residual(memo, inner, residual)
             }
             LogicalOp::Join { kind: jk, keys } => {
-                let l_cols: BTreeSet<ColId> =
-                    memo.group(child.children[0]).est.cols.iter().copied().collect();
-                let r_cols: BTreeSet<ColId> =
-                    memo.group(child.children[1]).est.cols.iter().copied().collect();
+                let l_cols: BTreeSet<ColId> = memo
+                    .group(child.children[0])
+                    .est
+                    .cols
+                    .iter()
+                    .copied()
+                    .collect();
+                let r_cols: BTreeSet<ColId> = memo
+                    .group(child.children[1])
+                    .est
+                    .cols
+                    .iter()
+                    .copied()
+                    .collect();
                 let mut l_atoms = Vec::new();
                 let mut r_atoms = Vec::new();
                 let mut rest = residual;
@@ -281,9 +307,8 @@ impl Rewriter<'_, '_> {
             }
             LogicalOp::GroupBy { keys, .. } => {
                 let key_set: BTreeSet<ColId> = keys.iter().copied().collect();
-                let (on_keys, rest): (Vec<PredAtom>, Vec<PredAtom>) = pushable
-                    .into_iter()
-                    .partition(|a| key_set.contains(&a.col));
+                let (on_keys, rest): (Vec<PredAtom>, Vec<PredAtom>) =
+                    pushable.into_iter().partition(|a| key_set.contains(&a.col));
                 if on_keys.is_empty() {
                     return 0;
                 }
@@ -321,7 +346,9 @@ impl Rewriter<'_, '_> {
     }
 
     fn reorder_atoms(&self, memo: &mut Memo, expr: &ExprView, order: AtomOrder) -> usize {
-        let LogicalOp::Filter { predicate } = &expr.op else { return 0 };
+        let LogicalOp::Filter { predicate } = &expr.op else {
+            return 0;
+        };
         if predicate.len() < 2 {
             return 0;
         }
@@ -363,9 +390,13 @@ impl Rewriter<'_, '_> {
     // ---- Project rewrites ------------------------------------------------
 
     fn merge_projects(&self, memo: &mut Memo, expr: &ExprView) -> usize {
-        let LogicalOp::Project { cols, computed } = &expr.op else { return 0 };
+        let LogicalOp::Project { cols, computed } = &expr.op else {
+            return 0;
+        };
         let child = memo.canonical(expr.children[0]).clone();
-        let LogicalOp::Project { computed: c2, .. } = &child.op else { return 0 };
+        let LogicalOp::Project { computed: c2, .. } = &child.op else {
+            return 0;
+        };
         self.alt(
             memo,
             LogicalOp::Project {
@@ -377,7 +408,9 @@ impl Rewriter<'_, '_> {
     }
 
     fn project_below(&self, memo: &mut Memo, expr: &ExprView, kind: OpKind) -> usize {
-        let LogicalOp::Project { cols, computed } = &expr.op else { return 0 };
+        let LogicalOp::Project { cols, computed } = &expr.op else {
+            return 0;
+        };
         let child = memo.canonical(expr.children[0]).clone();
         if child.op.kind() != kind {
             return 0;
@@ -539,7 +572,9 @@ impl Rewriter<'_, '_> {
     // ---- Join rewrites ---------------------------------------------------
 
     fn join_commute(&self, memo: &mut Memo, expr: &ExprView, guarded: bool) -> usize {
-        let LogicalOp::Join { kind, keys } = &expr.op else { return 0 };
+        let LogicalOp::Join { kind, keys } = &expr.op else {
+            return 0;
+        };
         if *kind != JoinKind::Inner {
             return 0;
         }
@@ -563,13 +598,21 @@ impl Rewriter<'_, '_> {
     }
 
     fn join_assoc(&self, memo: &mut Memo, expr: &ExprView, right: bool, guarded: bool) -> usize {
-        let LogicalOp::Join { kind, keys } = &expr.op else { return 0 };
+        let LogicalOp::Join { kind, keys } = &expr.op else {
+            return 0;
+        };
         if *kind != JoinKind::Inner {
             return 0;
         }
         let (outer_idx, inner_idx) = if right { (1, 0) } else { (0, 1) };
         let nested = memo.canonical(expr.children[outer_idx]).clone();
-        let LogicalOp::Join { kind: k2, keys: keys2 } = &nested.op else { return 0 };
+        let LogicalOp::Join {
+            kind: k2,
+            keys: keys2,
+        } = &nested.op
+        else {
+            return 0;
+        };
         if *k2 != JoinKind::Inner {
             return 0;
         }
@@ -616,8 +659,16 @@ impl Rewriter<'_, '_> {
         )
     }
 
-    fn join_on_union(&self, memo: &mut Memo, expr: &ExprView, max_arity: usize, left: bool) -> usize {
-        let LogicalOp::Join { kind, keys } = &expr.op else { return 0 };
+    fn join_on_union(
+        &self,
+        memo: &mut Memo,
+        expr: &ExprView,
+        max_arity: usize,
+        left: bool,
+    ) -> usize {
+        let LogicalOp::Join { kind, keys } = &expr.op else {
+            return 0;
+        };
         if *kind != JoinKind::Inner {
             return 0;
         }
@@ -652,16 +703,28 @@ impl Rewriter<'_, '_> {
     // ---- Aggregation rewrites ---------------------------------------------
 
     fn groupby_on_join(&self, memo: &mut Memo, expr: &ExprView, variant: u8) -> usize {
-        let LogicalOp::GroupBy { keys, aggs, partial } = &expr.op else { return 0 };
+        let LogicalOp::GroupBy {
+            keys,
+            aggs,
+            partial,
+        } = &expr.op
+        else {
+            return 0;
+        };
         if *partial {
             return 0;
         }
         let child = memo.canonical(expr.children[0]).clone();
-        let LogicalOp::Join { kind: jk, keys: jkeys } = &child.op else { return 0 };
+        let LogicalOp::Join {
+            kind: jk,
+            keys: jkeys,
+        } = &child.op
+        else {
+            return 0;
+        };
         let side = (variant % 2) as usize; // variants alternate push side
         let side_group = child.children[side];
-        let side_cols: BTreeSet<ColId> =
-            memo.group(side_group).est.cols.iter().copied().collect();
+        let side_cols: BTreeSet<ColId> = memo.group(side_group).est.cols.iter().copied().collect();
         if !keys.iter().all(|k| side_cols.contains(k)) {
             return 0;
         }
@@ -712,7 +775,14 @@ impl Rewriter<'_, '_> {
     }
 
     fn groupby_below_union(&self, memo: &mut Memo, expr: &ExprView, variant: u8) -> usize {
-        let LogicalOp::GroupBy { keys, aggs, partial } = &expr.op else { return 0 };
+        let LogicalOp::GroupBy {
+            keys,
+            aggs,
+            partial,
+        } = &expr.op
+        else {
+            return 0;
+        };
         if *partial {
             return 0;
         }
@@ -750,7 +820,14 @@ impl Rewriter<'_, '_> {
     }
 
     fn split_groupby(&self, memo: &mut Memo, expr: &ExprView, variant: u8) -> usize {
-        let LogicalOp::GroupBy { keys, aggs, partial } = &expr.op else { return 0 };
+        let LogicalOp::GroupBy {
+            keys,
+            aggs,
+            partial,
+        } = &expr.op
+        else {
+            return 0;
+        };
         if *partial || keys.is_empty() {
             return 0;
         }
@@ -788,7 +865,14 @@ impl Rewriter<'_, '_> {
     }
 
     fn normalize_reduce(&self, memo: &mut Memo, expr: &ExprView, variant: u8) -> usize {
-        let LogicalOp::GroupBy { keys, aggs, partial } = &expr.op else { return 0 };
+        let LogicalOp::GroupBy {
+            keys,
+            aggs,
+            partial,
+        } = &expr.op
+        else {
+            return 0;
+        };
         if keys.len() < 2 {
             return 0;
         }
@@ -843,7 +927,9 @@ impl Rewriter<'_, '_> {
     }
 
     fn process_below_union(&self, memo: &mut Memo, expr: &ExprView) -> usize {
-        let LogicalOp::Process { udo } = &expr.op else { return 0 };
+        let LogicalOp::Process { udo } = &expr.op else {
+            return 0;
+        };
         let child = memo.canonical(expr.children[0]).clone();
         if child.op.kind() != OpKind::UnionAll {
             return 0;
@@ -856,7 +942,9 @@ impl Rewriter<'_, '_> {
     }
 
     fn top_below_union(&self, memo: &mut Memo, expr: &ExprView) -> usize {
-        let LogicalOp::Top { k } = &expr.op else { return 0 };
+        let LogicalOp::Top { k } = &expr.op else {
+            return 0;
+        };
         let child = memo.canonical(expr.children[0]).clone();
         if child.op.kind() != OpKind::UnionAll {
             return 0;
@@ -871,7 +959,13 @@ impl Rewriter<'_, '_> {
 
     // ---- Generic unary rewrites --------------------------------------------
 
-    fn swap_unary(&self, memo: &mut Memo, expr: &ExprView, parent: OpKind, child_kind: OpKind) -> usize {
+    fn swap_unary(
+        &self,
+        memo: &mut Memo,
+        expr: &ExprView,
+        parent: OpKind,
+        child_kind: OpKind,
+    ) -> usize {
         if expr.op.kind() != parent || expr.children.len() != 1 {
             return 0;
         }

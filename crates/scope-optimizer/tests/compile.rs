@@ -61,8 +61,12 @@ fn default_config_compiles_join_agg_job() {
     assert!(compiled.plan.len() >= 6);
     // The signature contains required rules and at least one impl rule.
     let catlg = RuleCatalog::global();
-    assert!(compiled.signature.contains(catlg.find("GetToRange").unwrap()));
-    assert!(compiled.signature.contains(catlg.find("BuildOutput").unwrap()));
+    assert!(compiled
+        .signature
+        .contains(catlg.find("GetToRange").unwrap()));
+    assert!(compiled
+        .signature
+        .contains(catlg.find("BuildOutput").unwrap()));
     let has_impl = compiled
         .signature
         .on_rules()
@@ -141,13 +145,12 @@ fn disabling_used_join_impl_steers_to_alternative() {
         .plan
         .reachable()
         .into_iter()
-        .find_map(|id| steered.plan.node(id).created_by.filter(|r| {
-            catlg.rule(*r).category == RuleCategory::Implementation
-                && catlg
-                    .rule(*r)
-                    .name
-                    .contains("Join")
-        }))
+        .find_map(|id| {
+            steered.plan.node(id).created_by.filter(|r| {
+                catlg.rule(*r).category == RuleCategory::Implementation
+                    && catlg.rule(*r).name.contains("Join")
+            })
+        })
         .expect("steered plan has a join impl");
     assert_ne!(new_join, winner_rule);
 }
@@ -158,7 +161,10 @@ fn exchanges_are_inserted_and_enforce_exchange_fires() {
     let obs = cat.observe();
     let plan = join_agg_plan(&cols);
     let compiled = compile(&plan, &obs, &RuleConfig::default_config()).unwrap();
-    assert!(compiled.plan.num_exchanges() > 0, "distributed plan needs exchanges");
+    assert!(
+        compiled.plan.num_exchanges() > 0,
+        "distributed plan needs exchanges"
+    );
     let catlg = RuleCatalog::global();
     assert!(compiled
         .signature

@@ -55,14 +55,21 @@ fn top_heap_beats_global_sort_for_big_inputs() {
     let o = obs();
     let heap = impl_cost(PhysImpl::TopN, &op, &own, &[&child], &o);
     let sort = impl_cost(PhysImpl::TopSort, &op, &own, &[&child], &o);
-    assert!(heap.cost < sort.cost / 5.0, "{} vs {}", heap.cost, sort.cost);
+    assert!(
+        heap.cost < sort.cost / 5.0,
+        "{} vs {}",
+        heap.cost,
+        sort.cost
+    );
     assert!(heap.dop >= sort.dop);
 }
 
 #[test]
 fn serial_variants_cost_more_on_big_inputs() {
     let o = obs();
-    let sort_op = LogicalOp::Sort { keys: vec![ColId(0)] };
+    let sort_op = LogicalOp::Sort {
+        keys: vec![ColId(0)],
+    };
     let own = est(1e8);
     let child = est(1e8);
     let par = impl_cost(PhysImpl::SortParallel, &sort_op, &own, &[&child], &o);
@@ -71,8 +78,20 @@ fn serial_variants_cost_more_on_big_inputs() {
     assert_eq!(ser.dop, 1);
 
     let union_op = LogicalOp::UnionAll;
-    let par_u = impl_cost(PhysImpl::UnionConcat, &union_op, &own, &[&child, &child], &o);
-    let ser_u = impl_cost(PhysImpl::UnionSerial, &union_op, &own, &[&child, &child], &o);
+    let par_u = impl_cost(
+        PhysImpl::UnionConcat,
+        &union_op,
+        &own,
+        &[&child, &child],
+        &o,
+    );
+    let ser_u = impl_cost(
+        PhysImpl::UnionSerial,
+        &union_op,
+        &own,
+        &[&child, &child],
+        &o,
+    );
     assert!(par_u.cost < ser_u.cost);
 }
 
@@ -93,7 +112,9 @@ fn union_virtual_charges_materialization() {
 #[test]
 fn window_impls_track_their_agg_counterparts() {
     let o = obs();
-    let op = LogicalOp::Window { keys: vec![ColId(0)] };
+    let op = LogicalOp::Window {
+        keys: vec![ColId(0)],
+    };
     let own = est(1e7);
     let child = est(1e7);
     let hash = impl_cost(PhysImpl::WindowHash, &op, &own, &[&child], &o);

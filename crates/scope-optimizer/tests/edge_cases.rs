@@ -195,5 +195,10 @@ fn empty_predicate_select_is_eliminated() {
         .into_iter()
         .filter(|&id| compiled.plan.node(id).op.name() == "Filter")
         .count();
-    assert_eq!(filters, 0, "TRUE filter survived:\n{}", compiled.plan.render());
+    assert_eq!(
+        filters,
+        0,
+        "TRUE filter survived:\n{}",
+        compiled.plan.render()
+    );
 }

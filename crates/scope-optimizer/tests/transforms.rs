@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use scope_ir::expr::{CmpOp, Literal, PredAtom, Predicate};
 use scope_ir::ids::{ColId, DomainId, TableId, UdoId};
 use scope_ir::ops::{AggFunc, JoinKind, LogicalOp};
-use scope_ir::{OpKind, PlanGraph, TrueCatalog};
+use scope_ir::{PlanGraph, TrueCatalog};
 use scope_optimizer::estimate::Estimator;
 use scope_optimizer::memo::{GroupId, MExprId, Memo};
 use scope_optimizer::transform::{apply_rule, referenced_cols, TransformCtx};
@@ -38,7 +38,11 @@ impl Fixture {
         }
         let (mut memo, root) = Memo::from_plan(plan, &est);
         let catalog = RuleCatalog::global();
-        let rule = catalog.rule(catalog.find(rule_name).unwrap_or_else(|| panic!("rule {rule_name}")));
+        let rule = catalog.rule(
+            catalog
+                .find(rule_name)
+                .unwrap_or_else(|| panic!("rule {rule_name}")),
+        );
         let ctx = TransformCtx {
             est: &est,
             referenced: &referenced,
@@ -136,9 +140,10 @@ fn filter_below_join_splits_by_side() {
     let pushed_join = memo.group(out_child).exprs.iter().any(|&e| {
         let expr = memo.expr(e);
         matches!(expr.op, LogicalOp::Join { .. })
-            && expr.children.iter().all(|&c| {
-                matches!(memo.canonical(c).op, LogicalOp::Filter { .. })
-            })
+            && expr
+                .children
+                .iter()
+                .all(|&c| matches!(memo.canonical(c).op, LogicalOp::Filter { .. }))
     });
     assert!(pushed_join, "expected Join over per-side Filters");
 }
@@ -236,9 +241,12 @@ fn join_on_union_distributes_join_over_branches() {
     let (memo, root, added) = fx.apply(&p, "CorrelatedJoinOnUnionAll1");
     assert!(added >= 1, "rule must fire");
     let join_group = memo.canonical(root).children[0];
-    assert!(find_in_group(&memo, join_group, |op| {
-        matches!(op, LogicalOp::UnionAll)
-    }), "expected UnionAll(Join, Join) alternative");
+    assert!(
+        find_in_group(&memo, join_group, |op| {
+            matches!(op, LogicalOp::UnionAll)
+        }),
+        "expected UnionAll(Join, Join) alternative"
+    );
 }
 
 #[test]
@@ -278,17 +286,17 @@ fn union_flatten_inlines_nested_unions() {
     let a = p.add_unchecked(scan(0), vec![]);
     let b = p.add_unchecked(scan(1), vec![]);
     let inner = p.add_unchecked(LogicalOp::UnionAll, vec![a, b]);
-    let c = p.add_unchecked(
-        LogicalOp::Process { udo: UdoId(0) },
-        vec![b],
-    );
+    let c = p.add_unchecked(LogicalOp::Process { udo: UdoId(0) }, vec![b]);
     let outer = p.add_unchecked(LogicalOp::UnionAll, vec![inner, c]);
     let o = p.add_unchecked(LogicalOp::Output { stream: 0 }, vec![outer]);
     p.set_root(o);
     let (memo, root, added) = fx.apply(&p, "UnionAllOnUnionAll");
     assert!(added >= 1);
     let u_group = memo.canonical(root).children[0];
-    assert!(find_in_group(&memo, u_group, |op| matches!(op, LogicalOp::UnionAll)));
+    assert!(find_in_group(&memo, u_group, |op| matches!(
+        op,
+        LogicalOp::UnionAll
+    )));
     // Flattened alternative has 3 children.
     let flattened = memo.group(u_group).exprs.iter().any(|&e| {
         let expr = memo.expr(e);
@@ -302,7 +310,12 @@ fn swap_unary_commutes_adjacent_operators() {
     let fx = Fixture::new();
     let mut p = PlanGraph::new();
     let s = p.add_unchecked(scan(0), vec![]);
-    let sort = p.add_unchecked(LogicalOp::Sort { keys: vec![ColId(0)] }, vec![s]);
+    let sort = p.add_unchecked(
+        LogicalOp::Sort {
+            keys: vec![ColId(0)],
+        },
+        vec![s],
+    );
     let f = p.add_unchecked(filter(vec![atom(1, CmpOp::Eq)]), vec![sort]);
     let o = p.add_unchecked(LogicalOp::Output { stream: 0 }, vec![f]);
     p.set_root(o);
@@ -310,7 +323,10 @@ fn swap_unary_commutes_adjacent_operators() {
     let (memo, root, added) = fx.apply(&p, "ReseqFilterOnSort");
     assert_eq!(added, 1);
     let top_group = memo.canonical(root).children[0];
-    assert!(find_in_group(&memo, top_group, |op| matches!(op, LogicalOp::Sort { .. })));
+    assert!(find_in_group(&memo, top_group, |op| matches!(
+        op,
+        LogicalOp::Sort { .. }
+    )));
 }
 
 #[test]

@@ -42,15 +42,16 @@ impl Workload {
                     // Customers enable off-by-default rules that are
                     // *relevant* to their script: rules anchored on an
                     // operator the plan actually contains.
-                    let counts =
-                        scope_optimizer::optimizer::normalized_kind_counts(&parts.plan);
+                    let counts = scope_optimizer::optimizer::normalized_kind_counts(&parts.plan);
                     let relevant: Vec<u16> = catalog
                         .off_by_default()
                         .iter()
                         .filter(|id| {
-                            catalog.rule(*id).action.anchor().map_or(false, |kind| {
-                                counts[kind as usize] > 0
-                            })
+                            catalog
+                                .rule(*id)
+                                .action
+                                .anchor()
+                                .is_some_and(|kind| counts[kind as usize] > 0)
                         })
                         .map(|id| id.0)
                         .collect();
@@ -59,9 +60,7 @@ impl Workload {
                     } else {
                         let n = rand::Rng::gen_range(&mut rng, 1..3usize).min(relevant.len());
                         (0..n)
-                            .map(|_| {
-                                relevant[rand::Rng::gen_range(&mut rng, 0..relevant.len())]
-                            })
+                            .map(|_| relevant[rand::Rng::gen_range(&mut rng, 0..relevant.len())])
                             .collect()
                     }
                 } else {

@@ -56,10 +56,16 @@ pub struct InputPool {
 
 impl InputPool {
     /// Generate `n` streams with `ln(rows) ~ Normal(mu, sigma)`.
-    pub fn generate(n: usize, mu: f64, sigma: f64, drift_sigma: f64, rng: &mut StdRng) -> InputPool {
+    pub fn generate(
+        n: usize,
+        mu: f64,
+        sigma: f64,
+        drift_sigma: f64,
+        rng: &mut StdRng,
+    ) -> InputPool {
         let streams = (0..n)
             .map(|_| {
-                let rows = lognormal(rng, mu, sigma).max(100.0).min(1.5e9) as u64;
+                let rows = lognormal(rng, mu, sigma).clamp(100.0, 1.5e9) as u64;
                 InputStream {
                     name_hash: rng.gen(),
                     base_rows: rows,

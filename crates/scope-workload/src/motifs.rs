@@ -74,7 +74,12 @@ impl Motif {
     }
 
     /// Build a template of this motif.
-    pub fn build(self, profile: &WorkloadProfile, pool: &InputPool, rng: &mut StdRng) -> TemplateParts {
+    pub fn build(
+        self,
+        profile: &WorkloadProfile,
+        pool: &InputPool,
+        rng: &mut StdRng,
+    ) -> TemplateParts {
         let mut b = Builder::new(profile, pool, rng);
         match self {
             Motif::EtlCook => b.etl_cook(),
@@ -118,9 +123,12 @@ impl<'a> Builder<'a> {
 
     fn finish(mut self) -> TemplateParts {
         let root = self.root.expect("motif set a root");
-        let out = self
-            .plan
-            .add_unchecked(LogicalOp::Output { stream: self.rng.gen() }, vec![root]);
+        let out = self.plan.add_unchecked(
+            LogicalOp::Output {
+                stream: self.rng.gen(),
+            },
+            vec![root],
+        );
         self.plan.set_root(out);
         TemplateParts {
             plan: self.plan,
@@ -137,7 +145,13 @@ impl<'a> Builder<'a> {
 
     /// A schema of `n_attrs` attribute columns plus a key column in
     /// `domain` with the given distinct count and optional skew.
-    fn schema(&mut self, domain: DomainId, key_ndv: u64, skewed: bool, n_attrs: usize) -> (ColId, Vec<ColId>) {
+    fn schema(
+        &mut self,
+        domain: DomainId,
+        key_ndv: u64,
+        skewed: bool,
+        n_attrs: usize,
+    ) -> (ColId, Vec<ColId>) {
         let skew = if skewed {
             self.rng.gen_range(0.04..0.25)
         } else {
@@ -184,7 +198,9 @@ impl<'a> Builder<'a> {
         let rows = self.pool.streams[idx].base_rows;
         let key = self.cat.add_column(rows.max(1), 0.0, domain);
         let d = self.domain();
-        let attr_ndv = *[10u64, 100, 1000].get(self.rng.gen_range(0..3)).expect("ndv");
+        let attr_ndv = *[10u64, 100, 1000]
+            .get(self.rng.gen_range(0..3))
+            .expect("ndv");
         let attr = self.cat.add_column(attr_ndv, 0.0, d);
         let t = self.table(idx, vec![key, attr]);
         (t, key, attr)
@@ -198,7 +214,13 @@ impl<'a> Builder<'a> {
     /// shape heuristic (benign); otherwise the true selectivity is sampled
     /// independently, creating an estimation gap in either direction.
     fn atom(&mut self, col: ColId, corr_group: Option<u32>) -> PredAtom {
-        let ops = [CmpOp::Eq, CmpOp::Range, CmpOp::Between, CmpOp::Like, CmpOp::InList];
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Range,
+            CmpOp::Between,
+            CmpOp::Like,
+            CmpOp::InList,
+        ];
         let op = ops[self.rng.gen_range(0..ops.len())];
         let ndv = self.cat.columns[col.index()].ndv;
         let true_sel = if corr_group.is_none() && self.rng.gen_bool(0.5) {
@@ -263,10 +285,8 @@ impl<'a> Builder<'a> {
 
     fn project(&mut self, input: NodeId, cols: Vec<ColId>) -> NodeId {
         let computed = self.rng.gen_range(0..3);
-        self.plan.add_unchecked(
-            LogicalOp::Project { cols, computed },
-            vec![input],
-        )
+        self.plan
+            .add_unchecked(LogicalOp::Project { cols, computed }, vec![input])
     }
 
     fn join(&mut self, l: NodeId, r: NodeId, lk: ColId, rk: ColId) -> NodeId {
@@ -320,9 +340,12 @@ impl<'a> Builder<'a> {
             }
         }
         if self.rng.gen_bool(0.3) {
-            node = self
-                .plan
-                .add_unchecked(LogicalOp::Sort { keys: vec![attrs[0]] }, vec![node]);
+            node = self.plan.add_unchecked(
+                LogicalOp::Sort {
+                    keys: vec![attrs[0]],
+                },
+                vec![node],
+            );
         }
         let mut keep = vec![key];
         keep.extend(attrs.iter().take(2));
@@ -351,9 +374,7 @@ impl<'a> Builder<'a> {
             }
             branch_nodes.push(node);
         }
-        let union = self
-            .plan
-            .add_unchecked(LogicalOp::UnionAll, branch_nodes);
+        let union = self.plan.add_unchecked(LogicalOp::UnionAll, branch_nodes);
         let (dim, dkey, dattr) = self.dim_table(d, 50_000);
         let dscan = self.scan(dim);
         let mut joined = self.join(union, dscan, key, dkey);
@@ -479,7 +500,9 @@ impl<'a> Builder<'a> {
             }
         }
         let sort = self.plan.add_unchecked(
-            LogicalOp::Sort { keys: vec![attrs[0]] },
+            LogicalOp::Sort {
+                keys: vec![attrs[0]],
+            },
             vec![node],
         );
         let top = self
@@ -499,12 +522,12 @@ impl<'a> Builder<'a> {
         let cooked = self.process(f);
         // Branch 1: rollup.
         let gb = self.groupby(cooked, vec![attrs[0]], attrs[1]);
-        let top = self
-            .plan
-            .add_unchecked(LogicalOp::Top { k: 50 }, vec![gb]);
+        let top = self.plan.add_unchecked(LogicalOp::Top { k: 50 }, vec![gb]);
         // Branch 2: windowed view over the same cooked data.
         let win = self.plan.add_unchecked(
-            LogicalOp::Window { keys: vec![attrs[0]] },
+            LogicalOp::Window {
+                keys: vec![attrs[0]],
+            },
             vec![cooked],
         );
         let proj = self.project(win, vec![attrs[0], attrs[1]]);
@@ -537,9 +560,7 @@ impl<'a> Builder<'a> {
             }
             inner_unions.push(self.plan.add_unchecked(LogicalOp::UnionAll, nodes));
         }
-        let outer = self
-            .plan
-            .add_unchecked(LogicalOp::UnionAll, inner_unions);
+        let outer = self.plan.add_unchecked(LogicalOp::UnionAll, inner_unions);
         let cooked = self.process(outer);
         let f = self.filter(cooked, &attrs, 1);
         self.root = Some(f);
@@ -552,7 +573,9 @@ impl<'a> Builder<'a> {
         let t = self.fact_table(1_000_000, key, &attrs.clone());
         let scan = self.scan(t);
         let win = self.plan.add_unchecked(
-            LogicalOp::Window { keys: vec![attrs[0]] },
+            LogicalOp::Window {
+                keys: vec![attrs[0]],
+            },
             vec![scan],
         );
         let n = self.rng.gen_range(1..3);
@@ -580,9 +603,10 @@ mod tests {
     #[test]
     fn every_motif_builds_a_valid_plan() {
         for (i, parts) in build_all().into_iter().enumerate() {
-            parts.plan.validate().unwrap_or_else(|e| {
-                panic!("motif {i} invalid: {e}")
-            });
+            parts
+                .plan
+                .validate()
+                .unwrap_or_else(|e| panic!("motif {i} invalid: {e}"));
             assert!(parts.plan.size() >= 4, "motif {i} too small");
             assert_eq!(
                 parts.table_streams.len(),

@@ -96,7 +96,7 @@ impl WorkloadProfile {
             tag: WorkloadTag::A,
             seed: 0xA11CE,
             daily_jobs: scaled(950, scale),
-            templates_per_job: 0.51, // 48K/95K
+            templates_per_job: 0.51,   // 48K/95K
             inputs_per_template: 0.60, // 29K/48K
             template_activity: 0.93,
             mix: MotifMix {
@@ -127,7 +127,7 @@ impl WorkloadProfile {
             tag: WorkloadTag::B,
             seed: 0xB0B,
             daily_jobs: scaled(150, scale),
-            templates_per_job: 0.70, // 10.5K/15K
+            templates_per_job: 0.70,   // 10.5K/15K
             inputs_per_template: 0.86, // 9K/10.5K
             template_activity: 0.97,
             mix: MotifMix {
@@ -158,7 +158,7 @@ impl WorkloadProfile {
             tag: WorkloadTag::C,
             seed: 0xC0C0A,
             daily_jobs: scaled(400, scale),
-            templates_per_job: 0.55, // 22K/40K
+            templates_per_job: 0.55,   // 22K/40K
             inputs_per_template: 0.84, // 18.5K/22K
             template_activity: 0.94,
             mix: MotifMix {
@@ -193,7 +193,9 @@ impl WorkloadProfile {
 
     /// Number of recurring templates.
     pub fn num_templates(&self) -> usize {
-        ((self.daily_jobs as f64) * self.templates_per_job).round().max(1.0) as usize
+        ((self.daily_jobs as f64) * self.templates_per_job)
+            .round()
+            .max(1.0) as usize
     }
 
     /// Size of the shared input-stream pool.

@@ -68,8 +68,7 @@ impl Template {
                 *lit = Literal::Int(rng.gen());
             };
             match op {
-                LogicalOp::Select { predicate }
-                | LogicalOp::Filter { predicate } => {
+                LogicalOp::Select { predicate } | LogicalOp::Filter { predicate } => {
                     for atom in &mut predicate.atoms {
                         refresh(&mut atom.literal, &mut rng);
                     }

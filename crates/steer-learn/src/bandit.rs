@@ -132,9 +132,7 @@ impl ReplayResult {
         let regret: f64 = samples
             .iter()
             .zip(self.runtimes.iter())
-            .map(|(s, &paid)| {
-                paid - s.runtimes.iter().cloned().fold(f64::INFINITY, f64::min)
-            })
+            .map(|(s, &paid)| paid - s.runtimes.iter().cloned().fold(f64::INFINITY, f64::min))
             .sum();
         regret / samples.len() as f64
     }
@@ -242,7 +240,10 @@ mod tests {
         // In the second half, arm 1 dominates the choices.
         let late = &result.choices[150..];
         let best_picks = late.iter().filter(|&&c| c == 1).count();
-        assert!(best_picks as f64 > late.len() as f64 * 0.8, "{best_picks}/150");
+        assert!(
+            best_picks as f64 > late.len() as f64 * 0.8,
+            "{best_picks}/150"
+        );
     }
 
     #[test]
@@ -253,7 +254,10 @@ mod tests {
         let result = replay_bandit(&ds, &mut bandit, &mut rng);
         let late = &result.choices[150..];
         let best_picks = late.iter().filter(|&&c| c == 1).count();
-        assert!(best_picks as f64 > late.len() as f64 * 0.8, "{best_picks}/150");
+        assert!(
+            best_picks as f64 > late.len() as f64 * 0.8,
+            "{best_picks}/150"
+        );
     }
 
     #[test]

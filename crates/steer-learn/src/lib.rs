@@ -25,7 +25,9 @@ pub mod nn;
 pub mod persist;
 pub mod trainer;
 
-pub use bandit::{cost_model_choice, replay_bandit, ArmChooser, EpsilonGreedy, ReplayResult, ThompsonGaussian};
+pub use bandit::{
+    cost_model_choice, replay_bandit, ArmChooser, EpsilonGreedy, ReplayResult, ThompsonGaussian,
+};
 pub use dataset::{build_group_dataset, GroupDataset, GroupSample};
 pub use encode::{hash_bin, normalize_targets, Normalizer, HASH_BINS};
 pub use eval::{evaluate, GroupEval, PerQuery, RuntimeStats};

@@ -54,13 +54,12 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         debug_assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        for (yr, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
             let mut acc = 0.0;
             for (w, xi) in row.iter().zip(x.iter()) {
                 acc += w * xi;
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -69,9 +68,7 @@ impl Matrix {
     pub fn matvec_t(&self, g: &[f64]) -> Vec<f64> {
         debug_assert_eq!(g.len(), self.rows);
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let gr = g[r];
+        for (row, &gr) in self.data.chunks_exact(self.cols).zip(g.iter()) {
             for (yi, w) in y.iter_mut().zip(row.iter()) {
                 *yi += w * gr;
             }

@@ -200,11 +200,9 @@ impl Mlp {
 
         self.t += 1.0;
         let t = self.t;
-        self.s_w1
-            .step(self.w1.data_mut(), g_w1.data(), lr, t);
+        self.s_w1.step(self.w1.data_mut(), g_w1.data(), lr, t);
         self.s_b1.step(&mut self.b1, &g_b1, lr, t);
-        self.s_w2
-            .step(self.w2.data_mut(), g_w2.data(), lr, t);
+        self.s_w2.step(self.w2.data_mut(), g_w2.data(), lr, t);
         self.s_b2.step(&mut self.b2, &g_b2, lr, t);
         total_loss / n
     }

@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn header_and_payload_errors() {
-        assert_eq!(load_model("not a model").unwrap_err(), PersistError::BadHeader);
+        assert_eq!(
+            load_model("not a model").unwrap_err(),
+            PersistError::BadHeader
+        );
         assert_eq!(
             load_model("scope-steer-mlp v2 1 1 1 1").unwrap_err(),
             PersistError::BadHeader

@@ -66,7 +66,11 @@ fn main() {
     let mut executed = outcome.executed;
     executed.sort_by(|a, b| a.metrics.runtime.partial_cmp(&b.metrics.runtime).unwrap());
     let alt_configs: Vec<_> = executed.into_iter().take(3).map(|c| c.config).collect();
-    println!("K = {} configurations (default + {})", alt_configs.len() + 1, alt_configs.len());
+    println!(
+        "K = {} configurations (default + {})",
+        alt_configs.len() + 1,
+        alt_configs.len()
+    );
 
     // Dataset: every configuration executed on every group job.
     let ds = build_group_dataset(jobs, &alt_configs, &ab);
@@ -108,7 +112,11 @@ fn main() {
         "99P runtime   {:>7.0} {:>8.0} {:>8.0}",
         eval.best.p99, eval.default.p99, eval.learned.p99
     );
-    let improved = eval.per_query.iter().filter(|q| q.change_s() < -1.0).count();
+    let improved = eval
+        .per_query
+        .iter()
+        .filter(|q| q.change_s() < -1.0)
+        .count();
     let default_picked = eval.per_query.iter().filter(|q| q.chosen == 0).count();
     println!(
         "\nper-query: {improved} improved, {default_picked} kept the default, of {} test queries",

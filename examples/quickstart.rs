@@ -64,8 +64,14 @@ fn main() {
         plan,
         catalog,
         vec![
-            InputRef { name_hash: 0xC11C5, bytes: 800_000_000 * 120 },
-            InputRef { name_hash: 0x05E25, bytes: 50_000 * 80 },
+            InputRef {
+                name_hash: 0xC11C5,
+                bytes: 800_000_000 * 120,
+            },
+            InputRef {
+                name_hash: 0x05E25,
+                bytes: 50_000 * 80,
+            },
         ],
         0,
         50,
@@ -110,7 +116,7 @@ job span: {} rules can affect this plan (found in {} compiles)",
             continue;
         };
         let m = ab.run(&job, &candidate.plan, 0);
-        if best.as_ref().map_or(true, |(_, rt)| m.runtime < *rt) {
+        if best.as_ref().is_none_or(|(_, rt)| m.runtime < *rt) {
             best = Some((config, m.runtime));
         }
     }

@@ -40,7 +40,11 @@ fn main() {
         let change = outcome.best_runtime_change_pct();
         println!(
             "\njob {} (span {} rules, {} candidates, {} cheaper than default, selected by {:?})",
-            outcome.job_id, outcome.span_size, outcome.n_candidates, outcome.n_cheaper, outcome.reason
+            outcome.job_id,
+            outcome.span_size,
+            outcome.n_candidates,
+            outcome.n_cheaper,
+            outcome.reason
         );
         println!(
             "  default: {:.0}s (est cost {:.0}); best alternative: {:+.1}%",
@@ -55,8 +59,14 @@ fn main() {
                     .collect::<Vec<_>>()
                     .join(", ")
             };
-            println!("  RuleDiff — only in default plan: [{}]", names(&diff.only_in_default));
-            println!("  RuleDiff — only in best plan:    [{}]", names(&diff.only_in_new));
+            println!(
+                "  RuleDiff — only in default plan: [{}]",
+                names(&diff.only_in_default)
+            );
+            println!(
+                "  RuleDiff — only in best plan:    [{}]",
+                names(&diff.only_in_new)
+            );
         }
     }
 

@@ -97,8 +97,7 @@ fn main() {
     match args.cmd.as_str() {
         "workload" => {
             let (w, jobs) = load_day(&args);
-            let templates: std::collections::HashSet<_> =
-                jobs.iter().map(|j| j.template).collect();
+            let templates: std::collections::HashSet<_> = jobs.iter().map(|j| j.template).collect();
             println!(
                 "workload {} scale {}: {} jobs, {} templates, {} recurring pool templates",
                 w.profile.tag.name(),
@@ -125,7 +124,12 @@ fn main() {
             println!("{}", compiled.plan.render());
             println!("rule signature ({} rules):", compiled.signature.len());
             for id in compiled.signature.on_rules() {
-                println!("  {:>3} {} [{:?}]", id, rules.rule(id).name, rules.rule(id).category);
+                println!(
+                    "  {:>3} {} [{:?}]",
+                    id,
+                    rules.rule(id).name,
+                    rules.rule(id).category
+                );
             }
         }
         "span" => {
@@ -141,7 +145,12 @@ fn main() {
                 span.hit_compile_failure
             );
             for id in span.rules.iter() {
-                println!("  {:>3} {} [{:?}]", id, rules.rule(id).name, rules.rule(id).category);
+                println!(
+                    "  {:>3} {} [{:?}]",
+                    id,
+                    rules.rule(id).name,
+                    rules.rule(id).category
+                );
             }
         }
         "search" => {
@@ -162,7 +171,7 @@ fn main() {
                         if c.est_cost < default.est_cost {
                             cheaper += 1;
                         }
-                        if best.as_ref().map_or(true, |(cost, _)| c.est_cost < *cost) {
+                        if best.as_ref().is_none_or(|(cost, _)| c.est_cost < *cost) {
                             best = Some((c.est_cost, config.clone()));
                         }
                     }

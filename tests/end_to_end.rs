@@ -91,7 +91,10 @@ fn pipeline_to_extrapolation_round_trip() {
 
     // Summary invariants.
     let summary = best_known_summary(&report.outcomes);
-    assert!(summary.mean_delta_runtime_s <= 0.0, "best-known can't be worse");
+    assert!(
+        summary.mean_delta_runtime_s <= 0.0,
+        "best-known can't be worse"
+    );
     assert!(summary.mean_delta_pct <= 0.0);
 
     // Outcome invariants.
@@ -159,5 +162,8 @@ fn steering_changes_plans_not_truth() {
         }
     }
     let _ = compile_job(job, &config); // may or may not compile
-    assert_eq!(job.catalog, before, "compilation must not mutate ground truth");
+    assert_eq!(
+        job.catalog, before,
+        "compilation must not mutate ground truth"
+    );
 }
