@@ -6,7 +6,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 16] = [
+const EXPERIMENTS: [&str; 18] = [
     "exp_table1",
     "exp_table2",
     "exp_fig2",
@@ -23,6 +23,8 @@ const EXPERIMENTS: [&str; 16] = [
     "exp_ablation_learning",
     "exp_deployment",
     "exp_random_configs",
+    "exp_fault_sweep",
+    "exp_budget_sweep",
 ];
 
 fn main() {

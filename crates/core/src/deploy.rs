@@ -13,9 +13,10 @@ use std::collections::HashMap;
 use scope_exec::{ABTester, JobOutcome as ExecOutcome, RetryPolicy, RunMetrics};
 use scope_ir::stats::{mean, pct_change};
 use scope_ir::Job;
-use scope_optimizer::{compile_job, RuleConfig, RuleSet};
+use scope_optimizer::{compile_job, compile_job_guarded, CompileBudget, RuleConfig, RuleSet};
 
 use crate::groups::GroupConfig;
+use crate::guard::vet_candidate;
 
 /// Lifecycle state of a stored hint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,6 +25,10 @@ pub enum HintStatus {
     Active,
     /// Regressed during re-validation; no longer recommended.
     Suspended,
+    /// Tripped a correctness or resource guardrail (compile panic, budget
+    /// exhaustion, invalid plan, or result-fingerprint divergence). Unlike
+    /// a performance regression, this is never re-tried automatically.
+    Quarantined,
 }
 
 /// One record of applying a hint to a day's same-group jobs.
@@ -59,6 +64,10 @@ pub struct StoredHint {
 pub struct RevalidationReport {
     pub groups_checked: usize,
     pub groups_suspended: usize,
+    /// Hints quarantined this sweep because the steered compile panicked,
+    /// blew the compile budget, produced an invalid plan, or produced a
+    /// plan whose result fingerprint diverged from the default's.
+    pub groups_quarantined: usize,
     pub jobs_executed: usize,
     pub mean_change_pct: f64,
     /// Steered validation runs that failed or timed out this sweep.
@@ -75,6 +84,11 @@ pub struct GuardrailRun {
     pub steered: bool,
     /// Whether the steered run died and the default plan was re-run.
     pub used_fallback: bool,
+    /// Whether a stored hint existed for this job's group but was vetoed
+    /// before execution — its compile panicked or ran over budget, or the
+    /// plan it produced failed validation / fingerprint equivalence. The
+    /// job ran on the default plan with nothing billed for the veto.
+    pub vetoed: bool,
     /// How the run that produced the output (steered or fallback) ended.
     pub outcome: ExecOutcome,
 }
@@ -87,6 +101,10 @@ pub struct HintStore {
     /// failed or timed out, regardless of the runtimes it produced when it
     /// did finish.
     pub max_validation_failures: u32,
+    /// Budget applied to every steered compile performed by the store
+    /// (re-validation and guardrail runs). Exhaustion quarantines the hint
+    /// rather than blocking the job.
+    pub compile_budget: CompileBudget,
 }
 
 impl Default for HintStore {
@@ -94,6 +112,7 @@ impl Default for HintStore {
         HintStore {
             entries: HashMap::new(),
             max_validation_failures: 3,
+            compile_budget: CompileBudget::default(),
         }
     }
 }
@@ -193,13 +212,25 @@ impl HintStore {
             report.groups_checked += 1;
             let mut changes = Vec::new();
             let mut failures = 0usize;
+            let mut quarantine = false;
             for job in group_jobs {
                 let Ok(default) = compile_job(job, &RuleConfig::default_config()) else {
                     continue;
                 };
-                let Ok(steered) = compile_job(job, &entry.config) else {
-                    continue;
+                let steered = match compile_job_guarded(job, &entry.config, &self.compile_budget) {
+                    Ok(s) => s,
+                    // A panic or budget blow-out is a guardrail trip, not a
+                    // benign "this config doesn't compile here".
+                    Err(e) if e.is_fatal() => {
+                        quarantine = true;
+                        break;
+                    }
+                    Err(_) => continue,
                 };
+                if vet_candidate(&default, &steered).is_err() {
+                    quarantine = true;
+                    break;
+                }
                 let sm = ab.run_outcome(job, &steered.plan, 0);
                 if !sm.outcome.is_success() {
                     failures += 1;
@@ -210,6 +241,14 @@ impl HintStore {
                     continue; // no trustworthy baseline for this pair
                 }
                 changes.push(pct_change(dm.metrics.runtime, sm.metrics.runtime));
+            }
+            if quarantine {
+                entry.status = HintStatus::Quarantined;
+                report.groups_quarantined += 1;
+                report.jobs_executed += changes.len() + failures;
+                report.failed_runs += failures;
+                all_changes.extend(changes);
+                continue;
             }
             if changes.is_empty() && failures == 0 {
                 continue;
@@ -254,9 +293,23 @@ impl HintStore {
         policy: &RetryPolicy,
     ) -> Option<GuardrailRun> {
         let default = compile_job(job, &RuleConfig::default_config()).ok()?;
-        let steered_plan = self
-            .recommend(&default.signature)
-            .and_then(|cfg| compile_job(job, cfg).ok());
+        let mut vetoed = false;
+        let steered_plan = self.recommend(&default.signature).and_then(|cfg| {
+            match compile_job_guarded(job, cfg, &self.compile_budget) {
+                Ok(steered) => {
+                    if vet_candidate(&default, &steered).is_ok() {
+                        Some(steered)
+                    } else {
+                        vetoed = true;
+                        None
+                    }
+                }
+                Err(e) => {
+                    vetoed = e.is_fatal();
+                    None
+                }
+            }
+        });
 
         let Some(steered) = steered_plan else {
             let run = ab.run_with_retry(job, &default.plan, 0, policy);
@@ -264,6 +317,7 @@ impl HintStore {
                 metrics: run.metrics,
                 steered: false,
                 used_fallback: false,
+                vetoed,
                 outcome: run.outcome,
             });
         };
@@ -274,6 +328,7 @@ impl HintStore {
                 metrics: run.metrics,
                 steered: true,
                 used_fallback: false,
+                vetoed: false,
                 outcome: run.outcome,
             });
         }
@@ -287,6 +342,7 @@ impl HintStore {
             metrics,
             steered: true,
             used_fallback: true,
+            vetoed: false,
             outcome: fallback.outcome,
         })
     }
@@ -312,6 +368,7 @@ impl HintStore {
                     match e.status {
                         HintStatus::Active => "active",
                         HintStatus::Suspended => "suspended",
+                        HintStatus::Quarantined => "quarantined",
                     },
                     ids(&disabled),
                     ids(&enabled)
@@ -354,10 +411,10 @@ impl HintStore {
                     config,
                     base_change_pct: 0.0,
                     discovered_day: 0,
-                    status: if status == "suspended" {
-                        HintStatus::Suspended
-                    } else {
-                        HintStatus::Active
+                    status: match status {
+                        "suspended" => HintStatus::Suspended,
+                        "quarantined" => HintStatus::Quarantined,
+                        _ => HintStatus::Active,
                     },
                     validations: Vec::new(),
                     failed_validations: 0,
@@ -421,9 +478,12 @@ mod tests {
     #[test]
     fn hint_text_round_trip() {
         let (mut store, _, _) = discovered_store();
-        // Flip one entry to suspended to exercise both states.
-        if let Some(e) = store.entries.values_mut().next() {
-            e.status = HintStatus::Suspended;
+        // Flip entries to the non-active states to exercise all three.
+        let mut statuses = [HintStatus::Suspended, HintStatus::Quarantined]
+            .into_iter()
+            .cycle();
+        for e in store.entries.values_mut().take(2) {
+            e.status = statuses.next().unwrap();
         }
         let text = store.to_hint_text();
         let parsed = HintStore::from_hint_text(&text);
@@ -494,6 +554,51 @@ mod tests {
             }
         }
         assert!(fallbacks > 0, "steered runs should have fallen back");
+    }
+
+    #[test]
+    fn budget_exhaustion_quarantines_hints_during_revalidation() {
+        let (mut store, w, ab) = discovered_store();
+        // A one-task budget makes every steered re-compile blow the budget
+        // immediately: a resource-guardrail trip, not a perf regression.
+        store.compile_budget = CompileBudget::with_max_tasks(1);
+        let report = store.revalidate(&w.day(1), &ab, 1, 2.0);
+        assert!(report.groups_quarantined > 0, "no hint was quarantined");
+        assert_eq!(report.groups_suspended, 0);
+        let quarantined = store
+            .hints()
+            .filter(|h| h.status == HintStatus::Quarantined)
+            .count();
+        assert_eq!(quarantined, report.groups_quarantined);
+        // Quarantined hints stop being recommended.
+        for h in store.hints() {
+            if h.status == HintStatus::Quarantined {
+                let sig = RuleSignature(RuleSet::from_bit_string(&h.group));
+                assert!(store.recommend(&sig).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn guardrail_vetoes_hint_when_compile_budget_is_exhausted() {
+        use scope_exec::RetryPolicy;
+        let (mut store, w, ab) = discovered_store();
+        store.compile_budget = CompileBudget::with_max_tasks(1);
+        let policy = RetryPolicy::no_retries();
+        let mut vetoes = 0;
+        for job in &w.day(1) {
+            let run = store.run_with_guardrail(job, &ab, &policy).unwrap();
+            // The hint is rejected before execution, so the job runs its
+            // default plan with nothing extra billed — it must still finish.
+            assert!(!run.steered);
+            assert!(!run.used_fallback);
+            assert!(run.outcome.is_success());
+            assert!(run.metrics.is_valid());
+            if run.vetoed {
+                vetoes += 1;
+            }
+        }
+        assert!(vetoes > 0, "some next-day job should have hit the veto");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod deploy;
 pub mod groups;
+pub mod guard;
 pub mod independence;
 pub mod minimize;
 pub mod pipeline;
@@ -38,6 +39,7 @@ pub use deploy::{GuardrailRun, HintStatus, HintStore, RevalidationReport, Stored
 pub use groups::{
     extrapolate, group_jobs, group_of, winning_configs, ExtrapolatedRun, GroupConfig,
 };
+pub use guard::{vet_candidate, CandidateFilterStats, CandidateRejection};
 pub use independence::{discover_independent_groups, IndependentGroups};
 pub use minimize::{minimize_config, MinimizedConfig};
 pub use pipeline::{

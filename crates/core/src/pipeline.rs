@@ -10,8 +10,11 @@ use scope_exec::{ABTester, FaultedRun, Metric, RetryPolicy, RunMetrics};
 use scope_ir::ids::{JobId, TemplateId};
 use scope_ir::stats::pct_change;
 use scope_ir::Job;
-use scope_optimizer::{compile_job, CompiledPlan, RuleConfig, RuleSignature};
+use scope_optimizer::{
+    compile_job, compile_job_guarded, CompileBudget, CompiledPlan, RuleConfig, RuleSignature,
+};
 
+use crate::guard::{vet_candidate, CandidateFilterStats};
 use crate::search::candidate_configs;
 use crate::span::approximate_span;
 
@@ -39,6 +42,10 @@ pub struct PipelineParams {
     /// With no faults injected the policy never engages, so the default
     /// keeps fault-free discovery bit-identical to the historical runs.
     pub retry: RetryPolicy,
+    /// Per-candidate compile resource budget. Candidates that exhaust it
+    /// are discarded (counted in the vetting stats); the generous default
+    /// never fires on well-behaved compiles.
+    pub compile_budget: CompileBudget,
 }
 
 impl Default for PipelineParams {
@@ -52,6 +59,7 @@ impl Default for PipelineParams {
             cheaper_frac: 0.05,
             outlier_ratio: 4.0,
             retry: RetryPolicy::default(),
+            compile_budget: CompileBudget::default(),
         }
     }
 }
@@ -94,6 +102,9 @@ pub struct JobOutcome {
     pub executed: Vec<CandidateOutcome>,
     /// Candidate trials that failed or timed out (after retries).
     pub n_failed: usize,
+    /// Candidates the compile-time guardrail filtered out before execution
+    /// (panicked / over-budget / invalid / diverging plans).
+    pub vetting: CandidateFilterStats,
 }
 
 impl JobOutcome {
@@ -147,6 +158,8 @@ pub struct DiscoveryReport {
     pub failed_defaults: usize,
     /// Candidate trials discarded across all jobs (failed or timed out).
     pub failed_candidates: usize,
+    /// Candidates filtered by the compile-time guardrail across all jobs.
+    pub vetting: CandidateFilterStats,
 }
 
 impl DiscoveryReport {
@@ -221,6 +234,7 @@ impl Pipeline {
             match self.analyze_job(job, &compiled, metrics, rng) {
                 Some(outcome) => {
                     report.failed_candidates += outcome.n_failed;
+                    report.vetting.merge(&outcome.vetting);
                     report.outcomes.push(outcome);
                 }
                 None => report.not_selected += 1,
@@ -242,11 +256,20 @@ impl Pipeline {
         let span = approximate_span(&job.plan, &obs);
         let configs = candidate_configs(&span, self.params.m_candidates, rng);
 
-        // Recompile every candidate.
+        // Recompile every candidate under the budget, with panic isolation,
+        // then vet each survivor against the default plan (validator +
+        // differential fingerprint). A candidate that panics, blows the
+        // budget, produces an invalid plan, or computes a different result
+        // is discarded and counted — never executed.
+        let mut vetting = CandidateFilterStats::default();
         let mut recompiled: Vec<(RuleConfig, CompiledPlan)> = Vec::new();
         for config in configs {
-            if let Ok(c) = compile_job(job, &config) {
-                recompiled.push((config, c));
+            match compile_job_guarded(job, &config, &self.params.compile_budget) {
+                Ok(c) => match vet_candidate(default, &c) {
+                    Ok(()) => recompiled.push((config, c)),
+                    Err(rejection) => vetting.note_rejection(&rejection),
+                },
+                Err(err) => vetting.note_compile_error(&err),
             }
         }
         let n_candidates = recompiled.len();
@@ -302,6 +325,7 @@ impl Pipeline {
             reason,
             executed,
             n_failed,
+            vetting,
         })
     }
 }
@@ -392,6 +416,37 @@ mod tests {
         for o in &report.outcomes {
             assert_eq!(o.n_failed, 0);
         }
+        // The guardrail must be invisible on healthy rules: no legitimate
+        // configuration panics, blows the generous default budget, emits an
+        // invalid plan, or changes the job's result fingerprint.
+        assert_eq!(report.vetting, CandidateFilterStats::default());
+    }
+
+    #[test]
+    fn tiny_compile_budget_discards_candidates_but_discovery_completes() {
+        let w = Workload::generate(WorkloadProfile::workload_a(0.06));
+        let jobs = w.day(0);
+        let p = Pipeline::new(
+            ABTester::new(11),
+            PipelineParams {
+                m_candidates: 120,
+                execute_top_k: 5,
+                sample_frac: 1.0,
+                // Far below what any real compile needs: every candidate
+                // recompile must be discarded as over-budget, while the
+                // default compiles (not budget-limited here) still anchor
+                // the day.
+                compile_budget: CompileBudget::with_max_tasks(1),
+                ..PipelineParams::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = p.discover(&jobs, &mut rng);
+        assert!(report.vetting.over_budget > 0, "budget never fired");
+        assert_eq!(report.vetting.panicked, 0);
+        // With no surviving candidates no job is selected for execution,
+        // but nothing panics and the day completes on default plans.
+        assert!(report.outcomes.iter().all(|o| o.n_candidates == 0));
     }
 
     #[test]

@@ -79,6 +79,7 @@ mod tests {
             n_cheaper: 2,
             reason: SelectionReason::CheaperPlans,
             n_failed: 0,
+            vetting: crate::guard::CandidateFilterStats::default(),
             executed: vec![CandidateOutcome {
                 config: RuleConfig::default_config(),
                 est_cost: 90.0,

@@ -35,5 +35,5 @@ pub use cluster::ClusterConfig;
 pub use explain::{explain, ExecutionTrace, NodeReport, StageReport};
 pub use faults::{execute_with_faults, FaultProfile, FaultedRun, JobOutcome};
 pub use simulate::{execute, execute_deterministic, Metric, RunMetrics};
-pub use truth::{replay, NodeTruth};
+pub use truth::{replay, result_fingerprint, semantic_fingerprint, NodeTruth, SemanticFingerprint};
 pub use work::NodeWork;

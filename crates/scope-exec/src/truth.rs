@@ -6,8 +6,11 @@
 //! behaviour, and the partition share of the busiest vertex under each
 //! partitioning scheme.
 
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
 use scope_ir::ids::ColId;
-use scope_ir::{JoinKind, TrueCatalog};
+use scope_ir::{AggFunc, JoinKind, TrueCatalog};
 use scope_optimizer::{Partitioning, PhysOp, PhysPlan};
 
 /// True runtime properties of one physical node's output.
@@ -292,6 +295,151 @@ pub fn derive_truth(op: &PhysOp, children: &[&NodeTruth], cat: &TrueCatalog) -> 
     }
 }
 
+/// A deterministic fingerprint of a plan's *result semantics*: what is
+/// scanned, filtered, joined, finally aggregated, processed, and emitted —
+/// independent of operator order, physical implementation choices,
+/// exchanges, and every other degree of freedom the rewrite rules exercise.
+///
+/// Two plans compiled from the same job under different rule configurations
+/// must have equal fingerprints; a divergence means a rewrite changed what
+/// the query *computes*, not merely how. The deployment guardrail uses this
+/// as its differential correctness check: a steered plan whose fingerprint
+/// diverges from the default plan's is quarantined.
+///
+/// Set semantics (not multisets) absorb legitimate duplications
+/// (`JoinOnUnion` clones a join into every branch); canonically-ordered
+/// join-key pairs absorb `JoinCommute`/`JoinAssoc` swaps; only *final*
+/// (non-partial) aggregates count, since splitting rules insert partial
+/// ones; `Top`/`Sort`/`Window`/`Project` are excluded because estimate-
+/// trusting eliminations and window collapses legitimately drop them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SemanticFingerprint {
+    /// Scanned table ids.
+    pub tables: BTreeSet<u32>,
+    /// Predicate-atom hashes from filters and pushed scan predicates.
+    pub atoms: BTreeSet<u64>,
+    /// Join specs: kind plus the canonically-ordered key-pair set.
+    pub joins: BTreeSet<u64>,
+    /// Final (non-partial) aggregation specs.
+    pub aggs: BTreeSet<u64>,
+    /// User-defined operators applied.
+    pub udos: BTreeSet<u32>,
+    /// Output stream ids.
+    pub outputs: BTreeSet<u64>,
+}
+
+impl SemanticFingerprint {
+    /// Collapse to a single comparable/reportable hash.
+    pub fn digest(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.tables.hash(&mut h);
+        self.atoms.hash(&mut h);
+        self.joins.hash(&mut h);
+        self.aggs.hash(&mut h);
+        self.udos.hash(&mut h);
+        self.outputs.hash(&mut h);
+        h.finish()
+    }
+}
+
+fn atom_hash(atom: &scope_ir::PredAtom) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    atom.col.hash(&mut h);
+    atom.op.hash(&mut h);
+    atom.literal.value_hash().hash(&mut h);
+    atom.pred.hash(&mut h);
+    h.finish()
+}
+
+fn join_hash(kind: JoinKind, keys: &[(ColId, ColId)]) -> u64 {
+    // Canonical (min, max) ordering survives commute/assoc key swaps.
+    let pairs: BTreeSet<(u32, u32)> = keys
+        .iter()
+        .map(|&(l, r)| (l.0.min(r.0), l.0.max(r.0)))
+        .collect();
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    kind.hash(&mut h);
+    pairs.hash(&mut h);
+    h.finish()
+}
+
+fn agg_hash(keys: &[ColId], aggs: &[AggFunc]) -> u64 {
+    let mut sorted_keys: Vec<ColId> = keys.to_vec();
+    sorted_keys.sort_unstable();
+    let mut agg_hashes: Vec<u64> = aggs
+        .iter()
+        .map(|a| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            a.hash(&mut h);
+            h.finish()
+        })
+        .collect();
+    agg_hashes.sort_unstable();
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    sorted_keys.hash(&mut h);
+    agg_hashes.hash(&mut h);
+    h.finish()
+}
+
+/// Compute the semantic fingerprint of a physical plan (reachable nodes
+/// only).
+pub fn semantic_fingerprint(plan: &PhysPlan) -> SemanticFingerprint {
+    let mut fp = SemanticFingerprint::default();
+    for id in plan.reachable() {
+        match &plan.node(id).op {
+            PhysOp::Scan { table, pushed, .. } => {
+                fp.tables.insert(table.0);
+                for atom in &pushed.atoms {
+                    fp.atoms.insert(atom_hash(atom));
+                }
+            }
+            PhysOp::Filter { predicate } => {
+                for atom in &predicate.atoms {
+                    fp.atoms.insert(atom_hash(atom));
+                }
+            }
+            PhysOp::HashJoin { kind, keys, .. }
+            | PhysOp::MergeJoin { kind, keys }
+            | PhysOp::BroadcastJoin { kind, keys }
+            | PhysOp::LoopJoin { kind, keys }
+            | PhysOp::IndexJoin { kind, keys } => {
+                fp.joins.insert(join_hash(*kind, keys));
+            }
+            PhysOp::HashAgg {
+                keys,
+                aggs,
+                partial: false,
+            }
+            | PhysOp::SortAgg {
+                keys,
+                aggs,
+                partial: false,
+            }
+            | PhysOp::StreamAgg {
+                keys,
+                aggs,
+                partial: false,
+            } => {
+                fp.aggs.insert(agg_hash(keys, aggs));
+            }
+            PhysOp::Process { udo, .. } => {
+                fp.udos.insert(udo.0);
+            }
+            PhysOp::Output { stream } => {
+                fp.outputs.insert(*stream);
+            }
+            _ => {}
+        }
+    }
+    fp
+}
+
+/// The semantic fingerprint collapsed to one comparable hash — the
+/// differential correctness check's currency.
+pub fn result_fingerprint(plan: &PhysPlan) -> u64 {
+    semantic_fingerprint(plan).digest()
+}
+
 /// Replay truth through an entire plan; returns per-node truths indexed by
 /// node id (unreachable nodes get zeroed entries).
 pub fn replay(plan: &PhysPlan, cat: &TrueCatalog) -> Vec<NodeTruth> {
@@ -431,6 +579,184 @@ mod tests {
             &cat,
         );
         assert_eq!(out.rows, 3000.0);
+    }
+
+    mod fingerprint {
+        use super::super::*;
+        use scope_ir::expr::{CmpOp, Literal, PredAtom, Predicate};
+        use scope_ir::ids::{NodeId, TableId};
+        use scope_optimizer::PhysNode;
+
+        fn node(op: PhysOp, children: Vec<NodeId>) -> PhysNode {
+            PhysNode {
+                op,
+                children,
+                est_rows: 10.0,
+                est_bytes: 100.0,
+                est_cost: 1.0,
+                partitioning: Partitioning::Singleton,
+                dop: 1,
+                created_by: None,
+                logical_rule: None,
+            }
+        }
+
+        fn scan(table: u32, pushed: Predicate) -> PhysOp {
+            PhysOp::Scan {
+                table: TableId(table),
+                pushed,
+                parallel: false,
+                indexed: false,
+            }
+        }
+
+        fn atom(col: u32, lit: i64) -> PredAtom {
+            PredAtom::unknown(ColId(col), CmpOp::Eq, Literal::Int(lit))
+        }
+
+        /// Filter-above-scan joined left×right as a hash join.
+        fn filtered_join_plan() -> PhysPlan {
+            let mut p = PhysPlan::new();
+            let l = p.add(node(scan(0, Predicate::true_pred()), vec![]));
+            let f = p.add(node(
+                PhysOp::Filter {
+                    predicate: Predicate::atom(atom(0, 7)),
+                },
+                vec![l],
+            ));
+            let r = p.add(node(scan(1, Predicate::true_pred()), vec![]));
+            let j = p.add(node(
+                PhysOp::HashJoin {
+                    kind: JoinKind::Inner,
+                    keys: vec![(ColId(0), ColId(2))],
+                    variant: 1,
+                },
+                vec![f, r],
+            ));
+            let o = p.add(node(PhysOp::Output { stream: 5 }, vec![j]));
+            p.set_root(o);
+            p
+        }
+
+        /// Same semantics, different physics: predicate pushed into the
+        /// scan, sides commuted into a merge join, an exchange and a sort
+        /// inserted.
+        fn rewritten_equivalent_plan() -> PhysPlan {
+            let mut p = PhysPlan::new();
+            let r = p.add(node(scan(1, Predicate::true_pred()), vec![]));
+            let l = p.add(node(scan(0, Predicate::atom(atom(0, 7))), vec![]));
+            let ex = p.add(node(
+                PhysOp::Exchange {
+                    scheme: Partitioning::Singleton,
+                    dop: 1,
+                },
+                vec![l],
+            ));
+            let j = p.add(node(
+                PhysOp::MergeJoin {
+                    kind: JoinKind::Inner,
+                    // Commuted: key pair order swapped.
+                    keys: vec![(ColId(2), ColId(0))],
+                },
+                vec![r, ex],
+            ));
+            let s = p.add(node(
+                PhysOp::Sort {
+                    keys: vec![ColId(0)],
+                    parallel: false,
+                },
+                vec![j],
+            ));
+            let o = p.add(node(PhysOp::Output { stream: 5 }, vec![s]));
+            p.set_root(o);
+            p
+        }
+
+        #[test]
+        fn fingerprint_is_invariant_under_physical_rewrites() {
+            let a = semantic_fingerprint(&filtered_join_plan());
+            let b = semantic_fingerprint(&rewritten_equivalent_plan());
+            assert_eq!(a, b);
+            assert_eq!(a.digest(), b.digest());
+        }
+
+        #[test]
+        fn fingerprint_catches_a_changed_literal() {
+            let base = result_fingerprint(&filtered_join_plan());
+            let mut p = PhysPlan::new();
+            let l = p.add(node(scan(0, Predicate::true_pred()), vec![]));
+            let f = p.add(node(
+                PhysOp::Filter {
+                    predicate: Predicate::atom(atom(0, 8)), // 7 → 8
+                },
+                vec![l],
+            ));
+            let r = p.add(node(scan(1, Predicate::true_pred()), vec![]));
+            let j = p.add(node(
+                PhysOp::HashJoin {
+                    kind: JoinKind::Inner,
+                    keys: vec![(ColId(0), ColId(2))],
+                    variant: 1,
+                },
+                vec![f, r],
+            ));
+            let o = p.add(node(PhysOp::Output { stream: 5 }, vec![j]));
+            p.set_root(o);
+            assert_ne!(base, result_fingerprint(&p));
+        }
+
+        #[test]
+        fn fingerprint_catches_a_dropped_input() {
+            // The "dangling input" corruption: the join and one scan vanish,
+            // the job silently computes over half its inputs.
+            let base = result_fingerprint(&filtered_join_plan());
+            let mut p = PhysPlan::new();
+            let l = p.add(node(scan(0, Predicate::true_pred()), vec![]));
+            let f = p.add(node(
+                PhysOp::Filter {
+                    predicate: Predicate::atom(atom(0, 7)),
+                },
+                vec![l],
+            ));
+            let o = p.add(node(PhysOp::Output { stream: 5 }, vec![f]));
+            p.set_root(o);
+            assert_ne!(base, result_fingerprint(&p));
+        }
+
+        #[test]
+        fn partial_aggregates_are_erased_final_ones_kept() {
+            let agg = |partial: bool, child: NodeId| {
+                node(
+                    PhysOp::HashAgg {
+                        keys: vec![ColId(0)],
+                        aggs: vec![AggFunc::Count],
+                        partial,
+                    },
+                    vec![child],
+                )
+            };
+            // Unsplit aggregation.
+            let mut a = PhysPlan::new();
+            let s = a.add(node(scan(0, Predicate::true_pred()), vec![]));
+            let g = a.add(agg(false, s));
+            let o = a.add(node(PhysOp::Output { stream: 5 }, vec![g]));
+            a.set_root(o);
+            // Split into partial + final (a SortAgg, for good measure).
+            let mut b = PhysPlan::new();
+            let s = b.add(node(scan(0, Predicate::true_pred()), vec![]));
+            let pa = b.add(agg(true, s));
+            let fin = b.add(node(
+                PhysOp::SortAgg {
+                    keys: vec![ColId(0)],
+                    aggs: vec![AggFunc::Count],
+                    partial: false,
+                },
+                vec![pa],
+            ));
+            let o = b.add(node(PhysOp::Output { stream: 5 }, vec![fin]));
+            b.set_root(o);
+            assert_eq!(result_fingerprint(&a), result_fingerprint(&b));
+        }
     }
 
     #[test]

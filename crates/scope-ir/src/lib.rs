@@ -27,6 +27,7 @@ pub mod job;
 pub mod ops;
 pub mod plan;
 pub mod stats;
+pub mod validate;
 
 pub use catalog::{ColumnStats, ObservableCatalog, TableStats, TrueCatalog};
 pub use expr::{CmpOp, Literal, PredAtom, Predicate};
@@ -34,3 +35,4 @@ pub use ids::{ColId, DomainId, JobId, NodeId, PredId, TableId, TemplateId, UdoId
 pub use job::{InputRef, Job};
 pub use ops::{AggFunc, JoinKind, LogicalOp, OpKind};
 pub use plan::{PlanGraph, PlanNode};
+pub use validate::{validate_logical, PlanViolation};

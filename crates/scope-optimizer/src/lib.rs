@@ -34,10 +34,15 @@ pub mod rules;
 pub mod ruleset;
 pub mod search;
 pub mod transform;
+pub mod validate;
 
 pub use config::{RuleConfig, RuleDiff, RuleSignature};
-pub use optimizer::{compile, compile_job, CompiledPlan};
+pub use optimizer::{
+    catch_compile_panics, compile, compile_job, compile_job_guarded, compile_job_with_budget,
+    compile_with_budget, CompileStats, CompiledPlan,
+};
 pub use physical::{Partitioning, PhysNode, PhysOp, PhysPlan};
 pub use rules::{PhysImpl, Rule, RuleAction, RuleCatalog, RuleCategory};
 pub use ruleset::{RuleId, RuleSet, NUM_RULES};
-pub use search::CompileError;
+pub use search::{CompileBudget, CompileError, CompilePhase};
+pub use validate::{required_parts_phys, validate_physical};

@@ -18,6 +18,7 @@ use scope_ir::{LogicalOp, PlanGraph};
 
 use crate::estimate::{Estimator, LogicalEst};
 use crate::ruleset::RuleId;
+use crate::search::CompileError;
 
 /// Maximum alternative expressions per group; further additions are
 /// rejected (exploration budget, like real optimizers' promise cutoffs).
@@ -90,6 +91,9 @@ pub struct Memo {
     /// alternatives within one group while still allowing the same shape to
     /// appear in several groups (needed for identity-elimination rewrites).
     by_group: HashMap<(u64, GroupId), MExprId>,
+    /// Insertions rejected by the per-group or global budget (observability
+    /// counter, surfaced in `CompiledPlan` stats).
+    budget_rejections: usize,
 }
 
 fn expr_key(op: &LogicalOp, children: &[GroupId]) -> u64 {
@@ -112,8 +116,15 @@ pub enum Inserted {
 
 impl Memo {
     /// Ingest a normalized logical plan. Shared DAG nodes map to shared
-    /// groups. Returns the memo and the root group.
-    pub fn from_plan(plan: &PlanGraph, est: &Estimator<'_>) -> (Memo, GroupId) {
+    /// groups. Returns the memo and the root group, or a typed
+    /// [`CompileError::MemoExhausted`] when the plan alone blows the hard
+    /// expression cap (every node is a fresh group during ingest, so only
+    /// the global budget can fire — but a typed error beats an
+    /// `unreachable!` if that assumption ever breaks).
+    pub fn from_plan(
+        plan: &PlanGraph,
+        est: &Estimator<'_>,
+    ) -> Result<(Memo, GroupId), CompileError> {
         let mut memo = Memo::empty();
         let mut node_group: HashMap<NodeId, GroupId> = HashMap::new();
         let reachable = plan.reachable();
@@ -122,12 +133,17 @@ impl Memo {
             let children: Vec<GroupId> = node.children.iter().map(|c| node_group[c]).collect();
             let gid = match memo.insert(node.op.clone(), children, None, None, est) {
                 Inserted::New(e) | Inserted::Duplicate(e) => memo.exprs[e.index()].group,
-                Inserted::Budget => unreachable!("ingest cannot exceed budget"),
+                Inserted::Budget => {
+                    return Err(CompileError::MemoExhausted {
+                        groups: memo.num_groups(),
+                        exprs: memo.num_exprs(),
+                    })
+                }
             };
             node_group.insert(*id, gid);
         }
         let root = node_group[&plan.root().expect("plan has root")];
-        (memo, root)
+        Ok((memo, root))
     }
 
     /// An empty memo (mainly for tests; normal use is [`Memo::from_plan`]).
@@ -137,6 +153,7 @@ impl Memo {
             exprs: Vec::new(),
             any_group: HashMap::new(),
             by_group: HashMap::new(),
+            budget_rejections: 0,
         }
     }
 
@@ -164,11 +181,13 @@ impl Memo {
                     return Inserted::Duplicate(existing);
                 }
                 if self.groups[g.index()].exprs.len() >= MAX_EXPRS_PER_GROUP {
+                    self.budget_rejections += 1;
                     return Inserted::Budget;
                 }
             }
         }
         if self.exprs.len() >= MAX_TOTAL_EXPRS {
+            self.budget_rejections += 1;
             return Inserted::Budget;
         }
         let child_ests: Vec<&LogicalEst> = children
@@ -223,6 +242,11 @@ impl Memo {
         self.exprs.len()
     }
 
+    /// Number of insertions rejected by the memo's space budgets.
+    pub fn budget_rejections(&self) -> usize {
+        self.budget_rejections
+    }
+
     /// Iterate all expression ids (insertion order — original plan first,
     /// then rule outputs).
     pub fn expr_ids(&self) -> impl Iterator<Item = MExprId> {
@@ -268,7 +292,7 @@ mod tests {
         let cat = cat();
         let obs = cat.observe();
         let est = Estimator::new(&obs);
-        let (memo, root) = Memo::from_plan(&plan, &est);
+        let (memo, root) = Memo::from_plan(&plan, &est).unwrap();
         // scan, filter, union, output — shared filter ingested once.
         assert_eq!(memo.num_groups(), 4);
         assert_eq!(memo.num_exprs(), 4);

@@ -15,8 +15,23 @@ use crate::physical::PhysPlan;
 use crate::rules::catalog::COMPLEX_KINDS;
 use crate::rules::{RuleAction, RuleCatalog};
 use crate::ruleset::RuleSet;
-use crate::search::{explore, implement, CompileError};
+use crate::search::{explore, implement, BudgetTracker, CompileBudget, CompileError};
 use crate::transform::{referenced_cols, TransformCtx};
+
+/// Resource accounting for one compile, surfaced for observability even
+/// when steering changes how much work the search does.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CompileStats {
+    /// Optimizer tasks charged against the [`CompileBudget`].
+    pub tasks: u64,
+    /// Expressions added by exploration (rule outputs).
+    pub explore_added: usize,
+    /// Memo insertions rejected by the space budgets.
+    pub memo_budget_rejections: usize,
+    /// Wall-clock compile time in microseconds (diagnostic only — never
+    /// feeds back into search decisions, which stay deterministic).
+    pub compile_micros: u64,
+}
 
 /// A successfully compiled job.
 #[derive(Debug)]
@@ -31,6 +46,8 @@ pub struct CompiledPlan {
     pub memo_groups: usize,
     /// Diagnostics: number of memo expressions after exploration.
     pub memo_exprs: usize,
+    /// Resource accounting for this compile.
+    pub stats: CompileStats,
 }
 
 /// Compile a logical plan under a rule configuration.
@@ -58,6 +75,19 @@ pub fn compile(
     obs: &ObservableCatalog,
     config: &RuleConfig,
 ) -> Result<CompiledPlan, CompileError> {
+    compile_with_budget(plan, obs, config, &CompileBudget::default())
+}
+
+/// [`compile`] with an explicit per-compile resource budget. Exceeding the
+/// budget surfaces as [`CompileError::BudgetExhausted`].
+pub fn compile_with_budget(
+    plan: &PlanGraph,
+    obs: &ObservableCatalog,
+    config: &RuleConfig,
+    budget: &CompileBudget,
+) -> Result<CompiledPlan, CompileError> {
+    let start = std::time::Instant::now();
+    let mut tracker = BudgetTracker::new(budget);
     let normalized = normalize(plan);
     let estimator = Estimator::new(obs);
 
@@ -73,9 +103,9 @@ pub fn compile(
         referenced: &referenced,
     };
 
-    let (mut memo, root) = Memo::from_plan(&normalized.plan, &estimator);
-    explore(&mut memo, config, &ctx);
-    let outcome = implement(&memo, root, config, obs)?;
+    let (mut memo, root) = Memo::from_plan(&normalized.plan, &estimator)?;
+    let explore_added = explore(&mut memo, config, &ctx, &mut tracker)?;
+    let outcome = implement(&memo, root, config, obs, &mut tracker)?;
 
     // Marker rules fire on the normalized plan's operator-kind counts.
     let kind_counts = normalized.plan.op_counts();
@@ -108,12 +138,30 @@ pub fn compile(
         "signature must be a subset of enabled ∪ required"
     );
 
+    // Every extracted plan must uphold the physical invariants; in debug
+    // builds, all tests and experiments audit this for free.
+    #[cfg(debug_assertions)]
+    {
+        let violations = crate::validate::validate_physical(&outcome.plan);
+        debug_assert!(
+            violations.is_empty(),
+            "compiled plan violates invariants: {violations:?}\n{}",
+            outcome.plan.render()
+        );
+    }
+
     Ok(CompiledPlan {
         est_cost: outcome.est_cost,
         plan: outcome.plan,
         signature: RuleSignature(fired),
         memo_groups: memo.num_groups(),
         memo_exprs: memo.num_exprs(),
+        stats: CompileStats {
+            tasks: tracker.tasks(),
+            explore_added,
+            memo_budget_rejections: memo.budget_rejections(),
+            compile_micros: start.elapsed().as_micros() as u64,
+        },
     })
 }
 
@@ -137,6 +185,72 @@ pub fn effective_config(job: &Job, base: &RuleConfig) -> RuleConfig {
 pub fn compile_job(job: &Job, config: &RuleConfig) -> Result<CompiledPlan, CompileError> {
     let obs = job.catalog.observe();
     compile(&job.plan, &obs, &effective_config(job, config))
+}
+
+/// [`compile_job`] with an explicit per-compile resource budget.
+pub fn compile_job_with_budget(
+    job: &Job,
+    config: &RuleConfig,
+    budget: &CompileBudget,
+) -> Result<CompiledPlan, CompileError> {
+    let obs = job.catalog.observe();
+    compile_with_budget(&job.plan, &obs, &effective_config(job, config), budget)
+}
+
+/// [`compile_job_with_budget`] with panic isolation: a compile that
+/// panics (e.g. a buggy rule interaction) is converted into a typed
+/// [`CompileError::Panicked`] instead of unwinding into the caller — one
+/// bad candidate configuration cannot kill a whole day's discovery search.
+pub fn compile_job_guarded(
+    job: &Job,
+    config: &RuleConfig,
+    budget: &CompileBudget,
+) -> Result<CompiledPlan, CompileError> {
+    catch_compile_panics(|| compile_job_with_budget(job, config, budget))
+}
+
+thread_local! {
+    /// Depth of active [`catch_compile_panics`] scopes on this thread; the
+    /// chained panic hook stays silent while it is non-zero.
+    static SUPPRESS_PANIC_OUTPUT: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Installed once: chains to the previous panic hook except inside a
+/// [`catch_compile_panics`] scope, where the caught panic is expected and
+/// stderr noise would drown discovery-run output.
+fn install_quiet_panic_hook() {
+    static HOOK: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SUPPRESS_PANIC_OUTPUT.with(|c| c.get()) == 0 {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Run `f`, converting any panic into [`CompileError::Panicked`].
+pub fn catch_compile_panics<T>(
+    f: impl FnOnce() -> Result<T, CompileError>,
+) -> Result<T, CompileError> {
+    install_quiet_panic_hook();
+    SUPPRESS_PANIC_OUTPUT.with(|c| c.set(c.get() + 1));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    SUPPRESS_PANIC_OUTPUT.with(|c| c.set(c.get() - 1));
+    match result {
+        Ok(r) => r,
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(CompileError::Panicked { message })
+        }
+    }
 }
 
 /// The set of operator kinds appearing in a compiled plan's *logical*

@@ -4,6 +4,7 @@
 //! extraction of the winning physical plan.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use scope_ir::ids::NodeId;
 use scope_ir::{LogicalOp, OpKind};
@@ -19,7 +20,8 @@ use crate::transform::{apply_rule, TransformCtx};
 
 /// Compilation failures caused by rule configurations — the paper's
 /// "many of these may not compile successfully due to implicit
-/// dependencies".
+/// dependencies" — plus the resource-budget and panic-isolation failures
+/// introduced by the hardening layer.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CompileError {
     /// Every implementation rule for this operator kind is disabled.
@@ -28,6 +30,32 @@ pub enum CompileError {
     NoExchangeImplementation,
     /// Internal guard: the memo contained a cycle (should never happen).
     CyclicMemo,
+    /// The memo's hard expression cap was hit while ingesting the original
+    /// plan (the plan alone is bigger than the whole exploration budget).
+    MemoExhausted { groups: usize, exprs: usize },
+    /// The per-compile task or wall-clock budget was exhausted mid-search.
+    BudgetExhausted {
+        phase: CompilePhase,
+        tasks: u64,
+        /// `true` when the wall-clock deadline (not the task count) fired.
+        wall_clock: bool,
+    },
+    /// The compile panicked and was isolated by
+    /// [`crate::optimizer::catch_compile_panics`].
+    Panicked { message: String },
+}
+
+impl CompileError {
+    /// Whether this error must abort the whole compile immediately rather
+    /// than merely disqualify one memo alternative.
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            CompileError::MemoExhausted { .. }
+                | CompileError::BudgetExhausted { .. }
+                | CompileError::Panicked { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for CompileError {
@@ -43,11 +71,141 @@ impl std::fmt::Display for CompileError {
                 )
             }
             CompileError::CyclicMemo => write!(f, "cyclic memo"),
+            CompileError::MemoExhausted { groups, exprs } => {
+                write!(
+                    f,
+                    "memo exhausted during ingest ({groups} groups, {exprs} exprs)"
+                )
+            }
+            CompileError::BudgetExhausted {
+                phase,
+                tasks,
+                wall_clock,
+            } => {
+                let which = if *wall_clock { "wall-clock" } else { "task" };
+                write!(
+                    f,
+                    "compile {which} budget exhausted during {} after {tasks} tasks",
+                    phase.name()
+                )
+            }
+            CompileError::Panicked { message } => write!(f, "compile panicked: {message}"),
         }
     }
 }
 
 impl std::error::Error for CompileError {}
+
+/// Which search phase a budget ran out in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompilePhase {
+    /// Transformation-rule exploration of the memo.
+    Explore,
+    /// Implementation / enforcement / costing.
+    Implement,
+}
+
+impl CompilePhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            CompilePhase::Explore => "exploration",
+            CompilePhase::Implement => "implementation",
+        }
+    }
+}
+
+/// Per-compile resource budget. One *task* is one unit of optimizer work:
+/// one transformation-rule application attempt during exploration, or one
+/// implementation alternative costed during implementation. The memo's
+/// group/expression caps bound *space*; this bounds *time*.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompileBudget {
+    /// Maximum optimizer tasks per compile.
+    pub max_tasks: u64,
+    /// Optional wall-clock deadline per compile. `None` keeps compiles
+    /// fully deterministic (the default — task counts don't depend on
+    /// machine speed).
+    pub max_wall: Option<Duration>,
+}
+
+impl CompileBudget {
+    /// Effectively no budget (for tests and calibration runs).
+    pub const UNLIMITED: CompileBudget = CompileBudget {
+        max_tasks: u64::MAX,
+        max_wall: None,
+    };
+
+    /// A task-count-only budget.
+    pub fn with_max_tasks(max_tasks: u64) -> CompileBudget {
+        CompileBudget {
+            max_tasks,
+            max_wall: None,
+        }
+    }
+}
+
+impl Default for CompileBudget {
+    /// Generous enough that every well-behaved compile fits (the largest
+    /// generated jobs take a few hundred thousand tasks), small enough that
+    /// a pathological rule interaction cannot stall a discovery run.
+    fn default() -> CompileBudget {
+        CompileBudget {
+            max_tasks: 5_000_000,
+            max_wall: None,
+        }
+    }
+}
+
+/// Mutable task/deadline accounting for one compile, threaded through
+/// exploration and implementation.
+#[derive(Debug)]
+pub struct BudgetTracker {
+    max_tasks: u64,
+    deadline: Option<Instant>,
+    tasks: u64,
+}
+
+/// How often (in tasks) the wall-clock deadline is polled.
+const WALL_CHECK_INTERVAL: u64 = 256;
+
+impl BudgetTracker {
+    pub fn new(budget: &CompileBudget) -> BudgetTracker {
+        BudgetTracker {
+            max_tasks: budget.max_tasks,
+            deadline: budget.max_wall.map(|d| Instant::now() + d),
+            tasks: 0,
+        }
+    }
+
+    /// Tasks charged so far.
+    pub fn tasks(&self) -> u64 {
+        self.tasks
+    }
+
+    /// Charge one task; errors once the budget is exhausted.
+    pub fn charge(&mut self, phase: CompilePhase) -> Result<(), CompileError> {
+        self.tasks += 1;
+        if self.tasks > self.max_tasks {
+            return Err(CompileError::BudgetExhausted {
+                phase,
+                tasks: self.tasks,
+                wall_clock: false,
+            });
+        }
+        if self.tasks.is_multiple_of(WALL_CHECK_INTERVAL) {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() > deadline {
+                    return Err(CompileError::BudgetExhausted {
+                        phase,
+                        tasks: self.tasks,
+                        wall_clock: true,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Result of a successful search.
 pub struct SearchOutcome {
@@ -60,8 +218,14 @@ pub struct SearchOutcome {
 
 /// Explore the memo: run every enabled transformation rule over every
 /// expression (including rule outputs) until the list is exhausted or
-/// budgets bite. Returns the number of expressions added.
-pub fn explore(memo: &mut Memo, config: &RuleConfig, ctx: &TransformCtx<'_>) -> usize {
+/// budgets bite. Returns the number of expressions added; errors when the
+/// compile budget runs out mid-exploration.
+pub fn explore(
+    memo: &mut Memo,
+    config: &RuleConfig,
+    ctx: &TransformCtx<'_>,
+    tracker: &mut BudgetTracker,
+) -> Result<usize, CompileError> {
     let cat = RuleCatalog::global();
     let before = memo.num_exprs();
     let mut idx = 0usize;
@@ -76,12 +240,13 @@ pub fn explore(memo: &mut Memo, config: &RuleConfig, ctx: &TransformCtx<'_>) -> 
             .filter(|id| config.is_enabled(*id))
             .collect();
         for rid in rule_ids {
+            tracker.charge(CompilePhase::Explore)?;
             let rule = cat.rule(rid);
             apply_rule(rule, expr_id, memo, ctx);
         }
         idx += 1;
     }
-    memo.num_exprs() - before
+    Ok(memo.num_exprs() - before)
 }
 
 /// Per-group winning implementation.
@@ -105,6 +270,7 @@ pub fn implement(
     root: GroupId,
     config: &RuleConfig,
     obs: &scope_ir::ObservableCatalog,
+    tracker: &mut BudgetTracker,
 ) -> Result<SearchOutcome, CompileError> {
     let mut winners: HashMap<GroupId, Winner> = HashMap::new();
     let mut failures: HashMap<GroupId, CompileError> = HashMap::new();
@@ -117,6 +283,7 @@ pub fn implement(
         &mut winners,
         &mut failures,
         &mut visiting,
+        tracker,
     )?;
 
     // Extraction.
@@ -137,6 +304,7 @@ pub fn implement(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn best(
     memo: &Memo,
     group: GroupId,
@@ -145,6 +313,7 @@ fn best(
     winners: &mut HashMap<GroupId, Winner>,
     failures: &mut HashMap<GroupId, CompileError>,
     visiting: &mut Vec<bool>,
+    tracker: &mut BudgetTracker,
 ) -> Result<f64, CompileError> {
     if let Some(w) = winners.get(&group) {
         return Ok(w.cost);
@@ -175,8 +344,12 @@ fn best(
         // with no feasible implementation.
         let mut ok = true;
         for &c in &children {
-            match best(memo, c, config, obs, winners, failures, visiting) {
+            match best(memo, c, config, obs, winners, failures, visiting, tracker) {
                 Ok(_) => {}
+                // Budget exhaustion (and friends) abort the whole compile —
+                // unlike per-alternative infeasibility, there is no point
+                // trying sibling alternatives with an empty budget.
+                Err(e) if e.is_fatal() => return Err(e),
                 Err(CompileError::NoExchangeImplementation) => {
                     exchange_blocked = true;
                     ok = false;
@@ -210,6 +383,7 @@ fn best(
         let child_ests: Vec<&LogicalEst> = children.iter().map(|g| &memo.group(*g).est).collect();
 
         for impl_rule in enabled_impls {
+            tracker.charge(CompilePhase::Implement)?;
             let RuleAction::Impl(phys) = &cat.rule(impl_rule).action else {
                 continue;
             };

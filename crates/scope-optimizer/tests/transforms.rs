@@ -36,7 +36,7 @@ impl Fixture {
         for (_, node) in plan.iter() {
             referenced_cols(&node.op, &mut referenced);
         }
-        let (mut memo, root) = Memo::from_plan(plan, &est);
+        let (mut memo, root) = Memo::from_plan(plan, &est).unwrap();
         let catalog = RuleCatalog::global();
         let rule = catalog.rule(
             catalog
