@@ -6,7 +6,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 18] = [
+const EXPERIMENTS: [&str; 19] = [
     "exp_table1",
     "exp_table2",
     "exp_fig2",
@@ -25,6 +25,7 @@ const EXPERIMENTS: [&str; 18] = [
     "exp_random_configs",
     "exp_fault_sweep",
     "exp_budget_sweep",
+    "exp_throughput",
 ];
 
 fn main() {

@@ -1,16 +1,26 @@
 //! Shared experiment plumbing: compiled-and-executed days, parallel
-//! fan-out, and the default experiment-scale pipeline parameters.
+//! fan-out (re-exported from `steer_core::par`, its home since the
+//! pipeline itself went parallel), and the default experiment-scale
+//! pipeline parameters.
+
+use std::sync::Arc;
 
 use scope_exec::{ABTester, RunMetrics};
 use scope_ir::Job;
-use scope_optimizer::{compile_job, CompiledPlan, RuleConfig};
+use scope_optimizer::{
+    compile_job, effective_config, plan_catalog_fingerprint, CompileCache, CompiledPlan, RuleConfig,
+};
 use scope_workload::{Workload, WorkloadProfile, WorkloadTag};
 use steer_core::{Pipeline, PipelineParams};
 
-/// A job together with its default compilation and A/B execution.
+pub use steer_core::par::{available_threads, run_chunked, run_chunked_on};
+
+/// A job together with its default compilation and A/B execution. The
+/// compilation is shared (`Arc`) so cache hits across recurring days don't
+/// duplicate plans.
 pub struct CompiledJob {
     pub job: Job,
-    pub compiled: CompiledPlan,
+    pub compiled: Arc<CompiledPlan>,
     pub metrics: RunMetrics,
 }
 
@@ -22,74 +32,38 @@ pub fn workload(tag: WorkloadTag, scale: f64) -> Workload {
     Workload::generate(WorkloadProfile::for_tag(tag, scale))
 }
 
-/// Fan `items` out over available cores in contiguous chunks and collect
-/// each chunk's mapped results in order. A chunk whose worker panics is
-/// logged (with `describe` applied to its items) and dropped — the other
-/// chunks' results survive, so one poisoned job cannot abort a whole
-/// experiment.
-pub fn run_chunked<T, U, F, D>(items: &[T], map: F, describe: D) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> Option<U> + Sync,
-    D: Fn(&T) -> String,
-{
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    run_chunked_on(items, n_threads, map, describe)
-}
-
-/// [`run_chunked`] with an explicit worker count (exposed for tests, which
-/// must not depend on the machine's core count).
-pub fn run_chunked_on<T, U, F, D>(items: &[T], n_threads: usize, map: F, describe: D) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> Option<U> + Sync,
-    D: Fn(&T) -> String,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let n_threads = n_threads.clamp(1, items.len());
-    let chunks: Vec<&[T]> = items.chunks(items.len().div_ceil(n_threads)).collect();
-    let mut out: Vec<U> = Vec::with_capacity(items.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                let map = &map;
-                s.spawn(move || chunk.iter().filter_map(map).collect::<Vec<_>>())
-            })
-            .collect();
-        for (handle, chunk) in handles.into_iter().zip(&chunks) {
-            match handle.join() {
-                Ok(results) => out.extend(results),
-                Err(_) => {
-                    let affected: Vec<String> = chunk.iter().map(&describe).collect();
-                    eprintln!(
-                        "warning: a worker panicked; dropping its chunk of {} items: [{}]",
-                        chunk.len(),
-                        affected.join(", ")
-                    );
-                }
-            }
-        }
-    });
-    out
-}
-
 /// Compile and execute one day under the default configuration, in
 /// parallel across available cores. Jobs in a chunk whose worker panics
 /// are logged and skipped rather than aborting the experiment.
 pub fn compile_day(w: &Workload, day: u32, ab: &ABTester) -> Vec<CompiledJob> {
+    compile_day_cached(w, day, ab, None)
+}
+
+/// [`compile_day`] consulting an optional shared [`CompileCache`]:
+/// recurring jobs across days (and re-runs of the same day) become cache
+/// hits instead of fresh compiles. Results are bit-identical either way.
+pub fn compile_day_cached(
+    w: &Workload,
+    day: u32,
+    ab: &ABTester,
+    cache: Option<&CompileCache>,
+) -> Vec<CompiledJob> {
     let jobs = w.day(day);
     let default = RuleConfig::default_config();
     run_chunked(
         &jobs,
         |job| {
-            let compiled = compile_job(job, &default).ok()?;
+            let compiled = match cache {
+                Some(cache) => {
+                    let obs = job.catalog.observe();
+                    let config = effective_config(job, &default);
+                    let fp = plan_catalog_fingerprint(&job.plan, &obs);
+                    cache
+                        .get_or_compile(fp, &config, || compile_job(job, &default))
+                        .ok()?
+                }
+                None => Arc::new(compile_job(job, &default).ok()?),
+            };
             let metrics = ab.run(job, &compiled.plan, 0);
             Some(CompiledJob {
                 job: job.clone(),

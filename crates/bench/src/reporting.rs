@@ -25,6 +25,35 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
     path
 }
 
+/// Write a JSON document (already serialized) to the results directory.
+/// The repo vendors no serde, so callers assemble the JSON text themselves
+/// (see `json_kv` for the common flat-object case).
+pub fn write_json(name: &str, body: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    fs::write(&path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
+}
+
+/// Render a flat JSON object from key → already-serialized-value pairs.
+/// Values are emitted verbatim, so strings must arrive pre-quoted and
+/// nested arrays/objects pre-rendered.
+pub fn json_object(pairs: &[(&str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{k}\":{v}"));
+    }
+    out.push('}');
+    out
+}
+
+/// Render a JSON array from already-serialized elements.
+pub fn json_array(elems: &[String]) -> String {
+    format!("[{}]", elems.join(","))
+}
+
 /// Render a markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();

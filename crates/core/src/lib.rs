@@ -17,7 +17,9 @@
 //! * [`independence`] — §8 future work: empirical discovery of independent
 //!   rule subsets that shrink the configuration search space,
 //! * [`minimize`] — shrink winning configurations to the smallest
-//!   plan-preserving delta before surfacing them as hints.
+//!   plan-preserving delta before surfacing them as hints,
+//! * [`par`] — the scoped-thread fan-out harness the pipeline parallelizes
+//!   over (order-preserving, panic-isolated).
 //!
 //! `RuleDiff` (Definition 6.1) lives in `scope_optimizer::config` next to
 //! the signature type it compares.
@@ -27,6 +29,7 @@ pub mod groups;
 pub mod guard;
 pub mod independence;
 pub mod minimize;
+pub mod par;
 pub mod pipeline;
 pub mod report;
 pub mod search;
@@ -42,9 +45,11 @@ pub use groups::{
 pub use guard::{vet_candidate, CandidateFilterStats, CandidateRejection};
 pub use independence::{discover_independent_groups, IndependentGroups};
 pub use minimize::{minimize_config, MinimizedConfig};
+pub use par::{available_threads, run_chunked, run_chunked_on};
 pub use pipeline::{
-    CandidateOutcome, DiscoveryReport, JobOutcome, Pipeline, PipelineParams, SelectionReason,
+    CandidateOutcome, DiscoveryReport, DiscoveryTimings, JobOutcome, Pipeline, PipelineParams,
+    SelectionReason,
 };
 pub use report::{best_known_summary, improved_fraction, BestKnownSummary};
-pub use search::{candidate_configs, DEFAULT_M};
-pub use span::{approximate_span, JobSpan};
+pub use search::{candidate_configs, candidate_configs_effective, DEFAULT_M};
+pub use span::{approximate_span, approximate_span_cached, JobSpan};

@@ -2,21 +2,39 @@
 //! configurations from the job span, recompile, choose plans worth
 //! executing via the cost-model heuristics of §6.1, and A/B-execute the ten
 //! cheapest alternatives.
+//!
+//! Discovery is compile-bound and embarrassingly parallel across jobs, so
+//! [`Pipeline::discover`] fans both stages (default baselining and per-job
+//! analysis) out over the scoped-thread harness in [`crate::par`], with all
+//! compiles routed through a shared [`CompileCache`]. Determinism is
+//! preserved by construction: each analyzed job gets its own RNG derived
+//! from a splittable seed (`seed ⊕ job.id`), results are collected in item
+//! order, and a cached compile is bit-identical to a fresh one — so the
+//! same caller seed produces the same [`DiscoveryReport`] at any thread
+//! count and any cache size.
 
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use scope_exec::{ABTester, FaultedRun, Metric, RetryPolicy, RunMetrics};
 use scope_ir::ids::{JobId, TemplateId};
 use scope_ir::stats::pct_change;
 use scope_ir::Job;
 use scope_optimizer::{
-    compile_job, compile_job_guarded, CompileBudget, CompiledPlan, RuleConfig, RuleSignature,
+    catch_compile_panics, compile, compile_with_budget, effective_config, plan_catalog_fingerprint,
+    CacheStats, CompileBudget, CompileCache, CompiledPlan, RuleConfig, RuleId, RuleSet,
+    RuleSignature, NUM_RULES,
 };
 
 use crate::guard::{vet_candidate, CandidateFilterStats};
-use crate::search::candidate_configs;
-use crate::span::approximate_span;
+use crate::par::{available_threads, run_chunked_on};
+use crate::search::candidate_configs_effective;
+use crate::span::approximate_span_cached;
 
 /// Tunable pipeline parameters (defaults follow the paper).
 #[derive(Clone, Debug)]
@@ -46,6 +64,13 @@ pub struct PipelineParams {
     /// are discarded (counted in the vetting stats); the generous default
     /// never fires on well-behaved compiles.
     pub compile_budget: CompileBudget,
+    /// Worker threads for the parallel discovery stages (`0` = one per
+    /// available core). Results are identical at any thread count.
+    pub n_threads: usize,
+    /// Capacity (entries) of the pipeline's shared compile cache; `0`
+    /// disables caching. Cached compiles are bit-identical to fresh ones,
+    /// so this only changes speed, never results.
+    pub cache_capacity: usize,
 }
 
 impl Default for PipelineParams {
@@ -60,6 +85,8 @@ impl Default for PipelineParams {
             outlier_ratio: 4.0,
             retry: RetryPolicy::default(),
             compile_budget: CompileBudget::default(),
+            n_threads: 0,
+            cache_capacity: 4096,
         }
     }
 }
@@ -96,6 +123,13 @@ pub struct JobOutcome {
     pub n_candidates: usize,
     /// Candidates whose estimated cost undercut the default's (Figure 4).
     pub n_cheaper: usize,
+    /// Vetted candidates whose signature equals the default plan's — they
+    /// *are* the default plan, so they are counted here and excluded from
+    /// the `execute_top_k` pool instead of wasting A/B trials.
+    pub n_same_as_default: usize,
+    /// Vetted candidates whose signature duplicates an earlier candidate's
+    /// (same plan, different raw config bits) — counted, not re-executed.
+    pub n_duplicate_plans: usize,
     pub reason: SelectionReason,
     /// Successfully executed alternatives. Candidates whose A/B trial
     /// failed or timed out are discarded and counted in `n_failed`.
@@ -145,6 +179,18 @@ impl JobOutcome {
     }
 }
 
+/// Wall-clock accounting for one discovery run. Diagnostic only — nothing
+/// downstream reads these, so determinism of the results is unaffected.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiscoveryTimings {
+    /// Stage 1: default compiles + baseline A/B runs, in seconds.
+    pub default_runs_s: f64,
+    /// Stage 2: span, candidate recompiles, and A/B trials, in seconds.
+    pub analyze_s: f64,
+    /// Whole [`Pipeline::discover`] call, in seconds.
+    pub total_s: f64,
+}
+
 /// A pipeline report over many jobs.
 #[derive(Debug, Default)]
 pub struct DiscoveryReport {
@@ -160,6 +206,14 @@ pub struct DiscoveryReport {
     pub failed_candidates: usize,
     /// Candidates filtered by the compile-time guardrail across all jobs.
     pub vetting: CandidateFilterStats,
+    /// Vetted candidates across all jobs whose plan duplicated the default
+    /// or an earlier candidate (executions avoided by signature dedup).
+    pub duplicate_plans: usize,
+    /// Compile-cache activity during this discovery run (counter deltas;
+    /// `entries`/`capacity` are the cache's current gauges).
+    pub cache: CacheStats,
+    /// Per-stage wall-clock timings for this run.
+    pub timings: DiscoveryTimings,
 }
 
 impl DiscoveryReport {
@@ -177,69 +231,207 @@ impl DiscoveryReport {
 pub struct Pipeline {
     pub ab: ABTester,
     pub params: PipelineParams,
+    /// Shared compile cache consulted by span approximation, candidate
+    /// recompilation, and default baselining. Shared across `discover`
+    /// calls (recurring days hit it) and safely shareable across pipelines
+    /// via [`Pipeline::with_cache`].
+    pub cache: Arc<CompileCache>,
+}
+
+/// How a job's default baseline ended, for the parallel selection stage.
+enum DefaultOutcome {
+    /// The default configuration did not compile (rare, silently skipped —
+    /// matching the historical serial behaviour).
+    NoCompile,
+    /// The baseline run failed or timed out: no trustworthy baseline.
+    Failed,
+    /// Baseline succeeded but sits outside the §5.3 runtime window.
+    OutOfWindow,
+    /// A usable baseline.
+    InWindow(Arc<CompiledPlan>, RunMetrics),
 }
 
 impl Pipeline {
     pub fn new(ab: ABTester, params: PipelineParams) -> Pipeline {
-        Pipeline { ab, params }
+        let cache = Arc::new(CompileCache::new(params.cache_capacity));
+        Pipeline { ab, params, cache }
+    }
+
+    /// A pipeline sharing an existing compile cache (e.g. one cache across
+    /// a multi-day sweep, or a bench harness that wants to inspect stats).
+    pub fn with_cache(ab: ABTester, params: PipelineParams, cache: Arc<CompileCache>) -> Pipeline {
+        Pipeline { ab, params, cache }
+    }
+
+    /// Worker count for the parallel stages.
+    fn effective_threads(&self) -> usize {
+        if self.params.n_threads == 0 {
+            available_threads()
+        } else {
+            self.params.n_threads
+        }
+    }
+
+    /// The job's customer hints as a rule set — the rules
+    /// [`effective_config`] forces on regardless of candidate sampling.
+    fn hint_set(job: &Job) -> RuleSet {
+        let mut forced = RuleSet::EMPTY;
+        for &raw in &job.hints {
+            if (raw as usize) < NUM_RULES {
+                forced.insert(RuleId(raw));
+            }
+        }
+        forced
+    }
+
+    /// Compile a *candidate* through the shared cache (panic-isolated,
+    /// budgeted). `config` must already be effective (hints merged); the
+    /// cache key is exactly what the search consumes, which is what makes
+    /// it sound. The budget bounds *fresh* compile effort only — a cache
+    /// hit spent its effort when first compiled, so it is served even under
+    /// a budget that would reject recompiling from scratch.
+    fn compile_cached(
+        &self,
+        job: &Job,
+        obs: &scope_ir::ObservableCatalog,
+        fingerprint: u64,
+        config: &RuleConfig,
+    ) -> Result<Arc<CompiledPlan>, scope_optimizer::CompileError> {
+        self.cache.get_or_compile(fingerprint, config, || {
+            catch_compile_panics(|| {
+                compile_with_budget(&job.plan, obs, config, &self.params.compile_budget)
+            })
+        })
+    }
+
+    /// Compile a job's *default* (effective) configuration through the
+    /// shared cache. Defaults are the measurement baseline, not candidates,
+    /// so they are exempt from the per-candidate compile budget — exactly
+    /// as in the historical serial pipeline.
+    fn compile_default_cached(
+        &self,
+        job: &Job,
+        obs: &scope_ir::ObservableCatalog,
+        fingerprint: u64,
+        config: &RuleConfig,
+    ) -> Result<Arc<CompiledPlan>, scope_optimizer::CompileError> {
+        self.cache
+            .get_or_compile(fingerprint, config, || compile(&job.plan, obs, config))
     }
 
     /// Compile and A/B-execute a job's default plan.
-    pub fn default_run(&self, job: &Job) -> Option<(CompiledPlan, RunMetrics)> {
+    pub fn default_run(&self, job: &Job) -> Option<(Arc<CompiledPlan>, RunMetrics)> {
         let (compiled, run) = self.default_run_outcome(job)?;
         Some((compiled, run.metrics))
     }
 
     /// Like [`Self::default_run`], but reports how the run ended so callers
     /// can skip jobs whose baseline is untrustworthy.
-    pub fn default_run_outcome(&self, job: &Job) -> Option<(CompiledPlan, FaultedRun)> {
-        let compiled = compile_job(job, &RuleConfig::default_config()).ok()?;
+    pub fn default_run_outcome(&self, job: &Job) -> Option<(Arc<CompiledPlan>, FaultedRun)> {
+        let obs = job.catalog.observe();
+        let config = effective_config(job, &RuleConfig::default_config());
+        let fingerprint = plan_catalog_fingerprint(&job.plan, &obs);
+        let compiled = self
+            .compile_default_cached(job, &obs, fingerprint, &config)
+            .ok()?;
         let run = self
             .ab
             .run_with_retry(job, &compiled.plan, 0, &self.params.retry);
         Some((compiled, run))
     }
 
-    /// Run the full discovery pipeline over one day's jobs. Degrades
-    /// gracefully under injected faults: jobs whose default run dies are
-    /// skipped (counted in `failed_defaults`), failed candidate trials are
+    /// Run the full discovery pipeline over one day's jobs, fanning both
+    /// stages out over `params.n_threads` workers. Degrades gracefully
+    /// under injected faults: jobs whose default run dies are skipped
+    /// (counted in `failed_defaults`), failed candidate trials are
     /// discarded (counted in `failed_candidates`), and no failure ever
     /// panics the pipeline or leaks NaN into the rankings.
+    ///
+    /// Deterministic for a given caller RNG state: per-job RNGs are derived
+    /// from a splittable seed (`seed ⊕ job.id`) drawn once from `rng`, so
+    /// the report is identical at any worker count and any cache size.
     pub fn discover<R: Rng + ?Sized>(&self, jobs: &[Job], rng: &mut R) -> DiscoveryReport {
+        let run_start = Instant::now();
+        let n_threads = self.effective_threads();
+        let cache_before = self.cache.stats();
         let mut report = DiscoveryReport::default();
-        // Select jobs in the runtime window, then sample.
-        let mut in_window: Vec<(&Job, CompiledPlan, RunMetrics)> = Vec::new();
-        for job in jobs {
-            let Some((compiled, run)) = self.default_run_outcome(job) else {
-                continue;
-            };
-            if !run.outcome.is_success() {
-                report.failed_defaults += 1;
-                continue;
+
+        // Stage 1 (parallel): default compile + baseline A/B run per job.
+        // Indices (not zipped results) carry job identity so a dropped
+        // panicked chunk cannot misalign jobs and outcomes.
+        let indices: Vec<usize> = (0..jobs.len()).collect();
+        let stage_start = Instant::now();
+        let defaults: Vec<(usize, DefaultOutcome)> = run_chunked_on(
+            &indices,
+            n_threads,
+            |&i| {
+                let job = &jobs[i];
+                let outcome = match self.default_run_outcome(job) {
+                    None => DefaultOutcome::NoCompile,
+                    Some((compiled, run)) => {
+                        if !run.outcome.is_success() {
+                            DefaultOutcome::Failed
+                        } else if run.metrics.runtime < self.params.min_runtime_s
+                            || run.metrics.runtime > self.params.max_runtime_s
+                        {
+                            DefaultOutcome::OutOfWindow
+                        } else {
+                            DefaultOutcome::InWindow(compiled, run.metrics)
+                        }
+                    }
+                };
+                Some((i, outcome))
+            },
+            |&i| format!("job {}", jobs[i].id.0),
+        );
+        report.timings.default_runs_s = stage_start.elapsed().as_secs_f64();
+
+        // Select jobs in the runtime window, then sample (serial: consumes
+        // the caller RNG exactly as the historical serial pipeline did).
+        let mut in_window: Vec<(&Job, Arc<CompiledPlan>, RunMetrics)> = Vec::new();
+        for (i, outcome) in defaults {
+            match outcome {
+                DefaultOutcome::NoCompile => {}
+                DefaultOutcome::Failed => report.failed_defaults += 1,
+                DefaultOutcome::OutOfWindow => report.out_of_window += 1,
+                DefaultOutcome::InWindow(compiled, metrics) => {
+                    in_window.push((&jobs[i], compiled, metrics))
+                }
             }
-            let metrics = run.metrics;
-            if metrics.runtime < self.params.min_runtime_s
-                || metrics.runtime > self.params.max_runtime_s
-            {
-                report.out_of_window += 1;
-                continue;
-            }
-            in_window.push((job, compiled, metrics));
         }
         in_window.shuffle(rng);
         let keep = ((in_window.len() as f64) * self.params.sample_frac).ceil() as usize;
         in_window.truncate(keep);
 
-        for (job, compiled, metrics) in in_window {
-            match self.analyze_job(job, &compiled, metrics, rng) {
+        // Stage 2 (parallel): analyze each selected job with its own RNG,
+        // split from one seed drawn off the caller RNG. Collection is in
+        // item order, so the outcome order matches the serial pipeline's.
+        let job_seed: u64 = rng.gen();
+        let stage_start = Instant::now();
+        let analyzed: Vec<Option<JobOutcome>> = run_chunked_on(
+            &in_window,
+            n_threads,
+            |(job, compiled, metrics)| {
+                let mut job_rng = StdRng::seed_from_u64(job_seed ^ job.id.0);
+                Some(self.analyze_job(job, compiled, *metrics, &mut job_rng))
+            },
+            |(job, _, _)| format!("job {}", job.id.0),
+        );
+        report.timings.analyze_s = stage_start.elapsed().as_secs_f64();
+
+        for outcome in analyzed {
+            match outcome {
                 Some(outcome) => {
                     report.failed_candidates += outcome.n_failed;
                     report.vetting.merge(&outcome.vetting);
+                    report.duplicate_plans += outcome.n_same_as_default + outcome.n_duplicate_plans;
                     report.outcomes.push(outcome);
                 }
                 None => report.not_selected += 1,
             }
         }
+        report.cache = self.cache.stats().since(&cache_before);
+        report.timings.total_s = run_start.elapsed().as_secs_f64();
         report
     }
 
@@ -252,36 +444,59 @@ impl Pipeline {
         default_metrics: RunMetrics,
         rng: &mut R,
     ) -> Option<JobOutcome> {
+        // Per-job work hoisted out of the per-candidate loop: one catalog
+        // observation, one fingerprint, one span approximation.
         let obs = job.catalog.observe();
-        let span = approximate_span(&job.plan, &obs);
-        let configs = candidate_configs(&span, self.params.m_candidates, rng);
+        let fingerprint = plan_catalog_fingerprint(&job.plan, &obs);
+        let span = approximate_span_cached(&job.plan, &obs, Some(&self.cache));
+        let configs =
+            candidate_configs_effective(&span, &Self::hint_set(job), self.params.m_candidates, rng);
 
-        // Recompile every candidate under the budget, with panic isolation,
-        // then vet each survivor against the default plan (validator +
-        // differential fingerprint). A candidate that panics, blows the
-        // budget, produces an invalid plan, or computes a different result
-        // is discarded and counted — never executed.
+        // Recompile every candidate under the budget, with panic isolation
+        // and the shared cache, then vet each survivor against the default
+        // plan (validator + differential fingerprint). A candidate that
+        // panics, blows the budget, produces an invalid plan, or computes a
+        // different result is discarded and counted — never executed.
+        //
+        // Signature dedup: a survivor whose signature equals the default's
+        // *is* the default plan, and one that repeats an earlier survivor's
+        // signature is the same plan under different raw bits. Both stay in
+        // the candidate statistics but are kept out of the execution pool,
+        // so `execute_top_k` slots only go to genuinely distinct plans.
         let mut vetting = CandidateFilterStats::default();
-        let mut recompiled: Vec<(RuleConfig, CompiledPlan)> = Vec::new();
+        let mut recompiled: Vec<(RuleConfig, Arc<CompiledPlan>)> = Vec::new();
+        let mut seen_signatures: HashSet<RuleSignature> = HashSet::new();
+        let mut n_candidates = 0usize;
+        let mut n_cheaper = 0usize;
+        let mut n_same_as_default = 0usize;
+        let mut n_duplicate_plans = 0usize;
+        let mut clearly_cheaper = false;
         for config in configs {
-            match compile_job_guarded(job, &config, &self.params.compile_budget) {
+            match self.compile_cached(job, &obs, fingerprint, &config) {
                 Ok(c) => match vet_candidate(default, &c) {
-                    Ok(()) => recompiled.push((config, c)),
+                    Ok(()) => {
+                        n_candidates += 1;
+                        if c.est_cost < default.est_cost {
+                            n_cheaper += 1;
+                        }
+                        if c.est_cost < default.est_cost * (1.0 - self.params.cheaper_frac) {
+                            clearly_cheaper = true;
+                        }
+                        if c.signature == default.signature {
+                            n_same_as_default += 1;
+                        } else if !seen_signatures.insert(c.signature) {
+                            n_duplicate_plans += 1;
+                        } else {
+                            recompiled.push((config, c));
+                        }
+                    }
                     Err(rejection) => vetting.note_rejection(&rejection),
                 },
                 Err(err) => vetting.note_compile_error(&err),
             }
         }
-        let n_candidates = recompiled.len();
-        let n_cheaper = recompiled
-            .iter()
-            .filter(|(_, c)| c.est_cost < default.est_cost)
-            .count();
 
         // §6.1 selection heuristics.
-        let clearly_cheaper = recompiled
-            .iter()
-            .any(|(_, c)| c.est_cost < default.est_cost * (1.0 - self.params.cheaper_frac));
         let outlier = default_metrics.runtime > default.est_cost * self.params.outlier_ratio;
         let reason = if clearly_cheaper {
             SelectionReason::CheaperPlans
@@ -291,9 +506,9 @@ impl Pipeline {
             return None;
         };
 
-        // Execute the K cheapest alternatives. Trials that fail or time
-        // out (after the retry policy gives up) are evidence against the
-        // candidate, not a reason to abort the job: discard and count.
+        // Execute the K cheapest distinct alternatives. Trials that fail or
+        // time out (after the retry policy gives up) are evidence against
+        // the candidate, not a reason to abort the job: discard and count.
         recompiled.sort_by(|a, b| a.1.est_cost.total_cmp(&b.1.est_cost));
         recompiled.truncate(self.params.execute_top_k);
         let mut executed = Vec::new();
@@ -322,6 +537,8 @@ impl Pipeline {
             span_size: span.len(),
             n_candidates,
             n_cheaper,
+            n_same_as_default,
+            n_duplicate_plans,
             reason,
             executed,
             n_failed,

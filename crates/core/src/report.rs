@@ -77,6 +77,8 @@ mod tests {
             span_size: 5,
             n_candidates: 10,
             n_cheaper: 2,
+            n_same_as_default: 0,
+            n_duplicate_plans: 0,
             reason: SelectionReason::CheaperPlans,
             n_failed: 0,
             vetting: crate::guard::CandidateFilterStats::default(),

@@ -23,6 +23,23 @@ pub fn candidate_configs<R: Rng + ?Sized>(
     m: usize,
     rng: &mut R,
 ) -> Vec<RuleConfig> {
+    candidate_configs_effective(span, &RuleSet::EMPTY, m, rng)
+}
+
+/// [`candidate_configs`] deduplicated by **effective** bits: `forced_on`
+/// holds rules the compiler will force back on regardless of sampling
+/// (customer hints, per [`scope_optimizer::effective_config`]; required
+/// rules are clamped by `RuleConfig::from_enabled` either way). Two raw
+/// samples that differ only inside `forced_on` compile identically, so
+/// without this the pipeline would recompile — and possibly A/B-execute —
+/// the same effective configuration twice. The returned configs have
+/// `forced_on` already merged, making them safe cache keys as-is.
+pub fn candidate_configs_effective<R: Rng + ?Sized>(
+    span: &JobSpan,
+    forced_on: &RuleSet,
+    m: usize,
+    rng: &mut R,
+) -> Vec<RuleConfig> {
     let by_category: Vec<RuleSet> = [
         RuleCategory::OffByDefault,
         RuleCategory::OnByDefault,
@@ -57,11 +74,13 @@ pub fn candidate_configs<R: Rng + ?Sized>(
                 }
             }
         }
-        if disabled.is_empty() {
+        // A sample whose every disable is forced back on is effectively
+        // the all-rules configuration — skip it like an empty sample.
+        if disabled.difference(forced_on).is_empty() {
             continue;
         }
-        let enabled = full.difference(&disabled);
-        // Step 3: dedup.
+        let enabled = full.difference(&disabled).union(forced_on);
+        // Step 3: dedup by post-merge (effective) bits.
         if seen.insert(enabled) {
             out.push(RuleConfig::from_enabled(enabled));
         }
@@ -161,6 +180,31 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(5);
         assert!(candidate_configs(&span, 10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn effective_dedup_merges_forced_rules_and_stays_unique() {
+        let span = fake_span();
+        let cat = RuleCatalog::global();
+        let forced: RuleSet = [
+            cat.find("HashJoinImpl1").unwrap(),
+            cat.find("GroupbyOnJoin").unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let configs = candidate_configs_effective(&span, &forced, 50, &mut rng);
+        assert!(!configs.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for c in &configs {
+            // Forced (hinted) rules are merged into every candidate, so the
+            // returned bits are the effective bits...
+            for id in forced.iter() {
+                assert!(c.is_enabled(id));
+            }
+            // ...and uniqueness holds post-merge, not on the raw samples.
+            assert!(seen.insert(*c.enabled()));
+        }
     }
 
     #[test]

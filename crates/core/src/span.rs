@@ -8,7 +8,10 @@
 //! compiling.
 
 use scope_ir::{ObservableCatalog, PlanGraph};
-use scope_optimizer::{compile, RuleCatalog, RuleConfig, RuleSet};
+use scope_optimizer::{
+    compile, plan_catalog_fingerprint, CompileCache, RuleCatalog, RuleConfig, RuleSet,
+    RuleSignature,
+};
 
 /// Result of the span approximation.
 #[derive(Clone, Debug, PartialEq)]
@@ -61,6 +64,37 @@ pub const MAX_SPAN_ITERATIONS: usize = 64;
 /// distributed job and misses all alternative implementations. The paper's
 /// production system necessarily handles this implicitly.
 pub fn approximate_span(plan: &PlanGraph, obs: &ObservableCatalog) -> JobSpan {
+    approximate_span_cached(plan, obs, None)
+}
+
+/// [`approximate_span`] with an optional [`CompileCache`]. Algorithm 1
+/// compiles the same configuration more than once whenever the pinning
+/// recovery fires (the recovery trial that fixes compilation is re-compiled
+/// verbatim on the next loop iteration), and its first iteration (the
+/// all-non-required-rules configuration) recurs across repeated span runs
+/// of the same job — both become cache hits. Results are bit-identical
+/// with and without a cache.
+pub fn approximate_span_cached(
+    plan: &PlanGraph,
+    obs: &ObservableCatalog,
+    cache: Option<&CompileCache>,
+) -> JobSpan {
+    let fingerprint = cache.map(|_| plan_catalog_fingerprint(plan, obs));
+    // Ok(signature) | Err(()) — the algorithm needs nothing else from a
+    // compile, and hits avoid rebuilding the memo.
+    let try_compile = |config: &RuleConfig| -> Result<RuleSignature, ()> {
+        match cache {
+            Some(c) => c
+                .get_or_compile(fingerprint.unwrap_or_default(), config, || {
+                    compile(plan, obs, config)
+                })
+                .map(|compiled| compiled.signature)
+                .map_err(|_| ()),
+            None => compile(plan, obs, config)
+                .map(|compiled| compiled.signature)
+                .map_err(|_| ()),
+        }
+    };
     let cat = RuleCatalog::global();
     let non_required = cat.non_required();
     let mut enabled = non_required;
@@ -73,16 +107,12 @@ pub fn approximate_span(plan: &PlanGraph, obs: &ObservableCatalog) -> JobSpan {
     while iterations < MAX_SPAN_ITERATIONS {
         iterations += 1;
         let config = RuleConfig::from_enabled(enabled);
-        match compile(plan, obs, &config) {
-            Ok(compiled) => {
+        match try_compile(&config) {
+            Ok(signature) => {
                 // GET_ON_RULES: signature rules still disableable (required
                 // rules keep firing forever; pinned rules proved
                 // load-bearing).
-                let on_rules = compiled
-                    .signature
-                    .0
-                    .intersection(&enabled)
-                    .difference(&pinned);
+                let on_rules = signature.0.intersection(&enabled).difference(&pinned);
                 if on_rules.is_empty() {
                     break;
                 }
@@ -104,7 +134,7 @@ pub fn approximate_span(plan: &PlanGraph, obs: &ObservableCatalog) -> JobSpan {
                     iterations += 1;
                     let mut trial = enabled;
                     trial.insert(id);
-                    if compile(plan, obs, &RuleConfig::from_enabled(trial)).is_ok() {
+                    if try_compile(&RuleConfig::from_enabled(trial)).is_ok() {
                         enabled.insert(id);
                         pinned.insert(id);
                         recovered = true;
@@ -121,7 +151,7 @@ pub fn approximate_span(plan: &PlanGraph, obs: &ObservableCatalog) -> JobSpan {
                         enabled.insert(id);
                         pinned.insert(id);
                         iterations += 1;
-                        if compile(plan, obs, &RuleConfig::from_enabled(enabled)).is_ok() {
+                        if try_compile(&RuleConfig::from_enabled(enabled)).is_ok() {
                             recovered = true;
                             break;
                         }
@@ -248,6 +278,19 @@ mod tests {
     fn span_is_deterministic() {
         let (plan, obs) = job();
         assert_eq!(approximate_span(&plan, &obs), approximate_span(&plan, &obs));
+    }
+
+    #[test]
+    fn cached_span_is_bit_identical_and_hits_the_cache() {
+        let (plan, obs) = job();
+        let cache = CompileCache::new(256);
+        let cached = approximate_span_cached(&plan, &obs, Some(&cache));
+        assert_eq!(cached, approximate_span(&plan, &obs));
+        // Re-running the same job's span is served largely from the cache
+        // (only failing compiles — which are never cached — re-run).
+        let before = cache.stats();
+        assert_eq!(approximate_span_cached(&plan, &obs, Some(&cache)), cached);
+        assert!(cache.stats().since(&before).hits > 0);
     }
 
     #[test]

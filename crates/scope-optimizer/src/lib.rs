@@ -23,6 +23,7 @@
 //! implementations of a needed operator produces a [`search::CompileError`]
 //! — the paper's "not all configurations compile".
 
+pub mod cache;
 pub mod config;
 pub mod cost;
 pub mod estimate;
@@ -36,10 +37,11 @@ pub mod search;
 pub mod transform;
 pub mod validate;
 
+pub use cache::{plan_catalog_fingerprint, CacheStats, CompileCache};
 pub use config::{RuleConfig, RuleDiff, RuleSignature};
 pub use optimizer::{
     catch_compile_panics, compile, compile_job, compile_job_guarded, compile_job_with_budget,
-    compile_with_budget, CompileStats, CompiledPlan,
+    compile_with_budget, effective_config, CompileStats, CompiledPlan,
 };
 pub use physical::{Partitioning, PhysNode, PhysOp, PhysPlan};
 pub use rules::{PhysImpl, Rule, RuleAction, RuleCatalog, RuleCategory};
