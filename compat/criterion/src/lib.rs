@@ -141,7 +141,7 @@ mod tests {
         c.bench_function("noop", |b| b.iter(|| 1 + 1));
         let mut g = c.benchmark_group("grp");
         g.bench_function("batched", |b| {
-            b.iter_batched(|| 40, |x| x + 2, BatchSize::SmallInput)
+            b.iter_batched(|| 40, |x| x + 2, BatchSize::SmallInput);
         });
         g.finish();
     }

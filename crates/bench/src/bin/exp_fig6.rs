@@ -22,7 +22,7 @@ fn main() {
         let mut changes: Vec<f64> = report
             .outcomes
             .iter()
-            .map(|o| o.best_runtime_change_pct())
+            .map(steer_core::pipeline::JobOutcome::best_runtime_change_pct)
             .collect();
         changes.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (i, ch) in changes.iter().enumerate() {

@@ -6,7 +6,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 19] = [
+const EXPERIMENTS: [&str; 20] = [
     "exp_table1",
     "exp_table2",
     "exp_fig2",
@@ -26,6 +26,7 @@ const EXPERIMENTS: [&str; 19] = [
     "exp_fault_sweep",
     "exp_budget_sweep",
     "exp_throughput",
+    "exp_lint",
 ];
 
 fn main() {

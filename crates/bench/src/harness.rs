@@ -154,9 +154,9 @@ mod tests {
     #[test]
     fn run_chunked_handles_empty_and_filtered_input() {
         let empty: Vec<u32> = Vec::new();
-        assert!(run_chunked(&empty, |&i| Some(i), |i| i.to_string()).is_empty());
+        assert!(run_chunked(&empty, |&i| Some(i), ToString::to_string).is_empty());
         let items = [1u32, 2, 3, 4];
-        let odd_only = run_chunked(&items, |&i| (i % 2 == 1).then_some(i), |i| i.to_string());
+        let odd_only = run_chunked(&items, |&i| (i % 2 == 1).then_some(i), ToString::to_string);
         assert_eq!(odd_only, vec![1, 3]);
     }
 }

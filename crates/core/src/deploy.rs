@@ -13,7 +13,10 @@ use std::collections::HashMap;
 use scope_exec::{ABTester, JobOutcome as ExecOutcome, RetryPolicy, RunMetrics};
 use scope_ir::stats::{mean, pct_change};
 use scope_ir::Job;
-use scope_optimizer::{compile_job, compile_job_guarded, CompileBudget, RuleConfig, RuleSet};
+use scope_lint::{catalog_invalid, ConfigVerdict, JobLint};
+use scope_optimizer::{
+    compile_job, compile_job_guarded, effective_config, CompileBudget, RuleConfig, RuleSet,
+};
 
 use crate::groups::GroupConfig;
 use crate::guard::vet_candidate;
@@ -72,6 +75,11 @@ pub struct RevalidationReport {
     pub mean_change_pct: f64,
     /// Steered validation runs that failed or timed out this sweep.
     pub failed_runs: usize,
+    /// Job/hint pairs skipped without compiling because the static
+    /// analyzer proved the hint cannot compile for that job (the dynamic
+    /// path would have hit a benign, non-fatal compile error and skipped
+    /// the pair anyway).
+    pub statically_skipped: usize,
 }
 
 /// One production-style run through the deployment guardrail.
@@ -123,7 +131,11 @@ impl HintStore {
     }
 
     /// Install discovery winners (keeping, per group, the one with the
-    /// largest base improvement).
+    /// largest base improvement). A winner whose configuration is
+    /// plan-independently broken (see [`scope_lint::catalog_invalid`]; it
+    /// can compile no job at all) is stored directly as `Quarantined` so it
+    /// is never recommended — the static-analysis arm of the quarantine
+    /// guardrail, applied at ingestion instead of first failure.
     pub fn install(&mut self, winners: &[GroupConfig], day: u32) {
         for w in winners {
             let key = w.group.to_bit_string();
@@ -133,6 +145,11 @@ impl HintStore {
                 .map(|e| w.base_change_pct < e.base_change_pct)
                 .unwrap_or(true);
             if replace {
+                let status = if catalog_invalid(&w.config).is_empty() {
+                    HintStatus::Active
+                } else {
+                    HintStatus::Quarantined
+                };
                 self.entries.insert(
                     key.clone(),
                     StoredHint {
@@ -140,7 +157,7 @@ impl HintStore {
                         config: w.config.clone(),
                         base_change_pct: w.base_change_pct,
                         discovered_day: day,
-                        status: HintStatus::Active,
+                        status,
                         validations: Vec::new(),
                         failed_validations: 0,
                     },
@@ -217,6 +234,18 @@ impl HintStore {
                 let Ok(default) = compile_job(job, &RuleConfig::default_config()) else {
                     continue;
                 };
+                // Static gate: if the analyzer proves the (hint + customer
+                // hints) config cannot compile this job, skip the pair with
+                // zero compiles. The dynamic path below would have hit a
+                // benign non-fatal compile error and `continue`d anyway.
+                let effective = effective_config(job, &entry.config);
+                if matches!(
+                    JobLint::new(&job.plan).classify(&effective),
+                    ConfigVerdict::Invalid { .. }
+                ) {
+                    report.statically_skipped += 1;
+                    continue;
+                }
                 let steered = match compile_job_guarded(job, &entry.config, &self.compile_budget) {
                     Ok(s) => s,
                     // A panic or budget blow-out is a guardrail trip, not a
@@ -295,6 +324,17 @@ impl HintStore {
         let default = compile_job(job, &RuleConfig::default_config()).ok()?;
         let mut vetoed = false;
         let steered_plan = self.recommend(&default.signature).and_then(|cfg| {
+            // Static gate: a hint the analyzer proves cannot compile this
+            // job is skipped without a compile attempt. Not a veto — the
+            // dynamic path treats the resulting non-fatal compile error as
+            // a benign "doesn't compile here" too (`vetoed` stays false).
+            let effective = effective_config(job, cfg);
+            if matches!(
+                JobLint::new(&job.plan).classify(&effective),
+                ConfigVerdict::Invalid { .. }
+            ) {
+                return None;
+            }
             match compile_job_guarded(job, cfg, &self.compile_budget) {
                 Ok(steered) => {
                     if vet_candidate(&default, &steered).is_ok() {
@@ -599,6 +639,32 @@ mod tests {
             }
         }
         assert!(vetoes > 0, "some next-day job should have hit the veto");
+    }
+
+    #[test]
+    fn install_quarantines_catalog_invalid_hints() {
+        use scope_ir::OpKind;
+        // A hint with every Output implementation disabled can compile no
+        // job at all (no escape rewrite is anchored on Output): the static
+        // analyzer quarantines it at installation.
+        let mut config = RuleConfig::default_config();
+        for id in scope_lint::RuleGraph::global().impls(OpKind::Output).iter() {
+            config.disable(id);
+        }
+        assert!(!scope_lint::catalog_invalid(&config).is_empty());
+        let broken = GroupConfig {
+            group: RuleSignature(RuleSet::from_bit_string("110")),
+            config,
+            base_change_pct: -40.0,
+            base_job: scope_ir::ids::JobId(7),
+        };
+        let mut store = HintStore::new();
+        store.install(&[broken], 0);
+        let hint = store.hints().next().unwrap();
+        assert_eq!(hint.status, HintStatus::Quarantined);
+        // Quarantined at ingestion means never recommended.
+        let sig = RuleSignature(RuleSet::from_bit_string(&hint.group));
+        assert!(store.recommend(&sig).is_none());
     }
 
     #[test]

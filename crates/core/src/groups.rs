@@ -132,7 +132,7 @@ mod tests {
         let w = Workload::generate(WorkloadProfile::workload_b(0.3));
         let jobs = w.day(0);
         let groups = group_jobs(&jobs);
-        let total: usize = groups.values().map(|v| v.len()).sum();
+        let total: usize = groups.values().map(Vec::len).sum();
         assert_eq!(total, jobs.len());
         assert!(groups.len() > 1);
         assert!(groups.len() < jobs.len(), "some group has several jobs");

@@ -78,12 +78,34 @@ pub struct CandidateFilterStats {
     pub invalid: usize,
     /// Plans whose result fingerprint diverged from the default's.
     pub diverged: usize,
+    /// Candidates the static analyzer (`scope-lint`) retired before any
+    /// compile: certain to fail with `NoImplementation`. Pre-lint these
+    /// compiled, failed with a non-fatal error, and were silently skipped,
+    /// so retiring them statically changes no other counter.
+    pub static_invalid: usize,
+    /// Candidate compiles avoided because an earlier candidate in the same
+    /// job had the same canonical (live) rule bits; the stored compile
+    /// result was replayed instead.
+    pub static_redundant: usize,
 }
 
 impl CandidateFilterStats {
-    /// Total candidates filtered.
+    /// Total candidates filtered before execution (dynamic guardrails plus
+    /// statically-retired candidates; redundant candidates are *reused*,
+    /// not filtered, so they are excluded here).
     pub fn total(&self) -> usize {
+        self.dynamic_total() + self.static_invalid
+    }
+
+    /// Candidates the *dynamic* guardrails (compile + vet) filtered.
+    pub fn dynamic_total(&self) -> usize {
         self.panicked + self.over_budget + self.invalid + self.diverged
+    }
+
+    /// Candidates handled statically, with zero compiles: retired as
+    /// certainly-invalid or served from a canonical-equivalent compile.
+    pub fn static_total(&self) -> usize {
+        self.static_invalid + self.static_redundant
     }
 
     /// Fold another stats record into this one.
@@ -92,6 +114,8 @@ impl CandidateFilterStats {
         self.over_budget += other.over_budget;
         self.invalid += other.invalid;
         self.diverged += other.diverged;
+        self.static_invalid += other.static_invalid;
+        self.static_redundant += other.static_redundant;
     }
 
     /// Count a guarded compile error. Ordinary configuration-infeasibility
@@ -101,7 +125,7 @@ impl CandidateFilterStats {
         match err {
             CompileError::Panicked { .. } => self.panicked += 1,
             CompileError::BudgetExhausted { .. } | CompileError::MemoExhausted { .. } => {
-                self.over_budget += 1
+                self.over_budget += 1;
             }
             _ => {}
         }

@@ -23,7 +23,7 @@ where
 /// The default worker count: one per available core.
 pub fn available_threads() -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
 }
 
@@ -99,9 +99,13 @@ mod tests {
     #[test]
     fn run_chunked_handles_empty_and_filtered_input() {
         let empty: Vec<u32> = Vec::new();
-        assert!(run_chunked(&empty, |&i| Some(i), |i| i.to_string()).is_empty());
+        assert!(run_chunked(&empty, |&i| Some(i), std::string::ToString::to_string).is_empty());
         let items = [1u32, 2, 3, 4];
-        let odd_only = run_chunked(&items, |&i| (i % 2 == 1).then_some(i), |i| i.to_string());
+        let odd_only = run_chunked(
+            &items,
+            |&i| (i % 2 == 1).then_some(i),
+            std::string::ToString::to_string,
+        );
         assert_eq!(odd_only, vec![1, 3]);
     }
 
@@ -109,7 +113,7 @@ mod tests {
     fn results_are_in_item_order_for_any_worker_count() {
         let items: Vec<u32> = (0..100).collect();
         for n in [1, 2, 3, 7, 16, 100] {
-            let out = run_chunked_on(&items, n, |&i| Some(i), |i| i.to_string());
+            let out = run_chunked_on(&items, n, |&i| Some(i), std::string::ToString::to_string);
             assert_eq!(out, items, "order broke at {n} workers");
         }
     }

@@ -13,7 +13,7 @@
 //! same caller seed produces the same [`DiscoveryReport`] at any thread
 //! count and any cache size.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,6 +25,7 @@ use scope_exec::{ABTester, FaultedRun, Metric, RetryPolicy, RunMetrics};
 use scope_ir::ids::{JobId, TemplateId};
 use scope_ir::stats::pct_change;
 use scope_ir::Job;
+use scope_lint::{ConfigVerdict, JobLint};
 use scope_optimizer::{
     catch_compile_panics, compile, compile_with_budget, effective_config, plan_catalog_fingerprint,
     CacheStats, CompileBudget, CompileCache, CompiledPlan, RuleConfig, RuleId, RuleSet,
@@ -71,6 +72,19 @@ pub struct PipelineParams {
     /// disables caching. Cached compiles are bit-identical to fresh ones,
     /// so this only changes speed, never results.
     pub cache_capacity: usize,
+    /// Run the `scope-lint` static analyzer over every candidate before
+    /// compiling it: statically-certain-to-fail configs are skipped
+    /// (counted in `vetting.static_invalid`) and canonically-equivalent
+    /// configs share one compile per job (`vetting.static_redundant`).
+    /// Results are bit-identical with the gate on or off — skipped
+    /// candidates could never have contributed (their compile errors were
+    /// always silently ignored) and redundant candidates replay the exact
+    /// stored compile result. The one visible difference: a
+    /// statically-invalid candidate that would have *exhausted the compile
+    /// budget* mid-search is now skipped instead of counted as
+    /// `over_budget`. The switch exists for A/B measurement (`exp_lint`)
+    /// and the determinism test.
+    pub lint_gate: bool,
 }
 
 impl Default for PipelineParams {
@@ -87,6 +101,7 @@ impl Default for PipelineParams {
             compile_budget: CompileBudget::default(),
             n_threads: 0,
             cache_capacity: 4096,
+            lint_gate: true,
         }
     }
 }
@@ -224,6 +239,17 @@ impl DiscoveryReport {
             .iter()
             .filter(|o| o.best_runtime_change_pct() < -threshold_pct)
             .collect()
+    }
+
+    /// Candidates handled statically (zero compiles): retired as certainly
+    /// invalid or served from a canonical-equivalent compile.
+    pub fn static_rejections(&self) -> usize {
+        self.vetting.static_total()
+    }
+
+    /// Candidates the dynamic guardrails (compile + vet) filtered.
+    pub fn dynamic_rejections(&self) -> usize {
+        self.vetting.dynamic_total()
     }
 }
 
@@ -395,7 +421,7 @@ impl Pipeline {
                 DefaultOutcome::Failed => report.failed_defaults += 1,
                 DefaultOutcome::OutOfWindow => report.out_of_window += 1,
                 DefaultOutcome::InWindow(compiled, metrics) => {
-                    in_window.push((&jobs[i], compiled, metrics))
+                    in_window.push((&jobs[i], compiled, metrics));
                 }
             }
         }
@@ -458,11 +484,26 @@ impl Pipeline {
         // panics, blows the budget, produces an invalid plan, or computes a
         // different result is discarded and counted — never executed.
         //
+        // Static gate (when `params.lint_gate`): before any compile, the
+        // `scope-lint` analyzer classifies the candidate against this job's
+        // plan. `Invalid` verdicts are certain `NoImplementation` failures
+        // — pre-lint these compiled, failed with a non-fatal error, and
+        // were silently skipped, so skipping them sooner is invisible to
+        // every other counter. `Redundant` verdicts replay the stored
+        // result of the canonical-equivalent compile (success *or* error),
+        // walking the exact counter paths a fresh, bit-identical compile
+        // would have walked.
+        //
         // Signature dedup: a survivor whose signature equals the default's
         // *is* the default plan, and one that repeats an earlier survivor's
         // signature is the same plan under different raw bits. Both stay in
         // the candidate statistics but are kept out of the execution pool,
         // so `execute_top_k` slots only go to genuinely distinct plans.
+        let lint = self.params.lint_gate.then(|| JobLint::new(&job.plan));
+        let mut by_canonical: HashMap<
+            RuleSet,
+            Result<Arc<CompiledPlan>, scope_optimizer::CompileError>,
+        > = HashMap::new();
         let mut vetting = CandidateFilterStats::default();
         let mut recompiled: Vec<(RuleConfig, Arc<CompiledPlan>)> = Vec::new();
         let mut seen_signatures: HashSet<RuleSignature> = HashSet::new();
@@ -472,7 +513,31 @@ impl Pipeline {
         let mut n_duplicate_plans = 0usize;
         let mut clearly_cheaper = false;
         for config in configs {
-            match self.compile_cached(job, &obs, fingerprint, &config) {
+            let result = match &lint {
+                Some(lint) => {
+                    let canonical = match lint.classify(&config) {
+                        ConfigVerdict::Invalid { .. } => {
+                            vetting.static_invalid += 1;
+                            continue;
+                        }
+                        ConfigVerdict::Redundant { canonical } => canonical,
+                        ConfigVerdict::Dead { .. } | ConfigVerdict::Valid => *config.enabled(),
+                    };
+                    match by_canonical.get(&canonical) {
+                        Some(stored) => {
+                            vetting.static_redundant += 1;
+                            stored.clone()
+                        }
+                        None => {
+                            let fresh = self.compile_cached(job, &obs, fingerprint, &config);
+                            by_canonical.insert(canonical, fresh.clone());
+                            fresh
+                        }
+                    }
+                }
+                None => self.compile_cached(job, &obs, fingerprint, &config),
+            };
+            match result {
                 Ok(c) => match vet_candidate(default, &c) {
                     Ok(()) => {
                         n_candidates += 1;
@@ -633,10 +698,88 @@ mod tests {
         for o in &report.outcomes {
             assert_eq!(o.n_failed, 0);
         }
-        // The guardrail must be invisible on healthy rules: no legitimate
-        // configuration panics, blows the generous default budget, emits an
-        // invalid plan, or changes the job's result fingerprint.
-        assert_eq!(report.vetting, CandidateFilterStats::default());
+        // The *dynamic* guardrail must be invisible on healthy rules: no
+        // legitimate configuration panics, blows the generous default
+        // budget, emits an invalid plan, or changes the job's result
+        // fingerprint. (The static analyzer may still retire certainly
+        // infeasible or redundant candidates before compile — those are
+        // counted separately and change nothing observable.)
+        assert_eq!(report.dynamic_rejections(), 0);
+        assert_eq!(report.vetting.panicked, 0);
+        assert_eq!(report.vetting.over_budget, 0);
+        assert_eq!(report.vetting.invalid, 0);
+        assert_eq!(report.vetting.diverged, 0);
+    }
+
+    /// Strip the static-analyzer counters from a report so runs with the
+    /// lint gate on and off can be compared field-for-field.
+    fn lint_insensitive_view(report: &DiscoveryReport) -> String {
+        let strip = |mut v: CandidateFilterStats| {
+            v.static_invalid = 0;
+            v.static_redundant = 0;
+            v
+        };
+        let vetting = strip(report.vetting);
+        let outcomes: Vec<JobOutcome> = report
+            .outcomes
+            .iter()
+            .map(|o| {
+                let mut o = o.clone();
+                o.vetting = strip(o.vetting);
+                o
+            })
+            .collect();
+        // Cache lookup counts are excluded: folding redundant candidates
+        // legitimately avoids lookups without changing any result.
+        format!(
+            "{:?}|{}|{}|{}|{}|{:?}|{}",
+            outcomes,
+            report.not_selected,
+            report.out_of_window,
+            report.failed_defaults,
+            report.failed_candidates,
+            vetting,
+            report.duplicate_plans,
+        )
+    }
+
+    #[test]
+    fn lint_gate_preserves_discovery_bit_for_bit() {
+        let w = Workload::generate(WorkloadProfile::workload_a(0.06));
+        let jobs = w.day(0);
+        let run = |lint_gate: bool| {
+            let p = Pipeline::new(
+                ABTester::new(11),
+                PipelineParams {
+                    m_candidates: 120,
+                    execute_top_k: 5,
+                    sample_frac: 1.0,
+                    lint_gate,
+                    ..PipelineParams::default()
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(1);
+            p.discover(&jobs, &mut rng)
+        };
+        let with = run(true);
+        let without = run(false);
+        // The gate only skips certainly-failing compiles and replays
+        // canonical-equivalent ones, so every legacy field — outcomes
+        // (plans, costs, signatures, metrics), dedup counts, dynamic
+        // guardrail counters — must be bit-identical.
+        assert_eq!(
+            lint_insensitive_view(&with),
+            lint_insensitive_view(&without)
+        );
+        assert_eq!(
+            with.vetting.dynamic_total(),
+            without.vetting.dynamic_total()
+        );
+        assert_eq!(without.vetting.static_total(), 0, "gate off must not count");
+        assert!(
+            with.vetting.static_total() > 0,
+            "expected the analyzer to retire or fold at least one candidate"
+        );
     }
 
     #[test]

@@ -80,9 +80,12 @@ pub fn candidate_configs_effective<R: Rng + ?Sized>(
             continue;
         }
         let enabled = full.difference(&disabled).union(forced_on);
-        // Step 3: dedup by post-merge (effective) bits.
-        if seen.insert(enabled) {
-            out.push(RuleConfig::from_enabled(enabled));
+        // Step 3: normalize (required rules clamped back on — the sampler
+        // never clears them, so the correction mask is empty here) and
+        // dedup by post-normalization effective bits.
+        let (config, _correction) = RuleConfig::normalized(enabled);
+        if seen.insert(*config.enabled()) {
+            out.push(config);
         }
     }
     out

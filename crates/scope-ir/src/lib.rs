@@ -35,4 +35,6 @@ pub use ids::{ColId, DomainId, JobId, NodeId, PredId, TableId, TemplateId, UdoId
 pub use job::{InputRef, Job};
 pub use ops::{AggFunc, JoinKind, LogicalOp, OpKind};
 pub use plan::{PlanGraph, PlanNode};
-pub use validate::{validate_logical, PlanViolation};
+pub use validate::{
+    check_provenance, check_structure, validate_logical, PlanViolation, StructuralNode,
+};

@@ -183,7 +183,7 @@ impl LogicalOp {
         match self {
             LogicalOp::Get { table } | LogicalOp::RangeGet { table, .. } => table.hash(h),
             LogicalOp::Select { predicate } | LogicalOp::Filter { predicate } => {
-                predicate.shape_hash(h)
+                predicate.shape_hash(h);
             }
             LogicalOp::Project { cols, computed } => {
                 cols.hash(h);
@@ -220,7 +220,7 @@ impl LogicalOp {
         self.shape_hash(h);
         match self {
             LogicalOp::Select { predicate } | LogicalOp::Filter { predicate } => {
-                predicate.value_hash(h)
+                predicate.value_hash(h);
             }
             LogicalOp::RangeGet { pushed, .. } => pushed.value_hash(h),
             _ => {}
@@ -234,7 +234,7 @@ impl LogicalOp {
         self.shape_hash(h);
         match self {
             LogicalOp::Select { predicate } | LogicalOp::Filter { predicate } => {
-                predicate.ordered_value_hash(h)
+                predicate.ordered_value_hash(h);
             }
             LogicalOp::RangeGet { pushed, .. } => pushed.ordered_value_hash(h),
             _ => {}

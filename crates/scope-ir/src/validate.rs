@@ -122,6 +122,72 @@ impl fmt::Display for PlanViolation {
     }
 }
 
+/// A node as seen by the shared structural checks — the common shape of a
+/// logical [`PlanGraph`] node and the optimizer's physical node, so the
+/// root/arity/dangling-edge logic lives in exactly one place (used by
+/// [`validate_logical`], `scope_optimizer::validate_physical`, and the
+/// `scope-lint` structure pass).
+pub struct StructuralNode<'a> {
+    /// Operator kind name, for diagnostics.
+    pub kind: &'static str,
+    /// Child edges into the owning arena.
+    pub children: &'a [NodeId],
+    /// Allowed input arity `(min, max)`.
+    pub arity: (usize, usize),
+    /// Whether the operator is an `Output` sink (the only legal root).
+    pub is_output: bool,
+}
+
+/// Shared structural core: the plan has a root, the root is an `Output`,
+/// every reachable node's input count is within its arity bounds, and every
+/// child edge resolves to an earlier arena node (the arena is topologically
+/// ordered, so any other edge would cycle or dangle).
+///
+/// Returns per-node edge-soundness flags (`false` = some child edge of that
+/// node dangles), letting callers skip follow-on checks that would read
+/// through corrupt edges. On a rootless plan only `NoRoot` is reported.
+pub fn check_structure<'a>(
+    root: Option<NodeId>,
+    len: usize,
+    reachable: impl IntoIterator<Item = NodeId>,
+    view: impl Fn(NodeId) -> StructuralNode<'a>,
+    out: &mut Vec<PlanViolation>,
+) -> Vec<bool> {
+    let Some(root) = root else {
+        out.push(PlanViolation::NoRoot);
+        return vec![true; len];
+    };
+    let root_view = view(root);
+    if !root_view.is_output {
+        out.push(PlanViolation::RootNotOutput {
+            node: root,
+            kind: root_view.kind,
+        });
+    }
+    let mut edges_ok = vec![true; len];
+    for id in reachable {
+        let node = view(id);
+        let (min, max) = node.arity;
+        let got = node.children.len();
+        if got < min || got > max {
+            out.push(PlanViolation::BadArity {
+                node: id,
+                kind: node.kind,
+                got,
+                min,
+                max,
+            });
+        }
+        for &c in node.children {
+            if c >= id || c.index() >= len {
+                out.push(PlanViolation::DanglingInput { node: id, child: c });
+                edges_ok[id.index()] = false;
+            }
+        }
+    }
+    edges_ok
+}
+
 /// Check that every column in `cols` is produced by the inputs.
 fn check_cols<'a>(
     node: NodeId,
@@ -146,37 +212,39 @@ fn check_cols<'a>(
 /// input through — aggregate outputs are addressed by their argument's id).
 pub fn validate_logical(plan: &PlanGraph, obs: &ObservableCatalog) -> Vec<PlanViolation> {
     let mut out = Vec::new();
-    let Some(root) = plan.root() else {
-        out.push(PlanViolation::NoRoot);
-        return out;
-    };
-    if plan.node(root).op.kind() != OpKind::Output {
-        out.push(PlanViolation::RootNotOutput {
-            node: root,
-            kind: plan.node(root).op.kind().name(),
-        });
+    check_structure(
+        plan.root(),
+        plan.len(),
+        plan.reachable(),
+        |id| {
+            let node = plan.node(id);
+            StructuralNode {
+                kind: node.op.kind().name(),
+                children: &node.children,
+                arity: node.op.arity(),
+                is_output: node.op.kind() == OpKind::Output,
+            }
+        },
+        &mut out,
+    );
+    if plan.root().is_some() {
+        check_provenance(plan, obs, &mut out);
     }
-    // Bottom-up pass over the (topologically ordered) reachable set,
-    // deriving the column set each node produces.
+    out
+}
+
+/// The table/column-provenance pass: bottom-up over the (topologically
+/// ordered) reachable set, deriving the column set each node produces and
+/// reporting scans of unknown tables and references to columns the inputs
+/// do not produce. Dangling child edges are skipped silently — reporting
+/// them is [`check_structure`]'s job.
+pub fn check_provenance(plan: &PlanGraph, obs: &ObservableCatalog, out: &mut Vec<PlanViolation>) {
     let mut cols: Vec<BTreeSet<ColId>> = vec![BTreeSet::new(); plan.len()];
     for id in plan.reachable() {
         let node = plan.node(id);
-        let (min, max) = node.op.arity();
-        let got = node.children.len();
-        if got < min || got > max {
-            out.push(PlanViolation::BadArity {
-                node: id,
-                kind: node.op.kind().name(),
-                got,
-                min,
-                max,
-            });
-        }
-        let mut inputs: Vec<&BTreeSet<ColId>> = Vec::with_capacity(got);
+        let mut inputs: Vec<&BTreeSet<ColId>> = Vec::with_capacity(node.children.len());
         for &c in &node.children {
-            if c >= id || c.index() >= plan.len() {
-                out.push(PlanViolation::DanglingInput { node: id, child: c });
-            } else {
+            if c < id && c.index() < plan.len() {
                 inputs.push(&cols[c.index()]);
             }
         }
@@ -187,12 +255,7 @@ pub fn validate_logical(plan: &PlanGraph, obs: &ObservableCatalog) -> Vec<PlanVi
                     Some(t) => {
                         if let LogicalOp::RangeGet { pushed, .. } = &node.op {
                             let table_cols: BTreeSet<ColId> = t.cols.iter().copied().collect();
-                            check_cols(
-                                id,
-                                pushed.atoms.iter().map(|a| &a.col),
-                                &table_cols,
-                                &mut out,
-                            );
+                            check_cols(id, pushed.atoms.iter().map(|a| &a.col), &table_cols, out);
                         }
                         t.cols.iter().copied().collect()
                     }
@@ -206,11 +269,11 @@ pub fn validate_logical(plan: &PlanGraph, obs: &ObservableCatalog) -> Vec<PlanVi
                 }
             }
             LogicalOp::Select { predicate } | LogicalOp::Filter { predicate } => {
-                check_cols(id, predicate.atoms.iter().map(|a| &a.col), &avail, &mut out);
+                check_cols(id, predicate.atoms.iter().map(|a| &a.col), &avail, out);
                 avail
             }
             LogicalOp::Project { cols: pcols, .. } => {
-                check_cols(id, pcols.iter(), &avail, &mut out);
+                check_cols(id, pcols.iter(), &avail, out);
                 pcols.iter().copied().collect()
             }
             LogicalOp::Join { keys, .. } => {
@@ -218,7 +281,7 @@ pub fn validate_logical(plan: &PlanGraph, obs: &ObservableCatalog) -> Vec<PlanVi
                 // reassociation legitimately re-routes which side carries a
                 // key column, so side-specific checks would false-positive.
                 for (l, r) in keys {
-                    check_cols(id, [l, r], &avail, &mut out);
+                    check_cols(id, [l, r], &avail, out);
                 }
                 match &node.op {
                     LogicalOp::Join {
@@ -238,7 +301,7 @@ pub fn validate_logical(plan: &PlanGraph, obs: &ObservableCatalog) -> Vec<PlanVi
                 // id (a downstream `GroupBy` keys on `Sum(c)`'s result as
                 // `c`), so grouping does not rescope what may be referenced
                 // above it.
-                check_cols(id, keys.iter(), &avail, &mut out);
+                check_cols(id, keys.iter(), &avail, out);
                 avail
             }
             LogicalOp::UnionAll | LogicalOp::VirtualDataset => {
@@ -252,14 +315,13 @@ pub fn validate_logical(plan: &PlanGraph, obs: &ObservableCatalog) -> Vec<PlanVi
                 }
             }
             LogicalOp::Sort { keys } | LogicalOp::Window { keys } => {
-                check_cols(id, keys.iter(), &avail, &mut out);
+                check_cols(id, keys.iter(), &avail, out);
                 avail
             }
             LogicalOp::Top { .. } | LogicalOp::Process { .. } | LogicalOp::Output { .. } => avail,
         };
         cols[id.index()] = derived;
     }
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,154 @@
+//! The reusable plan-IR pass framework.
+//!
+//! A [`Pass`] inspects one logical plan (plus its observable catalog) and
+//! appends findings to a [`LintReport`]. The default [`PassRegistry`] holds
+//! the two passes that together subsume `scope_ir::validate_logical`: the
+//! structural pass (root/arity/dangling edges, via the shared
+//! [`scope_ir::check_structure`] core) and the table/column-provenance
+//! dataflow pass (via [`scope_ir::check_provenance`]). Because both passes
+//! call the exact functions `validate_logical` is built from, the registry's
+//! error findings agree with the validator by construction — a property the
+//! test suite pins down.
+
+use scope_ir::validate::{check_provenance, check_structure, PlanViolation, StructuralNode};
+use scope_ir::{ObservableCatalog, OpKind, PlanGraph};
+
+use crate::report::{LintReport, Severity};
+
+/// Everything a pass may look at.
+pub struct PassContext<'a> {
+    pub plan: &'a PlanGraph,
+    pub obs: &'a ObservableCatalog,
+}
+
+/// One plan-IR lint pass.
+pub trait Pass {
+    /// Stable pass name (appears in findings and reports).
+    fn name(&self) -> &'static str;
+    fn run(&self, ctx: &PassContext<'_>, report: &mut LintReport);
+}
+
+/// Stable machine-readable slug for a plan violation class.
+pub fn plan_violation_code(v: &PlanViolation) -> &'static str {
+    match v {
+        PlanViolation::NoRoot => "no-root",
+        PlanViolation::RootNotOutput { .. } => "root-not-output",
+        PlanViolation::BadArity { .. } => "bad-arity",
+        PlanViolation::DanglingInput { .. } => "dangling-input",
+        PlanViolation::UnknownTable { .. } => "unknown-table",
+        PlanViolation::UnknownColumn { .. } => "unknown-column",
+        PlanViolation::MissingExchange { .. } => "missing-exchange",
+        PlanViolation::ExchangeSchemeMismatch { .. } => "exchange-scheme-mismatch",
+        PlanViolation::NonFiniteEstimate { .. } => "non-finite-estimate",
+        PlanViolation::NegativeEstimate { .. } => "negative-estimate",
+        PlanViolation::BadParallelism { .. } => "bad-parallelism",
+    }
+}
+
+fn push_plan_violations(pass: &'static str, violations: &[PlanViolation], report: &mut LintReport) {
+    for v in violations {
+        report.push(pass, Severity::Error, plan_violation_code(v), v.to_string());
+    }
+}
+
+/// Structural invariants: rooted in `Output`, arity-correct, every child
+/// edge resolves to an earlier arena node.
+pub struct StructurePass;
+
+impl Pass for StructurePass {
+    fn name(&self) -> &'static str {
+        "structure"
+    }
+
+    fn run(&self, ctx: &PassContext<'_>, report: &mut LintReport) {
+        let mut out = Vec::new();
+        check_structure(
+            ctx.plan.root(),
+            ctx.plan.len(),
+            ctx.plan.reachable(),
+            |id| {
+                let node = ctx.plan.node(id);
+                StructuralNode {
+                    kind: node.op.kind().name(),
+                    children: &node.children,
+                    arity: node.op.arity(),
+                    is_output: node.op.kind() == OpKind::Output,
+                }
+            },
+            &mut out,
+        );
+        push_plan_violations(self.name(), &out, report);
+    }
+}
+
+/// Table/column-provenance dataflow: every scanned table exists in the
+/// observable catalog and every referenced column is produced by the
+/// subtree below the reference (schema propagation over the DAG).
+pub struct ProvenancePass;
+
+impl Pass for ProvenancePass {
+    fn name(&self) -> &'static str {
+        "provenance"
+    }
+
+    fn run(&self, ctx: &PassContext<'_>, report: &mut LintReport) {
+        // A rootless plan has an empty reachable set; the structure pass
+        // reports it and there is no dataflow to check.
+        if ctx.plan.root().is_none() {
+            return;
+        }
+        let mut out = Vec::new();
+        check_provenance(ctx.plan, ctx.obs, &mut out);
+        push_plan_violations(self.name(), &out, report);
+    }
+}
+
+/// An ordered collection of passes run as one unit.
+pub struct PassRegistry {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassRegistry {
+    /// An empty registry.
+    pub fn new() -> PassRegistry {
+        PassRegistry { passes: Vec::new() }
+    }
+
+    /// The default registry: structure then provenance — together
+    /// equivalent to `scope_ir::validate_logical`.
+    pub fn with_default_passes() -> PassRegistry {
+        let mut r = PassRegistry::new();
+        r.register(Box::new(StructurePass));
+        r.register(Box::new(ProvenancePass));
+        r
+    }
+
+    pub fn register(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Run every pass over one plan.
+    pub fn run(&self, plan: &PlanGraph, obs: &ObservableCatalog) -> LintReport {
+        let ctx = PassContext { plan, obs };
+        let mut report = LintReport::default();
+        for pass in &self.passes {
+            pass.run(&ctx, &mut report);
+        }
+        report
+    }
+}
+
+impl Default for PassRegistry {
+    fn default() -> Self {
+        Self::with_default_passes()
+    }
+}
+
+/// Lint one logical plan with the default passes.
+pub fn lint_plan(plan: &PlanGraph, obs: &ObservableCatalog) -> LintReport {
+    PassRegistry::with_default_passes().run(plan, obs)
+}

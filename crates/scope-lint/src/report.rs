@@ -1,0 +1,127 @@
+//! Findings, severities, and the machine-readable lint report shared by
+//! every pass.
+
+use std::fmt;
+
+use crate::violation::LintViolation;
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Diagnostic only; no action needed.
+    Info,
+    /// Suspicious but not certainly wrong (e.g. a config that only fails on
+    /// plans needing a repartition).
+    Warning,
+    /// Certainly wrong: the plan breaks an invariant or the config cannot
+    /// compile.
+    Error,
+}
+
+impl Severity {
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding from one pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LintFinding {
+    /// Name of the pass that produced the finding.
+    pub pass: &'static str,
+    pub severity: Severity,
+    /// Stable machine-readable code for the finding class (a
+    /// `LintViolation`/`PlanViolation` variant slug).
+    pub code: &'static str,
+    /// Human-readable rendering.
+    pub message: String,
+}
+
+/// The machine-readable result of running a pass registry: a flat list of
+/// findings that callers can filter by pass, severity, or code, and render
+/// as JSON for tooling.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LintReport {
+    pub findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    pub fn push(
+        &mut self,
+        pass: &'static str,
+        severity: Severity,
+        code: &'static str,
+        message: String,
+    ) {
+        self.findings.push(LintFinding {
+            pass,
+            severity,
+            code,
+            message,
+        });
+    }
+
+    /// Record a typed configuration/catalog violation.
+    pub fn push_violation(&mut self, pass: &'static str, severity: Severity, v: &LintViolation) {
+        self.push(pass, severity, v.code(), v.to_string());
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Whether the report carries no errors (warnings/infos allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// The worst severity present, if any finding exists.
+    pub fn worst(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Render as a JSON array of finding objects (machine-readable report;
+    /// no external serializer available offline, so fields are escaped by
+    /// hand).
+    pub fn to_json(&self) -> String {
+        let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let items: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"pass\":\"{}\",\"severity\":\"{}\",\"code\":\"{}\",\"message\":\"{}\"}}",
+                    f.pass,
+                    f.severity.name(),
+                    f.code,
+                    escape(&f.message)
+                )
+            })
+            .collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(
+                f,
+                "[{}] {} ({}): {}",
+                finding.severity.name(),
+                finding.pass,
+                finding.code,
+                finding.message
+            )?;
+        }
+        Ok(())
+    }
+}

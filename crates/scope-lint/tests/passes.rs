@@ -1,0 +1,177 @@
+//! The pass framework must agree with `scope_ir::validate_logical` finding
+//! for finding — both are built from the same shared cores — and its
+//! report must be machine-readable.
+
+use scope_ir::ids::{ColId, DomainId, TableId};
+use scope_ir::validate::validate_logical;
+use scope_ir::{
+    CmpOp, Literal, LogicalOp, ObservableCatalog, PlanGraph, PredAtom, Predicate, TrueCatalog,
+};
+use scope_lint::pass::plan_violation_code;
+use scope_lint::{lint_plan, PassRegistry, Severity};
+use scope_workload::{Workload, WorkloadProfile};
+
+fn catalog() -> ObservableCatalog {
+    let mut cat = TrueCatalog::new();
+    let c0 = cat.add_column(100, 0.0, DomainId(0));
+    let c1 = cat.add_column(50, 0.0, DomainId(1));
+    cat.add_table(10_000, 100, 1, vec![c0, c1]);
+    cat.observe()
+}
+
+fn scan() -> LogicalOp {
+    LogicalOp::RangeGet {
+        table: TableId(0),
+        pushed: Predicate::true_pred(),
+    }
+}
+
+#[test]
+fn default_passes_agree_with_validate_logical_on_real_jobs() {
+    let w = Workload::generate(WorkloadProfile::workload_a(0.04));
+    for job in &w.day(0) {
+        let obs = job.catalog.observe();
+        let violations = validate_logical(&job.plan, &obs);
+        let report = lint_plan(&job.plan, &obs);
+        assert_eq!(report.findings.len(), violations.len());
+        for (finding, violation) in report.findings.iter().zip(&violations) {
+            assert_eq!(finding.code, plan_violation_code(violation));
+            assert_eq!(finding.severity, Severity::Error);
+            assert_eq!(finding.message, violation.to_string());
+        }
+        assert_eq!(report.is_clean(), violations.is_empty());
+    }
+}
+
+#[test]
+fn default_passes_agree_with_validate_logical_on_broken_plans() {
+    let obs = catalog();
+    let mut broken: Vec<(&str, PlanGraph)> = Vec::new();
+
+    // Rootless.
+    broken.push(("rootless", PlanGraph::new()));
+
+    // Root is not an Output.
+    let mut p = PlanGraph::new();
+    let s = p.add_unchecked(scan(), vec![]);
+    p.set_root(s);
+    broken.push(("root-not-output", p));
+
+    // Unknown table + unknown column.
+    let mut p = PlanGraph::new();
+    let s = p.add_unchecked(
+        LogicalOp::RangeGet {
+            table: TableId(99),
+            pushed: Predicate::true_pred(),
+        },
+        vec![],
+    );
+    let f = p.add_unchecked(
+        LogicalOp::Filter {
+            predicate: Predicate::atom(PredAtom::unknown(ColId(1234), CmpOp::Eq, Literal::Int(1))),
+        },
+        vec![s],
+    );
+    let o = p.add_unchecked(LogicalOp::Output { stream: 1 }, vec![f]);
+    p.set_root(o);
+    broken.push(("unknown-table", p));
+
+    for (label, plan) in &broken {
+        let violations = validate_logical(plan, &obs);
+        let report = lint_plan(plan, &obs);
+        assert_eq!(
+            report.findings.len(),
+            violations.len(),
+            "finding count diverged for {label}"
+        );
+        for (finding, violation) in report.findings.iter().zip(violations.iter()) {
+            assert_eq!(finding.code, plan_violation_code(violation), "{label}");
+        }
+        assert!(!report.is_clean(), "{label} must produce findings");
+        assert!(report.error_count() > 0, "{label}");
+        assert!(
+            report.findings.iter().any(|f| f.code == *label) || *label == "rootless",
+            "{label} missing its signature code"
+        );
+        // The machine-readable form carries every code.
+        let json = report.to_json();
+        for f in &report.findings {
+            assert!(json.contains(f.code), "{label} json lost {}", f.code);
+        }
+    }
+}
+
+#[test]
+fn shared_structure_core_reports_arity_and_dangling_edges() {
+    // `PlanGraph::add` rejects bad arity and forward edges at build time,
+    // so the defensive cases of the shared core are exercised directly:
+    // a unary node with two children, one of them out of the arena.
+    use scope_ir::ids::NodeId;
+    use scope_ir::validate::{check_structure, PlanViolation, StructuralNode};
+    let children: Vec<Vec<NodeId>> = vec![vec![], vec![NodeId(0), NodeId(7)], vec![NodeId(1)]];
+    let mut out = Vec::new();
+    let edges_ok = check_structure(
+        Some(NodeId(2)),
+        3,
+        (0..3u32).map(NodeId),
+        |id| StructuralNode {
+            kind: ["scan", "filter", "output"][id.index()],
+            children: &children[id.index()],
+            arity: [(0, 0), (1, 1), (1, 1)][id.index()],
+            is_output: id.index() == 2,
+        },
+        &mut out,
+    );
+    assert!(out
+        .iter()
+        .any(|v| matches!(v, PlanViolation::BadArity { node, got: 2, .. } if node.index() == 1)));
+    assert!(out.iter().any(
+        |v| matches!(v, PlanViolation::DanglingInput { node, child } if node.index() == 1 && child.index() == 7)
+    ));
+    // Per-node edge flags gate downstream checks: the broken node is
+    // flagged, the clean ones are not.
+    assert_eq!(edges_ok, vec![true, false, true]);
+    assert_eq!(
+        out.iter()
+            .map(scope_lint::pass::plan_violation_code)
+            .collect::<Vec<_>>(),
+        vec!["bad-arity", "dangling-input"]
+    );
+}
+
+#[test]
+fn registry_is_ordered_and_extensible() {
+    let registry = PassRegistry::with_default_passes();
+    assert_eq!(registry.names(), vec!["structure", "provenance"]);
+
+    // A custom pass rides alongside the defaults.
+    struct CountNodes;
+    impl scope_lint::Pass for CountNodes {
+        fn name(&self) -> &'static str {
+            "count-nodes"
+        }
+        fn run(&self, ctx: &scope_lint::PassContext<'_>, report: &mut scope_lint::LintReport) {
+            report.push(
+                self.name(),
+                Severity::Info,
+                "node-count",
+                format!("{} nodes", ctx.plan.len()),
+            );
+        }
+    }
+    let mut registry = PassRegistry::with_default_passes();
+    registry.register(Box::new(CountNodes));
+
+    let obs = catalog();
+    let mut p = PlanGraph::new();
+    let s = p.add_unchecked(scan(), vec![]);
+    let o = p.add_unchecked(LogicalOp::Output { stream: 1 }, vec![s]);
+    p.set_root(o);
+    let report = registry.run(&p, &obs);
+    // Info findings do not make a report unclean.
+    assert!(report.is_clean());
+    assert_eq!(report.error_count(), 0);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].pass, "count-nodes");
+    assert_eq!(report.worst(), Some(Severity::Info));
+}

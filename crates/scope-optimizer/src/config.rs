@@ -43,10 +43,25 @@ impl RuleConfig {
 
     /// Build from an explicit enabled set; required rules are forced on.
     pub fn from_enabled(enabled: RuleSet) -> RuleConfig {
+        Self::normalized(enabled).0
+    }
+
+    /// Build from an explicit enabled set, reporting the normalization that
+    /// was applied: the returned mask holds the required rules `enabled`
+    /// tried to leave cleared (empty when `enabled` already honoured them).
+    /// This is the only way bits enter a `RuleConfig` wholesale, so a
+    /// config that clears required rules cannot be constructed — callers
+    /// that care (lint, config ingestion) inspect the correction mask
+    /// instead of re-deriving it at compile time.
+    pub fn normalized(enabled: RuleSet) -> (RuleConfig, RuleSet) {
         let cat = RuleCatalog::global();
-        RuleConfig {
-            enabled: enabled.union(cat.required()),
-        }
+        let correction = cat.required().difference(&enabled);
+        (
+            RuleConfig {
+                enabled: enabled.union(cat.required()),
+            },
+            correction,
+        )
     }
 
     /// Whether `id` is enabled.
@@ -218,6 +233,26 @@ mod tests {
         let cfg2 = RuleConfig::from_enabled(RuleSet::EMPTY);
         assert!(cfg2.is_enabled(required_id));
         assert_eq!(cfg2.enabled().len(), 37);
+    }
+
+    #[test]
+    fn normalized_reports_the_applied_correction() {
+        let cat = RuleCatalog::global();
+        // Clearing everything: the correction is exactly the required set.
+        let (cfg, correction) = RuleConfig::normalized(RuleSet::EMPTY);
+        assert_eq!(correction, *cat.required());
+        assert_eq!(*cfg.enabled(), *cat.required());
+        // An already-normalized set needs no correction.
+        let (cfg2, correction2) = RuleConfig::normalized(*cfg.enabled());
+        assert!(correction2.is_empty());
+        assert_eq!(cfg2, cfg);
+        // A single cleared required bit is reported precisely.
+        let req = cat.find("EnforceExchange").unwrap();
+        let mut bits = *RuleConfig::default_config().enabled();
+        bits.remove(req);
+        let (cfg3, correction3) = RuleConfig::normalized(bits);
+        assert_eq!(correction3.iter().collect::<Vec<_>>(), vec![req]);
+        assert!(cfg3.is_enabled(req));
     }
 
     #[test]

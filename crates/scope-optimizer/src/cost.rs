@@ -300,7 +300,7 @@ pub fn impl_cost(
         BroadcastJoin => {
             let l = children.first().copied();
             let r = children.get(1).copied();
-            let l_bytes = l.map(|c| c.bytes()).unwrap_or(0.0);
+            let l_bytes = l.map(super::estimate::LogicalEst::bytes).unwrap_or(0.0);
             let r_rows = r.map(|c| c.rows).unwrap_or(0.0);
             let dop = dop_for_bytes(l_bytes);
             // Every vertex builds a hash table over the full right side.

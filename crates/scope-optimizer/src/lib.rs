@@ -39,12 +39,13 @@ pub mod validate;
 
 pub use cache::{plan_catalog_fingerprint, CacheStats, CompileCache};
 pub use config::{RuleConfig, RuleDiff, RuleSignature};
+pub use optimizer::normalized_kind_counts;
 pub use optimizer::{
     catch_compile_panics, compile, compile_job, compile_job_guarded, compile_job_with_budget,
     compile_with_budget, effective_config, CompileStats, CompiledPlan,
 };
 pub use physical::{Partitioning, PhysNode, PhysOp, PhysPlan};
-pub use rules::{PhysImpl, Rule, RuleAction, RuleCatalog, RuleCategory};
+pub use rules::{AnchorRewrite, PhysImpl, Rule, RuleAction, RuleCatalog, RuleCategory};
 pub use ruleset::{RuleId, RuleSet, NUM_RULES};
 pub use search::{CompileBudget, CompileError, CompilePhase};
 pub use validate::{required_parts_phys, validate_physical};

@@ -223,7 +223,7 @@ fn install_quiet_panic_hook() {
     HOOK.get_or_init(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if SUPPRESS_PANIC_OUTPUT.with(|c| c.get()) == 0 {
+            if SUPPRESS_PANIC_OUTPUT.with(std::cell::Cell::get) == 0 {
                 previous(info);
             }
         }));

@@ -145,6 +145,27 @@ impl PhysImpl {
     }
 }
 
+/// How applying a transformation rule can change the operator *kind* of the
+/// alternatives it inserts into the matched group. This is rule metadata for
+/// static analysis (`scope-lint`): it lets an analyzer reason about which
+/// kinds a memo group can reach without running exploration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AnchorRewrite {
+    /// Every alternative the rule inserts into the matched group has the
+    /// anchor's own kind (reorderings, collapses, pruners, join rotations).
+    Keeps,
+    /// The rule can insert an alternative of this other kind into the
+    /// matched group. A `Becomes(k)` rewrite only fires on plans that
+    /// already contain a `k` node below the match (it hoists an existing
+    /// operator), with one exception: `FilterIntoScan` rewrites the scan
+    /// itself, and `RangeGet` is present in any plan with a scan.
+    Becomes(OpKind),
+    /// The rule replaces the match with its input, whatever kind that is
+    /// (identity elimination). Analyzers must treat this as an escape to an
+    /// unknown — hence always implementable — kind.
+    Child,
+}
+
 /// What a rule *does*. Families are parameterized; the interpreting engines
 /// live in `normalize`, `search`, and `cost`.
 #[derive(Clone, Debug, PartialEq)]
@@ -298,6 +319,39 @@ impl RuleAction {
             Marker { kind, .. } => *kind,
             Impl(p) => return p.implements(),
         })
+    }
+
+    /// How the alternatives a transformation inserts into the *matched*
+    /// group relate to the anchor kind (see [`AnchorRewrite`]). Mirrors the
+    /// rewrite shapes in `transform.rs` and must be kept in sync with them;
+    /// the static analyzer's soundness rests on this mapping never claiming
+    /// `Keeps` for a rule that can change the matched group's kind.
+    pub fn anchor_rewrite(&self) -> AnchorRewrite {
+        use RuleAction::*;
+        match self {
+            // Filter pushed into the scan below it: alt is a RangeGet.
+            FilterIntoScan => AnchorRewrite::Becomes(OpKind::RangeGet),
+            // Filter pushed below `kind`: when the residual predicate is
+            // empty, `wrap_residual` inserts the bare hoisted `kind` node as
+            // the alternative.
+            FilterBelow { kind, .. } => AnchorRewrite::Becomes(*kind),
+            // ProjectBelow(Join) keeps the projection on top of the join;
+            // every other target hoists the child kind into the match.
+            ProjectBelow(kind) if *kind != OpKind::Join => AnchorRewrite::Becomes(*kind),
+            // Join/Process pushed below a union: the union is hoisted.
+            JoinOnUnion { .. } | ProcessBelowUnion { .. } => {
+                AnchorRewrite::Becomes(OpKind::UnionAll)
+            }
+            // Adjacent-unary commute: the child kind is hoisted on top.
+            SwapUnary { child, .. } => AnchorRewrite::Becomes(*child),
+            // Identity elimination replaces the match with its input, which
+            // can be any kind.
+            DropTrueFilter | EliminateIdentity(_) => AnchorRewrite::Child,
+            // Everything else (collapse/reorder/merge/prune/commute/assoc/
+            // split/flatten, markers, normalizers, impls) only inserts
+            // alternatives whose root has the anchor's own kind.
+            _ => AnchorRewrite::Keeps,
+        }
     }
 
     /// Whether this is a structural transformation explored in the memo

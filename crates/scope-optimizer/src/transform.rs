@@ -538,7 +538,7 @@ impl Rewriter<'_, '_> {
         let min_drop = if eager { 1 } else { 4 };
         let mut changed = false;
         let mut new_children = expr.children.clone();
-        for slot in new_children.iter_mut() {
+        for slot in &mut new_children {
             let g = *slot;
             let canon_kind = memo.canonical(g).op.kind();
             if canon_kind == OpKind::Project {

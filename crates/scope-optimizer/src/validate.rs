@@ -15,7 +15,7 @@
 //! exploration. See `scope_ir::validate::validate_logical` for the input-
 //! plan column checks.
 
-use scope_ir::validate::PlanViolation;
+use scope_ir::validate::{check_structure, PlanViolation, StructuralNode};
 
 use crate::physical::{Partitioning, PhysOp, PhysPlan};
 
@@ -136,39 +136,34 @@ pub fn required_parts_phys(op: &PhysOp, arity: usize) -> Vec<Partitioning> {
 /// every optimizer-guaranteed invariant (see module docs).
 pub fn validate_physical(plan: &PhysPlan) -> Vec<PlanViolation> {
     let mut out = Vec::new();
-    let Some(root) = plan.root() else {
-        out.push(PlanViolation::NoRoot);
+    // Root/arity/dangling-edge checks are the shared structural core from
+    // `scope-ir`; only the physical-property checks below are specific to
+    // this validator.
+    let edges_ok = check_structure(
+        plan.root(),
+        plan.len(),
+        plan.reachable(),
+        |id| {
+            let node = plan.node(id);
+            StructuralNode {
+                kind: node.op.name(),
+                children: &node.children,
+                arity: phys_arity(&node.op),
+                is_output: matches!(node.op, PhysOp::Output { .. }),
+            }
+        },
+        &mut out,
+    );
+    if plan.root().is_none() {
         return out;
-    };
-    if !matches!(plan.node(root).op, PhysOp::Output { .. }) {
-        out.push(PlanViolation::RootNotOutput {
-            node: root,
-            kind: plan.node(root).op.name(),
-        });
     }
     for id in plan.reachable() {
         let node = plan.node(id);
         let got = node.children.len();
         let (min, max) = phys_arity(&node.op);
-        if got < min || got > max {
-            out.push(PlanViolation::BadArity {
-                node: id,
-                kind: node.op.name(),
-                got,
-                min,
-                max,
-            });
-        }
-        let mut bad_edge = false;
-        for &c in &node.children {
-            if c >= id || c.index() >= plan.len() {
-                out.push(PlanViolation::DanglingInput { node: id, child: c });
-                bad_edge = true;
-            }
-        }
         // Physical-property enforcement: each child's output partitioning
         // must satisfy what this operator requires (the enforcer's job).
-        if !bad_edge && got >= min && got <= max {
+        if edges_ok[id.index()] && got >= min && got <= max {
             let required = required_parts_phys(&node.op, got);
             for (&c, req) in node.children.iter().zip(required.iter()) {
                 let found = &plan.node(c).partitioning;

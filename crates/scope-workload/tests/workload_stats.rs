@@ -82,7 +82,7 @@ fn input_pool_is_shared_across_templates() {
 #[test]
 fn plan_sizes_are_heterogeneous() {
     let w = workload(WorkloadTag::A);
-    let sizes: Vec<usize> = w.day(0).iter().map(|j| j.plan_size()).collect();
+    let sizes: Vec<usize> = w.day(0).iter().map(scope_ir::Job::plan_size).collect();
     let min = *sizes.iter().min().unwrap();
     let max = *sizes.iter().max().unwrap();
     assert!(min >= 3);

@@ -34,7 +34,7 @@ pub struct Normalizer {
 impl Normalizer {
     /// Fit on a set of raw feature vectors (all the same length).
     pub fn fit(rows: &[Vec<f64>]) -> Normalizer {
-        let dim = rows.first().map(|r| r.len()).unwrap_or(0);
+        let dim = rows.first().map(Vec::len).unwrap_or(0);
         let mut mins = vec![f64::INFINITY; dim];
         let mut maxs = vec![f64::NEG_INFINITY; dim];
         for row in rows {

@@ -42,7 +42,7 @@ fn main() {
 
     // ── Job groups: cluster day 0 by default rule signature. ─────────────
     let groups = group_jobs(&days[0]);
-    let mut sizes: Vec<usize> = groups.values().map(|v| v.len()).collect();
+    let mut sizes: Vec<usize> = groups.values().map(Vec::len).collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     println!(
         "\nday 0: {} jobs fall into {} signature groups; largest groups: {:?}",

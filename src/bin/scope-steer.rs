@@ -106,7 +106,7 @@ fn main() {
                 templates.len(),
                 w.templates.len()
             );
-            let mut sizes: Vec<usize> = jobs.iter().map(|j| j.plan_size()).collect();
+            let mut sizes: Vec<usize> = jobs.iter().map(Job::plan_size).collect();
             sizes.sort_unstable();
             println!(
                 "plan sizes: min {} / median {} / max {} operators",
@@ -165,7 +165,7 @@ fn main() {
             let mut cheaper = 0usize;
             let mut failed = 0usize;
             let mut best: Option<(f64, RuleConfig)> = None;
-            for config in configs.iter() {
+            for config in &configs {
                 match compile_job(job, config) {
                     Ok(c) => {
                         if c.est_cost < default.est_cost {
