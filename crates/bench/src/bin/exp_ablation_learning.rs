@@ -77,12 +77,7 @@ fn main() {
             };
             if let Some(outcome) = pipeline.analyze_job(base, &compiled, metrics, &mut rng) {
                 let mut executed = outcome.executed;
-                executed.sort_by(|a, b| {
-                    a.metrics
-                        .runtime
-                        .partial_cmp(&b.metrics.runtime)
-                        .expect("finite")
-                });
+                executed.sort_by(|a, b| a.metrics.runtime.total_cmp(&b.metrics.runtime));
                 for cand in executed.into_iter().take(3) {
                     if !alt_configs.contains(&cand.config) {
                         alt_configs.push(cand.config);

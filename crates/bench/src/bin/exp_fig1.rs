@@ -63,7 +63,7 @@ fn main() {
     let changes: Vec<f64> = best_group.iter().map(|r| r.change_pct).collect();
     let sorted = {
         let mut s = changes.clone();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s.sort_by(f64::total_cmp);
         s
     };
     println!(

@@ -27,7 +27,7 @@ fn main() {
     let runtimes: Vec<f64> = compiled.iter().map(|c| c.metrics.runtime).collect();
     let csv_a: Vec<String> = {
         let mut sorted = runtimes.clone();
-        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        sorted.sort_by(f64::total_cmp);
         sorted
             .iter()
             .enumerate()

@@ -24,7 +24,7 @@ fn main() {
             .iter()
             .map(steer_core::pipeline::JobOutcome::best_runtime_change_pct)
             .collect();
-        changes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        changes.sort_by(f64::total_cmp);
         for (i, ch) in changes.iter().enumerate() {
             csv.push(format!("{},{},{:.2}", tag.name(), i, ch));
         }

@@ -62,7 +62,7 @@ fn main() {
             random_best = random_best.min(m.runtime);
         }
         // Cost-guided selection on the same candidate pool, for contrast.
-        compiled_alts.sort_by(|a, b| a.est_cost.partial_cmp(&b.est_cost).expect("finite"));
+        compiled_alts.sort_by(|a, b| a.est_cost.total_cmp(&b.est_cost));
         let mut cheap_best = f64::INFINITY;
         for c in compiled_alts.iter().take(per_job) {
             let m = ab.run(&t.job, &c.plan, 0);

@@ -24,8 +24,7 @@ fn main() {
         let mut outcomes: Vec<_> = report.outcomes.iter().collect();
         outcomes.sort_by(|a, b| {
             a.best_runtime_change_pct()
-                .partial_cmp(&b.best_runtime_change_pct())
-                .unwrap()
+                .total_cmp(&b.best_runtime_change_pct())
         });
         for (i, o) in outcomes.iter().take(3).enumerate() {
             let Some(best) = o.best_by(Metric::Runtime) else {

@@ -1,0 +1,230 @@
+//! **Tracing overhead + trace export**: runs discovery with the
+//! `scope-trace` tracer off and on (alternating repetitions), verifies the
+//! reports are bit-identical either way (tracing must never change
+//! results), measures the wall-clock overhead of tracing (target < 2%
+//! enabled; pure noise disabled), and exports the instrumented run as a
+//! Chrome `trace_event` flamegraph plus an embedded [`MetricsSnapshot`].
+//!
+//! Emits `results/BENCH_trace.json` (overhead, candidate funnel, widest
+//! spans, full metrics) and `results/trace_discovery.json` (load it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>).
+//!
+//! Run: `cargo run -p scope-steer-bench --release --bin exp_trace -- [--scale=1.0]`
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scope_exec::ABTester;
+use scope_ir::Job;
+use scope_steer_bench::harness::{pipeline_params, workload, AB_SEED};
+use scope_steer_bench::reporting::{
+    banner, json_array, json_object, markdown_table, scale_arg, write_json,
+};
+use scope_trace::{Counter, SpanEvent};
+use scope_workload::WorkloadTag;
+use steer_core::{DiscoveryReport, Pipeline};
+
+/// Timed repetitions per tracer state (off/on alternate, so clock drift and
+/// cache warmth hit both sides equally).
+const REPS: usize = 3;
+
+/// Everything result-bearing in a report, rendered bit-exactly (timings,
+/// cache stats, and the metrics snapshot excluded — telemetry is the only
+/// thing allowed to vary).
+fn result_fingerprint(r: &DiscoveryReport) -> String {
+    format!(
+        "{:?}|{}|{}|{}|{}|{}|{:?}",
+        r.outcomes,
+        r.not_selected,
+        r.out_of_window,
+        r.failed_defaults,
+        r.failed_candidates,
+        r.duplicate_plans,
+        r.vetting,
+    )
+}
+
+/// One discovery run on a fresh pipeline (cold cache) with the standard
+/// experiment seed; returns (wall seconds, report).
+fn run_once(scale: f64, jobs: &[Job]) -> (f64, DiscoveryReport) {
+    let p = Pipeline::new(ABTester::new(AB_SEED), pipeline_params(scale));
+    let mut rng = StdRng::seed_from_u64(0x7ACE);
+    let started = Instant::now();
+    let report = p.discover(jobs, &mut rng);
+    (started.elapsed().as_secs_f64(), report)
+}
+
+fn main() {
+    let scale = scale_arg();
+    banner(
+        "TracingOverhead",
+        "scope-trace on vs off over discovery (Workload A, day 0): identical results, bounded overhead",
+    );
+    let w = workload(WorkloadTag::A, scale);
+    let jobs = w.day(0);
+    println!(
+        "{} jobs at scale {scale}; {REPS} reps per tracer state",
+        jobs.len()
+    );
+
+    // Warmup run (untimed): page cache, allocator, branch predictors.
+    scope_trace::set_enabled(false);
+    let (_, warm_report) = run_once(scale, &jobs);
+    let reference_fp = result_fingerprint(&warm_report);
+
+    let mut off_walls = Vec::with_capacity(REPS);
+    let mut on_walls = Vec::with_capacity(REPS);
+    let mut traced_report: Option<DiscoveryReport> = None;
+    let mut identical = true;
+    for rep in 0..REPS {
+        for &traced in &[false, true] {
+            scope_trace::set_enabled(traced);
+            if traced {
+                // Clean slate so the exported trace and metrics cover
+                // exactly the final instrumented run.
+                scope_trace::reset();
+            }
+            let (wall, report) = run_once(scale, &jobs);
+            scope_trace::set_enabled(false);
+            let fp = result_fingerprint(&report);
+            if fp != reference_fp {
+                eprintln!("FAIL: rep {rep} traced={traced} changed discovery results");
+                identical = false;
+            }
+            println!(
+                "rep {rep} tracing {:<3}: {wall:>7.3}s",
+                if traced { "on" } else { "off" }
+            );
+            if traced {
+                on_walls.push(wall);
+                traced_report = Some(report);
+            } else {
+                off_walls.push(wall);
+            }
+        }
+    }
+    let traced_report = traced_report.expect("at least one traced rep");
+    let spans = scope_trace::take_spans();
+
+    let best = |walls: &[f64]| walls.iter().copied().fold(f64::INFINITY, f64::min);
+    let off_best = best(&off_walls);
+    let on_best = best(&on_walls);
+    let overhead_pct = 100.0 * (on_best - off_best) / off_best.max(1e-9);
+    println!(
+        "best wall: off {off_best:.3}s, on {on_best:.3}s → tracing overhead {overhead_pct:+.2}% (target < 2%)"
+    );
+
+    // The traced report must actually carry telemetry: a delta snapshot
+    // with a populated candidate funnel and at least one span per job.
+    let m = &traced_report.metrics;
+    assert!(
+        !m.is_empty(),
+        "traced run produced an empty MetricsSnapshot"
+    );
+    let funnel: Vec<(&str, u64)> = [
+        Counter::FunnelGenerated,
+        Counter::FunnelStaticRejected,
+        Counter::FunnelCacheHit,
+        Counter::FunnelCompiled,
+        Counter::FunnelCompileFailed,
+        Counter::FunnelVetoed,
+        Counter::FunnelDuplicate,
+        Counter::FunnelExecuted,
+    ]
+    .iter()
+    .map(|&c| (c.name(), m.counter(c)))
+    .collect();
+    println!(
+        "candidate funnel: {}",
+        funnel
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    assert!(
+        m.counter(Counter::FunnelGenerated) > 0,
+        "funnel recorded no candidates"
+    );
+    assert!(!spans.is_empty(), "traced run recorded no spans");
+
+    // Top-10 widest spans of the instrumented run.
+    let mut widest: Vec<&SpanEvent> = spans.iter().collect();
+    widest.sort_by(|a, b| b.dur_us.cmp(&a.dur_us).then(a.id.cmp(&b.id)));
+    widest.truncate(10);
+    let table: Vec<Vec<String>> = widest
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                format!("{:.3}", s.dur_us as f64 / 1000.0),
+                format!("{:.3}", s.start_us as f64 / 1000.0),
+                s.thread.to_string(),
+                s.arg.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["span", "dur (ms)", "start (ms)", "thread", "arg"], &table)
+    );
+
+    let chrome = scope_trace::chrome_trace(&spans);
+    let trace_path = write_json("trace_discovery.json", &chrome);
+    println!("wrote {} ({} spans)", trace_path.display(), spans.len());
+
+    let widest_json: Vec<String> = widest
+        .iter()
+        .map(|s| {
+            json_object(&[
+                ("name", format!("\"{}\"", s.name)),
+                ("dur_us", s.dur_us.to_string()),
+                ("start_us", s.start_us.to_string()),
+                ("thread", s.thread.to_string()),
+                ("arg", s.arg.to_string()),
+            ])
+        })
+        .collect();
+    let funnel_json: Vec<(&str, String)> =
+        funnel.iter().map(|&(n, v)| (n, v.to_string())).collect();
+    let body = json_object(&[
+        ("experiment", "\"tracing_overhead\"".into()),
+        ("scale", format!("{scale}")),
+        ("n_jobs", jobs.len().to_string()),
+        ("reps", REPS.to_string()),
+        (
+            "wall_off_s",
+            json_array(
+                &off_walls
+                    .iter()
+                    .map(|w| format!("{w:.4}"))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        (
+            "wall_on_s",
+            json_array(
+                &on_walls
+                    .iter()
+                    .map(|w| format!("{w:.4}"))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        ("wall_off_best_s", format!("{off_best:.4}")),
+        ("wall_on_best_s", format!("{on_best:.4}")),
+        ("overhead_pct", format!("{overhead_pct:.3}")),
+        ("identical_results", identical.to_string()),
+        ("n_spans", spans.len().to_string()),
+        ("widest_spans", json_array(&widest_json)),
+        ("funnel", json_object(&funnel_json)),
+        ("metrics", m.to_json()),
+    ]);
+    let path = write_json("BENCH_trace.json", &body);
+    println!("wrote {}", path.display());
+
+    if !identical {
+        eprintln!("FAIL: tracing changed discovery results");
+        std::process::exit(1);
+    }
+}

@@ -6,7 +6,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 20] = [
+const EXPERIMENTS: [&str; 21] = [
     "exp_table1",
     "exp_table2",
     "exp_fig2",
@@ -27,6 +27,7 @@ const EXPERIMENTS: [&str; 20] = [
     "exp_budget_sweep",
     "exp_throughput",
     "exp_lint",
+    "exp_trace",
 ];
 
 fn main() {

@@ -31,6 +31,7 @@ use scope_optimizer::{
     CacheStats, CompileBudget, CompileCache, CompiledPlan, RuleConfig, RuleId, RuleSet,
     RuleSignature, NUM_RULES,
 };
+use scope_trace::{Counter, Histogram, MetricsSnapshot};
 
 use crate::guard::{vet_candidate, CandidateFilterStats};
 use crate::par::{available_threads, run_chunked_on};
@@ -229,6 +230,10 @@ pub struct DiscoveryReport {
     pub cache: CacheStats,
     /// Per-stage wall-clock timings for this run.
     pub timings: DiscoveryTimings,
+    /// Tracer metrics accumulated during this run (delta snapshot; see
+    /// `scope-trace`). All-zero when tracing was disabled — the tracer is
+    /// diagnostic only and never feeds back into discovery decisions.
+    pub metrics: MetricsSnapshot,
 }
 
 impl DiscoveryReport {
@@ -323,11 +328,21 @@ impl Pipeline {
         fingerprint: u64,
         config: &RuleConfig,
     ) -> Result<Arc<CompiledPlan>, scope_optimizer::CompileError> {
-        self.cache.get_or_compile(fingerprint, config, || {
+        // Funnel accounting: whether this candidate was answered from the
+        // cache or cost a fresh compile (the closure only runs on a miss).
+        let fresh = std::cell::Cell::new(false);
+        let result = self.cache.get_or_compile(fingerprint, config, || {
+            fresh.set(true);
             catch_compile_panics(|| {
                 compile_with_budget(&job.plan, obs, config, &self.params.compile_budget)
             })
-        })
+        });
+        if fresh.get() {
+            scope_trace::count(Counter::FunnelCompiled, 1);
+        } else if result.is_ok() {
+            scope_trace::count(Counter::FunnelCacheHit, 1);
+        }
+        result
     }
 
     /// Compile a job's *default* (effective) configuration through the
@@ -380,6 +395,11 @@ impl Pipeline {
         let run_start = Instant::now();
         let n_threads = self.effective_threads();
         let cache_before = self.cache.stats();
+        // Delta snapshot: the tracer registry is process-global, so report
+        // only what this run adds. Captured lazily (behind the enabled
+        // gate) to keep the disabled tracer free.
+        let metrics_before = scope_trace::enabled().then(MetricsSnapshot::capture);
+        let _discover_span = scope_trace::span("discover");
         let mut report = DiscoveryReport::default();
 
         // Stage 1 (parallel): default compile + baseline A/B run per job.
@@ -387,11 +407,13 @@ impl Pipeline {
         // panicked chunk cannot misalign jobs and outcomes.
         let indices: Vec<usize> = (0..jobs.len()).collect();
         let stage_start = Instant::now();
+        let stage_span = scope_trace::span("discover.defaults");
         let defaults: Vec<(usize, DefaultOutcome)> = run_chunked_on(
             &indices,
             n_threads,
             |&i| {
                 let job = &jobs[i];
+                let _span = scope_trace::span_with("default_run", jobs[i].id.0);
                 let outcome = match self.default_run_outcome(job) {
                     None => DefaultOutcome::NoCompile,
                     Some((compiled, run)) => {
@@ -410,6 +432,7 @@ impl Pipeline {
             },
             |&i| format!("job {}", jobs[i].id.0),
         );
+        drop(stage_span);
         report.timings.default_runs_s = stage_start.elapsed().as_secs_f64();
 
         // Select jobs in the runtime window, then sample (serial: consumes
@@ -434,15 +457,18 @@ impl Pipeline {
         // item order, so the outcome order matches the serial pipeline's.
         let job_seed: u64 = rng.gen();
         let stage_start = Instant::now();
+        let stage_span = scope_trace::span("discover.analyze");
         let analyzed: Vec<Option<JobOutcome>> = run_chunked_on(
             &in_window,
             n_threads,
             |(job, compiled, metrics)| {
+                let _span = scope_trace::span_with("analyze_job", job.id.0);
                 let mut job_rng = StdRng::seed_from_u64(job_seed ^ job.id.0);
                 Some(self.analyze_job(job, compiled, *metrics, &mut job_rng))
             },
             |(job, _, _)| format!("job {}", job.id.0),
         );
+        drop(stage_span);
         report.timings.analyze_s = stage_start.elapsed().as_secs_f64();
 
         for outcome in analyzed {
@@ -458,6 +484,9 @@ impl Pipeline {
         }
         report.cache = self.cache.stats().since(&cache_before);
         report.timings.total_s = run_start.elapsed().as_secs_f64();
+        if let Some(before) = metrics_before {
+            report.metrics = MetricsSnapshot::capture().since(&before);
+        }
         report
     }
 
@@ -513,15 +542,28 @@ impl Pipeline {
         let mut n_duplicate_plans = 0usize;
         let mut clearly_cheaper = false;
         for config in configs {
+            scope_trace::count(Counter::FunnelGenerated, 1);
             let result = match &lint {
                 Some(lint) => {
                     let canonical = match lint.classify(&config) {
                         ConfigVerdict::Invalid { .. } => {
                             vetting.static_invalid += 1;
+                            scope_trace::count(Counter::LintInvalid, 1);
+                            scope_trace::count(Counter::FunnelStaticRejected, 1);
                             continue;
                         }
-                        ConfigVerdict::Redundant { canonical } => canonical,
-                        ConfigVerdict::Dead { .. } | ConfigVerdict::Valid => *config.enabled(),
+                        ConfigVerdict::Redundant { canonical } => {
+                            scope_trace::count(Counter::LintRedundant, 1);
+                            canonical
+                        }
+                        ConfigVerdict::Dead { .. } => {
+                            scope_trace::count(Counter::LintDead, 1);
+                            *config.enabled()
+                        }
+                        ConfigVerdict::Valid => {
+                            scope_trace::count(Counter::LintValid, 1);
+                            *config.enabled()
+                        }
                     };
                     match by_canonical.get(&canonical) {
                         Some(stored) => {
@@ -549,15 +591,23 @@ impl Pipeline {
                         }
                         if c.signature == default.signature {
                             n_same_as_default += 1;
+                            scope_trace::count(Counter::FunnelDuplicate, 1);
                         } else if !seen_signatures.insert(c.signature) {
                             n_duplicate_plans += 1;
+                            scope_trace::count(Counter::FunnelDuplicate, 1);
                         } else {
                             recompiled.push((config, c));
                         }
                     }
-                    Err(rejection) => vetting.note_rejection(&rejection),
+                    Err(rejection) => {
+                        vetting.note_rejection(&rejection);
+                        scope_trace::count(Counter::FunnelVetoed, 1);
+                    }
                 },
-                Err(err) => vetting.note_compile_error(&err),
+                Err(err) => {
+                    vetting.note_compile_error(&err);
+                    scope_trace::count(Counter::FunnelCompileFailed, 1);
+                }
             }
         }
 
@@ -579,6 +629,7 @@ impl Pipeline {
         let mut executed = Vec::new();
         let mut n_failed = 0usize;
         for (config, c) in recompiled {
+            scope_trace::count(Counter::FunnelExecuted, 1);
             let run = self.ab.run_with_retry(job, &c.plan, 0, &self.params.retry);
             if !run.outcome.is_success() || !run.metrics.is_valid() {
                 n_failed += 1;
@@ -591,6 +642,7 @@ impl Pipeline {
                 metrics: run.metrics,
             });
         }
+        scope_trace::record(Histogram::CandidatesExecutedPerJob, executed.len() as u64);
 
         Some(JobOutcome {
             job_id: job.id,

@@ -203,6 +203,13 @@ impl ABTester {
                     run.metrics.cpu_time *= done_frac;
                     run.metrics.io_time *= done_frac;
                     run.outcome = JobOutcome::TimedOut;
+                    // The clamp is a metrics producer: enforce the contract
+                    // here rather than in whoever ranks these runs.
+                    debug_assert!(
+                        run.metrics.is_valid(),
+                        "timeout clamp must keep metrics finite: {:?}",
+                        run.metrics
+                    );
                 }
             }
             let attempt_runtime = run.metrics.runtime;

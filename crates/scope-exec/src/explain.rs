@@ -62,18 +62,21 @@ pub struct ExecutionTrace {
 }
 
 impl ExecutionTrace {
-    /// Nodes sorted by cardinality q-error, worst first.
+    /// Nodes sorted by cardinality q-error, worst first. Descending
+    /// NaN-last (`nan_first_cmp` with swapped operands), so a corrupted
+    /// row drops to the bottom instead of panicking the sort.
     pub fn worst_estimates(&self, n: usize) -> Vec<&NodeReport> {
         let mut refs: Vec<&NodeReport> = self.nodes.iter().collect();
-        refs.sort_by(|a, b| b.q_error().partial_cmp(&a.q_error()).expect("finite"));
+        refs.sort_by(|a, b| scope_ir::stats::nan_first_cmp(b.q_error(), a.q_error()));
         refs.truncate(n);
         refs
     }
 
-    /// Nodes sorted by elapsed contribution, hottest first.
+    /// Nodes sorted by elapsed contribution, hottest first (descending
+    /// NaN-last, like [`Self::worst_estimates`]).
     pub fn hottest_nodes(&self, n: usize) -> Vec<&NodeReport> {
         let mut refs: Vec<&NodeReport> = self.nodes.iter().collect();
-        refs.sort_by(|a, b| b.work.elapsed.partial_cmp(&a.work.elapsed).expect("finite"));
+        refs.sort_by(|a, b| scope_ir::stats::nan_first_cmp(b.work.elapsed, a.work.elapsed));
         refs.truncate(n);
         refs
     }
@@ -279,6 +282,30 @@ mod tests {
         assert!(text.contains("est rows"));
         assert!(text.contains("runtime"));
         assert!(text.lines().count() >= trace.nodes.len() + 2);
+    }
+
+    #[test]
+    fn rankings_tolerate_nan_rows() {
+        let (plan, cat) = compiled_job();
+        let mut trace = explain(&plan, &cat, &ClusterConfig::noiseless());
+        // A corrupted row: NaN elapsed poisons the hot-node ranking key.
+        trace.nodes[0].work.elapsed = f64::NAN;
+        let n = trace.nodes.len();
+        let hottest = trace.hottest_nodes(n);
+        assert_eq!(hottest.len(), n);
+        // The poisoned row sinks to the bottom; the top stays finite and
+        // descending.
+        assert!(hottest[n - 1].work.elapsed.is_nan());
+        assert!(hottest[0].work.elapsed.is_finite());
+        for w in hottest[..n - 1].windows(2) {
+            assert!(w[0].work.elapsed >= w[1].work.elapsed);
+        }
+        // worst_estimates stays total even with the corrupted row present.
+        let worst = trace.worst_estimates(n);
+        assert_eq!(worst.len(), n);
+        for w in worst.windows(2) {
+            assert!(w[0].q_error() >= w[1].q_error());
+        }
     }
 
     #[test]

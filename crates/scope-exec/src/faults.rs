@@ -243,6 +243,7 @@ fn schedule_with_faults<R: Rng + ?Sized>(
         loop {
             let mut attempt_time = clean;
             if profile.straggler_prob > 0.0 && rng.gen_bool(profile.straggler_prob.min(1.0)) {
+                scope_trace::count(scope_trace::Counter::ExecStragglers, 1);
                 let slow = profile.straggler_slowdown.max(1.0);
                 if profile.speculative_execution {
                     attempt_time = clean * slow.min(SPECULATION_CAP);
@@ -262,6 +263,11 @@ fn schedule_with_faults<R: Rng + ?Sized>(
                     finish[i] = start + time;
                     sched.failed_at = Some(i);
                     sched.runtime = finish[i];
+                    debug_assert!(
+                        sched.runtime.is_finite() && sched.runtime >= 0.0,
+                        "faulted schedule runtime must stay finite: {}",
+                        sched.runtime
+                    );
                     return sched;
                 }
                 retries_left -= 1;
@@ -280,6 +286,11 @@ fn schedule_with_faults<R: Rng + ?Sized>(
         .get(stages.root_stage)
         .copied()
         .unwrap_or(STAGE_OVERHEAD_S);
+    debug_assert!(
+        sched.runtime.is_finite() && sched.runtime >= 0.0,
+        "faulted schedule runtime must stay finite: {}",
+        sched.runtime
+    );
     sched
 }
 
@@ -373,6 +384,29 @@ pub fn execute_with_faults<R: Rng + ?Sized>(
         metrics.is_valid(),
         "faulted metrics must stay finite and non-negative: {metrics:?}"
     );
+    scope_trace::count(scope_trace::Counter::ExecRuns, 1);
+    scope_trace::count(scope_trace::Counter::ExecRetries, sched.retries as u64);
+    scope_trace::count(
+        scope_trace::Counter::ExecSpeculativeCopies,
+        sched.speculative_copies as u64,
+    );
+    if scope_trace::enabled() {
+        match &outcome {
+            JobOutcome::Failed { .. } => scope_trace::count(scope_trace::Counter::ExecFailures, 1),
+            JobOutcome::TimedOut => scope_trace::count(scope_trace::Counter::ExecTimeouts, 1),
+            JobOutcome::Success | JobOutcome::SuccessWithRetries { .. } => {}
+        }
+        scope_trace::record(
+            scope_trace::Histogram::ExecSimulatedMillis,
+            (metrics.runtime * 1000.0) as u64,
+        );
+        for stage in &stages.stages {
+            scope_trace::record(
+                scope_trace::Histogram::StageSimulatedMillis,
+                (stage.elapsed * 1000.0) as u64,
+            );
+        }
+    }
     FaultedRun {
         metrics,
         outcome,

@@ -153,6 +153,16 @@ pub fn build_stages(plan: &PhysPlan, truths: &[NodeTruth], works: &[NodeWork]) -
         stage.dop = stage.dop.max(truths[id.index()].dop);
     }
     let root_stage = plan.root().map(|r| node_stage[r.index()]).unwrap_or(0);
+    // Producer-side enforcement of the RunMetrics contract: stage elapsed
+    // times are built from NodeWork and must already be finite and
+    // non-negative here, so a poisoned work model is caught where it enters
+    // the scheduler instead of panicking a downstream comparator.
+    debug_assert!(
+        stages
+            .iter()
+            .all(|s| s.elapsed.is_finite() && s.elapsed >= 0.0),
+        "stage elapsed times must be finite and non-negative"
+    );
     StageGraph {
         stages,
         node_stage,
@@ -175,10 +185,15 @@ pub fn makespan(stages: &StageGraph, tokens: u32) -> f64 {
         let time = stage.elapsed * waves + STAGE_OVERHEAD_S + WAVE_OVERHEAD_S * waves;
         finish[i] = start + time;
     }
-    finish
+    let runtime = finish
         .get(stages.root_stage)
         .copied()
-        .unwrap_or(STAGE_OVERHEAD_S)
+        .unwrap_or(STAGE_OVERHEAD_S);
+    debug_assert!(
+        runtime.is_finite() && runtime >= 0.0,
+        "makespan must be finite and non-negative: {runtime}"
+    );
+    runtime
 }
 
 /// Execute a plan deterministically (no noise).
@@ -211,6 +226,19 @@ pub fn execute_deterministic(
         metrics.is_valid(),
         "deterministic metrics must stay finite and non-negative: {metrics:?}"
     );
+    scope_trace::count(scope_trace::Counter::ExecRuns, 1);
+    if scope_trace::enabled() {
+        scope_trace::record(
+            scope_trace::Histogram::ExecSimulatedMillis,
+            (metrics.runtime * 1000.0) as u64,
+        );
+        for stage in &stages.stages {
+            scope_trace::record(
+                scope_trace::Histogram::StageSimulatedMillis,
+                (stage.elapsed * 1000.0) as u64,
+            );
+        }
+    }
     metrics
 }
 

@@ -1,7 +1,40 @@
 //! Small numeric helpers shared across crates: summary statistics and
-//! distribution sampling for the simulators and experiment harnesses.
+//! distribution sampling for the simulators and experiment harnesses,
+//! plus the NaN-tolerant float comparators every ranking site uses.
+
+use std::cmp::Ordering;
 
 use rand::Rng;
+
+/// Total ascending order on `f64` with **every NaN sorted after every
+/// number** (and NaNs of either sign equal to each other).
+///
+/// This is the comparator for `min_by` and ascending sorts over values
+/// that *should* be finite but might not be (a faulted runtime, a
+/// degenerate model prediction): a NaN never wins a minimum, never
+/// panics, and lands at the tail of a sorted list. Unlike bare
+/// [`f64::total_cmp`], `-NaN` cannot sneak below `-inf`.
+pub fn nan_last_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// Total ascending order on `f64` with **every NaN sorted before every
+/// number** — the `max_by` twin of [`nan_last_cmp`]: a NaN never wins a
+/// maximum. For a *descending* NaN-last sort, use
+/// `sort_by(|a, b| nan_first_cmp(b.key, a.key))`.
+pub fn nan_first_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
 
 /// Arithmetic mean; `0.0` for empty input.
 pub fn mean(xs: &[f64]) -> f64 {
@@ -27,7 +60,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    sorted.sort_by(|a, b| nan_last_cmp(*a, *b));
     let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -127,6 +160,43 @@ mod tests {
         }
         assert_eq!(counts[1], 0);
         assert!(counts[2] > counts[0] * 2);
+    }
+
+    #[test]
+    fn nan_comparators_order_nan_deterministically() {
+        let mut xs = [2.0, f64::NAN, -1.0, f64::INFINITY, -f64::NAN, 0.0];
+        xs.sort_by(|a, b| nan_last_cmp(*a, *b));
+        assert_eq!(&xs[..4], &[-1.0, 0.0, 2.0, f64::INFINITY]);
+        assert!(xs[4].is_nan() && xs[5].is_nan());
+
+        let mut ys = [2.0, f64::NAN, -1.0, -f64::NAN];
+        ys.sort_by(|a, b| nan_first_cmp(*a, *b));
+        assert!(ys[0].is_nan() && ys[1].is_nan());
+        assert_eq!(&ys[2..], &[-1.0, 2.0]);
+
+        // min_by under nan_last_cmp never selects NaN; max_by under
+        // nan_first_cmp never selects NaN.
+        let vals = [f64::NAN, 3.0, 1.0];
+        let min = vals
+            .iter()
+            .copied()
+            .min_by(|a, b| nan_last_cmp(*a, *b))
+            .unwrap();
+        assert_eq!(min, 1.0);
+        let max = vals
+            .iter()
+            .copied()
+            .max_by(|a, b| nan_first_cmp(*a, *b))
+            .unwrap();
+        assert_eq!(max, 3.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan() {
+        // NaNs sort last and only distort the top of the distribution.
+        let xs = [1.0, f64::NAN, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -200,6 +200,7 @@ impl CompileCache {
     pub fn lookup(&self, fingerprint: u64, config: &RuleConfig) -> Option<Arc<CompiledPlan>> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            scope_trace::count(scope_trace::Counter::CacheMiss, 1);
             return None;
         }
         let key = CacheKey {
@@ -212,10 +213,12 @@ impl CompileCache {
         match shard.map.get(&key) {
             Some(hit) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                scope_trace::count(scope_trace::Counter::CacheHit, 1);
                 Some(Arc::clone(hit))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                scope_trace::count(scope_trace::Counter::CacheMiss, 1);
                 None
             }
         }
@@ -247,10 +250,12 @@ impl CompileCache {
             };
             shard.map.remove(&oldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            scope_trace::count(scope_trace::Counter::CacheEviction, 1);
         }
         shard.map.insert(key, plan);
         shard.order.push_back(key);
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        scope_trace::count(scope_trace::Counter::CacheInsert, 1);
     }
 
     /// The memoizing entry point: return the cached plan for the key or
@@ -271,11 +276,26 @@ impl CompileCache {
     where
         F: FnOnce() -> Result<CompiledPlan, CompileError>,
     {
+        // Hit/miss path latencies, recorded only while the tracer runs (the
+        // clock read is behind the enabled gate).
+        let timed = scope_trace::enabled().then(std::time::Instant::now);
         if let Some(hit) = self.lookup(fingerprint, config) {
+            if let Some(t) = timed {
+                scope_trace::record(
+                    scope_trace::Histogram::CacheHitMicros,
+                    t.elapsed().as_micros() as u64,
+                );
+            }
             return Ok(hit);
         }
         let compiled = Arc::new(compile()?);
         self.insert(fingerprint, config, Arc::clone(&compiled));
+        if let Some(t) = timed {
+            scope_trace::record(
+                scope_trace::Histogram::CacheMissMicros,
+                t.elapsed().as_micros() as u64,
+            );
+        }
         Ok(compiled)
     }
 

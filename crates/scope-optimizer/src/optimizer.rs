@@ -87,6 +87,7 @@ pub fn compile_with_budget(
     budget: &CompileBudget,
 ) -> Result<CompiledPlan, CompileError> {
     let start = std::time::Instant::now();
+    let _compile_span = scope_trace::span_timed("compile", scope_trace::Histogram::CompileMicros);
     let mut tracker = BudgetTracker::new(budget);
     let normalized = normalize(plan);
     let estimator = Estimator::new(obs);
@@ -104,8 +105,21 @@ pub fn compile_with_budget(
     };
 
     let (mut memo, root) = Memo::from_plan(&normalized.plan, &estimator)?;
-    let explore_added = explore(&mut memo, config, &ctx, &mut tracker)?;
-    let outcome = implement(&memo, root, config, obs, &mut tracker)?;
+    let explore_added = {
+        let _span =
+            scope_trace::span_timed("compile.explore", scope_trace::Histogram::ExploreMicros);
+        explore(&mut memo, config, &ctx, &mut tracker)?
+    };
+    let outcome = {
+        let _span =
+            scope_trace::span_timed("compile.implement", scope_trace::Histogram::ImplementMicros);
+        implement(&memo, root, config, obs, &mut tracker)?
+    };
+    if scope_trace::enabled() {
+        scope_trace::record(scope_trace::Histogram::MemoGroups, memo.num_groups() as u64);
+        scope_trace::record(scope_trace::Histogram::MemoExprs, memo.num_exprs() as u64);
+        scope_trace::record(scope_trace::Histogram::CompileTasks, tracker.tasks());
+    }
 
     // Marker rules fire on the normalized plan's operator-kind counts.
     let kind_counts = normalized.plan.op_counts();

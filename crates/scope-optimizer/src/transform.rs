@@ -353,20 +353,20 @@ impl Rewriter<'_, '_> {
             return 0;
         }
         let mut atoms = predicate.atoms.clone();
+        // total_cmp: selectivities are estimator outputs in [0, 1], but a
+        // NaN estimate must reorder deterministically, never panic a rule.
         match order {
             AtomOrder::SelAsc => atoms.sort_by(|a, b| {
                 self.ctx
                     .est
                     .atom_selectivity(a)
-                    .partial_cmp(&self.ctx.est.atom_selectivity(b))
-                    .unwrap()
+                    .total_cmp(&self.ctx.est.atom_selectivity(b))
             }),
             AtomOrder::SelDesc => atoms.sort_by(|a, b| {
                 self.ctx
                     .est
                     .atom_selectivity(b)
-                    .partial_cmp(&self.ctx.est.atom_selectivity(a))
-                    .unwrap()
+                    .total_cmp(&self.ctx.est.atom_selectivity(a))
             }),
             AtomOrder::EqFirst => atoms.sort_by_key(|a| match a.op {
                 scope_ir::CmpOp::Eq => 0u8,

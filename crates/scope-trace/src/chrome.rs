@@ -1,0 +1,98 @@
+//! Chrome `trace_event` exporter.
+//!
+//! Serializes drained [`SpanEvent`]s into the JSON format understood by
+//! `chrome://tracing`, Perfetto (ui.perfetto.dev), and Speedscope: one
+//! `"ph":"X"` *complete* event per span, with microsecond `ts`/`dur`, the
+//! recording thread as `tid`, and span id / parent / argument under
+//! `args` so the hierarchy survives into the viewer.
+
+use crate::SpanEvent;
+
+/// Render `events` as a Chrome `trace_event` JSON document. The output is
+/// self-contained (object form with `traceEvents`) and deterministic in
+/// the order of `events`.
+#[must_use]
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"scope\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"id\":{}",
+            escape(e.name),
+            e.start_us,
+            e.dur_us,
+            e.thread,
+            e.id,
+        ));
+        if let Some(parent) = e.parent {
+            out.push_str(&format!(",\"parent\":{parent}"));
+        }
+        if e.arg != 0 {
+            out.push_str(&format!(",\"arg\":{}", e.arg));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Minimal JSON string escape; span names are static identifiers, so this
+/// only has to be correct, not fast.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, id: u64, parent: Option<u64>) -> SpanEvent {
+        SpanEvent {
+            name,
+            id,
+            parent,
+            thread: 3,
+            arg: if id == 2 { 7 } else { 0 },
+            start_us: 10 * id,
+            dur_us: 5,
+        }
+    }
+
+    #[test]
+    fn exports_complete_events() {
+        let json = chrome_trace(&[ev("discover", 1, None), ev("compile", 2, Some(1))]);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"discover\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":20,\"dur\":5"));
+        assert!(json.contains("\"parent\":1"));
+        assert!(json.contains("\"arg\":7"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(
+            chrome_trace(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+
+    #[test]
+    fn escapes_control_and_quote() {
+        let json = chrome_trace(&[ev("a\"b\\c", 1, None)]);
+        assert!(json.contains("a\\\"b\\\\c"));
+    }
+}

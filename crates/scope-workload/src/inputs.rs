@@ -135,10 +135,21 @@ mod tests {
     fn sizes_are_heavy_tailed() {
         let p = pool();
         let mut rows: Vec<f64> = p.streams.iter().map(|s| s.base_rows as f64).collect();
-        rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rows.sort_by(f64::total_cmp);
         let median = rows[rows.len() / 2];
         let max = rows[rows.len() - 1];
         assert!(max / median > 20.0, "tail {max}/{median}");
+    }
+
+    #[test]
+    fn size_sort_tolerates_poisoned_rows() {
+        let p = pool();
+        let mut rows: Vec<f64> = p.streams.iter().map(|s| s.base_rows as f64).collect();
+        rows.push(f64::NAN);
+        // total_cmp: the NaN lands after +inf instead of panicking the sort.
+        rows.sort_by(f64::total_cmp);
+        assert!(rows.last().copied().expect("non-empty").is_nan());
+        assert!(rows[..rows.len() - 1].windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 
 use rand::Rng;
 
+use scope_ir::stats::{nan_first_cmp, nan_last_cmp};
+
 use crate::dataset::{GroupDataset, GroupSample};
 
 /// A sequential arm chooser.
@@ -52,10 +54,12 @@ impl ArmChooser for EpsilonGreedy {
         if let Some(i) = self.counts.iter().position(|&c| c == 0) {
             return i;
         }
+        // NaN-first ordering: a mean poisoned by a NaN reward can never win
+        // the maximum (and can never panic the replay).
         self.means
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| nan_first_cmp(*a.1, *b.1))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
@@ -86,7 +90,9 @@ impl ThompsonGaussian {
 
 impl ArmChooser for ThompsonGaussian {
     fn choose<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
-        let mut best = 0usize;
+        // Only finite samples compete; a posterior poisoned by NaN rewards
+        // (or a sample that overflowed) cannot win the draw.
+        let mut best: Option<usize> = None;
         let mut best_sample = f64::NEG_INFINITY;
         for i in 0..self.means.len() {
             let sd = 1.0 / ((self.counts[i] as f64) + 1.0).sqrt();
@@ -95,12 +101,26 @@ impl ArmChooser for ThompsonGaussian {
             let u2: f64 = rng.gen_range(0.0..1.0);
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             let sample = self.means[i] + sd * z;
-            if sample > best_sample {
+            if sample.is_finite() && (best.is_none() || sample > best_sample) {
                 best_sample = sample;
-                best = i;
+                best = Some(i);
             }
         }
-        best
+        match best {
+            Some(i) => i,
+            None => {
+                // Every sampled value was non-finite. Fall back to the
+                // deterministic exploration choice — the least-pulled arm
+                // (ties to the lowest index) — and count the event.
+                scope_trace::count(scope_trace::Counter::BanditDegenerateChoice, 1);
+                self.counts
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &c)| (c, i))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            }
+        }
     }
 
     fn update(&mut self, arm: usize, reward: f64) {
@@ -169,11 +189,13 @@ pub fn replay_bandit<C: ArmChooser, R: Rng + ?Sized>(
 pub fn cost_model_choice(sample: &GroupSample, k: usize) -> usize {
     let job_dim = crate::features::job_feature_dim();
     let config_dim = crate::features::config_feature_dim();
+    // NaN-last: a corrupted cost feature loses the minimum instead of
+    // panicking the baseline.
     (0..k)
         .min_by(|&a, &b| {
             let ca = sample.features[job_dim + a * config_dim];
             let cb = sample.features[job_dim + b * config_dim];
-            ca.partial_cmp(&cb).expect("finite costs")
+            nan_last_cmp(ca, cb)
         })
         .unwrap_or(0)
 }
@@ -286,6 +308,71 @@ mod tests {
         assert_eq!(result.runtimes.len(), 20);
         assert_eq!(result.choices.len(), 20);
         assert!(result.total_runtime() > 0.0);
+    }
+
+    /// Runtimes poisoned with NaN and infinity — the rewards themselves go
+    /// NaN, so the posteriors degrade in every arm.
+    fn poisoned_dataset(n: usize) -> GroupDataset {
+        let samples = (0..n)
+            .map(|i| GroupSample {
+                job_id: JobId(i as u64),
+                day: (i / 5) as u32,
+                features: vec![0.0; 4],
+                runtimes: vec![f64::NAN, f64::INFINITY, 50.0],
+            })
+            .collect();
+        GroupDataset {
+            configs: vec![RuleConfig::default_config(); 3],
+            samples,
+            feature_dim: 4,
+            skipped: 0,
+        }
+    }
+
+    #[test]
+    fn replay_tolerates_nan_and_infinite_runtimes() {
+        let ds = poisoned_dataset(60);
+        let mut eps = EpsilonGreedy::new(3, 0.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let result = replay_bandit(&ds, &mut eps, &mut rng);
+        assert_eq!(result.runtimes.len(), 60);
+        assert!(result.choices.iter().all(|&c| c < 3));
+
+        let mut ts = ThompsonGaussian::new(3);
+        let mut rng = StdRng::seed_from_u64(8);
+        let result = replay_bandit(&ds, &mut ts, &mut rng);
+        assert_eq!(result.runtimes.len(), 60);
+        assert!(result.choices.iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn thompson_degenerate_falls_back_deterministically() {
+        let mut bandit = ThompsonGaussian::new(3);
+        for arm in 0..3 {
+            bandit.update(arm, f64::NAN);
+        }
+        // Every posterior mean is NaN, so every sampled value is NaN: the
+        // chooser must fall back to the least-pulled arm, deterministically.
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(bandit.choose(&mut rng), 0);
+        assert_eq!(bandit.choose(&mut rng), 0);
+    }
+
+    #[test]
+    fn cost_model_choice_tolerates_nan_costs() {
+        let job_dim = crate::features::job_feature_dim();
+        let config_dim = crate::features::config_feature_dim();
+        let mut features = vec![0.0; job_dim + 3 * config_dim];
+        features[job_dim] = f64::NAN; // config 0 — corrupted, must lose
+        features[job_dim + config_dim] = 2.0; // config 1 — cheapest finite
+        features[job_dim + 2 * config_dim] = 3.0;
+        let s = GroupSample {
+            job_id: JobId(1),
+            day: 0,
+            features,
+            runtimes: vec![1.0, 1.0, 1.0],
+        };
+        assert_eq!(cost_model_choice(&s, 3), 1);
     }
 
     #[test]

@@ -77,9 +77,11 @@ impl LearnedChooser {
     pub fn choose(&self, raw_features: &[f64]) -> usize {
         let x = self.normalizer.transform(raw_features);
         let pred = self.model.predict(&x);
+        // NaN-last: a diverged model (NaN predictions) degrades to a
+        // deterministic choice instead of panicking the serving path.
         pred.iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite predictions"))
+            .min_by(|a, b| scope_ir::stats::nan_last_cmp(*a.1, *b.1))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
