@@ -17,7 +17,9 @@ use scope_optimizer::{compile_job, CompileBudget, RuleConfig};
 use scope_steer_bench::harness::{pipeline_params, workload, AB_SEED};
 use scope_steer_bench::reporting::{banner, markdown_table, scale_arg, write_csv};
 use scope_workload::WorkloadTag;
-use steer_core::{minimize_config, winning_configs, HintStore, Pipeline, PipelineParams};
+use steer_core::{
+    minimize_config, winning_configs, FlightConfig, FlightController, Pipeline, PipelineParams,
+};
 
 /// Per-candidate task budgets to sweep, `None` = unlimited control. The low
 /// end rejects every recompile; the knee sits where typical explore +
@@ -92,9 +94,10 @@ fn main() {
                 minimized.push(m);
             }
         }
-        let mut store = HintStore::new();
-        store.compile_budget = budget;
-        store.install(&minimized, 0);
+        let mut flights = FlightController::new(FlightConfig::default());
+        flights.store.compile_budget = budget;
+        flights.ingest_deployed(&minimized, 0);
+        let store = flights.store;
 
         // Day 1: production traffic through the guardrail (same budget on
         // steered compiles), vs a default-only baseline.

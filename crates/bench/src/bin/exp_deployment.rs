@@ -12,7 +12,7 @@ use scope_exec::ABTester;
 use scope_steer_bench::harness::{pipeline, workload, AB_SEED};
 use scope_steer_bench::reporting::{banner, markdown_table, scale_arg, write_csv};
 use scope_workload::WorkloadTag;
-use steer_core::{minimize_config, winning_configs, HintStore};
+use steer_core::{minimize_config, winning_configs, FlightConfig, FlightController};
 
 fn main() {
     let scale = scale_arg();
@@ -60,8 +60,11 @@ fn main() {
     );
 
     // Install and revalidate over a week.
-    let mut store = HintStore::new();
-    store.install(&minimized, 0);
+    // Offline experiment: expose the hints immediately (Deployed) but go
+    // through the flight controller so installation is journaled.
+    let mut flights = FlightController::new(FlightConfig::default());
+    flights.ingest_deployed(&minimized, 0);
+    let mut store = flights.store;
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for day in 1..7 {

@@ -16,7 +16,9 @@ use scope_optimizer::{compile_job, RuleConfig};
 use scope_steer_bench::harness::{pipeline_params, workload, AB_SEED};
 use scope_steer_bench::reporting::{banner, markdown_table, scale_arg, write_csv};
 use scope_workload::WorkloadTag;
-use steer_core::{minimize_config, winning_configs, HintStore, Pipeline, PipelineParams};
+use steer_core::{
+    minimize_config, winning_configs, FlightConfig, FlightController, Pipeline, PipelineParams,
+};
 
 /// Vertex-level transient failure probabilities to sweep. 0 is the
 /// fault-free control; the top end is an unhealthy cluster where most
@@ -74,8 +76,9 @@ fn main() {
                 minimized.push(m);
             }
         }
-        let mut store = HintStore::new();
-        store.install(&minimized, 0);
+        let mut flights = FlightController::new(FlightConfig::default());
+        flights.ingest_deployed(&minimized, 0);
+        let store = flights.store;
 
         // Day 1: production traffic through the guardrail, vs a
         // default-only baseline on the same faulty cluster.

@@ -6,7 +6,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 21] = [
+const EXPERIMENTS: [&str; 22] = [
     "exp_table1",
     "exp_table2",
     "exp_fig2",
@@ -28,6 +28,7 @@ const EXPERIMENTS: [&str; 21] = [
     "exp_throughput",
     "exp_lint",
     "exp_trace",
+    "exp_flighting",
 ];
 
 fn main() {

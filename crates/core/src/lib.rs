@@ -14,6 +14,10 @@
 //! * [`report`] — Table 3-style summaries,
 //! * [`deploy`] — the §3.3 "plan hint" deployment story: a per-group hint
 //!   store with §6.4's weekly re-validation and regression suspension,
+//! * [`flight`] — staged canary rollout over the hint store (QO-Advisor's
+//!   flighting): deterministic traffic splits, N-strike/CUSUM rollback
+//!   monitors, background revalidation with a probation path out of
+//!   quarantine, and a checksummed journal + snapshot for crash recovery,
 //! * [`independence`] — §8 future work: empirical discovery of independent
 //!   rule subsets that shrink the configuration search space,
 //! * [`minimize`] — shrink winning configurations to the smallest
@@ -25,6 +29,7 @@
 //! the signature type it compares.
 
 pub mod deploy;
+pub mod flight;
 pub mod groups;
 pub mod guard;
 pub mod independence;
@@ -38,7 +43,14 @@ pub mod span;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use deploy::{GuardrailRun, HintStatus, HintStore, RevalidationReport, StoredHint};
+pub use deploy::{
+    GuardrailRun, HintParseError, HintParseErrorKind, HintStatus, HintStore, RevalidationReport,
+    StoredHint, ValidationRecord,
+};
+pub use flight::{
+    AdvanceReport, BackgroundReport, FlightConfig, FlightController, FlightDayReport, FlightEvent,
+    FlightStage, FlightState, GroupDayStats, RecoveryError, RecoveryReport,
+};
 pub use groups::{
     extrapolate, group_jobs, group_of, winning_configs, ExtrapolatedRun, GroupConfig,
 };

@@ -1,0 +1,305 @@
+//! End-to-end acceptance tests for the flighting subsystem: rollback
+//! determinism across worker counts, crash-safe recovery of real serving
+//! history, and the probation path out of quarantine.
+//!
+//! These tests drive the public API only. Discovery is replicated from the
+//! in-crate test helper: whether a given RNG seed surfaces winners on the
+//! tiny test workload is statistical, so we scan a few (A/B seed, search
+//! seed) pairs and additionally require the winning group to recur on the
+//! serving days the scenario needs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use scope_exec::{plan_fingerprint, ABTester, CrashPlan, FaultProfile, RetryPolicy};
+use scope_optimizer::{
+    compile_job, compile_job_guarded, effective_config, CompileBudget, RuleConfig,
+};
+use scope_workload::{Workload, WorkloadProfile};
+use steer_core::{
+    winning_configs, FlightConfig, FlightController, FlightStage, GroupConfig, HintStatus,
+    Pipeline, PipelineParams,
+};
+
+const SERVE_DAYS: u32 = 6;
+
+struct Discovered {
+    workload: Workload,
+    ab_seed: u64,
+    winners: Vec<GroupConfig>,
+}
+
+/// How many of `jobs` compile to `group` under the default configuration.
+fn matching_jobs(workload: &Workload, day: u32, group: &str) -> usize {
+    workload
+        .day(day)
+        .iter()
+        .filter(|job| {
+            compile_job(job, &RuleConfig::default_config())
+                .is_ok_and(|c| c.signature.to_bit_string() == group)
+        })
+        .count()
+}
+
+/// Scan (A/B seed, search seed) pairs until discovery over day 0 of a small
+/// Workload A yields a winner whose group also recurs on days 1 and 2 —
+/// the flighting scenarios need traffic to canary against.
+fn discover(n_threads: usize) -> Discovered {
+    for ab_seed in [11u64, 5, 7, 13] {
+        let ab = ABTester::new(ab_seed);
+        let pipeline = Pipeline::new(
+            ab.clone(),
+            PipelineParams {
+                m_candidates: 120,
+                execute_top_k: 5,
+                sample_frac: 1.0,
+                n_threads,
+                ..PipelineParams::default()
+            },
+        );
+        for seed in 1..=6u64 {
+            let workload = Workload::generate(WorkloadProfile::workload_a(0.08));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report = pipeline.discover(&workload.day(0), &mut rng);
+            let winners = winning_configs(&report.outcomes, 5.0);
+            let recurs = winners.iter().any(|w| {
+                let key = w.group.to_bit_string();
+                matching_jobs(&workload, 1, &key) >= 1 && matching_jobs(&workload, 2, &key) >= 1
+            });
+            if recurs {
+                return Discovered {
+                    workload,
+                    ab_seed,
+                    winners,
+                };
+            }
+        }
+    }
+    panic!("no (ab, search) seed pair produced a recurring winner");
+}
+
+/// The winner whose group recurs on days 1 and 2 (guaranteed by
+/// [`discover`]'s acceptance condition).
+fn recurring_winner(d: &Discovered) -> GroupConfig {
+    d.winners
+        .iter()
+        .find(|w| {
+            let key = w.group.to_bit_string();
+            matching_jobs(&d.workload, 1, &key) >= 1 && matching_jobs(&d.workload, 2, &key) >= 1
+        })
+        .expect("discover() guarantees a recurring winner")
+        .clone()
+}
+
+/// Fingerprints of every plan the hint would steer the victim group's jobs
+/// onto over the serving window — the targets for a planted regression.
+fn steered_fingerprints(workload: &Workload, victim: &GroupConfig) -> Vec<(u64, f64)> {
+    let key = victim.group.to_bit_string();
+    let mut fps = Vec::new();
+    for day in 1..=SERVE_DAYS {
+        for job in &workload.day(day) {
+            let Ok(default) = compile_job(job, &RuleConfig::default_config()) else {
+                continue;
+            };
+            if default.signature.to_bit_string() != key {
+                continue;
+            }
+            if let Ok(steered) = compile_job_guarded(job, &victim.config, &CompileBudget::default())
+            {
+                // Only plans that actually differ from the default regress:
+                // if steered == default the shadow baseline is slowed too
+                // and the comparison washes out.
+                // 2× on the steered plan nets a large regression even
+                // after the hint's genuine improvement is subtracted.
+                let fp = plan_fingerprint(&steered.plan);
+                if fp != plan_fingerprint(&default.plan) && !fps.iter().any(|&(f, _)| f == fp) {
+                    fps.push((fp, 2.0));
+                }
+            }
+            // Keep the static-gate view consistent with serve_day.
+            let _ = effective_config(job, &victim.config);
+        }
+    }
+    fps
+}
+
+struct PipelineRun {
+    rollback_day: Option<u32>,
+    snapshot: String,
+    journal: String,
+}
+
+/// Drive the day-by-day flighting pipeline: serve, background-revalidate,
+/// advance. Returns the day the victim rolled back (if it did) plus the
+/// final durable state.
+fn run_pipeline(
+    d: &Discovered,
+    ab: &ABTester,
+    config: FlightConfig,
+    crash: Option<CrashPlan>,
+) -> PipelineRun {
+    let mut c = FlightController::new(config);
+    c.ingest(&d.winners, 0);
+    if let Some(plan) = crash {
+        c.arm_crash(plan);
+    }
+    c.advance(0);
+    let policy = RetryPolicy::no_retries();
+    let mut rollback_day = None;
+    for day in 1..=SERVE_DAYS {
+        let jobs = d.workload.day(day);
+        c.serve_day(&jobs, ab, &policy, day);
+        c.revalidate_background(&jobs, ab, day);
+        let report = c.advance(day);
+        if rollback_day.is_none() && !report.rollbacks.is_empty() {
+            rollback_day = Some(day);
+        }
+    }
+    PipelineRun {
+        rollback_day,
+        snapshot: c.snapshot_text(),
+        journal: c.journal_text(),
+    }
+}
+
+#[test]
+fn rollback_is_deterministic_across_worker_counts() {
+    let serial = discover(1);
+    let parallel = discover(4);
+    // Parallel discovery is bit-identical to serial, so both runs flight
+    // the same winners.
+    assert_eq!(
+        format!("{:?}", serial.winners),
+        format!("{:?}", parallel.winners)
+    );
+    assert_eq!(serial.ab_seed, parallel.ab_seed);
+
+    let victim = recurring_winner(&serial);
+    let faults = FaultProfile::with_slowdown_plans(steered_fingerprints(&serial.workload, &victim));
+    assert!(!faults.is_none(), "victim must have distinct steered plans");
+    // Wide canary + short hysteresis so the planted regression is observed
+    // and tripped well inside the serving window.
+    let config = FlightConfig {
+        canary_pct: 80,
+        ramp_pcts: vec![90],
+        n_strikes: 2,
+        ..FlightConfig::default()
+    };
+
+    let runs: Vec<PipelineRun> = [&serial, &parallel]
+        .iter()
+        .map(|d| {
+            let ab = ABTester::new(d.ab_seed).with_faults(faults.clone());
+            run_pipeline(d, &ab, config.clone(), None)
+        })
+        .collect();
+    let day = runs[0].rollback_day.expect("planted regression rolls back");
+    assert_eq!(runs[1].rollback_day, Some(day), "rollback day diverged");
+    assert_eq!(
+        runs[0].snapshot, runs[1].snapshot,
+        "final durable state diverged across worker counts"
+    );
+    let key = victim.group.to_bit_string();
+    assert!(
+        runs[0].snapshot.contains(&format!("rolledback:{day}")),
+        "victim {key} should be rolled back in the snapshot"
+    );
+}
+
+#[test]
+fn crash_recovery_reconstructs_serving_history_bit_identically() {
+    let d = discover(1);
+    let ab = ABTester::new(d.ab_seed);
+    let healthy = run_pipeline(&d, &ab, FlightConfig::default(), None);
+
+    // Recovery from the full journal reproduces the live state exactly.
+    let (rec, report) = FlightController::recover(None, &healthy.journal, FlightConfig::default())
+        .expect("healthy journal recovers");
+    assert_eq!(report.discarded_lines, 0);
+    assert_eq!(rec.snapshot_text(), healthy.snapshot);
+
+    // A snapshot plus the journal replays only the suffix, to the same
+    // state: events below the snapshot's sequence watermark are skipped.
+    let (from_snap, snap_report) = FlightController::recover(
+        Some(&healthy.snapshot),
+        &healthy.journal,
+        FlightConfig::default(),
+    )
+    .expect("snapshot + journal recovers");
+    assert_eq!(snap_report.replayed_events, 0);
+    assert_eq!(from_snap.snapshot_text(), healthy.snapshot);
+
+    // A crash mid-run tears one journal write; recovery truncates to the
+    // durable prefix and equals a replay of that prefix of the healthy
+    // journal — the torn write never happened, durably.
+    let crashed = run_pipeline(
+        &d,
+        &ab,
+        FlightConfig::default(),
+        Some(CrashPlan::after_ops(5, 7)),
+    );
+    // Pre-crash installs (one per ingested winner) plus 5 durable writes
+    // plus the single torn line.
+    let surviving_lines = crashed.journal.lines().count();
+    assert!(surviving_lines > 6);
+    let durable = surviving_lines - 1;
+    let (rec_crash, crash_report) =
+        FlightController::recover(None, &crashed.journal, FlightConfig::default())
+            .expect("torn journal recovers");
+    assert_eq!(crash_report.discarded_lines, 1);
+    assert_eq!(crash_report.replayed_events, durable);
+    let prefix = healthy
+        .journal
+        .lines()
+        .take(durable)
+        .collect::<Vec<_>>()
+        .join("\n");
+    let (rec_prefix, _) =
+        FlightController::recover(None, &prefix, FlightConfig::default()).expect("prefix recovers");
+    assert_eq!(rec_crash.snapshot_text(), rec_prefix.snapshot_text());
+    assert_eq!(rec_crash.store, rec_prefix.store);
+}
+
+#[test]
+fn quarantined_hint_recovers_through_probation() {
+    let d = discover(1);
+    let victim = recurring_winner(&d);
+    let key = victim.group.to_bit_string();
+    let ab = ABTester::new(d.ab_seed);
+    let policy = RetryPolicy::no_retries();
+
+    let mut c = FlightController::new(FlightConfig::default());
+    c.ingest_deployed(&[victim], 0);
+    assert_eq!(c.flight(&key).unwrap().stage, FlightStage::Deployed);
+
+    // A transient environment fault: the compile budget collapses, so the
+    // first steered compile dies fatally and quarantines the hint.
+    c.store.compile_budget = CompileBudget::with_max_tasks(1);
+    c.serve_day(&d.workload.day(1), &ab, &policy, 1);
+    assert_eq!(c.store.hint(&key).unwrap().status, HintStatus::Quarantined);
+
+    // The fault clears. Background sweeps now probe the quarantined hint;
+    // after `probation_clean_required` consecutive clean probes it re-enters
+    // the rollout at Canary rather than staying dead forever.
+    c.store.compile_budget = CompileBudget::default();
+    let required = c.config.probation_clean_required;
+    let mut restored_on = None;
+    for day in 2..=(2 + 2 * required) {
+        let report = c.revalidate_background(&d.workload.day(day), &ab, day);
+        assert!(
+            report.probed.contains(&key) || report.absent > 0,
+            "day {day}: quarantined hint must be probed when its group recurs"
+        );
+        if report.restored.contains(&key) {
+            restored_on = Some(day);
+            break;
+        }
+    }
+    let day = restored_on.expect("hint never released from probation");
+    assert!(
+        day >= 2 + required - 1,
+        "released before {required} clean probes"
+    );
+    assert_eq!(c.store.hint(&key).unwrap().status, HintStatus::Active);
+    assert_eq!(c.flight(&key).unwrap().stage, FlightStage::Canary);
+}

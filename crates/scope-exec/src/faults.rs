@@ -67,6 +67,13 @@ pub struct FaultProfile {
     pub speculative_execution: bool,
     /// Job-level wall-clock timeout in seconds.
     pub timeout_s: Option<f64>,
+    /// Planted plan-targeted regressions: any run whose
+    /// [`plan_fingerprint`](crate::abtest::plan_fingerprint) appears here
+    /// has its runtime and CPU multiplied by the paired factor. This
+    /// models an environment shift that hurts *one specific plan shape*
+    /// (the case flighting must contain) while leaving every other plan —
+    /// including the default plan for the same job — untouched.
+    pub slowdown_plans: Vec<(u64, f64)>,
 }
 
 impl FaultProfile {
@@ -82,6 +89,7 @@ impl FaultProfile {
             backoff_base_s: 5.0,
             speculative_execution: true,
             timeout_s: None,
+            slowdown_plans: Vec::new(),
         }
     }
 
@@ -124,12 +132,31 @@ impl FaultProfile {
         self
     }
 
+    /// A profile that only plants plan-targeted slowdowns (used by the
+    /// flighting experiment to inject a regression into specific hints).
+    pub fn with_slowdown_plans(plans: Vec<(u64, f64)>) -> FaultProfile {
+        FaultProfile {
+            slowdown_plans: plans,
+            ..FaultProfile::none()
+        }
+    }
+
     /// True when the profile cannot change an execution in any way.
     pub fn is_none(&self) -> bool {
         self.vertex_failure_prob <= 0.0
             && self.straggler_prob <= 0.0
             && self.preemption_prob <= 0.0
             && self.timeout_s.is_none()
+            && self.slowdown_plans.is_empty()
+    }
+
+    /// The planted slowdown factor for a plan fingerprint (1.0 when the
+    /// plan is not targeted). First match wins.
+    pub fn slowdown_for(&self, fingerprint: u64) -> f64 {
+        self.slowdown_plans
+            .iter()
+            .find(|(fp, _)| *fp == fingerprint)
+            .map_or(1.0, |(_, factor)| factor.max(0.0))
     }
 }
 
@@ -181,6 +208,63 @@ pub struct FaultedRun {
     pub retries: u32,
     /// Speculative backup copies launched for stragglers.
     pub speculative_copies: u32,
+}
+
+/// Deterministic process-crash fault for crash-safety testing.
+///
+/// A crash plan is a countdown over durable-write operations (journal
+/// appends, snapshot writes): while the countdown lasts every operation
+/// persists normally, the operation on which it expires is *torn* — only
+/// a byte prefix reaches stable storage, modelling a crash mid-`write` —
+/// and every operation after that is lost entirely (the process is dead).
+/// Being a countdown rather than a probability keeps crash tests
+/// bit-reproducible: the same plan always kills the same write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashPlan {
+    remaining: u64,
+    torn_bytes: usize,
+    dead: bool,
+}
+
+/// What a [`CrashPlan`] decided for one durable-write operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashRoll {
+    /// The write persists in full.
+    Alive,
+    /// The process crashed mid-write: only this many bytes persisted.
+    Torn(usize),
+    /// The process is already dead; nothing persists.
+    Dead,
+}
+
+impl CrashPlan {
+    /// Crash on the write after `survive` successful operations, leaving
+    /// `torn_bytes` of that final write on stable storage.
+    pub fn after_ops(survive: u64, torn_bytes: usize) -> CrashPlan {
+        CrashPlan {
+            remaining: survive,
+            torn_bytes,
+            dead: false,
+        }
+    }
+
+    /// Roll the plan for the next durable-write operation.
+    pub fn roll(&mut self) -> CrashRoll {
+        if self.dead {
+            return CrashRoll::Dead;
+        }
+        if self.remaining == 0 {
+            self.dead = true;
+            return CrashRoll::Torn(self.torn_bytes);
+        }
+        self.remaining -= 1;
+        CrashRoll::Alive
+    }
+
+    /// Whether the simulated process has already crashed.
+    pub fn crashed(&self) -> bool {
+        self.dead
+    }
 }
 
 /// Fault accounting for one pass over the stage graph.
@@ -323,7 +407,14 @@ pub fn execute_with_faults<R: Rng + ?Sized>(
         works[id.index()] = node_work(&node.op, &truths[id.index()], &children, cat, cluster);
     }
     let stages = build_stages(plan, &truths, &works);
-    let sched = schedule_with_faults(&stages, cluster.tokens, profile, rng);
+    let mut sched = schedule_with_faults(&stages, cluster.tokens, profile, rng);
+    // Planted plan-targeted regression: the environment shift stretches
+    // this specific plan's schedule and burns proportional CPU, before
+    // cluster noise is applied (so the regression survives averaging).
+    let slowdown = profile.slowdown_for(crate::abtest::plan_fingerprint(plan));
+    if slowdown != 1.0 {
+        sched.runtime *= slowdown;
+    }
 
     let mut cpu = 0.0;
     let mut io = 0.0;
@@ -337,7 +428,7 @@ pub fn execute_with_faults<R: Rng + ?Sized>(
     } else {
         0.0
     };
-    cpu *= 1.0 + rework_frac;
+    cpu *= (1.0 + rework_frac) * slowdown;
     io *= 1.0 + rework_frac;
 
     // The same mean-one lognormal cluster noise as the fault-free path.
@@ -518,6 +609,34 @@ mod tests {
         // A different seed rolls different faults (overwhelmingly likely
         // under the heavy profile on 5 stages of dop 200).
         assert!(a.runtime != c.runtime || a.retries != c.retries);
+    }
+
+    #[test]
+    fn slowdown_plans_make_profile_non_inert() {
+        let p = FaultProfile::with_slowdown_plans(vec![(42, 1.2)]);
+        assert!(!p.is_none());
+        assert_eq!(p.slowdown_for(42), 1.2);
+        assert_eq!(p.slowdown_for(43), 1.0);
+        assert_eq!(FaultProfile::none().slowdown_for(42), 1.0);
+    }
+
+    #[test]
+    fn crash_plan_counts_down_tears_once_then_stays_dead() {
+        let mut c = CrashPlan::after_ops(2, 7);
+        assert_eq!(c.roll(), CrashRoll::Alive);
+        assert!(!c.crashed());
+        assert_eq!(c.roll(), CrashRoll::Alive);
+        assert_eq!(c.roll(), CrashRoll::Torn(7));
+        assert!(c.crashed());
+        assert_eq!(c.roll(), CrashRoll::Dead);
+        assert_eq!(c.roll(), CrashRoll::Dead);
+    }
+
+    #[test]
+    fn crash_plan_with_zero_survivors_tears_immediately() {
+        let mut c = CrashPlan::after_ops(0, 0);
+        assert_eq!(c.roll(), CrashRoll::Torn(0));
+        assert_eq!(c.roll(), CrashRoll::Dead);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   fault injection, and retry-with-backoff scheduling,
 //! * [`faults`] — seeded, deterministic fault injection: transient vertex
 //!   failures with bounded retries, stragglers with speculative
-//!   re-execution, stage preemption, and job timeouts,
+//!   re-execution, stage preemption, job timeouts, plan-targeted planted
+//!   regressions, and a countdown crash fault for crash-safety tests,
+//! * [`rollout`] — deterministic hash-split traffic assignment for staged
+//!   canary rollouts (flighting),
 //! * [`mod@explain`] — `EXPLAIN ANALYZE`-style traces: per-operator estimated
 //!   vs true cardinalities (q-errors), work breakdowns, stage assignment.
 
@@ -26,6 +29,7 @@ pub mod abtest;
 pub mod cluster;
 pub mod explain;
 pub mod faults;
+pub mod rollout;
 pub mod simulate;
 pub mod truth;
 pub mod work;
@@ -33,7 +37,8 @@ pub mod work;
 pub use abtest::{plan_fingerprint, ABTester, RetryPolicy};
 pub use cluster::ClusterConfig;
 pub use explain::{explain, ExecutionTrace, NodeReport, StageReport};
-pub use faults::{execute_with_faults, FaultProfile, FaultedRun, JobOutcome};
+pub use faults::{execute_with_faults, CrashPlan, CrashRoll, FaultProfile, FaultedRun, JobOutcome};
+pub use rollout::in_rollout;
 pub use simulate::{execute, execute_deterministic, Metric, RunMetrics};
 pub use truth::{replay, result_fingerprint, semantic_fingerprint, NodeTruth, SemanticFingerprint};
 pub use work::NodeWork;

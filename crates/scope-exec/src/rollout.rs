@@ -1,0 +1,103 @@
+//! Deterministic traffic splitting for staged (canaried) rollouts.
+//!
+//! QO-Advisor's flighting pipeline exposes a hint to a *fraction* of its
+//! matching traffic before trusting it fleet-wide. The assignment has to
+//! be a pure function of the job and the flight — never of wall-clock
+//! time, thread interleaving, or sampling RNG state — so that a replay of
+//! the same workload reproduces bit-identical serving decisions, and so
+//! that the *same* job lands on the same side of the split every day it
+//! recurs (a job flapping between steered and default would double the
+//! variance the canary monitor sees).
+//!
+//! The split hashes `(salt, unit)` with the standard SipHash-backed
+//! [`DefaultHasher`], which is deterministic for a fixed key pair — the
+//! same property [`plan_fingerprint`](crate::abtest::plan_fingerprint)
+//! already relies on. The salt decorrelates flights: two hints canarying
+//! at 5% each should not pick the *same* 5% of jobs.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Whether `unit` (a job id) is inside the first `pct` percent of the
+/// hash ring for the flight identified by `salt`.
+///
+/// Monotone in `pct`: the population served at 5% is a subset of the
+/// population served at 25%, so ramping a flight up only *adds* jobs to
+/// the treatment group — it never swaps one cohort for another.
+pub fn in_rollout(unit: u64, salt: u64, pct: u8) -> bool {
+    if pct == 0 {
+        return false;
+    }
+    if pct >= 100 {
+        return true;
+    }
+    let mut h = DefaultHasher::new();
+    salt.hash(&mut h);
+    unit.hash(&mut h);
+    (h.finish() % 100) < u64::from(pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_total() {
+        for unit in 0..256u64 {
+            assert!(!in_rollout(unit, 7, 0));
+            assert!(in_rollout(unit, 7, 100));
+            assert!(in_rollout(unit, 7, 255));
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        for unit in 0..512u64 {
+            for pct in [1u8, 5, 25, 50, 99] {
+                assert_eq!(
+                    in_rollout(unit, 0xF11, pct),
+                    in_rollout(unit, 0xF11, pct),
+                    "unit {unit} pct {pct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ramping_up_is_monotone() {
+        for unit in 0..2048u64 {
+            let mut prev = false;
+            for pct in 0..=100u8 {
+                let now = in_rollout(unit, 99, pct);
+                assert!(now || !prev, "unit {unit} left the rollout at {pct}%");
+                prev = now;
+            }
+        }
+    }
+
+    #[test]
+    fn split_fraction_tracks_pct() {
+        let n = 20_000u64;
+        for pct in [5u8, 25, 50] {
+            let hits = (0..n).filter(|&u| in_rollout(u, 0xA5A5, pct)).count() as f64;
+            let frac = hits / n as f64;
+            let want = f64::from(pct) / 100.0;
+            assert!(
+                (frac - want).abs() < 0.02,
+                "pct {pct}: observed fraction {frac:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn salts_decorrelate_flights() {
+        let n = 20_000u64;
+        let both = (0..n)
+            .filter(|&u| in_rollout(u, 1, 10) && in_rollout(u, 2, 10))
+            .count() as f64;
+        // Independent 10% splits overlap on ~1% of units; identical splits
+        // would overlap on 10%.
+        let overlap = both / n as f64;
+        assert!(overlap < 0.03, "overlap {overlap}");
+    }
+}

@@ -95,6 +95,24 @@ metric_enum! {
         /// `ThompsonGaussian::choose` saw no finite sample and fell back
         /// to its deterministic arm.
         BanditDegenerateChoice => "bandit.degenerate_choice",
+        /// Jobs served a steered plan by the flight controller.
+        FlightServedSteered => "flight.served_steered",
+        /// Jobs matching a flighted hint but held on the default plan by
+        /// the canary hash split.
+        FlightHeldBack => "flight.held_back",
+        /// Flight stage promotions (Candidate→Canary, ramp-ups, →Deployed).
+        FlightPromotions => "flight.promotions",
+        /// Flights auto-rolled back by the regression monitor.
+        FlightRollbacks => "flight.rollbacks",
+        /// Quarantined hints restored to Canary after clean probation.
+        FlightRestorations => "flight.restorations",
+        /// Per-group daily observations fed to regression monitors.
+        FlightObservations => "flight.observations",
+        /// Events appended to the flight journal (including torn/lost
+        /// writes under an armed crash plan).
+        FlightJournalEvents => "flight.journal_events",
+        /// Journal/snapshot recoveries performed.
+        FlightRecoveries => "flight.recoveries",
     }
 }
 
@@ -125,6 +143,10 @@ metric_enum! {
         StageSimulatedMillis => "exec.stage_simulated_ms",
         /// Candidates executed per job after dedup/top-k.
         CandidatesExecutedPerJob => "funnel.executed_per_job",
+        /// Days a flight spent in its stage before auto-rollback.
+        FlightDaysToRollback => "flight.days_to_rollback",
+        /// Journal events replayed per recovery.
+        FlightReplayedEvents => "flight.replayed_events",
     }
 }
 

@@ -20,8 +20,8 @@ use scope_steer::exec::ABTester;
 use scope_steer::ir::Job;
 use scope_steer::optimizer::{compile_job, RuleCatalog, RuleConfig};
 use scope_steer::steer::{
-    approximate_span, candidate_configs, discover_independent_groups, winning_configs, HintStore,
-    Pipeline, PipelineParams,
+    approximate_span, candidate_configs, discover_independent_groups, winning_configs,
+    FlightConfig, FlightController, Pipeline, PipelineParams,
 };
 use scope_steer::workload::{Workload, WorkloadProfile, WorkloadTag};
 
@@ -311,8 +311,9 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(args.get("seed", 2021u64));
             let report = pipeline.discover(&w.day(0), &mut rng);
             let winners = winning_configs(&report.outcomes, 10.0);
-            let mut store = HintStore::new();
-            store.install(&winners, 0);
+            let mut flights = FlightController::new(FlightConfig::default());
+            flights.ingest_deployed(&winners, 0);
+            let mut store = flights.store;
             println!("day 0: installed {} hints", store.len());
             for day in 1..days {
                 let r = store.revalidate(&w.day(day), &ab, day, 2.0);
