@@ -1,0 +1,435 @@
+//! **Serving**: the failure-hardened online steering daemon replaying a
+//! multi-day workload under a deterministic chaos matrix. For every
+//! [`ServeFaultProfile`] — none, slow lookups, torn snapshot swaps,
+//! flighting-journal stalls, burst overload — the run must demonstrate:
+//!
+//! 1. *Bounded tail latency* — every decision (p99 and max) lands within
+//!    the per-request deadline; expiry serves the default *at* the
+//!    deadline, never later.
+//! 2. *Failure is the default config, never an error* — every shed or
+//!    deadline-expired request is answered with the default `RuleConfig`.
+//! 3. *No zombie hints* — after a hint is quarantined / rolled back
+//!    mid-run, zero subsequent decisions steer onto it, even across torn
+//!    snapshot publishes.
+//! 4. *Bit-identical decisions* — the full decision stream fingerprints
+//!    identically at 1, 2, and 4 serving threads.
+//!
+//! Run: `cargo run -p scope-steer-bench --release --bin exp_serving -- [--scale=1.0]`
+
+use std::collections::{BTreeMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scope_exec::{ABTester, ArrivalCurve, ServeFaultProfile};
+use scope_optimizer::{CompileCache, RuleConfig};
+use scope_steer_bench::harness::{compile_day_cached, pipeline_params, workload, AB_SEED};
+use scope_steer_bench::reporting::{
+    banner, json_array, json_object, markdown_table, scale_arg, write_json,
+};
+use scope_workload::{Workload, WorkloadTag};
+use steer_core::{
+    minimize_config, winning_configs, DecisionReason, DegradedMode, FlightConfig, FlightController,
+    GroupConfig, HintStatus, Lookup, Pipeline, ServeRequest, ServiceConfig, SteeringService,
+};
+
+/// Virtual serving days replayed through the daemon (day 0 is discovery).
+const DAYS: u32 = 5;
+/// Serving-thread counts whose decision streams must fingerprint equal.
+const THREADS: [usize; 3] = [1, 2, 4];
+/// Compressed virtual day (µs). Decision latencies are O(100µs), so a
+/// short day keeps admission control and the mode ladder exercisable at
+/// bench scale: ~20 ticks/day and arrival gaps comparable to latency.
+const BENCH_DAY_US: u64 = 1_000_000;
+/// Day after which the victim hints are quarantined / rolled back.
+const RETIRE_AFTER_DAY: u32 = 2;
+/// Mean arrival spacing (µs) targeted inside a tuned burst window; with
+/// `max_inflight = 2` and 120µs decisions, anything bunched this tight
+/// must shed.
+const BURST_SPACING_US: f64 = 25.0;
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        // 20 maintenance ticks per compressed day.
+        tick_us: 50_000,
+        // The breaker half-opens within the same day it tripped.
+        breaker_cooldown_us: 120_000,
+        // Tight admission ceiling so burst overload actually sheds.
+        max_inflight: 2,
+        seed: AB_SEED,
+        ..ServiceConfig::default()
+    }
+}
+
+struct Discovered {
+    workload: Workload,
+    winners: Vec<GroupConfig>,
+}
+
+fn discover(scale: f64) -> Discovered {
+    let ab = ABTester::new(AB_SEED);
+    let p = Pipeline::new(ab, pipeline_params(scale));
+    let w = workload(WorkloadTag::A, scale);
+    let day0 = w.day(0);
+    let mut rng = StdRng::seed_from_u64(0x5E24E);
+    let report = p.discover(&day0, &mut rng);
+    let mut minimized = Vec::new();
+    for winner in &winning_configs(&report.outcomes, 10.0) {
+        let Some(job) = day0.iter().find(|j| j.id == winner.base_job) else {
+            continue;
+        };
+        if let Some(min) = minimize_config(job, &winner.config) {
+            let mut m = winner.clone();
+            m.config = min.config;
+            minimized.push(m);
+        }
+    }
+    Discovered {
+        workload: w,
+        winners: minimized,
+    }
+}
+
+/// `(job id, group key)` per job for each serving day, in day-list order
+/// — the stream the daemon sees, independent of any fault profile.
+fn day_keys(d: &Discovered, ab: &ABTester) -> Vec<Vec<(u64, String)>> {
+    let cache = CompileCache::new(64);
+    (1..=DAYS)
+        .map(|day| {
+            compile_day_cached(&d.workload, day, ab, Some(&cache))
+                .iter()
+                .map(|cj| (cj.job.id.0, cj.compiled.signature.to_bit_string()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Scale a burst profile's window to the workload: the spike width is set
+/// so arrivals inside it average [`BURST_SPACING_US`] apart, guaranteeing
+/// the admission ceiling sheds regardless of how few jobs a smoke run has.
+fn tune_burst(mut p: ServeFaultProfile, max_day_jobs: usize) -> ServeFaultProfile {
+    if let Some(b) = p.burst.as_mut() {
+        let burst_jobs = (max_day_jobs as f64 * b.fraction).max(2.0);
+        b.width_frac = (BURST_SPACING_US * burst_jobs / BENCH_DAY_US as f64).min(0.5);
+    }
+    p
+}
+
+/// Every group the table will actually serve, in sorted order.
+fn served_groups(d: &Discovered) -> Vec<String> {
+    let mut reference = FlightController::new(FlightConfig::default());
+    reference.ingest_deployed(&d.winners, 0);
+    let mut groups: Vec<String> = reference
+        .store
+        .hints()
+        .filter(|h| h.status == HintStatus::Active)
+        .map(|h| h.group.clone())
+        .collect();
+    groups.sort();
+    groups
+}
+
+/// The two most-requested groups the table actually serves — the hints a
+/// mid-run incident quarantines (first) and rolls back (second).
+fn pick_victims(groups: &[String], keys: &[Vec<(u64, String)>]) -> Vec<String> {
+    let served: HashSet<&String> = groups.iter().collect();
+    let mut counts: BTreeMap<&String, usize> = BTreeMap::new();
+    for day in keys {
+        for (_, key) in day {
+            if served.contains(key) {
+                *counts.entry(key).or_default() += 1;
+            }
+        }
+    }
+    let mut ranked: Vec<(&String, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    ranked.into_iter().take(2).map(|(g, _)| g.clone()).collect()
+}
+
+/// One full multi-day run of the daemon under a fault profile.
+struct ProfileRun {
+    requests: usize,
+    steered: usize,
+    defaults: usize,
+    shed: usize,
+    deadline_expired: usize,
+    torn_entries: usize,
+    /// Torn entries *detected* by probing every served group after each
+    /// snapshot publish — the corruption-refusal path, exercised even
+    /// when the live request stream happens to miss the corrupt group.
+    torn_probes: usize,
+    breaker_trips: u64,
+    mode_transitions: u64,
+    p99_max_us: u64,
+    final_mode: DegradedMode,
+    fingerprints: Vec<u64>,
+}
+
+fn run_profile(
+    d: &Discovered,
+    keys: &[Vec<(u64, String)>],
+    groups: &[String],
+    victims: &[String],
+    profile: &ServeFaultProfile,
+    n_threads: usize,
+) -> ProfileRun {
+    let mut flights = FlightController::new(FlightConfig::default());
+    flights.ingest_deployed(&d.winners, 0);
+    flights.advance(0);
+    let mut service = SteeringService::new(service_config());
+    service.publish_from(&flights, profile);
+
+    let curve = ArrivalCurve {
+        seed: AB_SEED,
+        day_us: BENCH_DAY_US,
+    };
+    let default = RuleConfig::default_config();
+    let deadline = service.config.deadline_us;
+    let mut banned: HashSet<&str> = HashSet::new();
+    let mut run = ProfileRun {
+        requests: 0,
+        steered: 0,
+        defaults: 0,
+        shed: 0,
+        deadline_expired: 0,
+        torn_entries: 0,
+        torn_probes: 0,
+        breaker_trips: 0,
+        mode_transitions: 0,
+        p99_max_us: 0,
+        final_mode: DegradedMode::Healthy,
+        fingerprints: Vec::new(),
+    };
+
+    for day in 1..=DAYS {
+        let day_keys = &keys[(day - 1) as usize];
+        let requests: Vec<ServeRequest> = day_keys
+            .iter()
+            .enumerate()
+            .map(|(idx, (job_id, key))| ServeRequest {
+                job_id: *job_id,
+                group_key: key.clone(),
+                arrival_us: curve.arrival_us(day, idx as u64, profile.burst.as_ref()),
+            })
+            .collect();
+        let report = service.serve_day(&requests, profile, day, n_threads);
+
+        // The three structural invariants, checked per decision at any
+        // scale — a smoke run is as load-bearing as the full one.
+        for dec in &report.decisions {
+            assert!(
+                dec.latency_us <= deadline,
+                "decision latency {}µs exceeds the {}µs deadline",
+                dec.latency_us,
+                deadline
+            );
+            if matches!(
+                dec.reason,
+                DecisionReason::Shed | DecisionReason::DeadlineExpired
+            ) {
+                assert!(
+                    !dec.steered && dec.config == default,
+                    "a {} request was not served the default config",
+                    dec.reason.name()
+                );
+            }
+            if dec.steered {
+                let group = dec.group.as_deref().expect("steered decision has a group");
+                assert!(
+                    !banned.contains(group),
+                    "day {day}: steered onto retired hint {group}"
+                );
+            }
+        }
+        assert!(
+            report.max_latency_us <= deadline,
+            "day {day}: max latency {}µs breaks the deadline bound",
+            report.max_latency_us
+        );
+
+        run.requests += report.requests;
+        run.steered += report.steered;
+        run.defaults += report.defaults;
+        run.shed += report.shed;
+        run.deadline_expired += report.deadline_expired;
+        run.torn_entries += report.torn_entries;
+        run.breaker_trips += report.breaker_trips;
+        run.mode_transitions += report.mode_transitions;
+        run.p99_max_us = run.p99_max_us.max(report.p99_latency_us);
+        run.final_mode = report.final_mode;
+        run.fingerprints.push(report.fingerprint);
+
+        // Mid-run incident: quarantine the hottest hint and roll back the
+        // runner-up. The synchronous retire is what the zombie-hint
+        // invariant above verifies from here on.
+        if day == RETIRE_AFTER_DAY {
+            for (i, victim) in victims.iter().enumerate() {
+                let status = if i == 0 {
+                    HintStatus::Quarantined
+                } else {
+                    HintStatus::Suspended
+                };
+                flights.store.set_status(victim, status);
+                service.retire(victim);
+                banned.insert(victim.as_str());
+            }
+        }
+        // Nightly snapshot refresh (suspended automatically while
+        // degraded; torn by the profile at its configured publish index).
+        service.publish_from(&flights, profile);
+        // Probe every served group against the fresh snapshot: any torn
+        // entry write must surface as a detected-and-refused lookup, not
+        // a served half-written hint.
+        run.torn_probes += groups
+            .iter()
+            .filter(|g| matches!(service.table.lookup(g), Lookup::Torn))
+            .count();
+    }
+    run
+}
+
+fn main() {
+    let scale = scale_arg();
+    banner(
+        "Serving",
+        "online steering under chaos: deadlines, shedding, breakers, degraded modes",
+    );
+    let d = discover(scale);
+    println!("discovered {} minimized winners", d.winners.len());
+    let ab = ABTester::new(AB_SEED);
+    let keys = day_keys(&d, &ab);
+    let max_day_jobs = keys.iter().map(Vec::len).max().unwrap_or(0);
+    let total_jobs: usize = keys.iter().map(Vec::len).sum();
+    let groups = served_groups(&d);
+    let victims = pick_victims(&groups, &keys);
+    println!(
+        "serving {total_jobs} requests over {DAYS} days (max {max_day_jobs}/day); retiring {} hints after day {RETIRE_AFTER_DAY}",
+        victims.len()
+    );
+    let gate = scale >= 0.5;
+
+    let mut rows = Vec::new();
+    let mut profile_objects = Vec::new();
+    for base in ServeFaultProfile::all() {
+        let profile = tune_burst(base, max_day_jobs);
+        let runs: Vec<ProfileRun> = THREADS
+            .iter()
+            .map(|&t| run_profile(&d, &keys, &groups, &victims, &profile, t))
+            .collect();
+        let identical = runs.iter().all(|r| r.fingerprints == runs[0].fingerprints);
+        assert!(
+            identical,
+            "profile {}: decision streams diverge across thread counts",
+            profile.name
+        );
+        let r = &runs[0];
+
+        // Profile-specific dynamics that must actually fire once the
+        // workload is big enough to make them statistically certain.
+        if profile.burst.is_some() && max_day_jobs >= 10 {
+            assert!(r.shed > 0, "burst overload produced no shedding");
+        }
+        if profile.slow_lookup_prob > 0.0 && total_jobs >= 20 {
+            assert!(
+                r.deadline_expired > 0,
+                "slow lookups never expired a deadline"
+            );
+        }
+        if profile.journal_stall_prob >= 0.5 {
+            assert!(
+                r.breaker_trips > 0,
+                "journal stalls never tripped the breaker"
+            );
+        }
+        // With a full-scale table (many groups spread over 8 shards) a
+        // torn swap is all but guaranteed to land a corrupt entry in a
+        // completed shard, and the probe must catch it.
+        if profile.torn_swap.is_some() && gate {
+            assert!(
+                r.torn_probes > 0,
+                "torn swap was never detected by the lookup checksum"
+            );
+        }
+        if gate {
+            assert_eq!(
+                r.requests, total_jobs,
+                "every arriving request must be answered"
+            );
+        }
+
+        println!(
+            "{:<16} steered {:>5} default {:>5} shed {:>4} expired {:>4} torn {:>2}/{:<2} trips {:>2} p99 {:>5}µs final {}",
+            profile.name,
+            r.steered,
+            r.defaults,
+            r.shed,
+            r.deadline_expired,
+            r.torn_entries,
+            r.torn_probes,
+            r.breaker_trips,
+            r.p99_max_us,
+            r.final_mode.name()
+        );
+        rows.push(vec![
+            profile.name.to_string(),
+            r.requests.to_string(),
+            r.steered.to_string(),
+            r.shed.to_string(),
+            r.deadline_expired.to_string(),
+            format!("{}/{}", r.torn_entries, r.torn_probes),
+            r.breaker_trips.to_string(),
+            r.mode_transitions.to_string(),
+            format!("{}µs", r.p99_max_us),
+            "yes".to_string(),
+        ]);
+        profile_objects.push(json_object(&[
+            ("profile", format!("\"{}\"", profile.name)),
+            ("requests", r.requests.to_string()),
+            ("steered", r.steered.to_string()),
+            ("defaults", r.defaults.to_string()),
+            ("shed", r.shed.to_string()),
+            ("deadline_expired", r.deadline_expired.to_string()),
+            ("torn_entries", r.torn_entries.to_string()),
+            ("torn_probes", r.torn_probes.to_string()),
+            ("breaker_trips", r.breaker_trips.to_string()),
+            ("mode_transitions", r.mode_transitions.to_string()),
+            ("p99_us", r.p99_max_us.to_string()),
+            ("final_mode", format!("\"{}\"", r.final_mode.name())),
+            ("identical_across_threads", "true".to_string()),
+        ]));
+    }
+
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "profile",
+                "requests",
+                "steered",
+                "shed",
+                "expired",
+                "torn served/detected",
+                "trips",
+                "mode Δ",
+                "p99",
+                "bit-identical",
+            ],
+            &rows
+        )
+    );
+
+    let body = json_object(&[
+        ("scale", format!("{scale}")),
+        ("winners", d.winners.len().to_string()),
+        ("serving_days", DAYS.to_string()),
+        ("requests_per_run", total_jobs.to_string()),
+        ("retired_hints", victims.len().to_string()),
+        ("threads", json_array(&THREADS.map(|t| t.to_string()))),
+        ("profiles", json_array(&profile_objects)),
+        ("deadline_us", service_config().deadline_us.to_string()),
+        ("all_failures_served_default", "true".to_string()),
+        ("zero_retired_hints_served", "true".to_string()),
+        ("bit_identical_across_threads", "true".to_string()),
+    ]);
+    let path = write_json("BENCH_serving.json", &body);
+    println!("wrote {}", path.display());
+}

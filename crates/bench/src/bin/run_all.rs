@@ -6,7 +6,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 22] = [
+const EXPERIMENTS: [&str; 23] = [
     "exp_table1",
     "exp_table2",
     "exp_fig2",
@@ -29,6 +29,7 @@ const EXPERIMENTS: [&str; 22] = [
     "exp_lint",
     "exp_trace",
     "exp_flighting",
+    "exp_serving",
 ];
 
 fn main() {

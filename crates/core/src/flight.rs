@@ -320,7 +320,7 @@ fn fnv64(bytes: &[u8]) -> u64 {
 }
 
 /// Deterministic per-flight salt for the traffic split.
-fn flight_salt(group: &str) -> u64 {
+pub(crate) fn flight_salt(group: &str) -> u64 {
     fnv64(group.as_bytes())
 }
 

@@ -18,6 +18,11 @@
 //!   flighting): deterministic traffic splits, N-strike/CUSUM rollback
 //!   monitors, background revalidation with a probation path out of
 //!   quarantine, and a checksummed journal + snapshot for crash recovery,
+//! * [`serve`] — the failure-hardened online serving layer: a sharded
+//!   copy-on-write serving table over the flight controller's state,
+//!   fronted by per-request deadlines, a circuit breaker, admission
+//!   control with load shedding, and a typed degraded-mode ladder —
+//!   every failure path serves the default config, never an error,
 //! * [`independence`] — §8 future work: empirical discovery of independent
 //!   rule subsets that shrink the configuration search space,
 //! * [`minimize`] — shrink winning configurations to the smallest
@@ -38,6 +43,7 @@ pub mod par;
 pub mod pipeline;
 pub mod report;
 pub mod search;
+pub mod serve;
 pub mod span;
 
 #[cfg(test)]
@@ -64,4 +70,9 @@ pub use pipeline::{
 };
 pub use report::{best_known_summary, improved_fraction, BestKnownSummary};
 pub use search::{candidate_configs, candidate_configs_effective, DEFAULT_M};
+pub use serve::{
+    build_entries, decisions_fingerprint, BreakerState, CircuitBreaker, DayServeReport, Decision,
+    DecisionReason, DegradedMode, Lookup, ServeRequest, ServiceConfig, ServingEntry, ServingTable,
+    SteeringService,
+};
 pub use span::{approximate_span, approximate_span_cached, JobSpan};

@@ -62,6 +62,13 @@ pub struct FaultProfile {
     pub max_retries: u32,
     /// Backoff before the first retry (seconds); doubles per retry.
     pub backoff_base_s: f64,
+    /// Seeded jitter applied to each backoff interval: the interval is
+    /// multiplied by a factor drawn uniformly from `[1-f, 1+f]` using the
+    /// per-job RNG, so retries de-synchronize under burst failures
+    /// instead of forming a retry storm. `0.0` (the default) reproduces
+    /// the unjittered schedule bit-for-bit; serial/parallel bit-identity
+    /// is preserved because the draw comes from the job's own RNG split.
+    pub backoff_jitter_frac: f64,
     /// Launch backup copies for stragglers (caps the stretch, duplicates
     /// the stage's work).
     pub speculative_execution: bool,
@@ -87,6 +94,7 @@ impl FaultProfile {
             preemption_prob: 0.0,
             max_retries: 3,
             backoff_base_s: 5.0,
+            backoff_jitter_frac: 0.0,
             speculative_execution: true,
             timeout_s: None,
             slowdown_plans: Vec::new(),
@@ -139,6 +147,14 @@ impl FaultProfile {
             slowdown_plans: plans,
             ..FaultProfile::none()
         }
+    }
+
+    /// Same profile with seeded backoff jitter (see
+    /// [`backoff_jitter_frac`](FaultProfile::backoff_jitter_frac)).
+    /// `frac` is clamped to `[0, 1]`.
+    pub fn with_backoff_jitter(mut self, frac: f64) -> FaultProfile {
+        self.backoff_jitter_frac = frac.clamp(0.0, 1.0);
+        self
     }
 
     /// True when the profile cannot change an execution in any way.
@@ -267,6 +283,117 @@ impl CrashPlan {
     }
 }
 
+/// A torn serving-table snapshot swap: the publisher "crashes" partway
+/// through its `publish`-th copy-on-write swap (0-based), completing only
+/// the first `shards_completed` shards; optionally one entry of the last
+/// completed shard is written with a corrupted checksum, modelling a torn
+/// entry write the read path must detect and refuse to serve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TornSwap {
+    /// 0-based index of the publish operation that tears.
+    pub publish: u64,
+    /// Shards fully swapped before the tear.
+    pub shards_completed: usize,
+    /// Plant one checksum-corrupted entry in the last completed shard.
+    pub corrupt_entry: bool,
+}
+
+/// Fault rates targeting the *serving loop* rather than simulated
+/// execution: slow table lookups, torn snapshot swaps, flighting-journal
+/// write stalls, and burst overload on the arrival curve. All randomness
+/// is derived from pure hashes of `(seed, day, index)` inside the serving
+/// layer, so a profile is bit-reproducible across runs and thread counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeFaultProfile {
+    /// Profile name, used in reports and the bench fault matrix.
+    pub name: &'static str,
+    /// Probability a single lookup is slow (per-request deterministic roll).
+    pub slow_lookup_prob: f64,
+    /// Extra decision latency added to a slow lookup (µs).
+    pub slow_lookup_extra_us: u64,
+    /// Probability a flighting-journal write stalls (per maintenance tick);
+    /// consecutive stalls trip the circuit breaker.
+    pub journal_stall_prob: f64,
+    /// Torn snapshot swap, if any.
+    pub torn_swap: Option<TornSwap>,
+    /// Burst overload overlay on the arrival curve, if any.
+    pub burst: Option<crate::arrival::ArrivalBurst>,
+}
+
+impl ServeFaultProfile {
+    /// No serving faults.
+    pub fn none() -> ServeFaultProfile {
+        ServeFaultProfile {
+            name: "none",
+            slow_lookup_prob: 0.0,
+            slow_lookup_extra_us: 0,
+            journal_stall_prob: 0.0,
+            torn_swap: None,
+            burst: None,
+        }
+    }
+
+    /// A quarter of lookups blow straight through the decision deadline.
+    pub fn slow_lookups() -> ServeFaultProfile {
+        ServeFaultProfile {
+            name: "slow_lookups",
+            slow_lookup_prob: 0.25,
+            slow_lookup_extra_us: 5_000,
+            ..ServeFaultProfile::none()
+        }
+    }
+
+    /// The second snapshot publish tears halfway through its shards and
+    /// plants one checksum-corrupted entry.
+    pub fn torn_swaps() -> ServeFaultProfile {
+        ServeFaultProfile {
+            name: "torn_swaps",
+            torn_swap: Some(TornSwap {
+                publish: 1,
+                shards_completed: 4,
+                corrupt_entry: true,
+            }),
+            ..ServeFaultProfile::none()
+        }
+    }
+
+    /// Half of all flighting-journal writes stall — breaker food.
+    pub fn journal_stalls() -> ServeFaultProfile {
+        ServeFaultProfile {
+            name: "journal_stalls",
+            journal_stall_prob: 0.5,
+            ..ServeFaultProfile::none()
+        }
+    }
+
+    /// A thundering-herd arrival spike (see
+    /// [`ArrivalBurst::spike`](crate::arrival::ArrivalBurst::spike)).
+    pub fn burst_overload() -> ServeFaultProfile {
+        ServeFaultProfile {
+            name: "burst_overload",
+            burst: Some(crate::arrival::ArrivalBurst::spike()),
+            ..ServeFaultProfile::none()
+        }
+    }
+
+    /// The full fault matrix the serving bench replays.
+    pub fn all() -> Vec<ServeFaultProfile> {
+        vec![
+            ServeFaultProfile::none(),
+            ServeFaultProfile::slow_lookups(),
+            ServeFaultProfile::torn_swaps(),
+            ServeFaultProfile::journal_stalls(),
+            ServeFaultProfile::burst_overload(),
+        ]
+    }
+}
+
+impl Default for ServeFaultProfile {
+    fn default() -> Self {
+        ServeFaultProfile::none()
+    }
+}
+
 /// Fault accounting for one pass over the stage graph.
 struct Schedule {
     runtime: f64,
@@ -357,7 +484,14 @@ fn schedule_with_faults<R: Rng + ?Sized>(
                 retries_left -= 1;
                 sched.retries += 1;
                 let doubling = (sched.retries - 1).min(BACKOFF_DOUBLING_CAP);
-                time += profile.backoff_base_s.max(0.0) * f64::powi(2.0, doubling as i32);
+                let mut backoff = profile.backoff_base_s.max(0.0) * f64::powi(2.0, doubling as i32);
+                // Seeded de-synchronizing jitter. The RNG draw is gated so
+                // jitter-free profiles keep their historical fault stream.
+                if profile.backoff_jitter_frac > 0.0 {
+                    let f = profile.backoff_jitter_frac.min(1.0);
+                    backoff *= 1.0 + f * rng.gen_range(-1.0..1.0);
+                }
+                time += backoff;
                 continue;
             }
             time += attempt_time;
@@ -618,6 +752,65 @@ mod tests {
         assert_eq!(p.slowdown_for(42), 1.2);
         assert_eq!(p.slowdown_for(43), 1.0);
         assert_eq!(FaultProfile::none().slowdown_for(42), 1.0);
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_the_unjittered_schedule() {
+        let g = chain_graph(10.0, 1000, 4);
+        let mut p = FaultProfile::with_vertex_failures(0.05);
+        p.max_retries = 10;
+        let base = schedule_with_faults(&g, 100, &p, &mut StdRng::seed_from_u64(5));
+        let jittered = schedule_with_faults(
+            &g,
+            100,
+            &p.clone().with_backoff_jitter(0.0),
+            &mut StdRng::seed_from_u64(5),
+        );
+        assert_eq!(base.runtime, jittered.runtime);
+        assert_eq!(base.retries, jittered.retries);
+    }
+
+    #[test]
+    fn backoff_jitter_desynchronizes_but_stays_seeded() {
+        let g = chain_graph(10.0, 1000, 4);
+        let mut p = FaultProfile::with_vertex_failures(0.05).with_backoff_jitter(0.5);
+        p.max_retries = 10;
+        let a = schedule_with_faults(&g, 100, &p, &mut StdRng::seed_from_u64(5));
+        let b = schedule_with_faults(&g, 100, &p, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.runtime, b.runtime, "jitter must be seeded");
+        assert!(a.retries > 0, "profile should force retries");
+        // Two jobs with different RNG splits retry at different offsets
+        // even with identical fault rolls elsewhere (overwhelmingly likely
+        // with ±50% jitter on multi-retry schedules).
+        let c = schedule_with_faults(&g, 100, &p, &mut StdRng::seed_from_u64(6));
+        assert!(a.runtime != c.runtime || a.retries != c.retries);
+        // Jitter is clamped into a sane range.
+        assert_eq!(
+            FaultProfile::none()
+                .with_backoff_jitter(7.0)
+                .backoff_jitter_frac,
+            1.0
+        );
+    }
+
+    #[test]
+    fn serve_profiles_cover_the_matrix() {
+        let all = ServeFaultProfile::all();
+        assert_eq!(all.len(), 5);
+        let names: Vec<&str> = all.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            [
+                "none",
+                "slow_lookups",
+                "torn_swaps",
+                "journal_stalls",
+                "burst_overload"
+            ]
+        );
+        assert_eq!(ServeFaultProfile::none(), ServeFaultProfile::default());
+        assert!(ServeFaultProfile::torn_swaps().torn_swap.is_some());
+        assert!(ServeFaultProfile::burst_overload().burst.is_some());
     }
 
     #[test]

@@ -22,10 +22,13 @@
 //!   regressions, and a countdown crash fault for crash-safety tests,
 //! * [`rollout`] — deterministic hash-split traffic assignment for staged
 //!   canary rollouts (flighting),
+//! * [`arrival`] — deterministic diurnal job-arrival streams (with burst
+//!   overlays) for the online serving layer,
 //! * [`mod@explain`] — `EXPLAIN ANALYZE`-style traces: per-operator estimated
 //!   vs true cardinalities (q-errors), work breakdowns, stage assignment.
 
 pub mod abtest;
+pub mod arrival;
 pub mod cluster;
 pub mod explain;
 pub mod faults;
@@ -35,9 +38,13 @@ pub mod truth;
 pub mod work;
 
 pub use abtest::{plan_fingerprint, ABTester, RetryPolicy};
+pub use arrival::{ArrivalBurst, ArrivalCurve, DAY_US};
 pub use cluster::ClusterConfig;
 pub use explain::{explain, ExecutionTrace, NodeReport, StageReport};
-pub use faults::{execute_with_faults, CrashPlan, CrashRoll, FaultProfile, FaultedRun, JobOutcome};
+pub use faults::{
+    execute_with_faults, CrashPlan, CrashRoll, FaultProfile, FaultedRun, JobOutcome,
+    ServeFaultProfile, TornSwap,
+};
 pub use rollout::in_rollout;
 pub use simulate::{execute, execute_deterministic, Metric, RunMetrics};
 pub use truth::{replay, result_fingerprint, semantic_fingerprint, NodeTruth, SemanticFingerprint};

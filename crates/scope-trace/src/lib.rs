@@ -52,7 +52,7 @@ pub mod chrome;
 pub mod metrics;
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -111,6 +111,28 @@ pub struct SpanEvent {
 /// Local buffers flush into the global sink when they reach this size.
 const FLUSH_THRESHOLD: usize = 4096;
 
+/// Default ceiling on spans retained in the global sink between
+/// [`take_spans`] drains. Generous for batch benches; a long-running
+/// daemon lowers it via [`set_span_cap`].
+const DEFAULT_SPAN_CAP: usize = 1 << 20;
+
+static SPAN_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_SPAN_CAP);
+
+/// Cap the number of closed spans the global sink retains between
+/// [`take_spans`] drains. Once the sink is full, further flushes drop
+/// their newest spans and bump [`Counter::TraceSpansDropped`] — tracing
+/// memory stays bounded no matter how rarely the daemon drains. The cap
+/// is clamped to at least 1.
+pub fn set_span_cap(cap: usize) {
+    SPAN_CAP.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// Current sink cap (see [`set_span_cap`]).
+#[must_use]
+pub fn span_cap() -> usize {
+    SPAN_CAP.load(Ordering::Relaxed)
+}
+
 static GLOBAL_SPANS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
@@ -137,7 +159,17 @@ impl ThreadBuf {
         if self.closed.is_empty() {
             return;
         }
+        let cap = span_cap();
         let mut sink = GLOBAL_SPANS.lock().expect("span sink poisoned");
+        let room = cap.saturating_sub(sink.len());
+        if self.closed.len() > room {
+            let dropped = (self.closed.len() - room) as u64;
+            self.closed.truncate(room);
+            // Not gated on `enabled()`: the spans being dropped were
+            // recorded while enabled, and the drop must be visible even
+            // if the tracer was switched off before this flush.
+            metrics::count_always(Counter::TraceSpansDropped, dropped);
+        }
         sink.append(&mut self.closed);
     }
 }
@@ -351,6 +383,27 @@ mod tests {
         let h = snap.histogram(Histogram::CompileMicros);
         assert_eq!(h.count, 1);
         let _ = take_spans();
+    }
+
+    #[test]
+    fn span_cap_bounds_sink_and_counts_drops() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        let before = MetricsSnapshot::capture();
+        set_span_cap(3);
+        for _ in 0..8 {
+            let _s = span("capped");
+            // Force a flush per span so the cap is exercised.
+            THREAD_BUF.with(|b| b.borrow_mut().flush());
+        }
+        set_enabled(false);
+        let spans = take_spans();
+        assert_eq!(spans.len(), 3, "sink exceeded cap: {}", spans.len());
+        let snap = MetricsSnapshot::capture().since(&before);
+        assert_eq!(snap.counter(Counter::TraceSpansDropped), 5);
+        set_span_cap(DEFAULT_SPAN_CAP);
+        reset();
     }
 
     #[test]

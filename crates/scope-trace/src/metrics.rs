@@ -113,6 +113,31 @@ metric_enum! {
         FlightJournalEvents => "flight.journal_events",
         /// Journal/snapshot recoveries performed.
         FlightRecoveries => "flight.recoveries",
+        /// Steering-service requests received (admitted or shed).
+        ServeRequests => "serve.requests",
+        /// Requests answered with a steered (non-default) config.
+        ServeSteered => "serve.steered",
+        /// Requests answered with the default config (any reason).
+        ServeDefault => "serve.default",
+        /// Requests shed by admission control (served default, not errored).
+        ServeShed => "serve.shed",
+        /// Requests whose decision budget expired (hard default fallback).
+        ServeDeadlineExpired => "serve.deadline_expired",
+        /// Circuit breaker transitions Closed→Open.
+        ServeBreakerTrips => "serve.breaker_trips",
+        /// Circuit breaker transitions Open→HalfOpen (probe windows).
+        ServeBreakerHalfOpens => "serve.breaker_half_opens",
+        /// Degraded-mode ladder transitions (either direction).
+        ServeModeTransitions => "serve.mode_transitions",
+        /// Serving-table snapshot publishes (copy-on-write swaps).
+        ServeTableSwaps => "serve.table_swaps",
+        /// Serving-table entries failing their checksum (torn reads
+        /// detected and refused — served default instead).
+        ServeTornReads => "serve.torn_reads",
+        /// Serving-table entries retired (rollback / quarantine).
+        ServeRetired => "serve.retired",
+        /// Span events dropped because the global sink hit its cap.
+        TraceSpansDropped => "trace.spans_dropped",
     }
 }
 
@@ -147,6 +172,13 @@ metric_enum! {
         FlightDaysToRollback => "flight.days_to_rollback",
         /// Journal events replayed per recovery.
         FlightReplayedEvents => "flight.replayed_events",
+        /// Per-request steering decision latency (µs, simulated).
+        ServeDecisionMicros => "serve.decision_us",
+        /// Serving-table entries published per snapshot swap.
+        ServeTableEntries => "serve.table_entries",
+        /// Requests admitted concurrently at admission time (inflight
+        /// gauge sampled per request).
+        ServeInflight => "serve.inflight",
     }
 }
 
@@ -201,6 +233,14 @@ pub fn count(counter: Counter, delta: u64) {
     if enabled() {
         COUNTERS[counter as usize].fetch_add(delta, Ordering::Relaxed);
     }
+}
+
+/// Add `delta` to `counter` regardless of the enabled gate. Used for
+/// bookkeeping that must stay accurate across enable/disable flips
+/// (e.g. span-sink drops).
+#[inline]
+pub(crate) fn count_always(counter: Counter, delta: u64) {
+    COUNTERS[counter as usize].fetch_add(delta, Ordering::Relaxed);
 }
 
 /// Record one observation of `value` into `hist`. No-op while the tracer

@@ -8,6 +8,7 @@
 //! scope-steer explain  --tag A --job 3                  # EXPLAIN ANALYZE trace
 //! scope-steer pipeline --tag A --scale 0.1              # §6.1 discovery
 //! scope-steer hints    --tag A --scale 0.1 --days 3     # discover + revalidate + print hint file
+//! scope-steer serve    --tag A --scale 0.1 --days 5 --fault slow_lookups   # online serving daemon
 //! ```
 //!
 //! All subcommands are deterministic for fixed arguments.
@@ -16,12 +17,13 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use scope_steer::exec::ABTester;
+use scope_steer::exec::{ABTester, ArrivalCurve, ServeFaultProfile};
 use scope_steer::ir::Job;
 use scope_steer::optimizer::{compile_job, RuleCatalog, RuleConfig};
 use scope_steer::steer::{
     approximate_span, candidate_configs, discover_independent_groups, winning_configs,
-    FlightConfig, FlightController, Pipeline, PipelineParams,
+    FlightConfig, FlightController, Pipeline, PipelineParams, ServeRequest, ServiceConfig,
+    SteeringService,
 };
 use scope_steer::workload::{Workload, WorkloadProfile, WorkloadTag};
 
@@ -69,8 +71,9 @@ impl Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scope-steer <workload|compile|span|search|independence|explain|pipeline|hints> \
-         [--tag A|B|C] [--scale 0.1] [--day 0] [--job N] [--m 200] [--days 3]"
+        "usage: scope-steer <workload|compile|span|search|independence|explain|pipeline|hints|serve> \
+         [--tag A|B|C] [--scale 0.1] [--day 0] [--job N] [--m 200] [--days 3] \
+         [--fault none|slow_lookups|torn_swaps|journal_stalls|burst_overload] [--threads 2]"
     );
     std::process::exit(2)
 }
@@ -324,6 +327,93 @@ fn main() {
             }
             println!("\n# hint file (signature -> disabled/enabled rule ids)");
             println!("{}", store.to_hint_text());
+        }
+        "serve" => {
+            let scale: f64 = args.get("scale", 0.1);
+            let days: u32 = args.get("days", 5);
+            let threads: usize = args.get("threads", 2);
+            let seed: u64 = args.get("seed", 2021u64);
+            let fault_name = args
+                .flags
+                .get("fault")
+                .cloned()
+                .unwrap_or_else(|| "none".to_string());
+            let Some(fault) = ServeFaultProfile::all()
+                .into_iter()
+                .find(|p| p.name == fault_name)
+            else {
+                eprintln!("unknown --fault {fault_name} (see usage)");
+                std::process::exit(2)
+            };
+            let w = Workload::generate(WorkloadProfile::for_tag(args.tag(), scale));
+            let ab = ABTester::new(seed);
+            let pipeline = Pipeline::new(
+                ab,
+                PipelineParams {
+                    m_candidates: args.get("m", 200),
+                    sample_frac: 1.0,
+                    ..PipelineParams::default()
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report = pipeline.discover(&w.day(0), &mut rng);
+            let winners = winning_configs(&report.outcomes, 10.0);
+            let mut flights = FlightController::new(FlightConfig::default());
+            flights.ingest_deployed(&winners, 0);
+            flights.advance(0);
+            let mut service = SteeringService::new(ServiceConfig {
+                // Compressed virtual day so shedding and the mode ladder
+                // are visible in a short interactive run.
+                tick_us: 50_000,
+                breaker_cooldown_us: 120_000,
+                max_inflight: 2,
+                seed,
+                ..ServiceConfig::default()
+            });
+            let published = service.publish_from(&flights, &fault);
+            println!(
+                "serving table: {published} hints published; fault profile {}",
+                fault.name
+            );
+            let curve = ArrivalCurve {
+                seed,
+                day_us: 1_000_000,
+            };
+            for day in 1..=days {
+                let jobs = w.day(day);
+                let requests: Vec<ServeRequest> = jobs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(idx, job)| {
+                        let compiled = compile_job(job, &RuleConfig::default_config()).ok()?;
+                        Some(ServeRequest {
+                            job_id: job.id.0,
+                            group_key: compiled.signature.to_bit_string(),
+                            arrival_us: curve.arrival_us(day, idx as u64, fault.burst.as_ref()),
+                        })
+                    })
+                    .collect();
+                let r = service.serve_day(&requests, &fault, day, threads);
+                println!(
+                    "day {day}: {:>4} requests — steered {:>3} default {:>3} shed {:>3} expired {:>3} torn {:>2} | p99 {:>5}µs mode {}",
+                    r.requests,
+                    r.steered,
+                    r.defaults,
+                    r.shed,
+                    r.deadline_expired,
+                    r.torn_entries,
+                    r.p99_latency_us,
+                    r.final_mode.name()
+                );
+                service.publish_from(&flights, &fault);
+            }
+            println!(
+                "breaker: {} trips, {} half-opens; {} mode transitions over {} days",
+                service.breaker.trips,
+                service.breaker.half_opens,
+                service.mode_transitions(),
+                days
+            );
         }
         _ => usage(),
     }
