@@ -37,12 +37,17 @@ struct SweepRow {
     /// the cold run populated — the recurring-job steady state, where every
     /// successful compile of the previous run is served from cache.
     phase: &'static str,
+    /// Minimum wall-clock over the interleaved repetitions (robust to
+    /// scheduler noise; each rep rebuilds the pipeline so cold stays cold).
     wall_s: f64,
     jobs_per_s: f64,
     speedup: f64,
     hits: u64,
     misses: u64,
     hit_rate: f64,
+    /// Failed shard `try_lock`s during the first rep — the direct measure
+    /// of compile-cache lock contention the padded shards exist to kill.
+    contended: u64,
     identical: bool,
 }
 
@@ -70,34 +75,48 @@ fn main() {
     let w = workload(WorkloadTag::A, scale);
     let jobs = w.day(0);
     let cores = available_threads();
-    // Always sweep 1/2/4 workers (so the scaling rows exist even on small
-    // machines) plus the full core count on bigger ones. Oversubscription
-    // is harmless: the fan-out clamps to the item count and the OS
-    // timeslices compile-bound workers fairly.
-    let mut thread_counts: Vec<usize> = vec![1, 2, 4, cores];
+    // Always sweep 1/2/4/8 workers (so the scaling rows exist even on
+    // small machines) plus the full core count on bigger ones.
+    // Oversubscription is harmless: the fan-out clamps to the item count
+    // and the OS timeslices compile-bound workers fairly — and with
+    // per-worker scratch and striped counters it must also be *free*,
+    // which the 4-vs-2-thread gate below enforces.
+    let mut thread_counts: Vec<usize> = vec![1, 2, 4, 8, cores];
     thread_counts.sort_unstable();
     thread_counts.dedup();
+    // Interleaved repetitions per configuration; each row reports the
+    // minimum wall-clock, which strips scheduler noise without letting a
+    // lucky run hide a real slowdown (a real slowdown slows every rep).
+    let reps = 3;
     println!(
-        "{} jobs, {} cores available; sweeping threads {:?} × cache {:?}",
+        "{} jobs, {} cores available; sweeping threads {:?} × cache {:?}, min of {} reps",
         jobs.len(),
         cores,
         thread_counts,
-        CACHE_CAPACITIES
+        CACHE_CAPACITIES,
+        reps
     );
+
+    // Warm-up: one untimed serial run so one-time process costs (allocator
+    // pools, lazily-built catalogs) land outside every timed window.
+    {
+        let p = Pipeline::new(
+            ABTester::new(AB_SEED),
+            PipelineParams {
+                n_threads: 1,
+                cache_capacity: 0,
+                ..pipeline_params(scale)
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0x7410);
+        let _ = p.discover(&jobs, &mut rng);
+    }
 
     let mut rows: Vec<SweepRow> = Vec::new();
     let mut serial_wall = 0.0f64;
     let mut serial_fp = String::new();
     for &threads in &thread_counts {
         for cache_capacity in CACHE_CAPACITIES {
-            let p = Pipeline::new(
-                ABTester::new(AB_SEED),
-                PipelineParams {
-                    n_threads: threads,
-                    cache_capacity,
-                    ..pipeline_params(scale)
-                },
-            );
             // Cold run on a fresh cache; cached configurations then replay
             // the day warm (same seed), modelling the recurring-job steady
             // state the paper's workloads live in. Both phases must
@@ -107,12 +126,54 @@ fn main() {
             } else {
                 &["cold", "warm"]
             };
-            for &phase in phases {
-                let mut rng = StdRng::seed_from_u64(0x7410);
-                let started = Instant::now();
-                let report = p.discover(&jobs, &mut rng);
-                let wall_s = started.elapsed().as_secs_f64();
-                let fp = result_fingerprint(&report);
+            // One fresh pipeline per rep so every rep's cold phase really
+            // is cold; fingerprints and cache stats come from the first
+            // rep, walls are the per-phase minimum across reps.
+            struct FirstRep {
+                fp: String,
+                hits: u64,
+                misses: u64,
+                hit_rate: f64,
+                contended: u64,
+            }
+            let mut walls = vec![f64::INFINITY; phases.len()];
+            let mut first: Vec<Option<FirstRep>> = Vec::new();
+            first.resize_with(phases.len(), || None);
+            for rep in 0..reps {
+                let p = Pipeline::new(
+                    ABTester::new(AB_SEED),
+                    PipelineParams {
+                        n_threads: threads,
+                        cache_capacity,
+                        ..pipeline_params(scale)
+                    },
+                );
+                for (pi, _) in phases.iter().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(0x7410);
+                    let started = Instant::now();
+                    let report = p.discover(&jobs, &mut rng);
+                    let wall_s = started.elapsed().as_secs_f64();
+                    walls[pi] = walls[pi].min(wall_s);
+                    if rep == 0 {
+                        first[pi] = Some(FirstRep {
+                            fp: result_fingerprint(&report),
+                            hits: report.cache.hits,
+                            misses: report.cache.misses,
+                            hit_rate: report.cache.hit_rate(),
+                            contended: report.cache.contended,
+                        });
+                    }
+                }
+            }
+            for (pi, &phase) in phases.iter().enumerate() {
+                let FirstRep {
+                    fp,
+                    hits,
+                    misses,
+                    hit_rate,
+                    contended,
+                } = first[pi].take().expect("first rep ran");
+                let wall_s = walls[pi];
                 // The serial uncached run is both the speedup baseline and
                 // the reference results every configuration must reproduce.
                 if threads == 1 && cache_capacity == 0 {
@@ -126,13 +187,14 @@ fn main() {
                     wall_s,
                     jobs_per_s: jobs.len() as f64 / wall_s.max(1e-9),
                     speedup: serial_wall / wall_s.max(1e-9),
-                    hits: report.cache.hits,
-                    misses: report.cache.misses,
-                    hit_rate: report.cache.hit_rate(),
+                    hits,
+                    misses,
+                    hit_rate,
+                    contended,
                     identical: fp == serial_fp,
                 };
                 println!(
-                    "threads {:>2} cache {:>4} {:<4}: {:>6.2}s  {:>6.1} jobs/s  speedup {:>5.2}x  hits {:>5} ({:>4.1}%)  identical: {}",
+                    "threads {:>2} cache {:>5} {:<4}: {:>6.2}s  {:>6.1} jobs/s  speedup {:>5.2}x  hits {:>5} ({:>4.1}%)  contended {:>3}  identical: {}",
                     row.threads,
                     row.cache_capacity,
                     row.phase,
@@ -141,6 +203,7 @@ fn main() {
                     row.speedup,
                     row.hits,
                     100.0 * row.hit_rate,
+                    row.contended,
                     row.identical
                 );
                 rows.push(row);
@@ -160,6 +223,7 @@ fn main() {
                 format!("{:.2}x", r.speedup),
                 r.hits.to_string(),
                 format!("{:.1}%", 100.0 * r.hit_rate),
+                r.contended.to_string(),
                 r.identical.to_string(),
             ]
         })
@@ -176,6 +240,7 @@ fn main() {
                 "speedup",
                 "compiles avoided",
                 "hit rate",
+                "lock contention",
                 "identical results"
             ],
             &table
@@ -195,6 +260,7 @@ fn main() {
                 ("compiles_avoided", r.hits.to_string()),
                 ("cache_misses", r.misses.to_string()),
                 ("cache_hit_rate", format!("{:.4}", r.hit_rate)),
+                ("lock_contention", r.contended.to_string()),
                 ("identical_to_serial", r.identical.to_string()),
             ])
         })
@@ -224,5 +290,30 @@ fn main() {
     if rows.iter().any(|r| !r.identical) {
         eprintln!("FAIL: some configuration changed discovery results");
         std::process::exit(1);
+    }
+
+    // Scaling gate: adding workers must never *cost* wall-clock. With
+    // per-worker compile scratch, padded cache shards, and striped trace
+    // counters there is nothing left for extra threads to fight over, so
+    // even on a single-core machine (where they cannot help) 2→4 threads
+    // must be free. Tolerance is sized to the noise floor of shared
+    // single-core runners (back-to-back identical serial runs vary ±10%
+    // even after min-of-reps): 15% relative plus 100ms absolute. A real
+    // contention regression — the pre-rework failure mode this guards —
+    // costs far more than that and grows with thread count.
+    let cold_wall = |threads: usize| {
+        rows.iter()
+            .find(|r| r.threads == threads && r.cache_capacity == 0 && r.phase == "cold")
+            .map(|r| r.wall_s)
+    };
+    if let (Some(w1), Some(w2), Some(w4)) = (cold_wall(1), cold_wall(2), cold_wall(4)) {
+        for (lo, hi, label) in [(w1, w2, "1→2"), (w2, w4, "2→4")] {
+            if hi > lo * 1.15 + 0.1 {
+                eprintln!(
+                    "FAIL: {label} threads regressed uncached cold wall ({lo:.3}s → {hi:.3}s, >15% tolerance) — contention is back"
+                );
+                std::process::exit(1);
+            }
+        }
     }
 }

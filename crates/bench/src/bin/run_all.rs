@@ -6,7 +6,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 23] = [
+const EXPERIMENTS: [&str; 24] = [
     "exp_table1",
     "exp_table2",
     "exp_fig2",
@@ -25,6 +25,7 @@ const EXPERIMENTS: [&str; 23] = [
     "exp_random_configs",
     "exp_fault_sweep",
     "exp_budget_sweep",
+    "exp_compile_micro",
     "exp_throughput",
     "exp_lint",
     "exp_trace",

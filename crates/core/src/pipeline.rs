@@ -404,7 +404,10 @@ impl Pipeline {
 
         // Stage 1 (parallel): default compile + baseline A/B run per job.
         // Indices (not zipped results) carry job identity so a dropped
-        // panicked chunk cannot misalign jobs and outcomes.
+        // panicked chunk cannot misalign jobs and outcomes. Compile
+        // scratch (memo arena + implement vectors) is per worker thread:
+        // the optimizer's thread-local scratch is born with the scoped
+        // worker and reused across every compile in its chunk.
         let indices: Vec<usize> = (0..jobs.len()).collect();
         let stage_start = Instant::now();
         let stage_span = scope_trace::span("discover.defaults");

@@ -77,14 +77,14 @@ fn join_bypass_corruption_is_caught_by_the_fingerprint_check() {
         let Some(corrupted) = compile_with_corruption(job, |memo, _root, est| {
             let join = (0..memo.num_exprs())
                 .map(|i| scope_optimizer::memo::MExprId(i as u32))
-                .find(|&id| matches!(memo.expr(id).op, LogicalOp::Join { .. }));
+                .find(|&id| matches!(memo.op(id), LogicalOp::Join { .. }));
             let Some(join_id) = join else {
                 return false;
             };
             let join_group = memo.expr(join_id).group;
-            let left = memo.expr(join_id).children[0];
-            let bypass = memo.canonical(left).clone();
-            memo.insert(bypass.op, bypass.children, Some(join_group), None, est);
+            let left = memo.children(join_id)[0];
+            let bypass = memo.canonical(left);
+            memo.insert_existing(bypass, Some(join_group), None, est);
             true
         }) else {
             continue;

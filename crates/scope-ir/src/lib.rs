@@ -23,6 +23,7 @@ pub mod catalog;
 pub mod display;
 pub mod expr;
 pub mod ids;
+pub mod intern;
 pub mod job;
 pub mod ops;
 pub mod plan;
@@ -32,6 +33,7 @@ pub mod validate;
 pub use catalog::{ColumnStats, ObservableCatalog, TableStats, TrueCatalog};
 pub use expr::{CmpOp, Literal, PredAtom, Predicate};
 pub use ids::{ColId, DomainId, JobId, NodeId, PredId, TableId, TemplateId, UdoId};
+pub use intern::{AtomId, AtomInterner, ExprId, ExprInterner};
 pub use job::{InputRef, Job};
 pub use ops::{AggFunc, JoinKind, LogicalOp, OpKind};
 pub use plan::{PlanGraph, PlanNode};

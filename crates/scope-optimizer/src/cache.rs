@@ -86,6 +86,40 @@ struct Shard {
     order: VecDeque<CacheKey>,
 }
 
+/// One shard plus its statistics, padded to two cache lines so adjacent
+/// shards never share a line — false sharing on the lock word would
+/// serialize otherwise-independent shards. The counters are per-shard for
+/// the same reason: global `AtomicU64`s would be one contended line that
+/// every thread's every lookup bounces.
+#[repr(align(128))]
+#[derive(Default)]
+struct PaddedShard {
+    inner: Mutex<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    /// Lock acquisitions that found this shard's lock already held.
+    contended: AtomicU64,
+}
+
+impl PaddedShard {
+    /// Lock the shard, counting contention: a failed `try_lock` bumps
+    /// `contended` before falling back to the blocking lock, so shard-lock
+    /// fights are diagnosable from [`CacheStats::contended`] instead of
+    /// showing up only as mysterious throughput loss.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Shard> {
+        match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.inner.lock().expect("cache shard poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("cache shard poisoned"),
+        }
+    }
+}
+
 /// Point-in-time counters for a [`CompileCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -97,6 +131,12 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries dropped to stay within capacity.
     pub evictions: u64,
+    /// Shard-lock acquisitions that found the lock already held (each is a
+    /// failed `try_lock` that fell back to blocking). Sustained growth
+    /// under a parallel discovery run means threads are fighting over
+    /// shards — the first thing to check when BENCH_discovery throughput
+    /// stops scaling.
+    pub contended: u64,
     /// Entries resident right now.
     pub entries: usize,
     /// Maximum entries the cache will hold.
@@ -122,6 +162,7 @@ impl CacheStats {
             misses: self.misses - earlier.misses,
             insertions: self.insertions - earlier.insertions,
             evictions: self.evictions - earlier.evictions,
+            contended: self.contended - earlier.contended,
             entries: self.entries,
             capacity: self.capacity,
         }
@@ -136,14 +177,10 @@ const MAX_SHARDS: usize = 16;
 /// config)* to [`Arc<CompiledPlan>`]. Capacity `0` disables caching
 /// entirely (every lookup is a miss and nothing is stored).
 pub struct CompileCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<PaddedShard>,
     /// Per-shard capacities; they sum to the requested total.
     shard_caps: Vec<usize>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl CompileCache {
@@ -153,17 +190,11 @@ impl CompileCache {
         let base = capacity / n_shards;
         let extra = capacity % n_shards;
         CompileCache {
-            shards: (0..n_shards)
-                .map(|_| Mutex::new(Shard::default()))
-                .collect(),
+            shards: (0..n_shards).map(|_| PaddedShard::default()).collect(),
             shard_caps: (0..n_shards)
                 .map(|i| base + usize::from(i < extra))
                 .collect(),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
@@ -179,10 +210,7 @@ impl CompileCache {
 
     /// Entries resident across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
-            .sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// Whether no entry is resident.
@@ -199,7 +227,7 @@ impl CompileCache {
     /// Look a compiled plan up without compiling. Counts a hit or a miss.
     pub fn lookup(&self, fingerprint: u64, config: &RuleConfig) -> Option<Arc<CompiledPlan>> {
         if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.shards[0].misses.fetch_add(1, Ordering::Relaxed);
             scope_trace::count(scope_trace::Counter::CacheMiss, 1);
             return None;
         }
@@ -207,17 +235,16 @@ impl CompileCache {
             fingerprint,
             enabled: *config.enabled(),
         };
-        let shard = self.shards[self.shard_of(&key)]
-            .lock()
-            .expect("cache shard poisoned");
+        let padded = &self.shards[self.shard_of(&key)];
+        let shard = padded.lock();
         match shard.map.get(&key) {
             Some(hit) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                padded.hits.fetch_add(1, Ordering::Relaxed);
                 scope_trace::count(scope_trace::Counter::CacheHit, 1);
                 Some(Arc::clone(hit))
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                padded.misses.fetch_add(1, Ordering::Relaxed);
                 scope_trace::count(scope_trace::Counter::CacheMiss, 1);
                 None
             }
@@ -240,7 +267,8 @@ impl CompileCache {
         if cap == 0 {
             return;
         }
-        let mut shard = self.shards[idx].lock().expect("cache shard poisoned");
+        let padded = &self.shards[idx];
+        let mut shard = padded.lock();
         if shard.map.contains_key(&key) {
             return;
         }
@@ -249,12 +277,12 @@ impl CompileCache {
                 break;
             };
             shard.map.remove(&oldest);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            padded.evictions.fetch_add(1, Ordering::Relaxed);
             scope_trace::count(scope_trace::Counter::CacheEviction, 1);
         }
         shard.map.insert(key, plan);
         shard.order.push_back(key);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        padded.insertions.fetch_add(1, Ordering::Relaxed);
         scope_trace::count(scope_trace::Counter::CacheInsert, 1);
     }
 
@@ -299,16 +327,21 @@ impl CompileCache {
         Ok(compiled)
     }
 
-    /// Snapshot the counters.
+    /// Snapshot the counters (summed across shards).
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.len(),
+        let mut stats = CacheStats {
             capacity: self.capacity,
+            ..CacheStats::default()
+        };
+        for shard in &self.shards {
+            stats.hits += shard.hits.load(Ordering::Relaxed);
+            stats.misses += shard.misses.load(Ordering::Relaxed);
+            stats.insertions += shard.insertions.load(Ordering::Relaxed);
+            stats.evictions += shard.evictions.load(Ordering::Relaxed);
+            stats.contended += shard.contended.load(Ordering::Relaxed);
+            stats.entries += shard.lock().map.len();
         }
+        stats
     }
 }
 
@@ -401,6 +434,23 @@ mod tests {
         assert_ne!(fp, plan_catalog_fingerprint(&plan, &cat2.observe()));
         // Same inputs ⇒ same fingerprint.
         assert_eq!(fp, plan_catalog_fingerprint(&plan, &obs));
+    }
+
+    #[test]
+    fn contention_counter_stays_quiet_single_threaded() {
+        let (plan, obs) = tiny_job();
+        let cache = CompileCache::new(8);
+        let cfg = RuleConfig::default_config();
+        let fp = plan_catalog_fingerprint(&plan, &obs);
+        cache
+            .get_or_compile(fp, &cfg, || compile(&plan, &obs, &cfg))
+            .unwrap();
+        cache
+            .get_or_compile(fp, &cfg, || panic!("must hit"))
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!(s.contended, 0, "no lock fight on one thread");
+        assert_eq!(s.since(&CacheStats::default()).contended, 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use scope_ir::ids::ColId;
 use scope_ir::{LogicalOp, ObservableCatalog};
 
-use crate::estimate::LogicalEst;
+use crate::estimate::{ChildEsts, LogicalEst};
 use crate::physical::Partitioning;
 use crate::rules::PhysImpl;
 
@@ -220,16 +220,29 @@ pub fn output_part(phys: PhysImpl, op: &LogicalOp, child_parts: &[Partitioning])
 /// Estimated cost of `phys` implementing `op`, given the operator's own
 /// estimate, its children's estimates, and the observable catalog (for the
 /// raw size of scanned tables).
-pub fn impl_cost(
+///
+/// Generic over [`ChildEsts`] so the search can pass a memo-slab view
+/// without materialising a `Vec<&LogicalEst>` per costed alternative
+/// (slices and arrays of `&LogicalEst` still work unchanged).
+pub fn impl_cost<C: ChildEsts + ?Sized>(
     phys: PhysImpl,
     op: &LogicalOp,
     own: &LogicalEst,
-    children: &[&LogicalEst],
+    children: &C,
     obs: &ObservableCatalog,
 ) -> OpCost {
     use PhysImpl::*;
-    let in_rows: f64 = children.iter().map(|c| c.rows).sum();
-    let in_bytes: f64 = children.iter().map(|c| c.bytes()).sum();
+    fn child<C: ChildEsts + ?Sized>(c: &C, i: usize) -> Option<&LogicalEst> {
+        (i < c.len()).then(|| c.get(i))
+    }
+    let n = children.len();
+    let mut in_rows = 0.0f64;
+    let mut in_bytes = 0.0f64;
+    for i in 0..n {
+        let c = children.get(i);
+        in_rows += c.rows;
+        in_bytes += c.bytes();
+    }
     match phys {
         ScanSerial => OpCost {
             cost: raw_scan_bytes(op, obs) * C_IO + C_VERTEX,
@@ -288,9 +301,11 @@ pub fn impl_cost(
         }
         MergeJoin => {
             let dop = dop_for_bytes(in_bytes);
-            let sort = children
-                .iter()
-                .map(|c| c.rows * log2(c.rows) * C_SORT_ROW)
+            let sort = (0..n)
+                .map(|i| {
+                    let c = children.get(i);
+                    c.rows * log2(c.rows) * C_SORT_ROW
+                })
                 .sum::<f64>();
             OpCost {
                 cost: (sort + in_rows * C_CPU_ROW) / dop as f64 + dop as f64 * C_VERTEX,
@@ -298,8 +313,8 @@ pub fn impl_cost(
             }
         }
         BroadcastJoin => {
-            let l = children.first().copied();
-            let r = children.get(1).copied();
+            let l = child(children, 0);
+            let r = child(children, 1);
             let l_bytes = l.map(super::estimate::LogicalEst::bytes).unwrap_or(0.0);
             let r_rows = r.map(|c| c.rows).unwrap_or(0.0);
             let dop = dop_for_bytes(l_bytes);
@@ -312,17 +327,17 @@ pub fn impl_cost(
             }
         }
         LoopJoin => {
-            let l = children.first().map(|c| c.rows).unwrap_or(0.0);
-            let r = children.get(1).map(|c| c.rows).unwrap_or(0.0);
+            let l = child(children, 0).map(|c| c.rows).unwrap_or(0.0);
+            let r = child(children, 1).map(|c| c.rows).unwrap_or(0.0);
             OpCost {
                 cost: l * r * 0.02e-6 + C_VERTEX,
                 dop: 1,
             }
         }
         IndexJoin => {
-            let l = children.first().map(|c| c.rows).unwrap_or(0.0);
-            let r = children.get(1).map(|c| c.rows).unwrap_or(1.0);
-            let dop = dop_for_bytes(children.first().map(|c| c.bytes()).unwrap_or(0.0));
+            let l = child(children, 0).map(|c| c.rows).unwrap_or(0.0);
+            let r = child(children, 1).map(|c| c.rows).unwrap_or(1.0);
+            let dop = dop_for_bytes(child(children, 0).map(LogicalEst::bytes).unwrap_or(0.0));
             OpCost {
                 cost: l * log2(r) * 0.8e-6 / dop as f64
                     + r * C_CPU_ROW * 0.1

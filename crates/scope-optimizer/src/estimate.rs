@@ -13,9 +13,11 @@
 //! the paper's §5.3 observation that recompiled plans can have estimated
 //! costs below the default plan's.
 
+use std::cell::RefCell;
+
 use scope_ir::catalog::shape_selectivity;
 use scope_ir::ids::ColId;
-use scope_ir::{JoinKind, LogicalOp, ObservableCatalog, PredAtom};
+use scope_ir::{AtomInterner, JoinKind, LogicalOp, ObservableCatalog, PredAtom};
 
 /// Estimated logical properties of one expression's output.
 #[derive(Clone, Debug, PartialEq)]
@@ -36,17 +38,69 @@ impl LogicalEst {
     }
 }
 
+/// Read-only access to a derivation's child estimates. Abstracts over the
+/// legacy `&[&LogicalEst]` shape and the memo's slab-backed children so
+/// [`Estimator::derive`] never forces callers to materialize a `Vec` of
+/// references per insertion.
+pub trait ChildEsts {
+    fn len(&self) -> usize;
+    fn get(&self, i: usize) -> &LogicalEst;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ChildEsts for [&LogicalEst] {
+    fn len(&self) -> usize {
+        <[&LogicalEst]>::len(self)
+    }
+    fn get(&self, i: usize) -> &LogicalEst {
+        self[i]
+    }
+}
+
+impl<const N: usize> ChildEsts for [&LogicalEst; N] {
+    fn len(&self) -> usize {
+        N
+    }
+    fn get(&self, i: usize) -> &LogicalEst {
+        self[i]
+    }
+}
+
+impl ChildEsts for Vec<&LogicalEst> {
+    fn len(&self) -> usize {
+        <[&LogicalEst]>::len(self)
+    }
+    fn get(&self, i: usize) -> &LogicalEst {
+        self[i]
+    }
+}
+
 /// Number of leading conjuncts that contribute to a backoff estimate.
 const BACKOFF_ATOMS: usize = 4;
+
+/// Memoized per-atom selectivities, keyed by interned `(column, operator)`
+/// shape — the full input domain of [`shape_selectivity`], so the cached
+/// value is exactly what recomputation would return.
+#[derive(Default)]
+struct SelCache {
+    atoms: AtomInterner,
+    sel: Vec<f64>,
+}
 
 /// Derives estimates for operators given their children's estimates.
 pub struct Estimator<'a> {
     obs: &'a ObservableCatalog,
+    cache: RefCell<SelCache>,
 }
 
 impl<'a> Estimator<'a> {
     pub fn new(obs: &'a ObservableCatalog) -> Self {
-        Estimator { obs }
+        Estimator {
+            obs,
+            cache: RefCell::new(SelCache::default()),
+        }
     }
 
     /// The observable catalog backing this estimator.
@@ -54,9 +108,18 @@ impl<'a> Estimator<'a> {
         self.obs
     }
 
-    /// Estimated selectivity of one atom, from its shape only.
+    /// Estimated selectivity of one atom, from its shape only. Memoized
+    /// per `(column, operator)` — the function's entire input domain — so
+    /// the hot reorder/backoff loops stop recomputing `shape_selectivity`.
     pub fn atom_selectivity(&self, atom: &PredAtom) -> f64 {
-        shape_selectivity(atom.op, self.obs.col_ndv(atom.col))
+        let mut cache = self.cache.borrow_mut();
+        let (id, new) = cache.atoms.intern(atom.col, atom.op);
+        if new {
+            cache
+                .sel
+                .push(shape_selectivity(atom.op, self.obs.col_ndv(atom.col)));
+        }
+        cache.sel[id.index()]
     }
 
     /// Order-sensitive conjunction selectivity with exponential backoff:
@@ -66,14 +129,20 @@ impl<'a> Estimator<'a> {
         let mut sel = 1.0_f64;
         for (i, atom) in atoms.iter().take(BACKOFF_ATOMS).enumerate() {
             let s = self.atom_selectivity(atom);
-            sel *= s.powf(1.0 / (1u32 << i) as f64);
+            // IEEE 754 guarantees powf(s, 1.0) == s; skip the libm call for
+            // the (dominant) single-atom case without changing any bit.
+            sel *= if i == 0 {
+                s
+            } else {
+                s.powf(1.0 / (1u32 << i) as f64)
+            };
         }
         sel.clamp(1e-9, 1.0)
     }
 
     /// Derive the estimate for `op` from its children's estimates
     /// (children given in operator child order).
-    pub fn derive(&self, op: &LogicalOp, children: &[&LogicalEst]) -> LogicalEst {
+    pub fn derive<C: ChildEsts + ?Sized>(&self, op: &LogicalOp, children: &C) -> LogicalEst {
         match op {
             LogicalOp::Get { table } | LogicalOp::RangeGet { table, .. } => {
                 let rows = self.obs.table_rows(*table) as f64;
@@ -96,7 +165,7 @@ impl<'a> Estimator<'a> {
                 }
             }
             LogicalOp::Select { predicate } | LogicalOp::Filter { predicate } => {
-                let c = children[0];
+                let c = children.get(0);
                 LogicalEst {
                     rows: (c.rows * self.conj_selectivity(&predicate.atoms)).max(1.0),
                     row_bytes: c.row_bytes,
@@ -104,7 +173,7 @@ impl<'a> Estimator<'a> {
                 }
             }
             LogicalOp::Project { cols, computed } => {
-                let c = children[0];
+                let c = children.get(0);
                 LogicalEst {
                     rows: c.rows,
                     row_bytes: 12.0 + 8.0 * (cols.len() + *computed as usize) as f64,
@@ -112,8 +181,8 @@ impl<'a> Estimator<'a> {
                 }
             }
             LogicalOp::Join { kind, keys } => {
-                let l = children[0];
-                let r = children[1];
+                let l = children.get(0);
+                let r = children.get(1);
                 let mut rows = match keys.first() {
                     Some(&(lk, rk)) => {
                         let ndv = self.obs.col_ndv(lk).max(self.obs.col_ndv(rk)).max(1);
@@ -149,7 +218,7 @@ impl<'a> Estimator<'a> {
                 aggs,
                 partial,
             } => {
-                let c = children[0];
+                let c = children.get(0);
                 let mut groups = 1.0_f64;
                 for &k in keys {
                     groups *= self.obs.col_ndv(k) as f64;
@@ -169,12 +238,22 @@ impl<'a> Estimator<'a> {
                 }
             }
             LogicalOp::UnionAll | LogicalOp::VirtualDataset => {
-                let rows = children.iter().map(|c| c.rows).sum::<f64>();
-                let row_bytes = children.iter().map(|c| c.row_bytes).fold(0.0_f64, f64::max);
+                let mut rows = 0.0_f64;
+                let mut row_bytes = 0.0_f64;
+                for i in 0..children.len() {
+                    let c = children.get(i);
+                    rows += c.rows;
+                    row_bytes = row_bytes.max(c.row_bytes);
+                }
                 // Columns safe to reference above a union: those available
                 // in every branch.
-                let mut cols = children.first().map(|c| c.cols.clone()).unwrap_or_default();
-                for c in children.iter().skip(1) {
+                let mut cols = if children.is_empty() {
+                    Vec::new()
+                } else {
+                    children.get(0).cols.clone()
+                };
+                for i in 1..children.len() {
+                    let c = children.get(i);
                     cols.retain(|col| c.cols.contains(col));
                 }
                 LogicalEst {
@@ -184,7 +263,7 @@ impl<'a> Estimator<'a> {
                 }
             }
             LogicalOp::Top { k } => {
-                let c = children[0];
+                let c = children.get(0);
                 LogicalEst {
                     rows: (*k as f64).min(c.rows).max(1.0),
                     row_bytes: c.row_bytes,
@@ -192,7 +271,7 @@ impl<'a> Estimator<'a> {
                 }
             }
             LogicalOp::Sort { .. } | LogicalOp::Window { .. } | LogicalOp::Output { .. } => {
-                let c = children[0];
+                let c = children.get(0);
                 LogicalEst {
                     rows: c.rows,
                     row_bytes: c.row_bytes,
@@ -200,7 +279,7 @@ impl<'a> Estimator<'a> {
                 }
             }
             LogicalOp::Process { .. } => {
-                let c = children[0];
+                let c = children.get(0);
                 // One global assumption for all UDOs: pass-through
                 // cardinality, slightly wider rows.
                 LogicalEst {

@@ -24,6 +24,8 @@
 //! — the paper's "not all configurations compile".
 
 pub mod cache;
+#[doc(hidden)]
+pub mod classic;
 pub mod config;
 pub mod cost;
 pub mod estimate;

@@ -15,7 +15,9 @@ use crate::physical::PhysPlan;
 use crate::rules::catalog::COMPLEX_KINDS;
 use crate::rules::{RuleAction, RuleCatalog};
 use crate::ruleset::RuleSet;
-use crate::search::{explore, implement, BudgetTracker, CompileBudget, CompileError};
+use crate::search::{
+    explore, implement_with_scratch, BudgetTracker, CompileBudget, CompileError, ImplementScratch,
+};
 use crate::transform::{referenced_cols, TransformCtx};
 
 /// Resource accounting for one compile, surfaced for observability even
@@ -48,6 +50,50 @@ pub struct CompiledPlan {
     pub memo_exprs: usize,
     /// Resource accounting for this compile.
     pub stats: CompileStats,
+}
+
+impl CompiledPlan {
+    /// Order-sensitive digest of everything deterministic about this
+    /// compile: the rendered plan, the estimated cost's exact bits, the
+    /// rule signature, the memo shape, and the task accounting. Wall-clock
+    /// time is deliberately excluded. Two compiles of the same job under
+    /// the same configuration must produce equal fingerprints regardless
+    /// of thread, scratch reuse, or interleaving — the bit-identity
+    /// property the parallel-discovery and arena tests assert.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.plan.render().hash(&mut h);
+        self.est_cost.to_bits().hash(&mut h);
+        self.signature.0.hash(&mut h);
+        self.memo_groups.hash(&mut h);
+        self.memo_exprs.hash(&mut h);
+        self.stats.tasks.hash(&mut h);
+        self.stats.explore_added.hash(&mut h);
+        self.stats.memo_budget_rejections.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Reusable per-thread compile state: the memo's arena slabs plus the
+/// implementation-phase scratch. [`Memo::clear`] resets lengths without
+/// freeing, so a warm thread compiles with no per-compile slab growth.
+#[derive(Default)]
+pub struct CompileScratch {
+    memo: Memo,
+    implement: ImplementScratch,
+}
+
+impl CompileScratch {
+    pub fn new() -> CompileScratch {
+        CompileScratch::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread compile scratch reused by [`compile_with_budget`].
+    static COMPILE_SCRATCH: std::cell::RefCell<CompileScratch> =
+        std::cell::RefCell::new(CompileScratch::new());
 }
 
 /// Compile a logical plan under a rule configuration.
@@ -86,6 +132,25 @@ pub fn compile_with_budget(
     config: &RuleConfig,
     budget: &CompileBudget,
 ) -> Result<CompiledPlan, CompileError> {
+    COMPILE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => compile_with_scratch(plan, obs, config, budget, &mut scratch),
+        // Re-entrant compile on this thread (shouldn't happen, but a panic
+        // unwound mid-borrow must not poison every later compile): fall
+        // back to fresh one-shot state.
+        Err(_) => compile_with_scratch(plan, obs, config, budget, &mut CompileScratch::new()),
+    })
+}
+
+/// [`compile_with_budget`] against caller-owned scratch. The scratch is
+/// cleared at the *start* of the compile (not the end), so a previous
+/// panicked compile can never leak state into this one.
+pub fn compile_with_scratch(
+    plan: &PlanGraph,
+    obs: &ObservableCatalog,
+    config: &RuleConfig,
+    budget: &CompileBudget,
+    scratch: &mut CompileScratch,
+) -> Result<CompiledPlan, CompileError> {
     let start = std::time::Instant::now();
     let _compile_span = scope_trace::span_timed("compile", scope_trace::Histogram::CompileMicros);
     let mut tracker = BudgetTracker::new(budget);
@@ -104,16 +169,18 @@ pub fn compile_with_budget(
         referenced: &referenced,
     };
 
-    let (mut memo, root) = Memo::from_plan(&normalized.plan, &estimator)?;
+    let CompileScratch { memo, implement } = scratch;
+    memo.clear();
+    let root = memo.ingest(&normalized.plan, &estimator)?;
     let explore_added = {
         let _span =
             scope_trace::span_timed("compile.explore", scope_trace::Histogram::ExploreMicros);
-        explore(&mut memo, config, &ctx, &mut tracker)?
+        explore(memo, config, &ctx, &mut tracker)?
     };
     let outcome = {
         let _span =
             scope_trace::span_timed("compile.implement", scope_trace::Histogram::ImplementMicros);
-        implement(&memo, root, config, obs, &mut tracker)?
+        implement_with_scratch(memo, root, config, obs, &mut tracker, implement)?
     };
     if scope_trace::enabled() {
         scope_trace::record(scope_trace::Histogram::MemoGroups, memo.num_groups() as u64);
@@ -124,30 +191,11 @@ pub fn compile_with_budget(
     // Marker rules fire on the normalized plan's operator-kind counts.
     let kind_counts = normalized.plan.op_counts();
     let mut fired = normalized.fired.union(&outcome.used_rules);
-    let cat = RuleCatalog::global();
-    for &marker_id in cat.markers() {
-        let rule = cat.rule(marker_id);
-        let required = cat.required().contains(marker_id);
-        if !required && !config.is_enabled(marker_id) {
-            continue;
-        }
-        let fires = match &rule.action {
-            RuleAction::Canonicalize(kind) => {
-                COMPLEX_KINDS.contains(kind) && kind_counts[*kind as usize] > 0
-            }
-            RuleAction::Guard { kind, min_count } | RuleAction::Marker { kind, min_count } => {
-                kind_counts[*kind as usize] >= *min_count as u32
-            }
-            _ => false,
-        };
-        if fires {
-            fired.insert(marker_id);
-        }
-    }
+    fire_markers(config, &kind_counts, &mut fired);
 
     debug_assert!(
         fired
-            .difference(&config.enabled().union(cat.required()))
+            .difference(&config.enabled().union(RuleCatalog::global().required()))
             .is_empty(),
         "signature must be a subset of enabled ∪ required"
     );
@@ -177,6 +225,37 @@ pub fn compile_with_budget(
             compile_micros: start.elapsed().as_micros() as u64,
         },
     })
+}
+
+/// Fire marker/guard/canonicalize rules against the normalized plan's
+/// operator-kind counts, inserting them into `fired`. Shared by the live
+/// compile path and the frozen [`crate::classic`] oracle so the signature
+/// logic cannot drift between them.
+pub(crate) fn fire_markers(
+    config: &RuleConfig,
+    kind_counts: &[u32; OpKind::COUNT],
+    fired: &mut RuleSet,
+) {
+    let cat = RuleCatalog::global();
+    for &marker_id in cat.markers() {
+        let rule = cat.rule(marker_id);
+        let required = cat.required().contains(marker_id);
+        if !required && !config.is_enabled(marker_id) {
+            continue;
+        }
+        let fires = match &rule.action {
+            RuleAction::Canonicalize(kind) => {
+                COMPLEX_KINDS.contains(kind) && kind_counts[*kind as usize] > 0
+            }
+            RuleAction::Guard { kind, min_count } | RuleAction::Marker { kind, min_count } => {
+                kind_counts[*kind as usize] >= *min_count as u32
+            }
+            _ => false,
+        };
+        if fires {
+            fired.insert(marker_id);
+        }
+    }
 }
 
 /// The effective configuration for a job: the base configuration plus the

@@ -395,6 +395,16 @@ pub struct RuleCatalog {
     exchange_impls: Vec<RuleId>,
     /// Marker-style rules (Canonicalize / Guard / Marker), all categories.
     markers: Vec<RuleId>,
+    /// `transforms_by_kind` as bitset masks: intersecting with a config's
+    /// enabled set selects the applicable rules without materializing a
+    /// `Vec<RuleId>` per expression in the explore loop.
+    transform_mask: [RuleSet; OpKind::COUNT],
+    /// `impls_by_kind` as bitset masks, for the implement loop.
+    impl_mask: [RuleSet; OpKind::COUNT],
+    /// Implementation rule per `PhysImpl` discriminant (`None` for the
+    /// non-exchange variants only if the catalog were ever incomplete);
+    /// replaces the O(|rules|) scan the enforcer used to do per exchange.
+    rule_by_impl: [Option<RuleId>; PhysImpl::COUNT],
 }
 
 impl RuleCatalog {
@@ -441,6 +451,22 @@ impl RuleCatalog {
                 _ => {}
             }
         }
+        let mut transform_mask = [RuleSet::EMPTY; OpKind::COUNT];
+        let mut impl_mask = [RuleSet::EMPTY; OpKind::COUNT];
+        for kind in 0..OpKind::COUNT {
+            for &id in &transforms_by_kind[kind] {
+                transform_mask[kind].insert(id);
+            }
+            for &id in &impls_by_kind[kind] {
+                impl_mask[kind].insert(id);
+            }
+        }
+        let mut rule_by_impl = [None; PhysImpl::COUNT];
+        for rule in &rules {
+            if let RuleAction::Impl(p) = &rule.action {
+                rule_by_impl[*p as usize] = Some(rule.id);
+            }
+        }
         RuleCatalog {
             rules,
             required,
@@ -449,6 +475,9 @@ impl RuleCatalog {
             impls_by_kind,
             exchange_impls,
             markers,
+            transform_mask,
+            impl_mask,
+            rule_by_impl,
         }
     }
 
@@ -498,6 +527,27 @@ impl RuleCatalog {
         &self.exchange_impls
     }
 
+    /// Transformation rules anchored on `kind`, as a bitset mask. Same
+    /// membership (and, via [`RuleSet::iter`], the same ascending-id order)
+    /// as [`Self::transforms_for`].
+    #[inline]
+    pub fn transform_mask(&self, kind: OpKind) -> RuleSet {
+        self.transform_mask[kind as usize]
+    }
+
+    /// Implementation rules for `kind`, as a bitset mask. Same membership
+    /// and iteration order as [`Self::impls_for`].
+    #[inline]
+    pub fn impl_mask(&self, kind: OpKind) -> RuleSet {
+        self.impl_mask[kind as usize]
+    }
+
+    /// The implementation rule carrying `impl_` (O(1) array lookup).
+    #[inline]
+    pub fn rule_for_impl(&self, impl_: PhysImpl) -> Option<RuleId> {
+        self.rule_by_impl[impl_ as usize]
+    }
+
     /// All marker-style rules.
     pub fn markers(&self) -> &[RuleId] {
         &self.markers
@@ -520,6 +570,40 @@ impl RuleCatalog {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn masks_mirror_per_kind_rule_lists() {
+        let cat = RuleCatalog::global();
+        for kind in OpKind::ALL {
+            let from_mask: Vec<RuleId> = cat.transform_mask(kind).iter().collect();
+            assert_eq!(from_mask, cat.transforms_for(kind), "{kind:?} transforms");
+            let from_mask: Vec<RuleId> = cat.impl_mask(kind).iter().collect();
+            assert_eq!(from_mask, cat.impls_for(kind), "{kind:?} impls");
+        }
+    }
+
+    #[test]
+    fn rule_for_impl_matches_linear_scan() {
+        let cat = RuleCatalog::global();
+        let all_impls = [
+            PhysImpl::ScanSerial,
+            PhysImpl::ExchangeHash,
+            PhysImpl::ExchangeRange,
+            PhysImpl::ExchangeBroadcast,
+            PhysImpl::ExchangeGather,
+            PhysImpl::OutputImpl,
+            PhysImpl::HashJoin2,
+        ];
+        for p in all_impls {
+            let scanned = cat
+                .rules()
+                .iter()
+                .find(|r| r.action == RuleAction::Impl(p))
+                .map(|r| r.id);
+            assert_eq!(cat.rule_for_impl(p), scanned, "{p:?}");
+            assert!(scanned.is_some(), "{p:?} must have a carrying rule");
+        }
+    }
 
     #[test]
     fn catalog_has_paper_category_counts() {

@@ -2,8 +2,19 @@
 //! rules, implementation with the enabled implementation rules (inserting
 //! enforcer exchanges where partitioning requirements are unmet), and
 //! extraction of the winning physical plan.
+//!
+//! ## Hot-path shape
+//!
+//! Exploration fuses the catalog's per-kind transform masks with the
+//! configuration's enabled set **once per compile** into a
+//! `[RuleSet; OpKind::COUNT]` table; visiting an expression is then a
+//! 4-word bitset walk instead of collecting a `Vec<RuleId>` per
+//! expression. Implementation state (winners, failures, visit marks,
+//! extraction cache) lives in a reusable [`ImplementScratch`] of flat
+//! per-group vectors rather than per-compile `HashMap`s. Both changes
+//! preserve rule order exactly: catalog rule lists are ascending by id and
+//! [`RuleSet::iter`] yields ascending ids.
 
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use scope_ir::ids::NodeId;
@@ -11,8 +22,7 @@ use scope_ir::{LogicalOp, OpKind};
 
 use crate::config::RuleConfig;
 use crate::cost::{exchange_cost, exchange_impl_for, impl_cost, output_part, required_child_parts};
-use crate::estimate::LogicalEst;
-use crate::memo::{GroupId, MExprId, Memo};
+use crate::memo::{EstId, GroupId, MExprId, Memo};
 use crate::physical::{Partitioning, PhysNode, PhysOp, PhysPlan};
 use crate::rules::{PhysImpl, RuleAction, RuleCatalog};
 use crate::ruleset::{RuleId, RuleSet};
@@ -228,18 +238,19 @@ pub fn explore(
 ) -> Result<usize, CompileError> {
     let cat = RuleCatalog::global();
     let before = memo.num_exprs();
+    // Fuse "applicable to this kind" with "enabled in this config" once
+    // per compile; each expression visit is then a 4-word bitset walk in
+    // the exact ascending-id order the old per-expression `Vec<RuleId>`
+    // collection produced.
+    let mut masks = [RuleSet::EMPTY; OpKind::COUNT];
+    for kind in OpKind::ALL {
+        masks[kind as usize] = cat.transform_mask(kind).intersection(config.enabled());
+    }
     let mut idx = 0usize;
     while idx < memo.num_exprs() {
         let expr_id = MExprId(idx as u32);
-        let kind = memo.expr(expr_id).op.kind();
-        // Collect applicable rules first (cheap: ids only).
-        let rule_ids: Vec<RuleId> = cat
-            .transforms_for(kind)
-            .iter()
-            .copied()
-            .filter(|id| config.is_enabled(*id))
-            .collect();
-        for rid in rule_ids {
+        let mask = masks[memo.kind_of(expr_id) as usize];
+        for rid in mask.iter() {
             tracker.charge(CompilePhase::Explore)?;
             let rule = cat.rule(rid);
             apply_rule(rule, expr_id, memo, ctx);
@@ -260,7 +271,36 @@ struct Winner {
     dop: u32,
     /// Per child: exchange to insert (impl, rule id, scheme, dop), if any.
     exchanges: Vec<Option<(PhysImpl, RuleId, Partitioning, u32)>>,
-    est: LogicalEst,
+    est: EstId,
+}
+
+/// Reusable implementation-phase state: flat per-group vectors replacing
+/// the per-compile `HashMap`s. [`ImplementScratch::reset`] re-sizes
+/// without freeing, so a thread-local compile scratch allocates nothing
+/// once warm.
+#[derive(Default)]
+pub struct ImplementScratch {
+    winners: Vec<Option<Winner>>,
+    failures: Vec<Option<CompileError>>,
+    visiting: Vec<bool>,
+    built: Vec<Option<NodeId>>,
+}
+
+impl ImplementScratch {
+    pub fn new() -> ImplementScratch {
+        ImplementScratch::default()
+    }
+
+    fn reset(&mut self, n_groups: usize) {
+        self.winners.clear();
+        self.winners.resize_with(n_groups, || None);
+        self.failures.clear();
+        self.failures.resize_with(n_groups, || None);
+        self.visiting.clear();
+        self.visiting.resize(n_groups, false);
+        self.built.clear();
+        self.built.resize(n_groups, None);
+    }
 }
 
 /// Compute winners for all groups reachable from `root` and extract the
@@ -272,29 +312,37 @@ pub fn implement(
     obs: &scope_ir::ObservableCatalog,
     tracker: &mut BudgetTracker,
 ) -> Result<SearchOutcome, CompileError> {
-    let mut winners: HashMap<GroupId, Winner> = HashMap::new();
-    let mut failures: HashMap<GroupId, CompileError> = HashMap::new();
-    let mut visiting: Vec<bool> = vec![false; memo.num_groups()];
+    let mut scratch = ImplementScratch::new();
+    implement_with_scratch(memo, root, config, obs, tracker, &mut scratch)
+}
+
+/// [`implement`] against caller-owned scratch (allocation reuse across
+/// compiles).
+pub fn implement_with_scratch(
+    memo: &Memo,
+    root: GroupId,
+    config: &RuleConfig,
+    obs: &scope_ir::ObservableCatalog,
+    tracker: &mut BudgetTracker,
+    scratch: &mut ImplementScratch,
+) -> Result<SearchOutcome, CompileError> {
+    scratch.reset(memo.num_groups());
+    let ImplementScratch {
+        winners,
+        failures,
+        visiting,
+        built,
+    } = scratch;
     best(
-        memo,
-        root,
-        config,
-        obs,
-        &mut winners,
-        &mut failures,
-        &mut visiting,
-        tracker,
+        memo, root, config, obs, winners, failures, visiting, tracker,
     )?;
 
     // Extraction.
     let mut plan = PhysPlan::new();
-    let mut built: HashMap<GroupId, NodeId> = HashMap::new();
     let mut used = RuleSet::EMPTY;
     let cat = RuleCatalog::global();
     let enforce = cat.find("EnforceExchange").expect("catalog rule");
-    let root_node = extract(
-        memo, root, &winners, &mut plan, &mut built, &mut used, enforce,
-    );
+    let root_node = extract(memo, root, winners, &mut plan, built, &mut used, enforce);
     plan.set_root(root_node);
     let est_cost = plan.total_est_cost();
     Ok(SearchOutcome {
@@ -310,15 +358,15 @@ fn best(
     group: GroupId,
     config: &RuleConfig,
     obs: &scope_ir::ObservableCatalog,
-    winners: &mut HashMap<GroupId, Winner>,
-    failures: &mut HashMap<GroupId, CompileError>,
-    visiting: &mut Vec<bool>,
+    winners: &mut [Option<Winner>],
+    failures: &mut [Option<CompileError>],
+    visiting: &mut [bool],
     tracker: &mut BudgetTracker,
 ) -> Result<f64, CompileError> {
-    if let Some(w) = winners.get(&group) {
+    if let Some(w) = &winners[group.index()] {
         return Ok(w.cost);
     }
-    if let Some(e) = failures.get(&group) {
+    if let Some(e) = &failures[group.index()] {
         return Err(e.clone());
     }
     if visiting[group.index()] {
@@ -332,18 +380,16 @@ fn best(
     let mut exchange_blocked = false;
     let mut child_failure: Option<CompileError> = None;
 
-    let expr_ids = memo.group(group).exprs.clone();
-    for expr_id in expr_ids {
-        let expr = memo.expr(expr_id);
-        let kind = expr.op.kind();
-        let children = expr.children.clone();
+    for expr_id in memo.group_exprs(group) {
+        let kind = memo.kind_of(expr_id);
+        let children = memo.children(expr_id);
         // Resolve children first. A child group with no feasible
         // implementation only disqualifies *this alternative* — other
         // expressions in the group may avoid that subtree entirely.
         // Compilation as a whole fails only when the root group ends up
         // with no feasible implementation.
         let mut ok = true;
-        for &c in &children {
+        for &c in children {
             match best(memo, c, config, obs, winners, failures, visiting, tracker) {
                 Ok(_) => {}
                 // Budget exhaustion (and friends) abort the whole compile —
@@ -368,35 +414,33 @@ fn best(
             continue;
         }
 
-        let enabled_impls: Vec<RuleId> = cat
-            .impls_for(kind)
-            .iter()
-            .copied()
-            .filter(|id| config.is_enabled(*id))
-            .collect();
+        // Applicable implementations ∩ enabled: one 4-word intersection
+        // instead of a collected `Vec<RuleId>` per expression.
+        let enabled_impls = cat.impl_mask(kind).intersection(config.enabled());
         if enabled_impls.is_empty() {
             kind_without_impl = Some(kind);
             continue;
         }
 
-        let expr = memo.expr(expr_id);
-        let child_ests: Vec<&LogicalEst> = children.iter().map(|g| &memo.group(*g).est).collect();
+        let op = memo.op(expr_id);
+        let own_est = memo.expr_est(expr_id);
+        let child_ests = memo.group_ests(children);
 
-        for impl_rule in enabled_impls {
+        for impl_rule in enabled_impls.iter() {
             tracker.charge(CompilePhase::Implement)?;
             let RuleAction::Impl(phys) = &cat.rule(impl_rule).action else {
                 continue;
             };
             let phys = *phys;
-            let oc = impl_cost(phys, &expr.op, &expr.est, &child_ests, obs);
-            let reqs = required_child_parts(phys, &expr.op, children.len());
+            let oc = impl_cost(phys, op, own_est, &child_ests, obs);
+            let reqs = required_child_parts(phys, op, children.len());
             let mut exchanges = Vec::with_capacity(children.len());
             let mut candidate_cost = oc.cost;
             let mut child_parts = Vec::with_capacity(children.len());
             let mut feasible = true;
             for (i, &c) in children.iter().enumerate() {
                 let req = reqs.get(i).cloned().unwrap_or(Partitioning::Any);
-                let child_w = &winners[&c];
+                let child_w = winners[c.index()].as_ref().expect("child winner resolved");
                 candidate_cost += child_w.cost;
                 if child_w.out_part.satisfies(&req) {
                     exchanges.push(None);
@@ -408,10 +452,7 @@ fn best(
                         continue;
                     };
                     let ex_rule = cat
-                        .rules()
-                        .iter()
-                        .find(|r| r.action == RuleAction::Impl(ex_impl))
-                        .map(|r| r.id)
+                        .rule_for_impl(ex_impl)
                         .expect("exchange impl rule exists");
                     if !config.is_enabled(ex_rule) {
                         exchange_blocked = true;
@@ -422,7 +463,8 @@ fn best(
                         Partitioning::Singleton => 1,
                         _ => oc.dop,
                     };
-                    let ex_cost = exchange_cost(ex_impl, child_w.est.bytes(), oc.dop.max(1));
+                    let ex_cost =
+                        exchange_cost(ex_impl, memo.est(child_w.est).bytes(), oc.dop.max(1));
                     candidate_cost += ex_cost.cost;
                     exchanges.push(Some((ex_impl, ex_rule, req.clone(), ex_dop)));
                     child_parts.push(req);
@@ -431,7 +473,7 @@ fn best(
             if !feasible {
                 continue;
             }
-            let out_part = output_part(phys, &expr.op, &child_parts);
+            let out_part = output_part(phys, op, &child_parts);
             let better = match &best_winner {
                 None => true,
                 Some(w) => candidate_cost < w.cost,
@@ -445,7 +487,7 @@ fn best(
                     out_part,
                     dop: oc.dop,
                     exchanges,
-                    est: expr.est.clone(),
+                    est: memo.expr(expr_id).est,
                 });
             }
         }
@@ -455,7 +497,7 @@ fn best(
     match best_winner {
         Some(w) => {
             let cost = w.cost;
-            winners.insert(group, w);
+            winners[group.index()] = Some(w);
             Ok(cost)
         }
         None => {
@@ -470,10 +512,10 @@ fn best(
                 CompileError::NoExchangeImplementation
             } else {
                 CompileError::NoImplementation {
-                    kind: memo.canonical(group).op.kind(),
+                    kind: memo.canonical_kind(group),
                 }
             };
-            failures.insert(group, err.clone());
+            failures[group.index()] = Some(err.clone());
             Err(err)
         }
     }
@@ -482,31 +524,34 @@ fn best(
 fn extract(
     memo: &Memo,
     group: GroupId,
-    winners: &HashMap<GroupId, Winner>,
+    winners: &[Option<Winner>],
     plan: &mut PhysPlan,
-    built: &mut HashMap<GroupId, NodeId>,
+    built: &mut [Option<NodeId>],
     used: &mut RuleSet,
     enforce_rule: RuleId,
 ) -> NodeId {
-    if let Some(&node) = built.get(&group) {
+    if let Some(node) = built[group.index()] {
         return node;
     }
-    let w = winners.get(&group).expect("winner for reachable group");
-    let expr = memo.expr(w.expr);
-    let mut child_nodes = Vec::with_capacity(expr.children.len());
-    for (i, &c) in expr.children.iter().enumerate() {
+    let w = winners[group.index()]
+        .as_ref()
+        .expect("winner for reachable group");
+    let children = memo.children(w.expr);
+    let mut child_nodes = Vec::with_capacity(children.len());
+    for (i, &c) in children.iter().enumerate() {
         let mut node = extract(memo, c, winners, plan, built, used, enforce_rule);
         if let Some((ex_impl, ex_rule, scheme, ex_dop)) = &w.exchanges[i] {
-            let child_w = &winners[&c];
-            let ex_cost = exchange_cost(*ex_impl, child_w.est.bytes(), w.dop.max(1));
+            let child_w = winners[c.index()].as_ref().expect("child winner");
+            let child_est = memo.est(child_w.est);
+            let ex_cost = exchange_cost(*ex_impl, child_est.bytes(), w.dop.max(1));
             node = plan.add(PhysNode {
                 op: PhysOp::Exchange {
                     scheme: scheme.clone(),
                     dop: *ex_dop,
                 },
                 children: vec![node],
-                est_rows: child_w.est.rows,
-                est_bytes: child_w.est.bytes(),
+                est_rows: child_est.rows,
+                est_bytes: child_est.bytes(),
                 est_cost: ex_cost.cost,
                 partitioning: scheme.clone(),
                 dop: *ex_dop,
@@ -518,43 +563,42 @@ fn extract(
         }
         child_nodes.push(node);
     }
+    let child_cost = |c: GroupId| winners[c.index()].as_ref().expect("child winner").cost;
     let own_cost = w.cost
-        - expr.children.iter().map(|c| winners[c].cost).sum::<f64>()
+        - children.iter().map(|&c| child_cost(c)).sum::<f64>()
         - w.exchanges
             .iter()
             .enumerate()
             .filter_map(|(i, e)| {
                 e.as_ref().map(|(ex_impl, _, _, _)| {
-                    exchange_cost(
-                        *ex_impl,
-                        winners[&expr.children[i]].est.bytes(),
-                        w.dop.max(1),
-                    )
-                    .cost
+                    let child_w = winners[children[i].index()].as_ref().expect("child winner");
+                    exchange_cost(*ex_impl, memo.est(child_w.est).bytes(), w.dop.max(1)).cost
                 })
             })
             .sum::<f64>();
+    let w_est = memo.est(w.est);
+    let created_by_logical = memo.expr(w.expr).created_by;
     let node = plan.add(PhysNode {
-        op: phys_op_for(w.phys, &expr.op),
+        op: phys_op_for(w.phys, memo.op(w.expr)),
         children: child_nodes,
-        est_rows: w.est.rows,
-        est_bytes: w.est.bytes(),
+        est_rows: w_est.rows,
+        est_bytes: w_est.bytes(),
         est_cost: own_cost.max(0.0),
         partitioning: w.out_part.clone(),
         dop: w.dop,
         created_by: Some(w.impl_rule),
-        logical_rule: expr.created_by,
+        logical_rule: created_by_logical,
     });
     used.insert(w.impl_rule);
-    if let Some(t) = expr.created_by {
+    if let Some(t) = created_by_logical {
         used.insert(t);
     }
-    built.insert(group, node);
+    built[group.index()] = Some(node);
     node
 }
 
 /// Map a logical operator plus chosen implementation to a physical operator.
-fn phys_op_for(phys: PhysImpl, op: &LogicalOp) -> PhysOp {
+pub(crate) fn phys_op_for(phys: PhysImpl, op: &LogicalOp) -> PhysOp {
     use PhysImpl::*;
     match (phys, op) {
         (ScanSerial, LogicalOp::RangeGet { table, pushed }) => PhysOp::Scan {

@@ -6,6 +6,20 @@
 //! created along the way get their own (new or deduplicated) groups; the
 //! top-level result is inserted as an alternative of the matched
 //! expression's group.
+//!
+//! ## Two-phase rewrites
+//!
+//! Every rewrite arm runs in two phases against the arena memo: a *read*
+//! phase that pattern-matches borrowed operators and copies out the
+//! (`Copy`) group ids and whatever owned fragments the rewrite will need,
+//! followed by an *insert* phase once no memo borrows remain. The old
+//! implementation instead cloned the full matched expression (operator,
+//! predicate atoms, child vector) up front for **every** `(rule, expr)`
+//! pair — including the overwhelmingly common case where the rule does not
+//! match and the arm returns `0` after one kind check. Arms that re-insert
+//! an existing operator now pass its interned handle
+//! ([`Memo::insert_interned_children_of`] and friends) instead of cloning
+//! it.
 
 use std::collections::BTreeSet;
 
@@ -92,49 +106,94 @@ struct Rewriter<'a, 'b> {
 impl Rewriter<'_, '_> {
     /// Insert a sub-expression (own group) created by this rule.
     /// `apply_rule` guarantees a budget margin, so this cannot fail.
-    fn sub(&self, memo: &mut Memo, op: LogicalOp, children: Vec<GroupId>) -> GroupId {
-        match memo.insert(op, children, None, Some(self.rule_id), self.ctx.est) {
+    fn sub(&self, memo: &mut Memo, op: LogicalOp, children: &[GroupId]) -> GroupId {
+        match memo.insert_owned(op, children, None, Some(self.rule_id), self.ctx.est) {
+            Inserted::New(e) | Inserted::Duplicate(e) => memo.expr(e).group,
+            Inserted::Budget => unreachable!("apply_rule reserves budget margin"),
+        }
+    }
+
+    /// Like [`Rewriter::sub`] for an operator already interned in the memo.
+    fn sub_interned(&self, memo: &mut Memo, op: scope_ir::ExprId, children: &[GroupId]) -> GroupId {
+        match memo.insert_interned(op, children, None, Some(self.rule_id), self.ctx.est) {
             Inserted::New(e) | Inserted::Duplicate(e) => memo.expr(e).group,
             Inserted::Budget => unreachable!("apply_rule reserves budget margin"),
         }
     }
 
     /// Insert an alternative into the matched expression's group.
-    fn alt(&self, memo: &mut Memo, op: LogicalOp, children: Vec<GroupId>) -> usize {
+    fn alt(&self, memo: &mut Memo, op: LogicalOp, children: &[GroupId]) -> usize {
         let target = memo.expr(self.expr_id).group;
-        match memo.insert(op, children, Some(target), Some(self.rule_id), self.ctx.est) {
-            Inserted::New(_) => 1,
-            _ => 0,
-        }
+        let inserted =
+            memo.insert_owned(op, children, Some(target), Some(self.rule_id), self.ctx.est);
+        usize::from(matches!(inserted, Inserted::New(_)))
+    }
+
+    /// Insert an alternative whose children are an existing expression's.
+    fn alt_children_of(&self, memo: &mut Memo, op: LogicalOp, src: MExprId) -> usize {
+        let target = memo.expr(self.expr_id).group;
+        let inserted =
+            memo.insert_owned_children_of(op, src, Some(target), Some(self.rule_id), self.ctx.est);
+        usize::from(matches!(inserted, Inserted::New(_)))
+    }
+
+    /// Insert an alternative reusing an interned operator over an existing
+    /// expression's children (no clones at all).
+    fn alt_interned_children_of(
+        &self,
+        memo: &mut Memo,
+        op: scope_ir::ExprId,
+        src: MExprId,
+    ) -> usize {
+        let target = memo.expr(self.expr_id).group;
+        let inserted = memo.insert_interned_children_of(
+            op,
+            src,
+            Some(target),
+            Some(self.rule_id),
+            self.ctx.est,
+        );
+        usize::from(matches!(inserted, Inserted::New(_)))
+    }
+
+    /// Re-insert an existing expression as an alternative of the matched
+    /// group (identity eliminations; no clones at all).
+    fn alt_existing(&self, memo: &mut Memo, src: MExprId) -> usize {
+        let target = memo.expr(self.expr_id).group;
+        let inserted = memo.insert_existing(src, Some(target), Some(self.rule_id), self.ctx.est);
+        usize::from(matches!(inserted, Inserted::New(_)))
+    }
+
+    /// The matched expression's single-child group.
+    #[inline]
+    fn child0(&self, memo: &Memo) -> GroupId {
+        memo.children(self.expr_id)[0]
     }
 
     fn dispatch(&self, action: &RuleAction, memo: &mut Memo) -> usize {
         use RuleAction::*;
-        let expr = memo.expr(self.expr_id).clone();
         match action {
-            CollapseFilters => self.collapse_filters(memo, &expr),
-            DropTrueFilter => self.drop_true_filter(memo, &expr),
-            FilterIntoScan => self.filter_into_scan(memo, &expr),
-            FilterBelow { kind, eq_only } => self.filter_below(memo, &expr, *kind, *eq_only),
-            ReorderAtoms(order) => self.reorder_atoms(memo, &expr, *order),
-            MergeProjects => self.merge_projects(memo, &expr),
-            ProjectBelow(kind) => self.project_below(memo, &expr, *kind),
-            PruneBelow { kind, eager } => self.prune_below(memo, &expr, *kind, *eager),
-            JoinCommute { guarded } => self.join_commute(memo, &expr, *guarded),
-            JoinAssoc { right, guarded } => self.join_assoc(memo, &expr, *right, *guarded),
-            JoinOnUnion { max_arity, left } => {
-                self.join_on_union(memo, &expr, *max_arity as usize, *left)
-            }
-            GroupByOnJoin { variant } => self.groupby_on_join(memo, &expr, *variant),
-            GroupByBelowUnion { variant } => self.groupby_below_union(memo, &expr, *variant),
-            SplitGroupBy { variant } => self.split_groupby(memo, &expr, *variant),
-            UnionFlatten { deep } => self.union_flatten(memo, &expr, *deep),
-            ProcessBelowUnion { .. } => self.process_below_union(memo, &expr),
-            TopBelowUnion { .. } => self.top_below_union(memo, &expr),
-            SwapUnary { parent, child, .. } => self.swap_unary(memo, &expr, *parent, *child),
-            NormalizeReduce { variant } => self.normalize_reduce(memo, &expr, *variant),
-            EliminateIdentity(kind) => self.eliminate_identity(memo, &expr, *kind),
-            CollapseSame(kind) => self.collapse_same(memo, &expr, *kind),
+            CollapseFilters => self.collapse_filters(memo),
+            DropTrueFilter => self.drop_true_filter(memo),
+            FilterIntoScan => self.filter_into_scan(memo),
+            FilterBelow { kind, eq_only } => self.filter_below(memo, *kind, *eq_only),
+            ReorderAtoms(order) => self.reorder_atoms(memo, *order),
+            MergeProjects => self.merge_projects(memo),
+            ProjectBelow(kind) => self.project_below(memo, *kind),
+            PruneBelow { kind, eager } => self.prune_below(memo, *kind, *eager),
+            JoinCommute { guarded } => self.join_commute(memo, *guarded),
+            JoinAssoc { right, guarded } => self.join_assoc(memo, *right, *guarded),
+            JoinOnUnion { max_arity, left } => self.join_on_union(memo, *max_arity as usize, *left),
+            GroupByOnJoin { variant } => self.groupby_on_join(memo, *variant),
+            GroupByBelowUnion { variant } => self.groupby_below_union(memo, *variant),
+            SplitGroupBy { variant } => self.split_groupby(memo, *variant),
+            UnionFlatten { deep } => self.union_flatten(memo, *deep),
+            ProcessBelowUnion { .. } => self.process_below_union(memo),
+            TopBelowUnion { .. } => self.top_below_union(memo),
+            SwapUnary { parent, child, .. } => self.swap_unary(memo, *parent, *child),
+            NormalizeReduce { variant } => self.normalize_reduce(memo, *variant),
+            EliminateIdentity(kind) => self.eliminate_identity(memo, *kind),
+            CollapseSame(kind) => self.collapse_same(memo, *kind),
             // Normalizers, markers, and implementation rules are handled
             // elsewhere.
             _ => 0,
@@ -143,65 +202,64 @@ impl Rewriter<'_, '_> {
 
     // ---- Filter rewrites -------------------------------------------------
 
-    fn collapse_filters(&self, memo: &mut Memo, expr: &ExprView) -> usize {
-        let LogicalOp::Filter { predicate: p_up } = &expr.op else {
-            return 0;
+    fn collapse_filters(&self, memo: &mut Memo) -> usize {
+        let (merged, child_e) = {
+            let LogicalOp::Filter { predicate: p_up } = memo.op(self.expr_id) else {
+                return 0;
+            };
+            let child_e = memo.canonical(self.child0(memo));
+            let LogicalOp::Filter { predicate: p_down } = memo.op(child_e) else {
+                return 0;
+            };
+            (p_up.clone().and(p_down.clone()), child_e)
         };
-        let child = memo.canonical(expr.children[0]).clone();
-        let LogicalOp::Filter { predicate: p_down } = &child.op else {
-            return 0;
-        };
-        let merged = p_up.clone().and(p_down.clone());
-        self.alt(
-            memo,
-            LogicalOp::Filter { predicate: merged },
-            child.children.clone(),
-        )
+        self.alt_children_of(memo, LogicalOp::Filter { predicate: merged }, child_e)
     }
 
-    fn drop_true_filter(&self, memo: &mut Memo, expr: &ExprView) -> usize {
-        let LogicalOp::Filter { predicate } = &expr.op else {
+    fn drop_true_filter(&self, memo: &mut Memo) -> usize {
+        let LogicalOp::Filter { predicate } = memo.op(self.expr_id) else {
             return 0;
         };
         if !predicate.is_true() {
             return 0;
         }
-        let child = memo.canonical(expr.children[0]).clone();
-        self.alt(memo, child.op, child.children)
+        let child_e = memo.canonical(self.child0(memo));
+        self.alt_existing(memo, child_e)
     }
 
-    fn filter_into_scan(&self, memo: &mut Memo, expr: &ExprView) -> usize {
-        let LogicalOp::Filter { predicate } = &expr.op else {
-            return 0;
+    fn filter_into_scan(&self, memo: &mut Memo) -> usize {
+        let (table, merged) = {
+            let LogicalOp::Filter { predicate } = memo.op(self.expr_id) else {
+                return 0;
+            };
+            if predicate.is_true() {
+                return 0;
+            }
+            let child_e = memo.canonical(self.child0(memo));
+            let LogicalOp::RangeGet { table, pushed } = memo.op(child_e) else {
+                return 0;
+            };
+            (*table, pushed.clone().and(predicate.clone()))
         };
-        if predicate.is_true() {
-            return 0;
-        }
-        let child = memo.canonical(expr.children[0]).clone();
-        let LogicalOp::RangeGet { table, pushed } = &child.op else {
-            return 0;
-        };
-        let merged = pushed.clone().and(predicate.clone());
         self.alt(
             memo,
             LogicalOp::RangeGet {
-                table: *table,
+                table,
                 pushed: merged,
             },
-            vec![],
+            &[],
         )
     }
 
-    fn filter_below(&self, memo: &mut Memo, expr: &ExprView, kind: OpKind, eq_only: bool) -> usize {
-        let LogicalOp::Filter { predicate } = &expr.op else {
+    fn filter_below(&self, memo: &mut Memo, kind: OpKind, eq_only: bool) -> usize {
+        let LogicalOp::Filter { predicate } = memo.op(self.expr_id) else {
             return 0;
         };
         if predicate.is_true() {
             return 0;
         }
-        let child_group = expr.children[0];
-        let child = memo.canonical(child_group).clone();
-        if child.op.kind() != kind {
+        let child_e = memo.canonical(self.child0(memo));
+        if memo.kind_of(child_e) != kind {
             return 0;
         }
         // Partition atoms into pushable and residual.
@@ -213,53 +271,45 @@ impl Rewriter<'_, '_> {
         if pushable.is_empty() {
             return 0;
         }
-        match &child.op {
-            LogicalOp::Project { .. }
-            | LogicalOp::Sort { .. }
-            | LogicalOp::Window { .. }
-            | LogicalOp::Top { .. }
-            | LogicalOp::Process { .. } => {
+        let child_op = memo.expr(child_e).op;
+        match memo.kind_of(child_e) {
+            OpKind::Project | OpKind::Sort | OpKind::Window | OpKind::Top | OpKind::Process => {
                 // Single push below a unary operator.
+                let below_of = memo.children(child_e)[0];
                 let below = self.sub(
                     memo,
                     LogicalOp::Filter {
                         predicate: Predicate { atoms: pushable },
                     },
-                    vec![child.children[0]],
+                    &[below_of],
                 );
-                let inner = self.sub(memo, child.op.clone(), vec![below]);
+                let inner = self.sub_interned(memo, child_op, &[below]);
                 self.wrap_residual(memo, inner, residual)
             }
-            LogicalOp::UnionAll | LogicalOp::VirtualDataset => {
+            OpKind::UnionAll | OpKind::VirtualDataset => {
                 let pred = Predicate { atoms: pushable };
-                let mut pushed_children = Vec::with_capacity(child.children.len());
-                for &g in &child.children {
+                let n = memo.children(child_e).len();
+                let mut pushed_children = Vec::with_capacity(n);
+                for i in 0..n {
+                    let g = memo.children(child_e)[i];
                     pushed_children.push(self.sub(
                         memo,
                         LogicalOp::Filter {
                             predicate: pred.clone(),
                         },
-                        vec![g],
+                        &[g],
                     ));
                 }
-                let inner = self.sub(memo, child.op.clone(), pushed_children);
+                let inner = self.sub_interned(memo, child_op, &pushed_children);
                 self.wrap_residual(memo, inner, residual)
             }
-            LogicalOp::Join { kind: jk, keys } => {
-                let l_cols: BTreeSet<ColId> = memo
-                    .group(child.children[0])
-                    .est
-                    .cols
-                    .iter()
-                    .copied()
-                    .collect();
-                let r_cols: BTreeSet<ColId> = memo
-                    .group(child.children[1])
-                    .est
-                    .cols
-                    .iter()
-                    .copied()
-                    .collect();
+            OpKind::Join => {
+                let (lg0, rg0) = {
+                    let ch = memo.children(child_e);
+                    (ch[0], ch[1])
+                };
+                let l_cols: BTreeSet<ColId> = memo.group_est(lg0).cols.iter().copied().collect();
+                let r_cols: BTreeSet<ColId> = memo.group_est(rg0).cols.iter().copied().collect();
                 let mut l_atoms = Vec::new();
                 let mut r_atoms = Vec::new();
                 let mut rest = residual;
@@ -275,15 +325,15 @@ impl Rewriter<'_, '_> {
                 if l_atoms.is_empty() && r_atoms.is_empty() {
                     return 0;
                 }
-                let mut lg = child.children[0];
-                let mut rg = child.children[1];
+                let mut lg = lg0;
+                let mut rg = rg0;
                 if !l_atoms.is_empty() {
                     lg = self.sub(
                         memo,
                         LogicalOp::Filter {
                             predicate: Predicate { atoms: l_atoms },
                         },
-                        vec![lg],
+                        &[lg],
                     );
                 }
                 if !r_atoms.is_empty() {
@@ -292,34 +342,31 @@ impl Rewriter<'_, '_> {
                         LogicalOp::Filter {
                             predicate: Predicate { atoms: r_atoms },
                         },
-                        vec![rg],
+                        &[rg],
                     );
                 }
-                let inner = self.sub(
-                    memo,
-                    LogicalOp::Join {
-                        kind: *jk,
-                        keys: keys.clone(),
-                    },
-                    vec![lg, rg],
-                );
+                let inner = self.sub_interned(memo, child_op, &[lg, rg]);
                 self.wrap_residual(memo, inner, rest)
             }
-            LogicalOp::GroupBy { keys, .. } => {
+            OpKind::GroupBy => {
+                let LogicalOp::GroupBy { keys, .. } = memo.op(child_e) else {
+                    return 0;
+                };
                 let key_set: BTreeSet<ColId> = keys.iter().copied().collect();
                 let (on_keys, rest): (Vec<PredAtom>, Vec<PredAtom>) =
                     pushable.into_iter().partition(|a| key_set.contains(&a.col));
                 if on_keys.is_empty() {
                     return 0;
                 }
+                let below_of = memo.children(child_e)[0];
                 let below = self.sub(
                     memo,
                     LogicalOp::Filter {
                         predicate: Predicate { atoms: on_keys },
                     },
-                    vec![child.children[0]],
+                    &[below_of],
                 );
-                let inner = self.sub(memo, child.op.clone(), vec![below]);
+                let inner = self.sub_interned(memo, child_op, &[below]);
                 let mut all_rest = residual;
                 all_rest.extend(rest);
                 self.wrap_residual(memo, inner, all_rest)
@@ -332,296 +379,353 @@ impl Rewriter<'_, '_> {
     /// alternative of the matched group.
     fn wrap_residual(&self, memo: &mut Memo, inner: GroupId, residual: Vec<PredAtom>) -> usize {
         if residual.is_empty() {
-            let canon = memo.canonical(inner).clone();
-            self.alt(memo, canon.op, canon.children)
+            let canon = memo.canonical(inner);
+            self.alt_existing(memo, canon)
         } else {
             self.alt(
                 memo,
                 LogicalOp::Filter {
                     predicate: Predicate { atoms: residual },
                 },
-                vec![inner],
+                &[inner],
             )
         }
     }
 
-    fn reorder_atoms(&self, memo: &mut Memo, expr: &ExprView, order: AtomOrder) -> usize {
-        let LogicalOp::Filter { predicate } = &expr.op else {
-            return 0;
+    fn reorder_atoms(&self, memo: &mut Memo, order: AtomOrder) -> usize {
+        let atoms = {
+            let LogicalOp::Filter { predicate } = memo.op(self.expr_id) else {
+                return 0;
+            };
+            if predicate.len() < 2 {
+                return 0;
+            }
+            let mut atoms = predicate.atoms.clone();
+            // total_cmp: selectivities are estimator outputs in [0, 1], but a
+            // NaN estimate must reorder deterministically, never panic a rule.
+            match order {
+                AtomOrder::SelAsc => atoms.sort_by(|a, b| {
+                    self.ctx
+                        .est
+                        .atom_selectivity(a)
+                        .total_cmp(&self.ctx.est.atom_selectivity(b))
+                }),
+                AtomOrder::SelDesc => atoms.sort_by(|a, b| {
+                    self.ctx
+                        .est
+                        .atom_selectivity(b)
+                        .total_cmp(&self.ctx.est.atom_selectivity(a))
+                }),
+                AtomOrder::EqFirst => atoms.sort_by_key(|a| match a.op {
+                    scope_ir::CmpOp::Eq => 0u8,
+                    scope_ir::CmpOp::Between | scope_ir::CmpOp::Range => 1,
+                    _ => 2,
+                }),
+                AtomOrder::ByCol => atoms.sort_by_key(|a| a.col),
+            }
+            if atoms == predicate.atoms {
+                return 0;
+            }
+            atoms
         };
-        if predicate.len() < 2 {
-            return 0;
-        }
-        let mut atoms = predicate.atoms.clone();
-        // total_cmp: selectivities are estimator outputs in [0, 1], but a
-        // NaN estimate must reorder deterministically, never panic a rule.
-        match order {
-            AtomOrder::SelAsc => atoms.sort_by(|a, b| {
-                self.ctx
-                    .est
-                    .atom_selectivity(a)
-                    .total_cmp(&self.ctx.est.atom_selectivity(b))
-            }),
-            AtomOrder::SelDesc => atoms.sort_by(|a, b| {
-                self.ctx
-                    .est
-                    .atom_selectivity(b)
-                    .total_cmp(&self.ctx.est.atom_selectivity(a))
-            }),
-            AtomOrder::EqFirst => atoms.sort_by_key(|a| match a.op {
-                scope_ir::CmpOp::Eq => 0u8,
-                scope_ir::CmpOp::Between | scope_ir::CmpOp::Range => 1,
-                _ => 2,
-            }),
-            AtomOrder::ByCol => atoms.sort_by_key(|a| a.col),
-        }
-        if atoms == predicate.atoms {
-            return 0;
-        }
-        self.alt(
+        self.alt_children_of(
             memo,
             LogicalOp::Filter {
                 predicate: Predicate { atoms },
             },
-            expr.children.clone(),
+            self.expr_id,
         )
     }
 
     // ---- Project rewrites ------------------------------------------------
 
-    fn merge_projects(&self, memo: &mut Memo, expr: &ExprView) -> usize {
-        let LogicalOp::Project { cols, computed } = &expr.op else {
-            return 0;
+    fn merge_projects(&self, memo: &mut Memo) -> usize {
+        let (merged, child_e) = {
+            let LogicalOp::Project { cols, computed } = memo.op(self.expr_id) else {
+                return 0;
+            };
+            let child_e = memo.canonical(self.child0(memo));
+            let LogicalOp::Project { computed: c2, .. } = memo.op(child_e) else {
+                return 0;
+            };
+            (
+                LogicalOp::Project {
+                    cols: cols.clone(),
+                    computed: computed.saturating_add(*c2),
+                },
+                child_e,
+            )
         };
-        let child = memo.canonical(expr.children[0]).clone();
-        let LogicalOp::Project { computed: c2, .. } = &child.op else {
-            return 0;
+        self.alt_children_of(memo, merged, child_e)
+    }
+
+    /// Narrow `g` to the columns in `need` via an inserted projection;
+    /// returns `g` unchanged when nothing would be dropped (or everything
+    /// would).
+    fn narrow_to(&self, memo: &mut Memo, g: GroupId, need: &BTreeSet<ColId>) -> GroupId {
+        let kept = {
+            let avail = &memo.group_est(g).cols;
+            let kept: Vec<ColId> = avail.iter().copied().filter(|c| need.contains(c)).collect();
+            if kept.len() == avail.len() || kept.is_empty() {
+                return g;
+            }
+            kept
         };
-        self.alt(
+        self.sub(
             memo,
             LogicalOp::Project {
-                cols: cols.clone(),
-                computed: computed.saturating_add(*c2),
+                cols: kept,
+                computed: 0,
             },
-            child.children.clone(),
+            &[g],
         )
     }
 
-    fn project_below(&self, memo: &mut Memo, expr: &ExprView, kind: OpKind) -> usize {
-        let LogicalOp::Project { cols, computed } = &expr.op else {
+    fn project_below(&self, memo: &mut Memo, kind: OpKind) -> usize {
+        let LogicalOp::Project { .. } = memo.op(self.expr_id) else {
             return 0;
         };
-        let child = memo.canonical(expr.children[0]).clone();
-        if child.op.kind() != kind {
+        let child_e = memo.canonical(self.child0(memo));
+        if memo.kind_of(child_e) != kind {
             return 0;
         }
-        match &child.op {
-            LogicalOp::UnionAll => {
-                let mut pushed = Vec::with_capacity(child.children.len());
-                for &g in &child.children {
+        let child_op = memo.expr(child_e).op;
+        match memo.kind_of(child_e) {
+            OpKind::UnionAll => {
+                let (cols, computed) = {
+                    let LogicalOp::Project { cols, computed } = memo.op(self.expr_id) else {
+                        return 0;
+                    };
+                    (cols.clone(), *computed)
+                };
+                let n = memo.children(child_e).len();
+                let mut pushed = Vec::with_capacity(n);
+                for i in 0..n {
+                    let g = memo.children(child_e)[i];
                     pushed.push(self.sub(
                         memo,
                         LogicalOp::Project {
                             cols: cols.clone(),
-                            computed: *computed,
+                            computed,
                         },
-                        vec![g],
+                        &[g],
                     ));
                 }
-                self.alt(memo, LogicalOp::UnionAll, pushed)
+                self.alt(memo, LogicalOp::UnionAll, &pushed)
             }
-            LogicalOp::Join { kind: jk, keys } => {
-                if *computed > 0 {
-                    return 0;
-                }
-                let mut need: BTreeSet<ColId> = cols.iter().copied().collect();
-                for &(l, r) in keys {
-                    need.insert(l);
-                    need.insert(r);
-                }
-                let narrow = |memo: &mut Memo, g: GroupId, this: &Self| -> GroupId {
-                    let avail: Vec<ColId> = memo.group(g).est.cols.clone();
-                    let kept: Vec<ColId> =
-                        avail.iter().copied().filter(|c| need.contains(c)).collect();
-                    if kept.len() == avail.len() || kept.is_empty() {
-                        g
-                    } else {
-                        this.sub(
-                            memo,
-                            LogicalOp::Project {
-                                cols: kept,
-                                computed: 0,
-                            },
-                            vec![g],
-                        )
+            OpKind::Join => {
+                let (cols, need, jk, jkeys, lg0, rg0) = {
+                    let LogicalOp::Project { cols, computed } = memo.op(self.expr_id) else {
+                        return 0;
+                    };
+                    if *computed > 0 {
+                        return 0;
                     }
+                    let LogicalOp::Join { kind: jk, keys } = memo.op(child_e) else {
+                        return 0;
+                    };
+                    let mut need: BTreeSet<ColId> = cols.iter().copied().collect();
+                    for &(l, r) in keys {
+                        need.insert(l);
+                        need.insert(r);
+                    }
+                    let ch = memo.children(child_e);
+                    (cols.clone(), need, *jk, keys.clone(), ch[0], ch[1])
                 };
-                let lg = narrow(memo, child.children[0], self);
-                let rg = narrow(memo, child.children[1], self);
-                if lg == child.children[0] && rg == child.children[1] {
+                let lg = self.narrow_to(memo, lg0, &need);
+                let rg = self.narrow_to(memo, rg0, &need);
+                if lg == lg0 && rg == rg0 {
                     return 0;
                 }
                 let inner = self.sub(
                     memo,
                     LogicalOp::Join {
-                        kind: *jk,
-                        keys: keys.clone(),
+                        kind: jk,
+                        keys: jkeys,
                     },
-                    vec![lg, rg],
+                    &[lg, rg],
                 );
-                self.alt(
-                    memo,
-                    LogicalOp::Project {
-                        cols: cols.clone(),
-                        computed: 0,
-                    },
-                    vec![inner],
-                )
+                self.alt(memo, LogicalOp::Project { cols, computed: 0 }, &[inner])
             }
-            LogicalOp::Sort { keys } | LogicalOp::Window { keys } => {
-                let mut kept: Vec<ColId> = cols.clone();
-                for &k in keys {
-                    if !kept.contains(&k) {
-                        kept.push(k);
+            OpKind::Sort | OpKind::Window => {
+                let (kept, computed, below_of) = {
+                    let LogicalOp::Project { cols, computed } = memo.op(self.expr_id) else {
+                        return 0;
+                    };
+                    let (LogicalOp::Sort { keys } | LogicalOp::Window { keys }) = memo.op(child_e)
+                    else {
+                        return 0;
+                    };
+                    let mut kept: Vec<ColId> = cols.clone();
+                    for &k in keys {
+                        if !kept.contains(&k) {
+                            kept.push(k);
+                        }
                     }
-                }
+                    (kept, *computed, memo.children(child_e)[0])
+                };
                 let below = self.sub(
                     memo,
                     LogicalOp::Project {
                         cols: kept,
-                        computed: *computed,
+                        computed,
                     },
-                    vec![child.children[0]],
+                    &[below_of],
                 );
-                self.alt(memo, child.op.clone(), vec![below])
+                self.alt_interned(memo, child_op, &[below])
             }
-            LogicalOp::Filter { predicate } => {
-                let covered = predicate.atoms.iter().all(|a| cols.contains(&a.col));
-                if !covered {
-                    return 0;
-                }
-                let below = self.sub(
-                    memo,
-                    LogicalOp::Project {
-                        cols: cols.clone(),
-                        computed: *computed,
-                    },
-                    vec![child.children[0]],
-                );
-                self.alt(
-                    memo,
-                    LogicalOp::Filter {
-                        predicate: predicate.clone(),
-                    },
-                    vec![below],
-                )
+            OpKind::Filter => {
+                let (cols, computed, pred, below_of) = {
+                    let LogicalOp::Project { cols, computed } = memo.op(self.expr_id) else {
+                        return 0;
+                    };
+                    let LogicalOp::Filter { predicate } = memo.op(child_e) else {
+                        return 0;
+                    };
+                    let covered = predicate.atoms.iter().all(|a| cols.contains(&a.col));
+                    if !covered {
+                        return 0;
+                    }
+                    (
+                        cols.clone(),
+                        *computed,
+                        predicate.clone(),
+                        memo.children(child_e)[0],
+                    )
+                };
+                let below = self.sub(memo, LogicalOp::Project { cols, computed }, &[below_of]);
+                self.alt(memo, LogicalOp::Filter { predicate: pred }, &[below])
             }
-            LogicalOp::Top { k } => {
-                let below = self.sub(
-                    memo,
-                    LogicalOp::Project {
-                        cols: cols.clone(),
-                        computed: *computed,
-                    },
-                    vec![child.children[0]],
-                );
-                self.alt(memo, LogicalOp::Top { k: *k }, vec![below])
+            OpKind::Top => {
+                let (cols, computed, k, below_of) = {
+                    let LogicalOp::Project { cols, computed } = memo.op(self.expr_id) else {
+                        return 0;
+                    };
+                    let LogicalOp::Top { k } = memo.op(child_e) else {
+                        return 0;
+                    };
+                    (cols.clone(), *computed, *k, memo.children(child_e)[0])
+                };
+                let below = self.sub(memo, LogicalOp::Project { cols, computed }, &[below_of]);
+                self.alt(memo, LogicalOp::Top { k }, &[below])
             }
             _ => 0,
         }
     }
 
-    fn prune_below(&self, memo: &mut Memo, expr: &ExprView, kind: OpKind, eager: bool) -> usize {
-        if expr.op.kind() != kind {
+    fn prune_below(&self, memo: &mut Memo, kind: OpKind, eager: bool) -> usize {
+        if memo.kind_of(self.expr_id) != kind {
             return 0;
         }
         let min_drop = if eager { 1 } else { 4 };
+        let own_op = memo.expr(self.expr_id).op;
+        let mut new_children: Vec<GroupId> = memo.children(self.expr_id).to_vec();
         let mut changed = false;
-        let mut new_children = expr.children.clone();
         for slot in &mut new_children {
             let g = *slot;
-            let canon_kind = memo.canonical(g).op.kind();
-            if canon_kind == OpKind::Project {
+            if memo.canonical_kind(g) == OpKind::Project {
                 continue; // already narrowed
             }
-            let avail: Vec<ColId> = memo.group(g).est.cols.clone();
-            let kept: Vec<ColId> = avail
-                .iter()
-                .copied()
-                .filter(|c| self.ctx.referenced.contains(c))
-                .collect();
-            if kept.is_empty() || avail.len() - kept.len() < min_drop {
-                continue;
-            }
+            let kept = {
+                let avail = &memo.group_est(g).cols;
+                let kept: Vec<ColId> = avail
+                    .iter()
+                    .copied()
+                    .filter(|c| self.ctx.referenced.contains(c))
+                    .collect();
+                if kept.is_empty() || avail.len() - kept.len() < min_drop {
+                    continue;
+                }
+                kept
+            };
             *slot = self.sub(
                 memo,
                 LogicalOp::Project {
                     cols: kept,
                     computed: 0,
                 },
-                vec![g],
+                &[g],
             );
             changed = true;
         }
         if !changed {
             return 0;
         }
-        self.alt(memo, expr.op.clone(), new_children)
+        self.alt_interned(memo, own_op, &new_children)
+    }
+
+    /// Insert an alternative reusing an interned operator over an explicit
+    /// child list.
+    fn alt_interned(&self, memo: &mut Memo, op: scope_ir::ExprId, children: &[GroupId]) -> usize {
+        let target = memo.expr(self.expr_id).group;
+        let inserted =
+            memo.insert_interned(op, children, Some(target), Some(self.rule_id), self.ctx.est);
+        usize::from(matches!(inserted, Inserted::New(_)))
     }
 
     // ---- Join rewrites ---------------------------------------------------
 
-    fn join_commute(&self, memo: &mut Memo, expr: &ExprView, guarded: bool) -> usize {
-        let LogicalOp::Join { kind, keys } = &expr.op else {
-            return 0;
-        };
-        if *kind != JoinKind::Inner {
-            return 0;
-        }
-        if guarded {
-            let l = memo.group(expr.children[0]).est.rows;
-            let r = memo.group(expr.children[1]).est.rows;
-            // Guarded commute only fires to move the smaller input right.
-            if r <= l {
+    fn join_commute(&self, memo: &mut Memo, guarded: bool) -> usize {
+        let (kind, swapped, c0, c1) = {
+            let LogicalOp::Join { kind, keys } = memo.op(self.expr_id) else {
+                return 0;
+            };
+            if *kind != JoinKind::Inner {
                 return 0;
             }
-        }
-        let swapped: Vec<(ColId, ColId)> = keys.iter().map(|&(l, r)| (r, l)).collect();
+            let ch = memo.children(self.expr_id);
+            let (c0, c1) = (ch[0], ch[1]);
+            if guarded {
+                let l = memo.group_est(c0).rows;
+                let r = memo.group_est(c1).rows;
+                // Guarded commute only fires to move the smaller input right.
+                if r <= l {
+                    return 0;
+                }
+            }
+            let swapped: Vec<(ColId, ColId)> = keys.iter().map(|&(l, r)| (r, l)).collect();
+            (*kind, swapped, c0, c1)
+        };
         self.alt(
             memo,
             LogicalOp::Join {
-                kind: *kind,
+                kind,
                 keys: swapped,
             },
-            vec![expr.children[1], expr.children[0]],
+            &[c1, c0],
         )
     }
 
-    fn join_assoc(&self, memo: &mut Memo, expr: &ExprView, right: bool, guarded: bool) -> usize {
-        let LogicalOp::Join { kind, keys } = &expr.op else {
-            return 0;
+    fn join_assoc(&self, memo: &mut Memo, right: bool, guarded: bool) -> usize {
+        let (keys, outer_g, c) = {
+            let LogicalOp::Join { kind, keys } = memo.op(self.expr_id) else {
+                return 0;
+            };
+            if *kind != JoinKind::Inner {
+                return 0;
+            }
+            let ch = memo.children(self.expr_id);
+            let (outer_idx, inner_idx) = if right { (1, 0) } else { (0, 1) };
+            (keys.clone(), ch[outer_idx], ch[inner_idx])
         };
-        if *kind != JoinKind::Inner {
-            return 0;
-        }
-        let (outer_idx, inner_idx) = if right { (1, 0) } else { (0, 1) };
-        let nested = memo.canonical(expr.children[outer_idx]).clone();
-        let LogicalOp::Join {
-            kind: k2,
-            keys: keys2,
-        } = &nested.op
-        else {
-            return 0;
+        let nested_e = memo.canonical(outer_g);
+        let (keys2, a, b) = {
+            let LogicalOp::Join {
+                kind: k2,
+                keys: keys2,
+            } = memo.op(nested_e)
+            else {
+                return 0;
+            };
+            if *k2 != JoinKind::Inner {
+                return 0;
+            }
+            let nch = memo.children(nested_e);
+            (keys2.clone(), nch[0], nch[1])
         };
-        if *k2 != JoinKind::Inner {
-            return 0;
-        }
         // (A ⋈k2 B) ⋈k1 C  →  A ⋈k2' (B ⋈k1 C)  when k1's outer-side
         // columns all come from B.
-        let a = nested.children[0];
-        let b = nested.children[1];
-        let c = expr.children[inner_idx];
-        let b_cols: BTreeSet<ColId> = memo.group(b).est.cols.iter().copied().collect();
+        let b_cols: BTreeSet<ColId> = memo.group_est(b).cols.iter().copied().collect();
         let outer_key_ok = keys.iter().all(|&(l, r)| {
             let outer_col = if right { r } else { l };
             b_cols.contains(&outer_col)
@@ -632,7 +736,7 @@ impl Rewriter<'_, '_> {
         let inner_keys: Vec<(ColId, ColId)> = if right {
             keys.iter().map(|&(l, r)| (r, l)).collect()
         } else {
-            keys.clone()
+            keys
         };
         let new_inner = self.sub(
             memo,
@@ -640,11 +744,11 @@ impl Rewriter<'_, '_> {
                 kind: JoinKind::Inner,
                 keys: inner_keys,
             },
-            vec![b, c],
+            &[b, c],
         );
         if guarded {
-            let before = memo.group(expr.children[outer_idx]).est.rows;
-            let after = memo.group(new_inner).est.rows;
+            let before = memo.group_est(outer_g).rows;
+            let after = memo.group_est(new_inner).rows;
             if after >= before {
                 return 0;
             }
@@ -653,36 +757,35 @@ impl Rewriter<'_, '_> {
             memo,
             LogicalOp::Join {
                 kind: JoinKind::Inner,
-                keys: keys2.clone(),
+                keys: keys2,
             },
-            vec![a, new_inner],
+            &[a, new_inner],
         )
     }
 
-    fn join_on_union(
-        &self,
-        memo: &mut Memo,
-        expr: &ExprView,
-        max_arity: usize,
-        left: bool,
-    ) -> usize {
-        let LogicalOp::Join { kind, keys } = &expr.op else {
-            return 0;
+    fn join_on_union(&self, memo: &mut Memo, max_arity: usize, left: bool) -> usize {
+        let (keys, union_side, other_side) = {
+            let LogicalOp::Join { kind, keys } = memo.op(self.expr_id) else {
+                return 0;
+            };
+            if *kind != JoinKind::Inner {
+                return 0;
+            }
+            let ch = memo.children(self.expr_id);
+            let (u, o) = if left { (ch[0], ch[1]) } else { (ch[1], ch[0]) };
+            (keys.clone(), u, o)
         };
-        if *kind != JoinKind::Inner {
+        let union_e = memo.canonical(union_side);
+        if memo.kind_of(union_e) != OpKind::UnionAll {
             return 0;
         }
-        let (union_side, other_side) = if left {
-            (expr.children[0], expr.children[1])
-        } else {
-            (expr.children[1], expr.children[0])
-        };
-        let union = memo.canonical(union_side).clone();
-        if union.op.kind() != OpKind::UnionAll || union.children.len() > max_arity {
+        let n = memo.children(union_e).len();
+        if n > max_arity {
             return 0;
         }
-        let mut joined = Vec::with_capacity(union.children.len());
-        for &branch in &union.children {
+        let mut joined = Vec::with_capacity(n);
+        for i in 0..n {
+            let branch = memo.children(union_e)[i];
             let (lg, rg) = if left {
                 (branch, other_side)
             } else {
@@ -694,43 +797,50 @@ impl Rewriter<'_, '_> {
                     kind: JoinKind::Inner,
                     keys: keys.clone(),
                 },
-                vec![lg, rg],
+                &[lg, rg],
             ));
         }
-        self.alt(memo, LogicalOp::UnionAll, joined)
+        self.alt(memo, LogicalOp::UnionAll, &joined)
     }
 
     // ---- Aggregation rewrites ---------------------------------------------
 
-    fn groupby_on_join(&self, memo: &mut Memo, expr: &ExprView, variant: u8) -> usize {
-        let LogicalOp::GroupBy {
-            keys,
-            aggs,
-            partial,
-        } = &expr.op
-        else {
-            return 0;
+    fn groupby_on_join(&self, memo: &mut Memo, variant: u8) -> usize {
+        let (keys, aggs) = {
+            let LogicalOp::GroupBy {
+                keys,
+                aggs,
+                partial,
+            } = memo.op(self.expr_id)
+            else {
+                return 0;
+            };
+            if *partial {
+                return 0;
+            }
+            (keys.clone(), aggs.clone())
         };
-        if *partial {
-            return 0;
-        }
-        let child = memo.canonical(expr.children[0]).clone();
-        let LogicalOp::Join {
-            kind: jk,
-            keys: jkeys,
-        } = &child.op
-        else {
-            return 0;
+        let child_e = memo.canonical(self.child0(memo));
+        let (jk, jkeys, jc0, jc1) = {
+            let LogicalOp::Join {
+                kind: jk,
+                keys: jkeys,
+            } = memo.op(child_e)
+            else {
+                return 0;
+            };
+            let ch = memo.children(child_e);
+            (*jk, jkeys.clone(), ch[0], ch[1])
         };
         let side = (variant % 2) as usize; // variants alternate push side
-        let side_group = child.children[side];
-        let side_cols: BTreeSet<ColId> = memo.group(side_group).est.cols.iter().copied().collect();
+        let side_group = if side == 0 { jc0 } else { jc1 };
+        let side_cols: BTreeSet<ColId> = memo.group_est(side_group).cols.iter().copied().collect();
         if !keys.iter().all(|k| side_cols.contains(k)) {
             return 0;
         }
         // Partial-aggregate the chosen side on (group keys ∪ join keys).
         let mut pkeys = keys.clone();
-        for &(l, r) in jkeys {
+        for &(l, r) in &jkeys {
             let jc = if side == 0 { l } else { r };
             if side_cols.contains(&jc) && !pkeys.contains(&jc) {
                 pkeys.push(jc);
@@ -739,7 +849,7 @@ impl Rewriter<'_, '_> {
         // Higher variants fire unconditionally; low variants require a
         // plausibly-reducing aggregation.
         if variant < 2 {
-            let rows = memo.group(side_group).est.rows;
+            let rows = memo.group_est(side_group).rows;
             if rows < 10_000.0 {
                 return 0;
             }
@@ -751,52 +861,57 @@ impl Rewriter<'_, '_> {
                 aggs: aggs.clone(),
                 partial: true,
             },
-            vec![side_group],
+            &[side_group],
         );
-        let mut join_children = child.children.clone();
+        let mut join_children = [jc0, jc1];
         join_children[side] = partial_agg;
         let new_join = self.sub(
             memo,
             LogicalOp::Join {
-                kind: *jk,
-                keys: jkeys.clone(),
+                kind: jk,
+                keys: jkeys,
             },
-            vec![join_children[0], join_children[1]],
+            &join_children,
         );
         self.alt(
             memo,
             LogicalOp::GroupBy {
-                keys: keys.clone(),
-                aggs: aggs.clone(),
+                keys,
+                aggs,
                 partial: false,
             },
-            vec![new_join],
+            &[new_join],
         )
     }
 
-    fn groupby_below_union(&self, memo: &mut Memo, expr: &ExprView, variant: u8) -> usize {
-        let LogicalOp::GroupBy {
-            keys,
-            aggs,
-            partial,
-        } = &expr.op
-        else {
-            return 0;
+    fn groupby_below_union(&self, memo: &mut Memo, variant: u8) -> usize {
+        let (keys, aggs, child_g) = {
+            let LogicalOp::GroupBy {
+                keys,
+                aggs,
+                partial,
+            } = memo.op(self.expr_id)
+            else {
+                return 0;
+            };
+            if *partial {
+                return 0;
+            }
+            (keys.clone(), aggs.clone(), self.child0(memo))
         };
-        if *partial {
-            return 0;
-        }
-        let child = memo.canonical(expr.children[0]).clone();
-        if child.op.kind() != OpKind::UnionAll {
+        let child_e = memo.canonical(child_g);
+        if memo.kind_of(child_e) != OpKind::UnionAll {
             return 0;
         }
         // Variant 0 requires a reducing aggregation estimate; higher
         // variants fire more eagerly.
-        if variant == 0 && memo.group(expr.children[0]).est.rows < 10_000.0 {
+        if variant == 0 && memo.group_est(child_g).rows < 10_000.0 {
             return 0;
         }
-        let mut partials = Vec::with_capacity(child.children.len());
-        for &branch in &child.children {
+        let n = memo.children(child_e).len();
+        let mut partials = Vec::with_capacity(n);
+        for i in 0..n {
+            let branch = memo.children(child_e)[i];
             partials.push(self.sub(
                 memo,
                 LogicalOp::GroupBy {
@@ -804,34 +919,37 @@ impl Rewriter<'_, '_> {
                     aggs: aggs.clone(),
                     partial: true,
                 },
-                vec![branch],
+                &[branch],
             ));
         }
-        let new_union = self.sub(memo, LogicalOp::UnionAll, partials);
+        let new_union = self.sub(memo, LogicalOp::UnionAll, &partials);
         self.alt(
             memo,
             LogicalOp::GroupBy {
-                keys: keys.clone(),
-                aggs: aggs.clone(),
+                keys,
+                aggs,
                 partial: false,
             },
-            vec![new_union],
+            &[new_union],
         )
     }
 
-    fn split_groupby(&self, memo: &mut Memo, expr: &ExprView, variant: u8) -> usize {
-        let LogicalOp::GroupBy {
-            keys,
-            aggs,
-            partial,
-        } = &expr.op
-        else {
-            return 0;
+    fn split_groupby(&self, memo: &mut Memo, variant: u8) -> usize {
+        let (keys, aggs, child_g) = {
+            let LogicalOp::GroupBy {
+                keys,
+                aggs,
+                partial,
+            } = memo.op(self.expr_id)
+            else {
+                return 0;
+            };
+            if *partial || keys.is_empty() {
+                return 0;
+            }
+            (keys.clone(), aggs.clone(), self.child0(memo))
         };
-        if *partial || keys.is_empty() {
-            return 0;
-        }
-        let child_rows = memo.group(expr.children[0]).est.rows;
+        let child_rows = memo.group_est(child_g).rows;
         let threshold = match variant {
             0 => 100_000.0,
             1 => 10_000.0,
@@ -841,7 +959,7 @@ impl Rewriter<'_, '_> {
             return 0;
         }
         // Avoid re-splitting an already-split aggregation.
-        if memo.canonical(expr.children[0]).op.kind() == OpKind::GroupBy {
+        if memo.canonical_kind(child_g) == OpKind::GroupBy {
             return 0;
         }
         let partial_agg = self.sub(
@@ -851,69 +969,75 @@ impl Rewriter<'_, '_> {
                 aggs: aggs.clone(),
                 partial: true,
             },
-            vec![expr.children[0]],
+            &[child_g],
         );
         self.alt(
             memo,
             LogicalOp::GroupBy {
-                keys: keys.clone(),
-                aggs: aggs.clone(),
+                keys,
+                aggs,
                 partial: false,
             },
-            vec![partial_agg],
+            &[partial_agg],
         )
     }
 
-    fn normalize_reduce(&self, memo: &mut Memo, expr: &ExprView, variant: u8) -> usize {
-        let LogicalOp::GroupBy {
-            keys,
-            aggs,
-            partial,
-        } = &expr.op
-        else {
-            return 0;
+    fn normalize_reduce(&self, memo: &mut Memo, variant: u8) -> usize {
+        let (sorted, aggs, partial) = {
+            let LogicalOp::GroupBy {
+                keys,
+                aggs,
+                partial,
+            } = memo.op(self.expr_id)
+            else {
+                return 0;
+            };
+            if keys.len() < 2 {
+                return 0;
+            }
+            let mut sorted = keys.clone();
+            match variant {
+                0 => sorted.sort_unstable(),
+                1 => sorted.sort_unstable_by(|a, b| b.cmp(a)),
+                _ => sorted.sort_by_key(|c| self.ctx.est.observed().col_ndv(*c)),
+            }
+            if sorted == *keys {
+                return 0;
+            }
+            (sorted, aggs.clone(), *partial)
         };
-        if keys.len() < 2 {
-            return 0;
-        }
-        let mut sorted = keys.clone();
-        match variant {
-            0 => sorted.sort_unstable(),
-            1 => sorted.sort_unstable_by(|a, b| b.cmp(a)),
-            _ => sorted.sort_by_key(|c| self.ctx.est.observed().col_ndv(*c)),
-        }
-        if sorted == *keys {
-            return 0;
-        }
-        self.alt(
+        self.alt_children_of(
             memo,
             LogicalOp::GroupBy {
                 keys: sorted,
-                aggs: aggs.clone(),
-                partial: *partial,
+                aggs,
+                partial,
             },
-            expr.children.clone(),
+            self.expr_id,
         )
     }
 
     // ---- Union / process / top rewrites -----------------------------------
 
-    fn union_flatten(&self, memo: &mut Memo, expr: &ExprView, deep: bool) -> usize {
-        if expr.op.kind() != OpKind::UnionAll {
+    fn union_flatten(&self, memo: &mut Memo, deep: bool) -> usize {
+        if memo.kind_of(self.expr_id) != OpKind::UnionAll {
             return 0;
         }
         let mut flat: Vec<GroupId> = Vec::new();
         let mut changed = false;
-        let mut stack: Vec<(GroupId, usize)> = expr.children.iter().map(|&g| (g, 0)).collect();
+        let mut stack: Vec<(GroupId, usize)> = memo
+            .children(self.expr_id)
+            .iter()
+            .map(|&g| (g, 0))
+            .collect();
         stack.reverse();
         while let Some((g, depth)) = stack.pop() {
             let canon = memo.canonical(g);
-            let is_union = canon.op.kind() == OpKind::UnionAll;
+            let is_union = memo.kind_of(canon) == OpKind::UnionAll;
             let may_recurse = depth == 0 || deep;
             if is_union && may_recurse {
                 changed = true;
-                let children = canon.children.clone();
-                for &c in children.iter().rev() {
+                for &c in memo.children(canon).iter().rev() {
                     stack.push((c, depth + 1));
                 }
             } else {
@@ -923,116 +1047,116 @@ impl Rewriter<'_, '_> {
         if !changed || flat.len() < 2 {
             return 0;
         }
-        self.alt(memo, LogicalOp::UnionAll, flat)
+        self.alt(memo, LogicalOp::UnionAll, &flat)
     }
 
-    fn process_below_union(&self, memo: &mut Memo, expr: &ExprView) -> usize {
-        let LogicalOp::Process { udo } = &expr.op else {
+    fn process_below_union(&self, memo: &mut Memo) -> usize {
+        let LogicalOp::Process { udo } = memo.op(self.expr_id) else {
             return 0;
         };
-        let child = memo.canonical(expr.children[0]).clone();
-        if child.op.kind() != OpKind::UnionAll {
+        let udo = *udo;
+        let child_e = memo.canonical(self.child0(memo));
+        if memo.kind_of(child_e) != OpKind::UnionAll {
             return 0;
         }
-        let mut pushed = Vec::with_capacity(child.children.len());
-        for &branch in &child.children {
-            pushed.push(self.sub(memo, LogicalOp::Process { udo: *udo }, vec![branch]));
+        let n = memo.children(child_e).len();
+        let mut pushed = Vec::with_capacity(n);
+        for i in 0..n {
+            let branch = memo.children(child_e)[i];
+            pushed.push(self.sub(memo, LogicalOp::Process { udo }, &[branch]));
         }
-        self.alt(memo, LogicalOp::UnionAll, pushed)
+        self.alt(memo, LogicalOp::UnionAll, &pushed)
     }
 
-    fn top_below_union(&self, memo: &mut Memo, expr: &ExprView) -> usize {
-        let LogicalOp::Top { k } = &expr.op else {
+    fn top_below_union(&self, memo: &mut Memo) -> usize {
+        let LogicalOp::Top { k } = memo.op(self.expr_id) else {
             return 0;
         };
-        let child = memo.canonical(expr.children[0]).clone();
-        if child.op.kind() != OpKind::UnionAll {
+        let k = *k;
+        let child_e = memo.canonical(self.child0(memo));
+        if memo.kind_of(child_e) != OpKind::UnionAll {
             return 0;
         }
-        let mut pushed = Vec::with_capacity(child.children.len());
-        for &branch in &child.children {
-            pushed.push(self.sub(memo, LogicalOp::Top { k: *k }, vec![branch]));
+        let n = memo.children(child_e).len();
+        let mut pushed = Vec::with_capacity(n);
+        for i in 0..n {
+            let branch = memo.children(child_e)[i];
+            pushed.push(self.sub(memo, LogicalOp::Top { k }, &[branch]));
         }
-        let new_union = self.sub(memo, LogicalOp::UnionAll, pushed);
-        self.alt(memo, LogicalOp::Top { k: *k }, vec![new_union])
+        let new_union = self.sub(memo, LogicalOp::UnionAll, &pushed);
+        self.alt(memo, LogicalOp::Top { k }, &[new_union])
     }
 
     // ---- Generic unary rewrites --------------------------------------------
 
-    fn swap_unary(
-        &self,
-        memo: &mut Memo,
-        expr: &ExprView,
-        parent: OpKind,
-        child_kind: OpKind,
-    ) -> usize {
-        if expr.op.kind() != parent || expr.children.len() != 1 {
+    fn swap_unary(&self, memo: &mut Memo, parent: OpKind, child_kind: OpKind) -> usize {
+        if memo.kind_of(self.expr_id) != parent || memo.expr(self.expr_id).n_children() != 1 {
             return 0;
         }
-        let child = memo.canonical(expr.children[0]).clone();
-        if child.op.kind() != child_kind || child.children.len() != 1 {
+        let child_e = memo.canonical(self.child0(memo));
+        if memo.kind_of(child_e) != child_kind || memo.expr(child_e).n_children() != 1 {
             return 0;
         }
-        let below = self.sub(memo, expr.op.clone(), vec![child.children[0]]);
-        self.alt(memo, child.op.clone(), vec![below])
+        let grandchild = memo.children(child_e)[0];
+        let own_op = memo.expr(self.expr_id).op;
+        let child_op = memo.expr(child_e).op;
+        let below = self.sub_interned(memo, own_op, &[grandchild]);
+        self.alt_interned(memo, child_op, &[below])
     }
 
-    fn eliminate_identity(&self, memo: &mut Memo, expr: &ExprView, kind: OpKind) -> usize {
-        if expr.op.kind() != kind {
+    fn eliminate_identity(&self, memo: &mut Memo, kind: OpKind) -> usize {
+        if memo.kind_of(self.expr_id) != kind {
             return 0;
         }
-        let replace_with_child = match (&expr.op, kind) {
+        let replace_with_child = match (memo.op(self.expr_id), kind) {
             (LogicalOp::Project { cols, computed }, OpKind::Project) => {
                 *computed == 0 && {
-                    let avail = &memo.group(expr.children[0]).est.cols;
+                    let avail = &memo.group_est(self.child0(memo)).cols;
                     cols.len() == avail.len() && cols.iter().all(|c| avail.contains(c))
                 }
             }
             (LogicalOp::Top { k }, OpKind::Top) => {
                 // Risky: trusts the estimate.
-                (*k as f64) >= memo.group(expr.children[0]).est.rows
+                (*k as f64) >= memo.group_est(self.child0(memo)).rows
             }
             (LogicalOp::Sort { keys }, OpKind::Sort) => {
                 // Sort whose keys prefix an identical child sort.
-                match &memo.canonical(expr.children[0]).op {
+                match memo.canonical_op(self.child0(memo)) {
                     LogicalOp::Sort { keys: inner } => inner.starts_with(keys),
                     _ => false,
                 }
             }
-            (LogicalOp::UnionAll, OpKind::UnionAll) => expr.children.len() == 1,
+            (LogicalOp::UnionAll, OpKind::UnionAll) => memo.expr(self.expr_id).n_children() == 1,
             _ => false,
         };
         if !replace_with_child {
             return 0;
         }
-        let child = memo.canonical(expr.children[0]).clone();
-        self.alt(memo, child.op, child.children)
+        let child_e = memo.canonical(self.child0(memo));
+        self.alt_existing(memo, child_e)
     }
 
-    fn collapse_same(&self, memo: &mut Memo, expr: &ExprView, kind: OpKind) -> usize {
-        if expr.op.kind() != kind || expr.children.len() != 1 {
+    fn collapse_same(&self, memo: &mut Memo, kind: OpKind) -> usize {
+        if memo.kind_of(self.expr_id) != kind || memo.expr(self.expr_id).n_children() != 1 {
             return 0;
         }
-        let child = memo.canonical(expr.children[0]).clone();
-        if child.op.kind() != kind {
+        let child_e = memo.canonical(self.child0(memo));
+        if memo.kind_of(child_e) != kind {
             return 0;
         }
-        let merged = match (&expr.op, &child.op) {
-            (LogicalOp::Sort { keys }, LogicalOp::Sort { .. }) => {
-                LogicalOp::Sort { keys: keys.clone() }
-            }
-            (LogicalOp::Top { k: k1 }, LogicalOp::Top { k: k2 }) => {
-                LogicalOp::Top { k: (*k1).min(*k2) }
-            }
-            (LogicalOp::Window { keys }, LogicalOp::Window { .. }) => {
-                LogicalOp::Window { keys: keys.clone() }
-            }
+        let own_op = memo.expr(self.expr_id).op;
+        // Decide first (read borrows end with the match), insert after.
+        let merged_top = match (memo.op(self.expr_id), memo.op(child_e)) {
+            (LogicalOp::Sort { .. }, LogicalOp::Sort { .. })
+            | (LogicalOp::Window { .. }, LogicalOp::Window { .. }) => None,
+            (LogicalOp::Top { k: k1 }, LogicalOp::Top { k: k2 }) => Some((*k1).min(*k2)),
             _ => return 0,
         };
-        self.alt(memo, merged, child.children)
+        match merged_top {
+            // Merged operator == the parent's own (keys are the parent's);
+            // reuse the interned handle over the child's children.
+            None => self.alt_interned_children_of(memo, own_op, child_e),
+            Some(k) => self.alt_children_of(memo, LogicalOp::Top { k }, child_e),
+        }
     }
 }
-
-/// A cloned view of a memo expression (avoids holding borrows during
-/// rewrites).
-type ExprView = crate::memo::MExpr;

@@ -123,6 +123,9 @@ fn concurrent_lookups_converge_on_one_entry() {
     let cache = CompileCache::new(64);
 
     let results: Vec<Arc<_>> = std::thread::scope(|s| {
+        // The intermediate collect is the point: all eight threads must be
+        // spawned before the first join, or the "race" runs sequentially.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 s.spawn(|| {

@@ -75,7 +75,12 @@ fn scan(t: u32) -> LogicalOp {
 
 /// Find an expression in a group matching a predicate over its op.
 fn find_in_group<F: Fn(&LogicalOp) -> bool>(memo: &Memo, g: GroupId, f: F) -> bool {
-    memo.group(g).exprs.iter().any(|&e| f(&memo.expr(e).op))
+    memo.group_exprs(g).any(|e| f(memo.op(e)))
+}
+
+/// First child group of a group's canonical expression.
+fn canonical_child0(memo: &Memo, g: GroupId) -> GroupId {
+    memo.children(memo.canonical(g))[0]
 }
 
 #[test]
@@ -90,7 +95,7 @@ fn collapse_filters_merges_adjacent_filters() {
     let (memo, root, added) = fx.apply(&p, "CollapseSelects");
     assert_eq!(added, 1);
     // The merged filter lives in the upper filter's group.
-    let out_child = memo.canonical(root).children[0];
+    let out_child = canonical_child0(&memo, root);
     assert!(find_in_group(&memo, out_child, |op| {
         matches!(op, LogicalOp::Filter { predicate } if predicate.len() == 2)
     }));
@@ -106,7 +111,7 @@ fn filter_into_scan_pushes_predicate() {
     p.set_root(o);
     let (memo, root, added) = fx.apply(&p, "SelectPartitions");
     assert_eq!(added, 1);
-    let out_child = memo.canonical(root).children[0];
+    let out_child = canonical_child0(&memo, root);
     assert!(find_in_group(&memo, out_child, |op| {
         matches!(op, LogicalOp::RangeGet { pushed, .. } if pushed.len() == 1)
     }));
@@ -136,14 +141,13 @@ fn filter_below_join_splits_by_side() {
     assert!(added >= 1);
     // An alternative join over filtered children exists in the filter's
     // group (no residual — both atoms moved).
-    let out_child = memo.canonical(root).children[0];
-    let pushed_join = memo.group(out_child).exprs.iter().any(|&e| {
-        let expr = memo.expr(e);
-        matches!(expr.op, LogicalOp::Join { .. })
-            && expr
-                .children
+    let out_child = canonical_child0(&memo, root);
+    let pushed_join = memo.group_exprs(out_child).any(|e| {
+        matches!(memo.op(e), LogicalOp::Join { .. })
+            && memo
+                .children(e)
                 .iter()
-                .all(|&c| matches!(memo.canonical(c).op, LogicalOp::Filter { .. }))
+                .all(|&c| matches!(memo.canonical_op(c), LogicalOp::Filter { .. }))
     });
     assert!(pushed_join, "expected Join over per-side Filters");
 }
@@ -170,7 +174,7 @@ fn eq_only_pushdown_keeps_residual_above() {
     // Join/GroupBy — here use the full pushdown and check both atoms move.
     let (memo, root, added) = fx.apply(&p, "SelectOnProject");
     assert_eq!(added, 1);
-    let out_child = memo.canonical(root).children[0];
+    let out_child = canonical_child0(&memo, root);
     assert!(find_in_group(&memo, out_child, |op| {
         matches!(op, LogicalOp::Project { .. })
     }));
@@ -190,7 +194,7 @@ fn reorder_atoms_orders_by_estimated_selectivity() {
     p.set_root(o);
     let (memo, root, added) = fx.apply(&p, "SelectPredNormalized");
     assert_eq!(added, 1);
-    let out_child = memo.canonical(root).children[0];
+    let out_child = canonical_child0(&memo, root);
     assert!(find_in_group(&memo, out_child, |op| {
         matches!(op, LogicalOp::Filter { predicate }
             if predicate.atoms[0].op == CmpOp::Eq && predicate.atoms[1].op == CmpOp::Range)
@@ -214,7 +218,7 @@ fn join_commute_swaps_children_and_keys() {
     p.set_root(o);
     let (memo, root, added) = fx.apply(&p, "JoinCommute");
     assert_eq!(added, 1);
-    let join_group = memo.canonical(root).children[0];
+    let join_group = canonical_child0(&memo, root);
     assert!(find_in_group(&memo, join_group, |op| {
         matches!(op, LogicalOp::Join { keys, .. } if keys == &vec![(ColId(3), ColId(0))])
     }));
@@ -240,7 +244,7 @@ fn join_on_union_distributes_join_over_branches() {
     // b1 == b2 structurally → they dedup to one group; union arity 2 kept.
     let (memo, root, added) = fx.apply(&p, "CorrelatedJoinOnUnionAll1");
     assert!(added >= 1, "rule must fire");
-    let join_group = memo.canonical(root).children[0];
+    let join_group = canonical_child0(&memo, root);
     assert!(
         find_in_group(&memo, join_group, |op| {
             matches!(op, LogicalOp::UnionAll)
@@ -266,13 +270,12 @@ fn split_groupby_produces_partial_final_pair() {
     p.set_root(o);
     let (memo, root, added) = fx.apply(&p, "SplitGroupByHashed");
     assert_eq!(added, 1);
-    let gb_group = memo.canonical(root).children[0];
-    let has_split = memo.group(gb_group).exprs.iter().any(|&e| {
-        let expr = memo.expr(e);
-        matches!(&expr.op, LogicalOp::GroupBy { partial: false, .. })
-            && expr.children.len() == 1
+    let gb_group = canonical_child0(&memo, root);
+    let has_split = memo.group_exprs(gb_group).any(|e| {
+        matches!(memo.op(e), LogicalOp::GroupBy { partial: false, .. })
+            && memo.children(e).len() == 1
             && matches!(
-                memo.canonical(expr.children[0]).op,
+                memo.canonical_op(memo.children(e)[0]),
                 LogicalOp::GroupBy { partial: true, .. }
             )
     });
@@ -292,16 +295,15 @@ fn union_flatten_inlines_nested_unions() {
     p.set_root(o);
     let (memo, root, added) = fx.apply(&p, "UnionAllOnUnionAll");
     assert!(added >= 1);
-    let u_group = memo.canonical(root).children[0];
+    let u_group = canonical_child0(&memo, root);
     assert!(find_in_group(&memo, u_group, |op| matches!(
         op,
         LogicalOp::UnionAll
     )));
     // Flattened alternative has 3 children.
-    let flattened = memo.group(u_group).exprs.iter().any(|&e| {
-        let expr = memo.expr(e);
-        matches!(expr.op, LogicalOp::UnionAll) && expr.children.len() == 3
-    });
+    let flattened = memo
+        .group_exprs(u_group)
+        .any(|e| matches!(memo.op(e), LogicalOp::UnionAll) && memo.children(e).len() == 3);
     assert!(flattened);
 }
 
@@ -322,7 +324,7 @@ fn swap_unary_commutes_adjacent_operators() {
     // ReseqFilterOnSort: Filter over Sort → Sort over Filter.
     let (memo, root, added) = fx.apply(&p, "ReseqFilterOnSort");
     assert_eq!(added, 1);
-    let top_group = memo.canonical(root).children[0];
+    let top_group = canonical_child0(&memo, root);
     assert!(find_in_group(&memo, top_group, |op| matches!(
         op,
         LogicalOp::Sort { .. }
@@ -381,13 +383,12 @@ fn prune_below_respects_referenced_columns() {
     let (memo, root, eager_added) = fx.apply(&p, "EagerPruneJoin");
     assert!(eager_added >= 1);
     // The pruning projection keeps only referenced columns.
-    let gb_group = memo.canonical(root).children[0];
-    let join_group = memo.canonical(gb_group).children[0];
-    let pruned = memo.group(join_group).exprs.iter().any(|&e| {
-        let expr = memo.expr(e);
-        matches!(expr.op, LogicalOp::Join { .. })
-            && expr.children.iter().any(|&c| {
-                matches!(&memo.canonical(c).op,
+    let gb_group = canonical_child0(&memo, root);
+    let join_group = canonical_child0(&memo, gb_group);
+    let pruned = memo.group_exprs(join_group).any(|e| {
+        matches!(memo.op(e), LogicalOp::Join { .. })
+            && memo.children(e).iter().any(|&c| {
+                matches!(memo.canonical_op(c),
                     LogicalOp::Project { cols, .. } if !cols.contains(&ColId(2)))
             })
     });
