@@ -6,7 +6,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 24] = [
+const EXPERIMENTS: [&str; 25] = [
     "exp_table1",
     "exp_table2",
     "exp_fig2",
@@ -31,6 +31,7 @@ const EXPERIMENTS: [&str; 24] = [
     "exp_trace",
     "exp_flighting",
     "exp_serving",
+    "exp_bounds",
 ];
 
 fn main() {

@@ -87,6 +87,11 @@ pub struct CandidateFilterStats {
     /// job had the same canonical (live) rule bits; the stored compile
     /// result was replayed instead.
     pub static_redundant: usize,
+    /// Candidates the abstract-interpretation bounds gate retired before
+    /// any compile: their whole-plan cost lower bound provably exceeded the
+    /// job's execution threshold, so compiling them could not have changed
+    /// any executed alternative.
+    pub static_bounded: usize,
 }
 
 impl CandidateFilterStats {
@@ -94,7 +99,7 @@ impl CandidateFilterStats {
     /// statically-retired candidates; redundant candidates are *reused*,
     /// not filtered, so they are excluded here).
     pub fn total(&self) -> usize {
-        self.dynamic_total() + self.static_invalid
+        self.dynamic_total() + self.static_invalid + self.static_bounded
     }
 
     /// Candidates the *dynamic* guardrails (compile + vet) filtered.
@@ -103,9 +108,10 @@ impl CandidateFilterStats {
     }
 
     /// Candidates handled statically, with zero compiles: retired as
-    /// certainly-invalid or served from a canonical-equivalent compile.
+    /// certainly-invalid, retired by the cost-bounds gate, or served from a
+    /// canonical-equivalent compile.
     pub fn static_total(&self) -> usize {
-        self.static_invalid + self.static_redundant
+        self.static_invalid + self.static_redundant + self.static_bounded
     }
 
     /// Fold another stats record into this one.
@@ -116,6 +122,7 @@ impl CandidateFilterStats {
         self.diverged += other.diverged;
         self.static_invalid += other.static_invalid;
         self.static_redundant += other.static_redundant;
+        self.static_bounded += other.static_bounded;
     }
 
     /// Count a guarded compile error. Ordinary configuration-infeasibility

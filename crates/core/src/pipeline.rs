@@ -25,7 +25,7 @@ use scope_exec::{ABTester, FaultedRun, Metric, RetryPolicy, RunMetrics};
 use scope_ir::ids::{JobId, TemplateId};
 use scope_ir::stats::pct_change;
 use scope_ir::Job;
-use scope_lint::{ConfigVerdict, JobLint};
+use scope_lint::{ConfigVerdict, JobLint, PlanBounds};
 use scope_optimizer::{
     catch_compile_panics, compile, compile_with_budget, effective_config, plan_catalog_fingerprint,
     CacheStats, CompileBudget, CompileCache, CompiledPlan, RuleConfig, RuleId, RuleSet,
@@ -86,6 +86,19 @@ pub struct PipelineParams {
     /// `over_budget`. The switch exists for A/B measurement (`exp_lint`)
     /// and the determinism test.
     pub lint_gate: bool,
+    /// Run the abstract-interpretation bounds analysis (`scope-lint`'s
+    /// [`PlanBounds`]) over every candidate before compiling it: a
+    /// candidate whose *sound whole-plan cost lower bound* already exceeds
+    /// the job's execution threshold (the default's cost, then the k-th
+    /// cheapest compiled alternative) is statically retired — never
+    /// compiled, counted in `vetting.static_bounded`. Every observable
+    /// discovery result (executed alternatives, their configs, costs and
+    /// metrics, selection reasons, dedup against the default, dynamic
+    /// guardrail counters) is bit-identical with the gate on or off; only
+    /// candidate-census counters over the retired tail (`n_candidates`,
+    /// `n_duplicate_plans`) and the static funnel counters differ. Off by
+    /// default pending the `exp_bounds` A/B measurement.
+    pub bounds_gate: bool,
 }
 
 impl Default for PipelineParams {
@@ -103,6 +116,7 @@ impl Default for PipelineParams {
             n_threads: 0,
             cache_capacity: 4096,
             lint_gate: true,
+            bounds_gate: false,
         }
     }
 }
@@ -280,6 +294,86 @@ enum DefaultOutcome {
     OutOfWindow,
     /// A usable baseline.
     InWindow(Arc<CompiledPlan>, RunMetrics),
+}
+
+/// Per-job candidate pool accounting, shared verbatim by the
+/// straight-through path and the bounds-gate replay so both walk the exact
+/// same per-candidate decision sequence (see [`Pipeline::analyze_job`]).
+#[derive(Default)]
+struct PoolState {
+    n_candidates: usize,
+    n_cheaper: usize,
+    n_same_as_default: usize,
+    n_duplicate_plans: usize,
+    clearly_cheaper: bool,
+    seen_signatures: HashSet<RuleSignature>,
+    recompiled: Vec<(RuleConfig, Arc<CompiledPlan>)>,
+}
+
+impl PoolState {
+    /// Fold one candidate's compile result into the pool: vet, count, dedup
+    /// against the default and earlier survivors. `trace` gates the funnel
+    /// counters so a scratch replay (threshold probing) stays invisible.
+    fn absorb(
+        &mut self,
+        vetting: &mut CandidateFilterStats,
+        config: RuleConfig,
+        result: Result<Arc<CompiledPlan>, scope_optimizer::CompileError>,
+        default: &CompiledPlan,
+        cheaper_frac: f64,
+        trace: bool,
+    ) {
+        match result {
+            Ok(c) => match vet_candidate(default, &c) {
+                Ok(()) => {
+                    self.n_candidates += 1;
+                    if c.est_cost < default.est_cost {
+                        self.n_cheaper += 1;
+                    }
+                    if c.est_cost < default.est_cost * (1.0 - cheaper_frac) {
+                        self.clearly_cheaper = true;
+                    }
+                    if c.signature == default.signature {
+                        self.n_same_as_default += 1;
+                        if trace {
+                            scope_trace::count(Counter::FunnelDuplicate, 1);
+                        }
+                    } else if !self.seen_signatures.insert(c.signature) {
+                        self.n_duplicate_plans += 1;
+                        if trace {
+                            scope_trace::count(Counter::FunnelDuplicate, 1);
+                        }
+                    } else {
+                        self.recompiled.push((config, c));
+                    }
+                }
+                Err(rejection) => {
+                    vetting.note_rejection(&rejection);
+                    if trace {
+                        scope_trace::count(Counter::FunnelVetoed, 1);
+                    }
+                }
+            },
+            Err(err) => {
+                vetting.note_compile_error(&err);
+                if trace {
+                    scope_trace::count(Counter::FunnelCompileFailed, 1);
+                }
+            }
+        }
+    }
+}
+
+/// How one candidate stands after the bounds-gate's first pass.
+enum Disposition {
+    /// Statically certain to fail compilation; already counted.
+    StaticInvalid,
+    /// Compiled (or folded onto a canonical-equivalent compile).
+    Done(Result<Arc<CompiledPlan>, scope_optimizer::CompileError>),
+    /// Compile deferred: the cost lower bound exceeds the default's cost,
+    /// so this candidate can only matter if the execution threshold ends up
+    /// above `lb`. `canonical` is `Some` when the lint gate may fold it.
+    Deferred { canonical: Option<RuleSet>, lb: f64 },
 }
 
 impl Pipeline {
@@ -531,88 +625,217 @@ impl Pipeline {
         // signature is the same plan under different raw bits. Both stay in
         // the candidate statistics but are kept out of the execution pool,
         // so `execute_top_k` slots only go to genuinely distinct plans.
+        // Bounds gate (when `params.bounds_gate`): the abstract
+        // interpreter derives each candidate's *sound* whole-plan cost
+        // lower bound from this job's plan and the enabled rule set — no
+        // compile. A candidate whose bound exceeds the default's cost is
+        // deferred; after the eager compiles fix the execution threshold
+        // (the k-th cheapest distinct alternative), deferred candidates
+        // the threshold cannot rule out are resolved, and the rest are
+        // retired unseen. A final replay in original candidate order
+        // rebuilds the pool so signature-dedup ownership, stable-sort tie
+        // order, and every dynamic counter match the gate-off run exactly.
         let lint = self.params.lint_gate.then(|| JobLint::new(&job.plan));
+        let bounds = self
+            .params
+            .bounds_gate
+            .then(|| PlanBounds::analyze(&job.plan, &obs));
         let mut by_canonical: HashMap<
             RuleSet,
             Result<Arc<CompiledPlan>, scope_optimizer::CompileError>,
         > = HashMap::new();
         let mut vetting = CandidateFilterStats::default();
-        let mut recompiled: Vec<(RuleConfig, Arc<CompiledPlan>)> = Vec::new();
-        let mut seen_signatures: HashSet<RuleSignature> = HashSet::new();
-        let mut n_candidates = 0usize;
-        let mut n_cheaper = 0usize;
-        let mut n_same_as_default = 0usize;
-        let mut n_duplicate_plans = 0usize;
-        let mut clearly_cheaper = false;
-        for config in configs {
-            scope_trace::count(Counter::FunnelGenerated, 1);
-            let result = match &lint {
-                Some(lint) => {
-                    let canonical = match lint.classify(&config) {
-                        ConfigVerdict::Invalid { .. } => {
-                            vetting.static_invalid += 1;
-                            scope_trace::count(Counter::LintInvalid, 1);
-                            scope_trace::count(Counter::FunnelStaticRejected, 1);
-                            continue;
-                        }
-                        ConfigVerdict::Redundant { canonical } => {
-                            scope_trace::count(Counter::LintRedundant, 1);
-                            canonical
-                        }
-                        ConfigVerdict::Dead { .. } => {
-                            scope_trace::count(Counter::LintDead, 1);
-                            *config.enabled()
-                        }
-                        ConfigVerdict::Valid => {
-                            scope_trace::count(Counter::LintValid, 1);
-                            *config.enabled()
-                        }
+        // Static lint classification shared by both paths; `None` means
+        // certainly-infeasible (already counted), `Some` carries the
+        // canonical bits candidate compiles fold on.
+        let classify = |lint: &JobLint,
+                        config: &RuleConfig,
+                        vetting: &mut CandidateFilterStats|
+         -> Option<RuleSet> {
+            match lint.classify(config) {
+                ConfigVerdict::Invalid { .. } => {
+                    vetting.static_invalid += 1;
+                    scope_trace::count(Counter::LintInvalid, 1);
+                    scope_trace::count(Counter::FunnelStaticRejected, 1);
+                    None
+                }
+                ConfigVerdict::Redundant { canonical } => {
+                    scope_trace::count(Counter::LintRedundant, 1);
+                    Some(canonical)
+                }
+                ConfigVerdict::Dead { .. } => {
+                    scope_trace::count(Counter::LintDead, 1);
+                    Some(*config.enabled())
+                }
+                ConfigVerdict::Valid => {
+                    scope_trace::count(Counter::LintValid, 1);
+                    Some(*config.enabled())
+                }
+            }
+        };
+        // Compile one candidate, folding onto a canonical-equivalent
+        // stored compile when the lint gate identified one.
+        let compile_via = |canonical: Option<RuleSet>,
+                           config: &RuleConfig,
+                           by_canonical: &mut HashMap<
+            RuleSet,
+            Result<Arc<CompiledPlan>, scope_optimizer::CompileError>,
+        >,
+                           vetting: &mut CandidateFilterStats|
+         -> Result<Arc<CompiledPlan>, scope_optimizer::CompileError> {
+            match canonical {
+                Some(bits) => match by_canonical.get(&bits) {
+                    Some(stored) => {
+                        vetting.static_redundant += 1;
+                        stored.clone()
+                    }
+                    None => {
+                        let fresh = self.compile_cached(job, &obs, fingerprint, config);
+                        by_canonical.insert(bits, fresh.clone());
+                        fresh
+                    }
+                },
+                None => self.compile_cached(job, &obs, fingerprint, config),
+            }
+        };
+        let mut state = PoolState::default();
+        match &bounds {
+            None => {
+                for config in configs {
+                    scope_trace::count(Counter::FunnelGenerated, 1);
+                    let canonical = match &lint {
+                        Some(lint) => match classify(lint, &config, &mut vetting) {
+                            None => continue,
+                            Some(bits) => Some(bits),
+                        },
+                        None => None,
                     };
-                    match by_canonical.get(&canonical) {
-                        Some(stored) => {
-                            vetting.static_redundant += 1;
-                            stored.clone()
+                    let result = compile_via(canonical, &config, &mut by_canonical, &mut vetting);
+                    state.absorb(
+                        &mut vetting,
+                        config,
+                        result,
+                        default,
+                        self.params.cheaper_frac,
+                        true,
+                    );
+                }
+            }
+            Some(bounds) => {
+                // Phase 1: classify everything; compile eagerly only when
+                // the cost lower bound does not already exceed the
+                // default's cost (such a candidate can never be cheaper,
+                // same-as-default, or trigger selection — it can only
+                // claim a late execution slot).
+                let mut slots: Vec<(RuleConfig, Disposition)> = Vec::new();
+                for config in configs {
+                    scope_trace::count(Counter::FunnelGenerated, 1);
+                    let canonical = match &lint {
+                        Some(lint) => match classify(lint, &config, &mut vetting) {
+                            None => {
+                                slots.push((config, Disposition::StaticInvalid));
+                                continue;
+                            }
+                            Some(bits) => Some(bits),
+                        },
+                        None => None,
+                    };
+                    let lb = bounds.cost_lo(config.enabled());
+                    let disp = if lb > default.est_cost {
+                        Disposition::Deferred { canonical, lb }
+                    } else {
+                        Disposition::Done(compile_via(
+                            canonical,
+                            &config,
+                            &mut by_canonical,
+                            &mut vetting,
+                        ))
+                    };
+                    slots.push((config, disp));
+                }
+                // Phase 2: the execution threshold — the k-th cheapest
+                // distinct vetted alternative among the eager compiles
+                // (scratch replay; counters untouched). Soundness: every
+                // deferred candidate's compiled cost would be ≥ its lower
+                // bound, and a pool of ≥ k alternatives at or below the
+                // threshold survives into the final replay, so a pruned
+                // candidate (bound strictly above the threshold) can never
+                // displace an executed one under the strict-`<` stable
+                // sort — with the gate off it would compile, vet, and then
+                // lose the same comparison.
+                let top_k = self.params.execute_top_k;
+                let threshold = if top_k == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    let mut scratch = PoolState::default();
+                    let mut scratch_vetting = CandidateFilterStats::default();
+                    for (config, disp) in &slots {
+                        if let Disposition::Done(result) = disp {
+                            scratch.absorb(
+                                &mut scratch_vetting,
+                                config.clone(),
+                                result.clone(),
+                                default,
+                                self.params.cheaper_frac,
+                                false,
+                            );
                         }
-                        None => {
-                            let fresh = self.compile_cached(job, &obs, fingerprint, &config);
-                            by_canonical.insert(canonical, fresh.clone());
-                            fresh
+                    }
+                    let mut ests: Vec<f64> =
+                        scratch.recompiled.iter().map(|(_, c)| c.est_cost).collect();
+                    if ests.len() < top_k {
+                        f64::INFINITY
+                    } else {
+                        ests.sort_by(f64::total_cmp);
+                        ests[top_k - 1]
+                    }
+                };
+                // Phase 3: resolve the deferred candidates the threshold
+                // cannot rule out; the rest are retired without a compile.
+                for (config, disp) in &mut slots {
+                    if let Disposition::Deferred { canonical, lb } = disp {
+                        if *lb <= threshold {
+                            *disp = Disposition::Done(compile_via(
+                                *canonical,
+                                config,
+                                &mut by_canonical,
+                                &mut vetting,
+                            ));
                         }
                     }
                 }
-                None => self.compile_cached(job, &obs, fingerprint, &config),
-            };
-            match result {
-                Ok(c) => match vet_candidate(default, &c) {
-                    Ok(()) => {
-                        n_candidates += 1;
-                        if c.est_cost < default.est_cost {
-                            n_cheaper += 1;
+                // Phase 4: replay in original candidate order so dedup
+                // ownership and sort-tie order match the gate-off run.
+                for (config, disp) in slots {
+                    match disp {
+                        Disposition::StaticInvalid => {}
+                        Disposition::Deferred { .. } => {
+                            vetting.static_bounded += 1;
+                            scope_trace::count(Counter::FunnelBoundsPruned, 1);
                         }
-                        if c.est_cost < default.est_cost * (1.0 - self.params.cheaper_frac) {
-                            clearly_cheaper = true;
-                        }
-                        if c.signature == default.signature {
-                            n_same_as_default += 1;
-                            scope_trace::count(Counter::FunnelDuplicate, 1);
-                        } else if !seen_signatures.insert(c.signature) {
-                            n_duplicate_plans += 1;
-                            scope_trace::count(Counter::FunnelDuplicate, 1);
-                        } else {
-                            recompiled.push((config, c));
+                        Disposition::Done(result) => {
+                            state.absorb(
+                                &mut vetting,
+                                config,
+                                result,
+                                default,
+                                self.params.cheaper_frac,
+                                true,
+                            );
                         }
                     }
-                    Err(rejection) => {
-                        vetting.note_rejection(&rejection);
-                        scope_trace::count(Counter::FunnelVetoed, 1);
-                    }
-                },
-                Err(err) => {
-                    vetting.note_compile_error(&err);
-                    scope_trace::count(Counter::FunnelCompileFailed, 1);
                 }
             }
         }
+        let PoolState {
+            n_candidates,
+            n_cheaper,
+            n_same_as_default,
+            n_duplicate_plans,
+            clearly_cheaper,
+            mut recompiled,
+            ..
+        } = state;
 
         // §6.1 selection heuristics.
         let outlier = default_metrics.runtime > default.est_cost * self.params.outlier_ratio;
@@ -835,6 +1058,88 @@ mod tests {
             with.vetting.static_total() > 0,
             "expected the analyzer to retire or fold at least one candidate"
         );
+    }
+
+    /// Strip the counters the bounds gate legitimately changes — the
+    /// candidate census over the retired tail and the static funnel — so
+    /// gate-on and gate-off runs can be compared field-for-field on
+    /// everything observable (executed configs/plans/costs/metrics,
+    /// selection reasons, dedup against the default, dynamic guardrails).
+    fn bounds_insensitive_view(report: &DiscoveryReport) -> String {
+        let strip = |mut v: CandidateFilterStats| {
+            v.static_invalid = 0;
+            v.static_redundant = 0;
+            v.static_bounded = 0;
+            v
+        };
+        let vetting = strip(report.vetting);
+        let outcomes: Vec<JobOutcome> = report
+            .outcomes
+            .iter()
+            .map(|o| {
+                let mut o = o.clone();
+                o.vetting = strip(o.vetting);
+                o.n_candidates = 0;
+                o.n_duplicate_plans = 0;
+                o
+            })
+            .collect();
+        format!(
+            "{:?}|{}|{}|{}|{}|{:?}",
+            outcomes,
+            report.not_selected,
+            report.out_of_window,
+            report.failed_defaults,
+            report.failed_candidates,
+            vetting,
+        )
+    }
+
+    #[test]
+    fn bounds_gate_preserves_discovery_bit_for_bit() {
+        let w = Workload::generate(WorkloadProfile::workload_a(0.06));
+        let jobs = w.day(0);
+        let run = |bounds_gate: bool, seed: u64| {
+            let p = Pipeline::new(
+                ABTester::new(11),
+                PipelineParams {
+                    m_candidates: 120,
+                    execute_top_k: 5,
+                    sample_frac: 1.0,
+                    bounds_gate,
+                    ..PipelineParams::default()
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            p.discover(&jobs, &mut rng)
+        };
+        for seed in [1, 2, 3] {
+            let with = run(true, seed);
+            let without = run(false, seed);
+            assert_eq!(
+                bounds_insensitive_view(&with),
+                bounds_insensitive_view(&without),
+                "seed {seed}: bounds gate changed an observable result"
+            );
+            // Every executed alternative — the hints discovery would ship —
+            // must match bit for bit, config bits included.
+            for (a, b) in with.outcomes.iter().zip(without.outcomes.iter()) {
+                assert_eq!(a.executed.len(), b.executed.len());
+                for (x, y) in a.executed.iter().zip(b.executed.iter()) {
+                    assert_eq!(x.config.enabled(), y.config.enabled());
+                    assert_eq!(x.signature, y.signature);
+                    assert!((x.est_cost - y.est_cost).abs() == 0.0);
+                }
+            }
+            assert_eq!(without.vetting.static_bounded, 0, "gate off must not count");
+        }
+        // At least one seed must show the gate actually retiring compiles,
+        // or the whole phase ladder is dead weight.
+        let pruned: usize = [1, 2, 3]
+            .iter()
+            .map(|&s| run(true, s).vetting.static_bounded)
+            .sum();
+        assert!(pruned > 0, "bounds gate never pruned a candidate");
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Acceptance tests for branch-and-bound implementation pruning
+//! (`CompileBudget::branch_and_bound`): across a workload day and random
+//! rule configurations, the pruned search must pick the bit-identical
+//! final plan, cost, and rule signature as the exhaustive search — the
+//! incumbent-vs-child-winner-sum comparison can only skip alternatives
+//! that lose the strict `<` winner comparison anyway — while charging
+//! measurably fewer optimizer tasks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scope_ir::Job;
+use scope_optimizer::{
+    compile_job_with_budget, CompileBudget, RuleConfig, RuleId, RuleSet, NUM_RULES,
+};
+use scope_workload::{Workload, WorkloadProfile};
+
+fn jobs() -> Vec<Job> {
+    Workload::generate(WorkloadProfile::workload_a(0.06)).day(0)
+}
+
+/// A random config: every non-required rule kept with probability `keep`.
+fn random_config(seed: u64, keep: f64) -> RuleConfig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut enabled = RuleSet::EMPTY;
+    for id in 0..NUM_RULES as u16 {
+        if rng.gen_bool(keep) {
+            enabled.insert(RuleId(id));
+        }
+    }
+    RuleConfig::normalized(enabled).0
+}
+
+#[test]
+fn branch_and_bound_picks_identical_plans_with_fewer_tasks() {
+    let jobs = jobs();
+    let exhaustive = CompileBudget::UNLIMITED;
+    let pruned = CompileBudget::UNLIMITED.with_branch_and_bound();
+    let mut tasks_exhaustive = 0u64;
+    let mut tasks_pruned = 0u64;
+    let mut compared = 0usize;
+    for (i, job) in jobs.iter().enumerate() {
+        // The default config plus a few random configs per job: pruning
+        // must be invisible across the whole configuration space, not just
+        // the default's.
+        let mut configs = vec![RuleConfig::default_config()];
+        for s in 0..3u64 {
+            configs.push(random_config(i as u64 * 31 + s, 0.7 + 0.08 * s as f64));
+        }
+        for config in &configs {
+            let off = compile_job_with_budget(job, config, &exhaustive);
+            let on = compile_job_with_budget(job, config, &pruned);
+            match (off, on) {
+                (Ok(a), Ok(b)) => {
+                    // Identity is on the observable outcome: the physical
+                    // plan, its cost bits, and the rule signature — not on
+                    // `fingerprint()`, which hashes the task count the
+                    // pruning exists to change.
+                    assert_eq!(
+                        format!("{:?}", a.plan),
+                        format!("{:?}", b.plan),
+                        "job {} diverged under branch-and-bound",
+                        job.id.0
+                    );
+                    assert_eq!(a.est_cost.to_bits(), b.est_cost.to_bits());
+                    assert_eq!(a.signature, b.signature);
+                    assert!(
+                        b.stats.tasks <= a.stats.tasks,
+                        "pruning increased tasks on job {}",
+                        job.id.0
+                    );
+                    tasks_exhaustive += a.stats.tasks;
+                    tasks_pruned += b.stats.tasks;
+                    compared += 1;
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "error changed on job {}", job.id.0),
+                (a, b) => panic!(
+                    "branch-and-bound changed compilability on job {}: {:?} vs {:?}",
+                    job.id.0,
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        }
+    }
+    assert!(compared > 0, "no compile pairs compared");
+    assert!(
+        tasks_pruned < tasks_exhaustive,
+        "branch-and-bound never skipped a task ({tasks_pruned} vs {tasks_exhaustive})"
+    );
+}

@@ -24,6 +24,7 @@ pub mod display;
 pub mod expr;
 pub mod ids;
 pub mod intern;
+pub mod interval;
 pub mod job;
 pub mod ops;
 pub mod plan;
@@ -34,6 +35,7 @@ pub use catalog::{ColumnStats, ObservableCatalog, TableStats, TrueCatalog};
 pub use expr::{CmpOp, Literal, PredAtom, Predicate};
 pub use ids::{ColId, DomainId, JobId, NodeId, PredId, TableId, TemplateId, UdoId};
 pub use intern::{AtomId, AtomInterner, ExprId, ExprInterner};
+pub use interval::Interval;
 pub use job::{InputRef, Job};
 pub use ops::{AggFunc, JoinKind, LogicalOp, OpKind};
 pub use plan::{PlanGraph, PlanNode};

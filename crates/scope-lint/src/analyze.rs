@@ -42,7 +42,7 @@ use crate::violation::LintViolation;
 
 /// The config lattice verdict. Precedence (what `classify` returns when
 /// several apply): `Invalid > Redundant > Dead > Valid`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ConfigVerdict {
     /// Compiles, and every enabled rule could in principle fire.
     Valid,

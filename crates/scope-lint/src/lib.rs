@@ -26,15 +26,23 @@
 //!    default passes are built from the same shared cores
 //!    (`scope_ir::check_structure` / `check_provenance`) as
 //!    `validate_logical`, subsuming its ad-hoc checks.
+//! 4. **Abstract-interpretation bounds** ([`bounds::PlanBounds`]) — sound
+//!    `[lo, hi]` intervals for rows, bytes, and whole-plan cost derived
+//!    from the catalog envelopes. Powers the discovery bounds gate (retire
+//!    candidates whose cost lower bound exceeds the threshold before any
+//!    compile), the search's branch-and-bound flag, and the estimator
+//!    audit ([`bounds::audit_estimates`]).
 
 pub mod analyze;
+pub mod bounds;
 pub mod pass;
 pub mod report;
 pub mod rulegraph;
 pub mod violation;
 
 pub use analyze::{catalog_invalid, ingest_bits, ConfigVerdict, JobLint};
+pub use bounds::{audit_estimates, PlanBounds};
 pub use pass::{lint_plan, Pass, PassContext, PassRegistry, ProvenancePass, StructurePass};
 pub use report::{LintFinding, LintReport, Severity};
 pub use rulegraph::RuleGraph;
-pub use violation::LintViolation;
+pub use violation::{BoundQuantity, LintViolation};

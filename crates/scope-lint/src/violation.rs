@@ -9,8 +9,20 @@ use std::fmt;
 use scope_ir::OpKind;
 use scope_optimizer::{RuleCatalog, RuleId, RuleSet};
 
+/// Which estimated quantity an [`LintViolation::EstimateOutOfBounds`]
+/// finding is about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundQuantity {
+    /// Estimated output rows.
+    Rows,
+    /// Estimated output bytes (`rows × row_bytes`).
+    Bytes,
+    /// Estimated plan cost.
+    Cost,
+}
+
 /// One violated configuration or catalog invariant.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum LintViolation {
     /// A kind present in the plan has no enabled implementation rule and no
     /// enabled rewrite that could route around it: every alternative the
@@ -46,6 +58,19 @@ pub enum LintViolation {
     /// Catalog-level defect: a complex kind has no required
     /// canonicalization marker (catalog construction bug).
     MissingCanonicalizer { kind: OpKind },
+    /// A point estimate escaped its abstract interval: the estimator
+    /// derived a value the bounds analysis proved impossible under the
+    /// catalog envelopes. Silent estimator drift, surfaced as a typed,
+    /// testable defect.
+    EstimateOutOfBounds {
+        /// Plan node index (`NodeId` index into the audited `PlanGraph`).
+        node: usize,
+        kind: OpKind,
+        quantity: BoundQuantity,
+        point: f64,
+        lo: f64,
+        hi: f64,
+    },
 }
 
 impl LintViolation {
@@ -59,6 +84,7 @@ impl LintViolation {
             LintViolation::UnreachableImpl { .. } => "unreachable-impl",
             LintViolation::SwapCycleWithoutNormalizer { .. } => "swap-cycle-without-normalizer",
             LintViolation::MissingCanonicalizer { .. } => "missing-canonicalizer",
+            LintViolation::EstimateOutOfBounds { .. } => "estimate-out-of-bounds",
         }
     }
 }
@@ -104,6 +130,17 @@ impl fmt::Display for LintViolation {
             LintViolation::MissingCanonicalizer { kind } => {
                 write!(f, "complex kind {kind:?} has no required canonicalization marker")
             }
+            LintViolation::EstimateOutOfBounds {
+                node,
+                kind,
+                quantity,
+                point,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "node {node} ({kind:?}): estimated {quantity:?} {point} escapes its sound interval [{lo}, {hi}]"
+            ),
         }
     }
 }

@@ -490,8 +490,10 @@ pub fn exchange_impl_for(required: &Partitioning) -> Option<PhysImpl> {
 }
 
 /// The raw byte volume a scan reads: the whole table, regardless of any
-/// pushed predicate (predicates are evaluated while reading).
-fn raw_scan_bytes(op: &LogicalOp, obs: &ObservableCatalog) -> f64 {
+/// pushed predicate (predicates are evaluated while reading). Public so the
+/// bounds analysis (`scope-lint::bounds`) can anchor its scan cost floors on
+/// the same rewrite-invariant quantity the cost model charges.
+pub fn raw_scan_bytes(op: &LogicalOp, obs: &ObservableCatalog) -> f64 {
     match op {
         LogicalOp::RangeGet { table, .. } | LogicalOp::Get { table } => {
             obs.table_rows(*table) as f64 * obs.table_row_bytes(*table) as f64

@@ -33,8 +33,39 @@ pub struct LogicalEst {
 
 impl LogicalEst {
     /// Estimated total bytes.
+    ///
+    /// Mirrors the simulator's finite-runtime contract: a NaN or negative
+    /// width here would silently poison every downstream cost, so the debug
+    /// build refuses it at the source instead.
     pub fn bytes(&self) -> f64 {
+        debug_assert!(
+            self.rows.is_finite() && self.rows >= 0.0,
+            "LogicalEst::bytes: rows must be finite and non-negative, got {}",
+            self.rows
+        );
+        debug_assert!(
+            self.row_bytes.is_finite() && self.row_bytes >= 0.0,
+            "LogicalEst::bytes: row_bytes must be finite and non-negative, got {}",
+            self.row_bytes
+        );
         self.rows * self.row_bytes
+    }
+
+    /// Debug-check the estimator's output contract (finite, non-negative,
+    /// rows floored at the estimator's 1-row minimum for row-producing ops).
+    /// Release builds compile this to nothing.
+    #[inline]
+    fn debug_check_derived(&self) {
+        debug_assert!(
+            self.rows.is_finite() && self.rows >= 0.0,
+            "Estimator::derive produced invalid rows: {}",
+            self.rows
+        );
+        debug_assert!(
+            self.row_bytes.is_finite() && self.row_bytes >= 0.0,
+            "Estimator::derive produced invalid row_bytes: {}",
+            self.row_bytes
+        );
     }
 }
 
@@ -115,9 +146,18 @@ impl<'a> Estimator<'a> {
         let mut cache = self.cache.borrow_mut();
         let (id, new) = cache.atoms.intern(atom.col, atom.op);
         if new {
-            cache
-                .sel
-                .push(shape_selectivity(atom.op, self.obs.col_ndv(atom.col)));
+            // Clamp into (0, 1] at the producer: every consumer (backoff
+            // products, the bounds analysis) assumes a selectivity is a
+            // probability, and a single out-of-range value would make the
+            // abstract intervals unsound. `shape_selectivity` already lands
+            // in [1e-6, 1], so the clamp is the identity for healthy values.
+            let s = shape_selectivity(atom.op, self.obs.col_ndv(atom.col));
+            debug_assert!(
+                s.is_finite() && s > 0.0 && s <= 1.0,
+                "shape_selectivity escaped (0, 1]: {s} for {:?}",
+                atom.op
+            );
+            cache.sel.push(s.clamp(1e-9, 1.0));
         }
         cache.sel[id.index()]
     }
@@ -143,7 +183,7 @@ impl<'a> Estimator<'a> {
     /// Derive the estimate for `op` from its children's estimates
     /// (children given in operator child order).
     pub fn derive<C: ChildEsts + ?Sized>(&self, op: &LogicalOp, children: &C) -> LogicalEst {
-        match op {
+        let est = match op {
             LogicalOp::Get { table } | LogicalOp::RangeGet { table, .. } => {
                 let rows = self.obs.table_rows(*table) as f64;
                 let sel = match op {
@@ -288,7 +328,9 @@ impl<'a> Estimator<'a> {
                     cols: c.cols.clone(),
                 }
             }
-        }
+        };
+        est.debug_check_derived();
+        est
     }
 }
 

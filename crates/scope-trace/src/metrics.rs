@@ -68,6 +68,10 @@ metric_enum! {
         FunnelGenerated => "funnel.generated",
         /// Candidates rejected by the static lint gate before compiling.
         FunnelStaticRejected => "funnel.static_rejected",
+        /// Candidates retired by the abstract-interpretation bounds gate:
+        /// their whole-plan cost lower bound exceeded the execution
+        /// threshold, so they were never compiled.
+        FunnelBoundsPruned => "funnel.bounds_pruned",
         /// Candidates answered from the compile cache.
         FunnelCacheHit => "funnel.cache_hit",
         /// Candidates compiled (cache miss, compile attempted).
