@@ -6,7 +6,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 25] = [
+const EXPERIMENTS: [&str; 26] = [
     "exp_table1",
     "exp_table2",
     "exp_fig2",
@@ -32,6 +32,7 @@ const EXPERIMENTS: [&str; 25] = [
     "exp_flighting",
     "exp_serving",
     "exp_bounds",
+    "exp_cost_feedback",
 ];
 
 fn main() {

@@ -6,7 +6,7 @@
 //! a false hit, and a real violation split across whitespace or lines can
 //! never hide.
 //!
-//! The four checks:
+//! The five checks:
 //!
 //! 1. `unbounded-queue` — no unbounded channels or grow-forever queues in
 //!    the serving layer (`crates/core/src/serve.rs`). Admission control is
@@ -23,6 +23,13 @@
 //!    iterate `RuleSet` masks. `classic.rs` keeps the old shape on
 //!    purpose — it is the frozen differential oracle — and is simply not
 //!    in the checked file set.
+//! 5. `raw-cost-compare` — no raw `.cost <` / `.cost >` scalar
+//!    comparisons anywhere: ranking a candidate must go through
+//!    `CostWeights::scalarize` / `CostModel::scalar` so weight configs
+//!    and promoted runtime corrections apply at every comparison point.
+//!    (Token matching makes this precise: post-migration sites such as
+//!    `candidate_cost < w.cost` keep `.cost` on the right-hand side and
+//!    never match; `>=`/`<=` lex with a leading `>`/`<` and do.)
 //!
 //! Exceptions live in one table (`ALLOWLIST`), not in per-check shell
 //! pipelines. Zero dependencies beyond `std`.
@@ -99,6 +106,13 @@ const CHECKS: &[Check] = &[
         ],
         panicking_float_cmp: false,
         message: "Vec<RuleId> in the explore hot path — iterate a RuleSet mask instead",
+    },
+    Check {
+        id: "raw-cost-compare",
+        scope: Scope::All,
+        seqs: &[&[".", "cost", "<"], &[".", "cost", ">"]],
+        panicking_float_cmp: false,
+        message: "raw scalar .cost comparison — rank through CostWeights::scalarize / CostModel::scalar so weights and corrections apply",
     },
 ];
 
@@ -626,6 +640,38 @@ mod tests {
             "let rules: Vec<RuleId> = Vec::new();"
         )
         .is_empty());
+    }
+
+    /// The cost-model migration gate: any `.cost` on the *left* of a
+    /// scalar comparison is a bypass of the weight/correction scalarizer;
+    /// the blessed shapes (scalarize first, or `.cost` on the right-hand
+    /// side of an already-scalarized value) pass untouched.
+    #[test]
+    fn raw_cost_compare_catches_bypasses_and_spares_scalarized_sites() {
+        for src in [
+            "if a.cost < b.cost { swap(a, b); }",
+            "if oc.cost > threshold { return None; }",
+            "while best.cost >= cand.cost {}",
+            "let worse = x.cost\n    > y;",
+        ] {
+            assert!(
+                check_ids("crates/scope-optimizer/src/search.rs", src)
+                    .contains(&"raw-cost-compare"),
+                "bypass not caught: {src:?}"
+            );
+        }
+        for src in [
+            "if model.scalar(&oc.cost) < best { best = model.scalar(&oc.cost); }",
+            "if candidate_cost < w.cost { w.cost = candidate_cost; }",
+            "let total = a.cost.add(&b.cost);",
+            "// a.cost < b.cost is the banned shape",
+            "let s = \"a.cost > b.cost\";",
+        ] {
+            assert!(
+                check_ids("crates/scope-optimizer/src/search.rs", src).is_empty(),
+                "false hit: {src:?}"
+            );
+        }
     }
 
     /// The scrubber preserves line structure, so reported line numbers

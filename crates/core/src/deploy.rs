@@ -411,6 +411,8 @@ impl HintStore {
             runtime: fallback.metrics.runtime + run.metrics.runtime,
             cpu_time: fallback.metrics.cpu_time + run.metrics.cpu_time,
             io_time: fallback.metrics.io_time + run.metrics.io_time,
+            // Peaks don't add across the abandoned and fallback runs.
+            memory: fallback.metrics.memory.max(run.metrics.memory),
         };
         Some(GuardrailRun {
             metrics,

@@ -179,6 +179,7 @@ mod tests {
         let clone = CompiledPlan {
             plan: rebuild(&c.plan, |_, n| n),
             est_cost: c.est_cost,
+            est_cost_vec: c.est_cost_vec,
             signature: c.signature,
             memo_groups: c.memo_groups,
             memo_exprs: c.memo_exprs,
@@ -201,6 +202,7 @@ mod tests {
         let candidate = CompiledPlan {
             plan: broken,
             est_cost: c.est_cost,
+            est_cost_vec: c.est_cost_vec,
             signature: c.signature,
             memo_groups: c.memo_groups,
             memo_exprs: c.memo_exprs,
@@ -240,6 +242,7 @@ mod tests {
         let candidate = CompiledPlan {
             plan: broken,
             est_cost: c.est_cost,
+            est_cost_vec: c.est_cost_vec,
             signature: c.signature,
             memo_groups: c.memo_groups,
             memo_exprs: c.memo_exprs,

@@ -14,6 +14,9 @@
 //! * [`report`] — Table 3-style summaries,
 //! * [`deploy`] — the §3.3 "plan hint" deployment story: a per-group hint
 //!   store with §6.4's weekly re-validation and regression suspension,
+//! * [`feedback`] — runtime feedback into the cost model: per-template
+//!   observed/estimated correction factors, banded and smoothed, promoted
+//!   only at day boundaries behind a vetting gate,
 //! * [`flight`] — staged canary rollout over the hint store (QO-Advisor's
 //!   flighting): deterministic traffic splits, N-strike/CUSUM rollback
 //!   monitors, background revalidation with a probation path out of
@@ -34,6 +37,7 @@
 //! the signature type it compares.
 
 pub mod deploy;
+pub mod feedback;
 pub mod flight;
 pub mod groups;
 pub mod guard;
@@ -53,6 +57,7 @@ pub use deploy::{
     GuardrailRun, HintParseError, HintParseErrorKind, HintStatus, HintStore, RevalidationReport,
     StoredHint, ValidationRecord,
 };
+pub use feedback::{safe_ratio, CorrectionBand, CorrectionStore};
 pub use flight::{
     AdvanceReport, BackgroundReport, FlightConfig, FlightController, FlightDayReport, FlightEvent,
     FlightStage, FlightState, GroupDayStats, RecoveryError, RecoveryReport,

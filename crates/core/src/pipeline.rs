@@ -27,8 +27,8 @@ use scope_ir::stats::pct_change;
 use scope_ir::Job;
 use scope_lint::{ConfigVerdict, JobLint, PlanBounds};
 use scope_optimizer::{
-    catch_compile_panics, compile, compile_with_budget, effective_config, plan_catalog_fingerprint,
-    CacheStats, CompileBudget, CompileCache, CompiledPlan, RuleConfig, RuleId, RuleSet,
+    catch_compile_panics, compile_with_model, effective_config, plan_catalog_fingerprint,
+    CacheStats, CompileBudget, CompileCache, CompiledPlan, CostModel, RuleConfig, RuleId, RuleSet,
     RuleSignature, NUM_RULES,
 };
 use scope_trace::{Counter, Histogram, MetricsSnapshot};
@@ -99,6 +99,15 @@ pub struct PipelineParams {
     /// `n_duplicate_plans`) and the static funnel counters differ. Off by
     /// default pending the `exp_bounds` A/B measurement.
     pub bounds_gate: bool,
+    /// The cost model every compile in this pipeline runs under: the
+    /// scalarization weights plus any promoted per-template corrections.
+    /// The default is [`CostModel::DEFAULT`], which is bit-identical to
+    /// the historical scalar cost — discovery results only change when a
+    /// non-default model is installed deliberately (weight sweeps, or a
+    /// day boundary promoting corrections from a
+    /// [`crate::feedback::CorrectionStore`]). The model participates in
+    /// the compile-cache key, so swapping it never serves stale plan bits.
+    pub cost_model: CostModel,
 }
 
 impl Default for PipelineParams {
@@ -117,6 +126,7 @@ impl Default for PipelineParams {
             cache_capacity: 4096,
             lint_gate: true,
             bounds_gate: false,
+            cost_model: CostModel::DEFAULT,
         }
     }
 }
@@ -425,12 +435,23 @@ impl Pipeline {
         // Funnel accounting: whether this candidate was answered from the
         // cache or cost a fresh compile (the closure only runs on a miss).
         let fresh = std::cell::Cell::new(false);
-        let result = self.cache.get_or_compile(fingerprint, config, || {
-            fresh.set(true);
-            catch_compile_panics(|| {
-                compile_with_budget(&job.plan, obs, config, &self.params.compile_budget)
-            })
-        });
+        let result = self.cache.get_or_compile_with_model(
+            fingerprint,
+            config,
+            &self.params.cost_model,
+            || {
+                fresh.set(true);
+                catch_compile_panics(|| {
+                    compile_with_model(
+                        &job.plan,
+                        obs,
+                        config,
+                        &self.params.compile_budget,
+                        &self.params.cost_model,
+                    )
+                })
+            },
+        );
         if fresh.get() {
             scope_trace::count(Counter::FunnelCompiled, 1);
         } else if result.is_ok() {
@@ -451,7 +472,15 @@ impl Pipeline {
         config: &RuleConfig,
     ) -> Result<Arc<CompiledPlan>, scope_optimizer::CompileError> {
         self.cache
-            .get_or_compile(fingerprint, config, || compile(&job.plan, obs, config))
+            .get_or_compile_with_model(fingerprint, config, &self.params.cost_model, || {
+                compile_with_model(
+                    &job.plan,
+                    obs,
+                    config,
+                    &CompileBudget::default(),
+                    &self.params.cost_model,
+                )
+            })
     }
 
     /// Compile and A/B-execute a job's default plan.
@@ -740,7 +769,11 @@ impl Pipeline {
                         },
                         None => None,
                     };
-                    let lb = bounds.cost_lo(config.enabled());
+                    // Model-aware: under a corrected model the compiled
+                    // costs shrink or grow with the correction factors, so
+                    // the pruning floor must be widened the same way
+                    // (bit-identical to `cost_lo` for the default model).
+                    let lb = bounds.cost_lo_model(config.enabled(), &self.params.cost_model);
                     let disp = if lb > default.est_cost {
                         Disposition::Deferred { canonical, lb }
                     } else {
@@ -1140,6 +1173,73 @@ mod tests {
             .map(|&s| run(true, s).vetting.static_bounded)
             .sum();
         assert!(pruned > 0, "bounds gate never pruned a candidate");
+    }
+
+    #[test]
+    fn idle_feedback_store_preserves_discovery_bit_for_bit() {
+        use crate::feedback::CorrectionStore;
+        use scope_optimizer::{CostModel, CostWeights};
+
+        let w = Workload::generate(WorkloadProfile::workload_a(0.06));
+        let jobs = w.day(0);
+        let run = |model: CostModel, seed: u64| {
+            let p = Pipeline::new(
+                ABTester::new(11),
+                PipelineParams {
+                    m_candidates: 120,
+                    execute_top_k: 5,
+                    sample_frac: 1.0,
+                    cost_model: model,
+                    ..PipelineParams::default()
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            p.discover(&jobs, &mut rng)
+        };
+        // A store that has *ingested* plenty of signal but never crossed a
+        // day boundary hands out the identity model — pending corrections
+        // must be invisible to discovery.
+        let mut store = CorrectionStore::new();
+        for token in 0..20u64 {
+            store.ingest(
+                42,
+                token,
+                &scope_optimizer::CostEstimate {
+                    cpu: 1.0,
+                    io: 1.0,
+                    ..scope_optimizer::CostEstimate::ZERO
+                },
+                &RunMetrics {
+                    runtime: 6.0,
+                    cpu_time: 3.0,
+                    io_time: 3.0,
+                    memory: 0.0,
+                },
+                false,
+            );
+        }
+        let idle = store.model_for(42, CostWeights::DEFAULT);
+        assert_eq!(
+            idle.fingerprint_bits(),
+            CostModel::DEFAULT.fingerprint_bits()
+        );
+        for seed in [1, 2, 3] {
+            let baseline = run(CostModel::DEFAULT, seed);
+            let with_store = run(idle, seed);
+            assert_eq!(
+                bounds_insensitive_view(&baseline),
+                bounds_insensitive_view(&with_store),
+                "seed {seed}: an unpromoted feedback store changed discovery"
+            );
+            for (a, b) in baseline.outcomes.iter().zip(with_store.outcomes.iter()) {
+                assert_eq!(a.executed.len(), b.executed.len());
+                for (x, y) in a.executed.iter().zip(b.executed.iter()) {
+                    assert_eq!(x.config.enabled(), y.config.enabled());
+                    assert_eq!(x.signature, y.signature);
+                    assert!((x.est_cost - y.est_cost).abs() == 0.0);
+                }
+            }
+        }
     }
 
     #[test]

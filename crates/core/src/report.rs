@@ -73,6 +73,7 @@ mod tests {
                 runtime: default_rt,
                 cpu_time: 10.0,
                 io_time: 10.0,
+                memory: 1e6,
             },
             span_size: 5,
             n_candidates: 10,
@@ -90,6 +91,7 @@ mod tests {
                     runtime: best_rt,
                     cpu_time: 10.0,
                     io_time: 10.0,
+                    memory: 1e6,
                 },
             }],
         }

@@ -50,6 +50,7 @@ fn compile_with_corruption(
     let outcome = implement(&memo, root, &config, &obs, &mut tracker).ok()?;
     Some(CompiledPlan {
         est_cost: outcome.est_cost,
+        est_cost_vec: outcome.est_cost_vec,
         plan: outcome.plan,
         signature: scope_optimizer::RuleSignature::default(),
         memo_groups: memo.num_groups(),
@@ -140,6 +141,7 @@ fn dropped_join_input_is_caught_by_the_validator() {
         let corrupted = CompiledPlan {
             plan,
             est_cost: default.est_cost,
+            est_cost_vec: default.est_cost_vec,
             signature: default.signature,
             memo_groups: default.memo_groups,
             memo_exprs: default.memo_exprs,

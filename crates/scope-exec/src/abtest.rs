@@ -258,6 +258,7 @@ mod tests {
             est_rows: 0.0,
             est_bytes: 0.0,
             est_cost: 0.0,
+            est_cost_vec: Default::default(),
             partitioning: Partitioning::Any,
             dop: 1,
             created_by: None,
@@ -269,6 +270,7 @@ mod tests {
             est_rows: 0.0,
             est_bytes: 0.0,
             est_cost: 0.0,
+            est_cost_vec: Default::default(),
             partitioning: Partitioning::Any,
             dop: 1,
             created_by: None,
@@ -308,6 +310,7 @@ mod tests {
             est_rows: 0.0,
             est_bytes: 0.0,
             est_cost: 0.0,
+            est_cost_vec: Default::default(),
             partitioning: Partitioning::Any,
             dop: 1,
             created_by: None,
@@ -320,6 +323,7 @@ mod tests {
             est_rows: 0.0,
             est_bytes: 0.0,
             est_cost: 0.0,
+            est_cost_vec: Default::default(),
             partitioning: Partitioning::Any,
             dop: 1,
             created_by: None,

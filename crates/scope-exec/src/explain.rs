@@ -142,12 +142,14 @@ pub fn explain(plan: &PhysPlan, cat: &TrueCatalog, cluster: &ClusterConfig) -> E
 
     let mut cpu = 0.0;
     let mut io = 0.0;
+    let mut mem = 0.0_f64;
     let mut nodes = Vec::new();
     for id in plan.reachable() {
         let n = plan.node(id);
         let w = works[id.index()];
         cpu += w.cpu;
         io += w.io + w.net;
+        mem = mem.max(w.mem);
         nodes.push(NodeReport {
             node: id,
             op: n.op.name(),
@@ -178,6 +180,7 @@ pub fn explain(plan: &PhysPlan, cat: &TrueCatalog, cluster: &ClusterConfig) -> E
             runtime,
             cpu_time: cpu,
             io_time: io,
+            memory: mem,
         },
     }
 }

@@ -552,9 +552,11 @@ pub fn execute_with_faults<R: Rng + ?Sized>(
 
     let mut cpu = 0.0;
     let mut io = 0.0;
+    let mut mem = 0.0_f64;
     for id in plan.reachable() {
         cpu += works[id.index()].cpu;
         io += works[id.index()].io + works[id.index()].net;
+        mem = mem.max(works[id.index()].mem);
     }
     // Re-executed work burns CPU and re-reads inputs proportionally.
     let rework_frac = if sched.clean_elapsed > 0.0 {
@@ -572,13 +574,16 @@ pub fn execute_with_faults<R: Rng + ?Sized>(
             runtime: sched.runtime,
             cpu_time: cpu,
             io_time: io,
+            memory: mem,
         }
     } else {
         let mut mean_one = |s: f64| lognormal(rng, -s * s / 2.0, s);
+        // Three draws in the original order; the byte peak takes none.
         RunMetrics {
             runtime: sched.runtime * mean_one(sigma),
             cpu_time: cpu * mean_one(sigma * 0.5),
             io_time: io * mean_one(sigma * 0.5),
+            memory: mem,
         }
     };
 
@@ -596,6 +601,7 @@ pub fn execute_with_faults<R: Rng + ?Sized>(
         metrics.runtime = t;
         metrics.cpu_time *= done_frac;
         metrics.io_time *= done_frac;
+        // The working-set peak was reached before the kill: report it as-is.
         JobOutcome::TimedOut
     } else if sched.retries > 0 {
         JobOutcome::SuccessWithRetries {

@@ -28,7 +28,8 @@ pub(crate) fn waves_for_tokens(dop: u32, tokens: u32) -> f64 {
     (dop as f64 / tokens.max(1) as f64).ceil().max(1.0)
 }
 
-/// The paper's three metrics (§3.1.2), in seconds.
+/// The paper's three metrics (§3.1.2) in seconds, plus the peak per-vertex
+/// working set in bytes (the feedback loop's memory signal).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RunMetrics {
     /// Wall-clock latency of the job.
@@ -37,44 +38,64 @@ pub struct RunMetrics {
     pub cpu_time: f64,
     /// Total IO time (reads, writes, spills, shuffles).
     pub io_time: f64,
+    /// Peak per-vertex working-set bytes across all operators. Not a time:
+    /// it gets no lognormal noise (working sets are a property of the data,
+    /// not of cluster weather), and timeout-truncated runs report the peak
+    /// reached, unscaled.
+    pub memory: f64,
 }
 
 impl RunMetrics {
-    /// Fetch one metric by the paper's ordering (runtime, CPU, IO).
+    /// Fetch one metric. The match arms, [`RunMetrics::as_array`], and
+    /// [`Metric::ALL`] must all list components in the same order — the
+    /// `metric_selector_roundtrip` test checks every variant mechanically.
     pub fn get(&self, metric: Metric) -> f64 {
         match metric {
             Metric::Runtime => self.runtime,
             Metric::CpuTime => self.cpu_time,
             Metric::IoTime => self.io_time,
+            Metric::Memory => self.memory,
         }
     }
 
-    /// All three metrics are finite and non-negative. Every simulator path
+    /// All components in [`Metric::ALL`] order.
+    pub fn as_array(&self) -> [f64; Metric::ALL.len()] {
+        [self.runtime, self.cpu_time, self.io_time, self.memory]
+    }
+
+    /// All metrics are finite and non-negative. Every simulator path
     /// must uphold this — downstream ranking code orders by these values
     /// and must never see NaN.
     pub fn is_valid(&self) -> bool {
-        [self.runtime, self.cpu_time, self.io_time]
-            .iter()
-            .all(|v| v.is_finite() && *v >= 0.0)
+        self.as_array().iter().all(|v| v.is_finite() && *v >= 0.0)
     }
 }
 
 /// Metric selector used by the multi-metric experiments (Figure 7).
+/// `Memory` is appended after the paper's three so positional consumers of
+/// the original triple keep their indices.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Metric {
     Runtime,
     CpuTime,
     IoTime,
+    Memory,
 }
 
 impl Metric {
-    pub const ALL: [Metric; 3] = [Metric::Runtime, Metric::CpuTime, Metric::IoTime];
+    pub const ALL: [Metric; 4] = [
+        Metric::Runtime,
+        Metric::CpuTime,
+        Metric::IoTime,
+        Metric::Memory,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
             Metric::Runtime => "runtime",
             Metric::CpuTime => "cpu_time",
             Metric::IoTime => "io_time",
+            Metric::Memory => "memory",
         }
     }
 }
@@ -213,14 +234,17 @@ pub fn execute_deterministic(
     let runtime = makespan(&stages, cluster.tokens);
     let mut cpu = 0.0;
     let mut io = 0.0;
+    let mut mem = 0.0_f64;
     for id in plan.reachable() {
         cpu += works[id.index()].cpu;
         io += works[id.index()].io + works[id.index()].net;
+        mem = mem.max(works[id.index()].mem);
     }
     let metrics = RunMetrics {
         runtime,
         cpu_time: cpu,
         io_time: io,
+        memory: mem,
     };
     debug_assert!(
         metrics.is_valid(),
@@ -256,10 +280,13 @@ pub fn execute<R: Rng + ?Sized>(
         return base;
     }
     let mean_one = |rng: &mut R, s: f64| lognormal(rng, -s * s / 2.0, s);
+    // Exactly three draws, same order as before the memory metric was
+    // added: the RNG stream feeding every seed-stable test must not shift.
     let metrics = RunMetrics {
         runtime: base.runtime * mean_one(rng, sigma),
         cpu_time: base.cpu_time * mean_one(rng, sigma * 0.5),
         io_time: base.io_time * mean_one(rng, sigma * 0.5),
+        memory: base.memory,
     };
     debug_assert!(
         metrics.is_valid(),
@@ -284,6 +311,7 @@ mod tests {
             est_rows: 0.0,
             est_bytes: 0.0,
             est_cost: 0.0,
+            est_cost_vec: Default::default(),
             partitioning: Partitioning::Any,
             dop: 1,
             created_by: None,
@@ -407,14 +435,41 @@ mod tests {
 
     #[test]
     fn metric_selector_roundtrip() {
+        // Distinct value per field so any ordering mix-up between the
+        // struct, `get`, `as_array`, and `Metric::ALL` fails loudly.
         let m = RunMetrics {
             runtime: 1.0,
             cpu_time: 2.0,
             io_time: 3.0,
+            memory: 4.0,
         };
         assert_eq!(m.get(Metric::Runtime), 1.0);
         assert_eq!(m.get(Metric::CpuTime), 2.0);
         assert_eq!(m.get(Metric::IoTime), 3.0);
-        assert_eq!(Metric::ALL.len(), 3);
+        assert_eq!(m.get(Metric::Memory), 4.0);
+        assert_eq!(Metric::ALL.len(), 4);
+        // Exhaustive per-variant consistency: as_array's slot i IS
+        // get(ALL[i]), and names stay unique.
+        let arr = m.as_array();
+        for (i, metric) in Metric::ALL.into_iter().enumerate() {
+            assert_eq!(arr[i], m.get(metric), "slot {i} ({})", metric.name());
+        }
+        let names: std::collections::BTreeSet<&str> =
+            Metric::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), Metric::ALL.len());
+    }
+
+    #[test]
+    fn memory_metric_tracks_peak_working_set_without_noise() {
+        let (plan, cat) = two_stage_plan();
+        let det = execute_deterministic(&plan, &cat, &ClusterConfig::noiseless());
+        assert!(det.memory > 0.0, "hash agg build must report a working set");
+        // Noise perturbs the three time metrics but never the byte peak.
+        let cluster = ClusterConfig::ab_testing();
+        let base = execute_deterministic(&plan, &cat, &cluster);
+        let mut rng = StdRng::seed_from_u64(9);
+        let noisy = execute(&plan, &cat, &cluster, &mut rng);
+        assert_ne!(noisy.runtime, base.runtime);
+        assert_eq!(noisy.memory, base.memory);
     }
 }

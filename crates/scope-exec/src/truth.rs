@@ -594,6 +594,7 @@ mod tests {
                 est_rows: 10.0,
                 est_bytes: 100.0,
                 est_cost: 1.0,
+                est_cost_vec: Default::default(),
                 partitioning: Partitioning::Singleton,
                 dop: 1,
                 created_by: None,

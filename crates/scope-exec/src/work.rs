@@ -25,6 +25,9 @@ pub struct NodeWork {
     /// Wall-clock seconds on the busiest vertex (the stage critical path
     /// contribution of this node).
     pub elapsed: f64,
+    /// Peak per-vertex working-set bytes (hash builds, sort buffers,
+    /// broadcast copies). Zero for streaming operators.
+    pub mem: f64,
 }
 
 fn log2(rows: f64) -> f64 {
@@ -72,6 +75,7 @@ pub fn node_work(
                 io,
                 net: 0.0,
                 elapsed: (io + cpu) * per_vertex,
+                mem: 0.0,
             }
         }
         PhysOp::Filter { predicate } => {
@@ -81,6 +85,7 @@ pub fn node_work(
                 io: 0.0,
                 net: 0.0,
                 elapsed: cpu * share,
+                mem: 0.0,
             }
         }
         PhysOp::Project { computed, .. } => {
@@ -90,6 +95,7 @@ pub fn node_work(
                 io: 0.0,
                 net: 0.0,
                 elapsed: cpu * share,
+                mem: 0.0,
             }
         }
         PhysOp::HashJoin { .. } => {
@@ -105,6 +111,7 @@ pub fn node_work(
                 io: spill_io,
                 net: 0.0,
                 elapsed: cpu * join_share + spill_io,
+                mem: build_pv,
             }
         }
         PhysOp::MergeJoin { .. } => {
@@ -119,6 +126,7 @@ pub fn node_work(
                 io: 0.0,
                 net: 0.0,
                 elapsed: cpu * join_share,
+                mem: l.bytes * l.share + r.bytes * r.share,
             }
         }
         PhysOp::BroadcastJoin { .. } => {
@@ -135,6 +143,7 @@ pub fn node_work(
                 io: spill_io_each * dop,
                 net: 0.0,
                 elapsed: probe * l.share + build_each * (1.0 + 0.3 * spill) + spill_io_each,
+                mem: r.bytes,
             }
         }
         PhysOp::LoopJoin { .. } => {
@@ -146,6 +155,7 @@ pub fn node_work(
                 io: 0.0,
                 net: 0.0,
                 elapsed: cpu,
+                mem: r.bytes * r.share,
             }
         }
         PhysOp::IndexJoin { .. } => {
@@ -157,6 +167,7 @@ pub fn node_work(
                 io: 0.0,
                 net: 0.0,
                 elapsed: cpu * l.share.max(1.0 / l.dop.max(1) as f64),
+                mem: 0.0,
             }
         }
         PhysOp::HashAgg { .. }
@@ -172,6 +183,7 @@ pub fn node_work(
                 io: spill_io,
                 net: 0.0,
                 elapsed: cpu * share + spill_io,
+                mem: build_pv,
             }
         }
         PhysOp::SortAgg { .. }
@@ -184,6 +196,7 @@ pub fn node_work(
                 io: 0.0,
                 net: 0.0,
                 elapsed: cpu * share,
+                mem: in_bytes * share,
             }
         }
         PhysOp::StreamAgg { .. } => {
@@ -193,6 +206,7 @@ pub fn node_work(
                 io: 0.0,
                 net: 0.0,
                 elapsed: cpu * share,
+                mem: 0.0,
             }
         }
         PhysOp::UnionAll { serial } => {
@@ -207,6 +221,7 @@ pub fn node_work(
                 io: 0.0,
                 net: 0.0,
                 elapsed: cpu * s,
+                mem: 0.0,
             }
         }
         PhysOp::VirtualDataset => {
@@ -219,17 +234,20 @@ pub fn node_work(
                 io: write + read,
                 net: 0.0,
                 elapsed: write * in_share + read / own.dop.max(1) as f64,
+                mem: 0.0,
             }
         }
         PhysOp::Top { k, heap } => {
             let kf = *k as f64;
             if *heap {
                 let cpu = in_rows * C_CPU_ROW + kf * log2(kf) * C_SORT_ROW;
+                let row_bytes = in_bytes / in_rows.max(1.0);
                 NodeWork {
                     cpu,
                     io: 0.0,
                     net: 0.0,
                     elapsed: in_rows * C_CPU_ROW * share + kf * log2(kf) * C_SORT_ROW,
+                    mem: kf * row_bytes,
                 }
             } else {
                 let cpu = in_rows * log2(in_rows) * C_SORT_ROW;
@@ -238,6 +256,7 @@ pub fn node_work(
                     io: 0.0,
                     net: 0.0,
                     elapsed: cpu,
+                    mem: in_bytes,
                 }
             }
         }
@@ -248,6 +267,7 @@ pub fn node_work(
                 io: 0.0,
                 net: 0.0,
                 elapsed: if *parallel { cpu * share } else { cpu },
+                mem: in_bytes * if *parallel { share } else { 1.0 },
             }
         }
         PhysOp::Process { udo, parallel } => {
@@ -258,6 +278,7 @@ pub fn node_work(
                 io: 0.0,
                 net: 0.0,
                 elapsed: if *parallel { cpu * share } else { cpu },
+                mem: 0.0,
             }
         }
         PhysOp::Output { .. } => {
@@ -267,6 +288,7 @@ pub fn node_work(
                 io,
                 net: 0.0,
                 elapsed: io * share,
+                mem: 0.0,
             }
         }
         PhysOp::Exchange { scheme, dop } => {
@@ -282,6 +304,7 @@ pub fn node_work(
                 io: 0.0,
                 net,
                 elapsed: net * send_share.max(recv_share).max(1.0 / (*dop).max(1) as f64),
+                mem: 0.0,
             }
         }
     }

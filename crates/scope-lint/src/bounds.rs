@@ -71,8 +71,8 @@ use scope_ir::{
     Interval, JoinKind, LogicalOp, NodeId, ObservableCatalog, OpKind, PlanGraph, Predicate,
 };
 use scope_optimizer::cost::{
-    dop_for_bytes, raw_scan_bytes, C_CPU_ROW, C_HASH_ROW, C_IO, C_NET, C_SORT_ROW, C_UDO_ROW,
-    C_VERTEX, DOP_TIERS,
+    dop_for_bytes, raw_scan_bytes, CostModel, CostWeights, C_CPU_ROW, C_HASH_ROW, C_IO, C_NET,
+    C_SORT_ROW, C_UDO_ROW, C_VERTEX, DOP_TIERS,
 };
 use scope_optimizer::estimate::{Estimator, LogicalEst};
 use scope_optimizer::{PhysImpl, RuleAction, RuleCatalog, RuleId, RuleSet};
@@ -269,6 +269,59 @@ impl PlanBounds {
         v.is_finite().then_some(v)
     }
 
+    /// [`Self::cost_lo`] under an arbitrary [`CostModel`]: a guaranteed
+    /// lower bound on the *corrected, scalarized* cost of any compilable
+    /// plan. The floor formulas are derived for the classic
+    /// [`CostWeights::DEFAULT`] fold, where every charged component (cpu,
+    /// io, net, vertices) is non-negative and enters at weight 1; a
+    /// correction multiplies cpu by its cpu factor and io+net by its io
+    /// factor while leaving vertices unscaled, so the corrected scalar is
+    /// bracketed by `[span_lo · scalar, span_hi · scalar]` with
+    /// [`correction_span`]. Under the identity model the result is
+    /// bit-identical to [`Self::cost_lo`] (`x · 1.0 == x`). Non-default
+    /// *weights* invalidate the hand-derived formulas, so the bound
+    /// degrades to the trivially sound `0.0`.
+    pub fn cost_lo_model(&self, enabled: &RuleSet, model: &CostModel) -> f64 {
+        match correction_span(model) {
+            Some((lo_f, _)) => self.cost_lo(enabled) * lo_f,
+            None => 0.0,
+        }
+    }
+
+    /// [`Self::cost_hi`] under an arbitrary [`CostModel`] (see
+    /// [`Self::cost_lo_model`] for the widening argument). `None` when the
+    /// direct alternative is not provably feasible *or* the model's
+    /// weights leave the hand-derived formulas' regime.
+    pub fn cost_hi_model(&self, enabled: &RuleSet, model: &CostModel) -> Option<f64> {
+        let (_, hi_f) = correction_span(model)?;
+        self.cost_hi(enabled).map(|v| v * hi_f)
+    }
+
+    /// Sound per-component bracket of the whole-plan cost vector of any
+    /// compilable plan under `enabled` and `model`. Each charged component
+    /// is non-negative and enters the DEFAULT scalar at weight 1, so each
+    /// is individually bounded by the (model-widened) scalar upper bound;
+    /// the advisory components (rows, memory) carry weight 0 and get the
+    /// trivial bracket. Corrections can only widen these intervals, never
+    /// rotate a component outside them.
+    pub fn cost_components_model(&self, enabled: &RuleSet, model: &CostModel) -> ComponentBounds {
+        let hi = self.cost_hi_model(enabled, model).unwrap_or(f64::INFINITY);
+        let charged = (0.0, hi);
+        ComponentBounds {
+            rows: (0.0, f64::INFINITY),
+            cpu: charged,
+            io: charged,
+            net: charged,
+            memory: (0.0, f64::INFINITY),
+            vertices: charged,
+        }
+    }
+
+    /// [`Self::cost_components_model`] under the identity model.
+    pub fn cost_components(&self, enabled: &RuleSet) -> ComponentBounds {
+        self.cost_components_model(enabled, &CostModel::DEFAULT)
+    }
+
     /// Interval transfer for one normalized operator given its children's
     /// already-computed intervals. Each arm evaluates the corresponding
     /// [`Estimator::derive`] formula at the child interval endpoints; all
@@ -427,6 +480,48 @@ impl PlanBounds {
 /// Widen an interval by the relative estimator slack.
 fn widen(i: Interval) -> Interval {
     Interval::new(i.lo() * (1.0 - EST_SLACK), i.hi() * (1.0 + EST_SLACK))
+}
+
+/// Per-component `[lo, hi]` brackets of a whole-plan cost vector (see
+/// [`PlanBounds::cost_components_model`]). Mirrors the axes of
+/// `scope_optimizer::CostEstimate`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComponentBounds {
+    pub rows: (f64, f64),
+    pub cpu: (f64, f64),
+    pub io: (f64, f64),
+    pub net: (f64, f64),
+    pub memory: (f64, f64),
+    pub vertices: (f64, f64),
+}
+
+impl ComponentBounds {
+    /// Whether a concrete cost vector lies inside every bracket.
+    pub fn contains(&self, c: &scope_optimizer::CostEstimate) -> bool {
+        let inside = |(lo, hi): (f64, f64), v: f64| lo <= v && v <= hi;
+        inside(self.rows, c.rows)
+            && inside(self.cpu, c.cpu)
+            && inside(self.io, c.io)
+            && inside(self.net, c.net)
+            && inside(self.memory, c.memory)
+            && inside(self.vertices, c.vertices)
+    }
+}
+
+/// The multiplicative span a model's corrections can move any
+/// DEFAULT-weight scalarized cost by: corrections scale cpu by one factor
+/// and io+net by another (vertices stay unscaled; rows and memory carry
+/// weight 0), so every corrected scalar lies in
+/// `[min(1, f_cpu, f_io), max(1, f_cpu, f_io)]` times the uncorrected one.
+/// `None` when the model's weights are not the DEFAULT fold the
+/// hand-derived bound formulas mirror, or the corrections are degenerate —
+/// callers fall back to trivial bounds.
+fn correction_span(model: &CostModel) -> Option<(f64, f64)> {
+    if model.weights != CostWeights::DEFAULT || !model.corrections.is_valid() {
+        return None;
+    }
+    let c = model.corrections;
+    Some((c.cpu.min(c.io).min(1.0), c.cpu.max(c.io).max(1.0)))
 }
 
 /// The required normalizers, applied op-locally (mirrors
@@ -891,6 +986,94 @@ mod tests {
             (lo_shared - lo_single).abs() < 1e-9,
             "shared scan must contribute one floor: {lo_shared} vs {lo_single}"
         );
+    }
+
+    #[test]
+    fn identity_model_bounds_are_bit_identical_to_the_classic_ones() {
+        let obs = catalog();
+        let bounds = PlanBounds::analyze(&plan(), &obs);
+        let config = RuleConfig::default_config();
+        let lo = bounds.cost_lo(config.enabled());
+        let lo_m = bounds.cost_lo_model(config.enabled(), &CostModel::DEFAULT);
+        assert_eq!(lo.to_bits(), lo_m.to_bits());
+        let hi = bounds.cost_hi(config.enabled()).unwrap();
+        let hi_m = bounds
+            .cost_hi_model(config.enabled(), &CostModel::DEFAULT)
+            .unwrap();
+        assert_eq!(hi.to_bits(), hi_m.to_bits());
+    }
+
+    #[test]
+    fn corrected_models_widen_bounds_and_still_bracket_the_winner() {
+        use scope_optimizer::{compile_with_model, CompileBudget, CostCorrections};
+        let obs = catalog();
+        let p = plan();
+        let bounds = PlanBounds::analyze(&p, &obs);
+        let config = RuleConfig::default_config();
+        let lo = bounds.cost_lo(config.enabled());
+        let hi = bounds.cost_hi(config.enabled()).unwrap();
+        let model = CostModel {
+            weights: CostWeights::DEFAULT,
+            corrections: CostCorrections {
+                rows: 1.0,
+                cpu: 2.0,
+                io: 0.5,
+            },
+        };
+        let lo_m = bounds.cost_lo_model(config.enabled(), &model);
+        let hi_m = bounds.cost_hi_model(config.enabled(), &model).unwrap();
+        // The span is [min(1, 2, 0.5), max(1, 2, 0.5)] = [0.5, 2].
+        assert_eq!(lo_m.to_bits(), (lo * 0.5).to_bits());
+        assert_eq!(hi_m.to_bits(), (hi * 2.0).to_bits());
+        // The bracket must hold for the plan actually compiled under the
+        // corrected model.
+        let compiled =
+            compile_with_model(&p, &obs, &config, &CompileBudget::default(), &model).unwrap();
+        assert!(
+            lo_m <= compiled.est_cost && compiled.est_cost <= hi_m,
+            "corrected winner {} escaped [{lo_m}, {hi_m}]",
+            compiled.est_cost
+        );
+        // ... and the component brackets must hold for its cost vector.
+        let comp = bounds.cost_components_model(config.enabled(), &model);
+        let corrected = model.corrected(&compiled.est_cost_vec);
+        assert!(
+            comp.contains(&corrected),
+            "corrected vector {corrected:?} escaped {comp:?}"
+        );
+    }
+
+    #[test]
+    fn non_default_weights_degrade_to_trivial_bounds() {
+        let obs = catalog();
+        let bounds = PlanBounds::analyze(&plan(), &obs);
+        let config = RuleConfig::default_config();
+        let skewed = CostModel {
+            weights: CostWeights {
+                io: 4.0,
+                ..CostWeights::DEFAULT
+            },
+            corrections: scope_optimizer::CostCorrections::IDENTITY,
+        };
+        assert_eq!(bounds.cost_lo_model(config.enabled(), &skewed), 0.0);
+        assert_eq!(bounds.cost_hi_model(config.enabled(), &skewed), None);
+        // Trivial bounds stay sound brackets.
+        let comp = bounds.cost_components_model(config.enabled(), &skewed);
+        assert_eq!(comp.cpu, (0.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn component_brackets_contain_the_default_winner() {
+        use scope_optimizer::{compile, RuleConfig};
+        let obs = catalog();
+        let p = plan();
+        let bounds = PlanBounds::analyze(&p, &obs);
+        let config = RuleConfig::default_config();
+        let comp = bounds.cost_components(config.enabled());
+        let compiled = compile(&p, &obs, &config).unwrap();
+        assert!(comp.contains(&compiled.est_cost_vec));
+        // Each charged bracket is the scalar hi — a real (finite) bound.
+        assert!(comp.cpu.1.is_finite() && comp.io.1.is_finite());
     }
 
     #[test]

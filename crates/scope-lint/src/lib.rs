@@ -41,7 +41,7 @@ pub mod rulegraph;
 pub mod violation;
 
 pub use analyze::{catalog_invalid, ingest_bits, ConfigVerdict, JobLint};
-pub use bounds::{audit_estimates, PlanBounds};
+pub use bounds::{audit_estimates, ComponentBounds, PlanBounds};
 pub use pass::{lint_plan, Pass, PassContext, PassRegistry, ProvenancePass, StructurePass};
 pub use report::{LintFinding, LintReport, Severity};
 pub use rulegraph::RuleGraph;

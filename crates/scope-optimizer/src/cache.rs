@@ -43,6 +43,7 @@ use std::sync::{Arc, Mutex};
 use scope_ir::{ObservableCatalog, PlanGraph};
 
 use crate::config::RuleConfig;
+use crate::cost::CostModel;
 use crate::optimizer::CompiledPlan;
 use crate::ruleset::RuleSet;
 use crate::search::CompileError;
@@ -75,6 +76,10 @@ pub fn plan_catalog_fingerprint(plan: &PlanGraph, obs: &ObservableCatalog) -> u6
 struct CacheKey {
     fingerprint: u64,
     enabled: RuleSet,
+    /// Digest of the cost model (weights + corrections) the compile ran
+    /// under. Plans compiled under different models are different values —
+    /// a correction promotion must never serve yesterday's plan bits.
+    model: u64,
 }
 
 /// One shard: a hash map plus FIFO insertion order for deterministic
@@ -226,6 +231,17 @@ impl CompileCache {
 
     /// Look a compiled plan up without compiling. Counts a hit or a miss.
     pub fn lookup(&self, fingerprint: u64, config: &RuleConfig) -> Option<Arc<CompiledPlan>> {
+        self.lookup_with_model(fingerprint, config, &CostModel::DEFAULT)
+    }
+
+    /// [`CompileCache::lookup`] for a compile parameterized by a non-default
+    /// cost model.
+    pub fn lookup_with_model(
+        &self,
+        fingerprint: u64,
+        config: &RuleConfig,
+        model: &CostModel,
+    ) -> Option<Arc<CompiledPlan>> {
         if self.capacity == 0 {
             self.shards[0].misses.fetch_add(1, Ordering::Relaxed);
             scope_trace::count(scope_trace::Counter::CacheMiss, 1);
@@ -234,6 +250,7 @@ impl CompileCache {
         let key = CacheKey {
             fingerprint,
             enabled: *config.enabled(),
+            model: model.fingerprint_bits(),
         };
         let padded = &self.shards[self.shard_of(&key)];
         let shard = padded.lock();
@@ -255,12 +272,24 @@ impl CompileCache {
     /// full. Racing inserts of the same key keep the first-stored value so
     /// every subsequent hit returns one consistent `Arc`.
     pub fn insert(&self, fingerprint: u64, config: &RuleConfig, plan: Arc<CompiledPlan>) {
+        self.insert_with_model(fingerprint, config, &CostModel::DEFAULT, plan);
+    }
+
+    /// [`CompileCache::insert`] under a non-default cost model.
+    pub fn insert_with_model(
+        &self,
+        fingerprint: u64,
+        config: &RuleConfig,
+        model: &CostModel,
+        plan: Arc<CompiledPlan>,
+    ) {
         if self.capacity == 0 {
             return;
         }
         let key = CacheKey {
             fingerprint,
             enabled: *config.enabled(),
+            model: model.fingerprint_bits(),
         };
         let idx = self.shard_of(&key);
         let cap = self.shard_caps[idx];
@@ -304,10 +333,25 @@ impl CompileCache {
     where
         F: FnOnce() -> Result<CompiledPlan, CompileError>,
     {
+        self.get_or_compile_with_model(fingerprint, config, &CostModel::DEFAULT, compile)
+    }
+
+    /// [`CompileCache::get_or_compile`] keyed additionally by the cost
+    /// model, for compiles whose `compile` closure runs under it.
+    pub fn get_or_compile_with_model<F>(
+        &self,
+        fingerprint: u64,
+        config: &RuleConfig,
+        model: &CostModel,
+        compile: F,
+    ) -> Result<Arc<CompiledPlan>, CompileError>
+    where
+        F: FnOnce() -> Result<CompiledPlan, CompileError>,
+    {
         // Hit/miss path latencies, recorded only while the tracer runs (the
         // clock read is behind the enabled gate).
         let timed = scope_trace::enabled().then(std::time::Instant::now);
-        if let Some(hit) = self.lookup(fingerprint, config) {
+        if let Some(hit) = self.lookup_with_model(fingerprint, config, model) {
             if let Some(t) = timed {
                 scope_trace::record(
                     scope_trace::Histogram::CacheHitMicros,
@@ -317,7 +361,7 @@ impl CompileCache {
             return Ok(hit);
         }
         let compiled = Arc::new(compile()?);
-        self.insert(fingerprint, config, Arc::clone(&compiled));
+        self.insert_with_model(fingerprint, config, model, Arc::clone(&compiled));
         if let Some(t) = timed {
             scope_trace::record(
                 scope_trace::Histogram::CacheMissMicros,
@@ -451,6 +495,37 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.contended, 0, "no lock fight on one thread");
         assert_eq!(s.since(&CacheStats::default()).contended, 0);
+    }
+
+    #[test]
+    fn distinct_cost_models_do_not_share_entries() {
+        let (plan, obs) = tiny_job();
+        let cache = CompileCache::new(8);
+        let cfg = RuleConfig::default_config();
+        let fp = plan_catalog_fingerprint(&plan, &obs);
+        cache
+            .get_or_compile(fp, &cfg, || compile(&plan, &obs, &cfg))
+            .unwrap();
+        // A non-default model must not be served the default-model plan.
+        let skewed = CostModel {
+            weights: crate::cost::CostWeights {
+                io: 4.0,
+                ..crate::cost::CostWeights::DEFAULT
+            },
+            ..CostModel::DEFAULT
+        };
+        let mut recompiled = false;
+        cache
+            .get_or_compile_with_model(fp, &cfg, &skewed, || {
+                recompiled = true;
+                compile(&plan, &obs, &cfg)
+            })
+            .unwrap();
+        assert!(recompiled, "model digest missing from the cache key");
+        // But the same model keyed twice hits.
+        cache
+            .get_or_compile_with_model(fp, &cfg, &skewed, || panic!("must hit"))
+            .unwrap();
     }
 
     #[test]

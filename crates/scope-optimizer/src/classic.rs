@@ -102,6 +102,7 @@ pub fn compile_classic_with_budget(
 
     Ok(CompiledPlan {
         est_cost: outcome.est_cost,
+        est_cost_vec: outcome.est_cost_vec,
         plan: outcome.plan,
         signature: RuleSignature(fired),
         memo_groups: memo.num_groups(),
@@ -1266,6 +1267,7 @@ mod csearch {
     use crate::config::RuleConfig;
     use crate::cost::{
         exchange_cost, exchange_impl_for, impl_cost, output_part, required_child_parts,
+        CostEstimate, CostWeights,
     };
     use crate::estimate::LogicalEst;
     use crate::memo::{GroupId, MExprId};
@@ -1306,6 +1308,7 @@ mod csearch {
     #[derive(Clone, Debug)]
     struct Winner {
         cost: f64,
+        cost_vec: CostEstimate,
         expr: MExprId,
         phys: PhysImpl,
         impl_rule: RuleId,
@@ -1346,9 +1349,11 @@ mod csearch {
         );
         plan.set_root(root_node);
         let est_cost = plan.total_est_cost();
+        let est_cost_vec = plan.total_est_cost_vec();
         Ok(SearchOutcome {
             plan,
             est_cost,
+            est_cost_vec,
             used_rules: used,
         })
     }
@@ -1433,13 +1438,15 @@ mod csearch {
                 let oc = impl_cost(phys, &expr.op, &expr.est, &child_ests, obs);
                 let reqs = required_child_parts(phys, &expr.op, children.len());
                 let mut exchanges = Vec::with_capacity(children.len());
-                let mut candidate_cost = oc.cost;
+                let mut candidate_cost = CostWeights::DEFAULT.scalarize(&oc.cost);
+                let mut candidate_vec = oc.cost;
                 let mut child_parts = Vec::with_capacity(children.len());
                 let mut feasible = true;
                 for (i, &c) in children.iter().enumerate() {
                     let req = reqs.get(i).cloned().unwrap_or(Partitioning::Any);
                     let child_w = &winners[&c];
                     candidate_cost += child_w.cost;
+                    candidate_vec = candidate_vec.add(&child_w.cost_vec);
                     if child_w.out_part.satisfies(&req) {
                         exchanges.push(None);
                         child_parts.push(child_w.out_part.clone());
@@ -1465,7 +1472,8 @@ mod csearch {
                             _ => oc.dop,
                         };
                         let ex_cost = exchange_cost(ex_impl, child_w.est.bytes(), oc.dop.max(1));
-                        candidate_cost += ex_cost.cost;
+                        candidate_cost += CostWeights::DEFAULT.scalarize(&ex_cost.cost);
+                        candidate_vec = candidate_vec.add(&ex_cost.cost);
                         exchanges.push(Some((ex_impl, ex_rule, req.clone(), ex_dop)));
                         child_parts.push(req);
                     }
@@ -1481,6 +1489,7 @@ mod csearch {
                 if better {
                     best_winner = Some(Winner {
                         cost: candidate_cost,
+                        cost_vec: candidate_vec,
                         expr: expr_id,
                         phys,
                         impl_rule,
@@ -1546,7 +1555,8 @@ mod csearch {
                     children: vec![node],
                     est_rows: child_w.est.rows,
                     est_bytes: child_w.est.bytes(),
-                    est_cost: ex_cost.cost,
+                    est_cost: CostWeights::DEFAULT.scalarize(&ex_cost.cost),
+                    est_cost_vec: ex_cost.cost,
                     partitioning: scheme.clone(),
                     dop: *ex_dop,
                     created_by: Some(*ex_rule),
@@ -1564,21 +1574,38 @@ mod csearch {
                 .enumerate()
                 .filter_map(|(i, e)| {
                     e.as_ref().map(|(ex_impl, _, _, _)| {
-                        exchange_cost(
-                            *ex_impl,
-                            winners[&expr.children[i]].est.bytes(),
-                            w.dop.max(1),
+                        CostWeights::DEFAULT.scalarize(
+                            &exchange_cost(
+                                *ex_impl,
+                                winners[&expr.children[i]].est.bytes(),
+                                w.dop.max(1),
+                            )
+                            .cost,
                         )
-                        .cost
                     })
                 })
                 .sum::<f64>();
+        let mut own_vec = w.cost_vec;
+        for c in &expr.children {
+            own_vec = own_vec.saturating_sub(&winners[c].cost_vec);
+        }
+        for (i, e) in w.exchanges.iter().enumerate() {
+            if let Some((ex_impl, _, _, _)) = e {
+                let ex = exchange_cost(
+                    *ex_impl,
+                    winners[&expr.children[i]].est.bytes(),
+                    w.dop.max(1),
+                );
+                own_vec = own_vec.saturating_sub(&ex.cost);
+            }
+        }
         let node = plan.add(PhysNode {
             op: crate::search::phys_op_for(w.phys, &expr.op),
             children: child_nodes,
             est_rows: w.est.rows,
             est_bytes: w.est.bytes(),
             est_cost: own_cost.max(0.0),
+            est_cost_vec: own_vec,
             partitioning: w.out_part.clone(),
             dop: w.dop,
             created_by: Some(w.impl_rule),

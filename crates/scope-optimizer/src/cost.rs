@@ -8,6 +8,16 @@
 //! overhead — and it is *systematically wrong* in the ways §3.2/§6.3 of the
 //! paper describe: it prices UDOs with one global constant, assumes uniform
 //! partitioning (no skew), and never anticipates spills.
+//!
+//! ## Cost vectors
+//!
+//! Every formula is decomposed into a [`CostEstimate`] vector (rows, cpu,
+//! io, net, memory, vertices) and scalarized only at comparison points via
+//! [`CostWeights::scalarize`]. Under [`CostWeights::DEFAULT`] the scalar is
+//! **bit-for-bit** the value the pre-vector model produced — the fold order
+//! in `scalarize` and the component classification of every arm below are
+//! part of that contract (see the comments on both). The frozen `classic`
+//! differential oracle holds the whole pipeline to it.
 
 use scope_ir::ids::ColId;
 use scope_ir::{LogicalOp, ObservableCatalog};
@@ -32,8 +42,36 @@ pub const C_SORT_ROW: f64 = 0.5e-6; // per row per log2(rows)
 pub const C_UDO_ROW: f64 = 1.0e-6; // per unit of (assumed) UDO work
 pub const C_VERTEX: f64 = 0.35; // vertex startup/scheduling overhead
 
+/// Producer-boundary guard for row/byte estimates crossing into the cost
+/// model. The estimator's output contract (see `LogicalEst::bytes`) makes
+/// a non-finite or negative volume a bug, so debug builds refuse it at the
+/// boundary; release builds clamp to 0.0 so one poisoned estimate yields a
+/// harmless zero charge instead of NaN-poisoning every winner comparison
+/// downstream (NaN never wins a strict `<`, which would silently freeze a
+/// group's incumbent). Identity for every healthy value.
+#[inline]
+fn sane_volume(v: f64, what: &str) -> f64 {
+    debug_assert!(
+        v.is_finite() && v >= 0.0,
+        "cost model received a {what} estimate outside [0, ∞): {v}"
+    );
+    clamp_volume(v)
+}
+
+/// The release-mode half of [`sane_volume`], split out so tests can cover
+/// the clamp itself without tripping the debug assertion.
+#[inline]
+pub fn clamp_volume(v: f64) -> f64 {
+    if v.is_finite() && v >= 0.0 {
+        v
+    } else {
+        0.0
+    }
+}
+
 /// Pick the DOP tier for an estimated byte volume.
 pub fn dop_for_bytes(bytes: f64) -> u32 {
+    let bytes = sane_volume(bytes, "byte");
     let need = (bytes / BYTES_PER_VERTEX).ceil().max(1.0) as u32;
     for &tier in &DOP_TIERS {
         if tier >= need {
@@ -43,10 +81,254 @@ pub fn dop_for_bytes(bytes: f64) -> u32 {
     *DOP_TIERS.last().expect("tiers non-empty")
 }
 
+/// Structured estimated cost of one plan fragment, decomposed along the
+/// resource axes the execution simulator reports. All components are in
+/// the same abstract cost units as the old scalar (≈ seconds of one
+/// vertex's work) except `rows` (output cardinality, advisory) and
+/// `memory` (peak per-stage working-set bytes, advisory): those two carry
+/// weight 0 under [`CostWeights::DEFAULT`] and exist for steering,
+/// reporting, and feedback.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated output rows of the fragment root (advisory).
+    pub rows: f64,
+    /// Per-row compute charges.
+    pub cpu: f64,
+    /// Storage read/write charges.
+    pub io: f64,
+    /// Shuffle / broadcast network charges.
+    pub net: f64,
+    /// Peak working-set bytes (hash builds, sort runs; advisory).
+    pub memory: f64,
+    /// Vertex startup/scheduling overhead charges.
+    pub vertices: f64,
+}
+
+impl CostEstimate {
+    pub const ZERO: CostEstimate = CostEstimate {
+        rows: 0.0,
+        cpu: 0.0,
+        io: 0.0,
+        net: 0.0,
+        memory: 0.0,
+        vertices: 0.0,
+    };
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn add(&self, o: &CostEstimate) -> CostEstimate {
+        CostEstimate {
+            rows: self.rows + o.rows,
+            cpu: self.cpu + o.cpu,
+            io: self.io + o.io,
+            net: self.net + o.net,
+            memory: self.memory + o.memory,
+            vertices: self.vertices + o.vertices,
+        }
+    }
+
+    /// Component-wise subtraction floored at zero (used when recovering an
+    /// operator's own cost from a subtree total, mirroring the scalar
+    /// `.max(0.0)` in plan extraction).
+    #[must_use]
+    pub fn saturating_sub(&self, o: &CostEstimate) -> CostEstimate {
+        CostEstimate {
+            rows: (self.rows - o.rows).max(0.0),
+            cpu: (self.cpu - o.cpu).max(0.0),
+            io: (self.io - o.io).max(0.0),
+            net: (self.net - o.net).max(0.0),
+            memory: (self.memory - o.memory).max(0.0),
+            vertices: (self.vertices - o.vertices).max(0.0),
+        }
+    }
+
+    /// Whether every component is finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        let ok = |v: f64| v.is_finite() && v >= 0.0;
+        ok(self.rows)
+            && ok(self.cpu)
+            && ok(self.io)
+            && ok(self.net)
+            && ok(self.memory)
+            && ok(self.vertices)
+    }
+}
+
+/// Scalarization weights for [`CostEstimate`]. The optimizer compares
+/// plans on the weighted scalar only; changing weights steers plan choice
+/// along the resource axes (e.g. raising `io` favors shuffle-heavy but
+/// read-light plans).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostWeights {
+    pub rows: f64,
+    pub cpu: f64,
+    pub io: f64,
+    pub net: f64,
+    pub memory: f64,
+    pub vertices: f64,
+}
+
+impl CostWeights {
+    /// The classic scalar model: every charged component at weight 1, the
+    /// advisory components (rows, memory) at 0. Reproduces the pre-vector
+    /// scalar bit-for-bit (see [`CostWeights::scalarize`]).
+    pub const DEFAULT: CostWeights = CostWeights {
+        rows: 0.0,
+        cpu: 1.0,
+        io: 1.0,
+        net: 1.0,
+        memory: 0.0,
+        vertices: 1.0,
+    };
+
+    /// Weighted scalar of a cost vector.
+    ///
+    /// The fold order — rows, io, net, vertices, cpu, memory — is a
+    /// compatibility contract, not a style choice. Under `DEFAULT` weights
+    /// it reproduces the pre-vector scalar model bit-for-bit for every
+    /// implementation and exchange formula: each arm's components are
+    /// classified so this fold re-creates the original left-to-right f64
+    /// additions exactly, relying only on `x * 1.0 == x`, `+0.0 + x == x`
+    /// for non-negative `x`, and the bitwise commutativity of two-operand
+    /// addition where the original term order differs. Do not reorder.
+    pub fn scalarize(&self, c: &CostEstimate) -> f64 {
+        let mut acc = c.rows * self.rows;
+        acc += c.io * self.io;
+        acc += c.net * self.net;
+        acc += c.vertices * self.vertices;
+        acc += c.cpu * self.cpu;
+        acc += c.memory * self.memory;
+        acc
+    }
+
+    /// Exact-bits digest of the six weights, for compile-cache keys.
+    pub fn fingerprint_bits(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for w in [
+            self.rows,
+            self.cpu,
+            self.io,
+            self.net,
+            self.memory,
+            self.vertices,
+        ] {
+            w.to_bits().hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+impl Default for CostWeights {
+    fn default() -> CostWeights {
+        CostWeights::DEFAULT
+    }
+}
+
+/// Bounded multiplicative corrections derived from executed-plan feedback
+/// (observed/estimated ratios, clamped and smoothed upstream in
+/// `steer-core`). `rows` scales the estimator's scan cardinalities; `cpu`
+/// and `io` scale the matching cost components at costing time (`io`
+/// covers both storage and network, matching the simulator's io metric).
+/// All factors must be finite and strictly positive; [`IDENTITY`] (all
+/// 1.0) is bit-exact no-op by IEEE 754 `x * 1.0 == x`.
+///
+/// [`IDENTITY`]: CostCorrections::IDENTITY
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostCorrections {
+    pub rows: f64,
+    pub cpu: f64,
+    pub io: f64,
+}
+
+impl CostCorrections {
+    pub const IDENTITY: CostCorrections = CostCorrections {
+        rows: 1.0,
+        cpu: 1.0,
+        io: 1.0,
+    };
+
+    pub fn is_identity(&self) -> bool {
+        *self == CostCorrections::IDENTITY
+    }
+
+    /// Whether every factor is finite and strictly positive (the invariant
+    /// the feedback ratio guards uphold).
+    pub fn is_valid(&self) -> bool {
+        let ok = |v: f64| v.is_finite() && v > 0.0;
+        ok(self.rows) && ok(self.cpu) && ok(self.io)
+    }
+}
+
+impl Default for CostCorrections {
+    fn default() -> CostCorrections {
+        CostCorrections::IDENTITY
+    }
+}
+
+/// The full cost-model configuration a compile runs under: scalarization
+/// weights plus per-template feedback corrections. [`CostModel::DEFAULT`]
+/// is bit-identical to the classic scalar model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    pub weights: CostWeights,
+    pub corrections: CostCorrections,
+}
+
+impl CostModel {
+    pub const DEFAULT: CostModel = CostModel {
+        weights: CostWeights::DEFAULT,
+        corrections: CostCorrections::IDENTITY,
+    };
+
+    /// Apply the multiplicative corrections to a raw cost vector. The `io`
+    /// factor covers both storage and network components because the
+    /// simulator's observed io metric aggregates both.
+    pub fn corrected(&self, c: &CostEstimate) -> CostEstimate {
+        CostEstimate {
+            rows: c.rows,
+            cpu: c.cpu * self.corrections.cpu,
+            io: c.io * self.corrections.io,
+            net: c.net * self.corrections.io,
+            memory: c.memory,
+            vertices: c.vertices,
+        }
+    }
+
+    /// Corrected, weighted scalar — the single comparison value the search
+    /// ranks alternatives by.
+    pub fn scalar(&self, c: &CostEstimate) -> f64 {
+        self.weights.scalarize(&self.corrected(c))
+    }
+
+    /// Exact-bits digest of the whole model (weights + corrections), for
+    /// compile-cache keys: two compiles under different models must never
+    /// share a cache entry.
+    pub fn fingerprint_bits(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.weights.fingerprint_bits().hash(&mut h);
+        for f in [
+            self.corrections.rows,
+            self.corrections.cpu,
+            self.corrections.io,
+        ] {
+            f.to_bits().hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::DEFAULT
+    }
+}
+
 /// Estimated cost and planned parallelism of one physical operator.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OpCost {
-    pub cost: f64,
+    pub cost: CostEstimate,
     pub dop: u32,
 }
 
@@ -224,6 +506,12 @@ pub fn output_part(phys: PhysImpl, op: &LogicalOp, child_parts: &[Partitioning])
 /// Generic over [`ChildEsts`] so the search can pass a memo-slab view
 /// without materialising a `Vec<&LogicalEst>` per costed alternative
 /// (slices and arrays of `&LogicalEst` still work unchanged).
+///
+/// Component classification is a bit-identity contract with
+/// [`CostWeights::scalarize`]: within each component the original
+/// left-to-right term order is preserved (notably ScanIndexed's lookup
+/// term stays fused into `io`, and ExchangeRange's trailing sampling
+/// constant is classified as `cpu` so the fold re-adds it last).
 pub fn impl_cost<C: ChildEsts + ?Sized>(
     phys: PhysImpl,
     op: &LogicalOp,
@@ -243,9 +531,17 @@ pub fn impl_cost<C: ChildEsts + ?Sized>(
         in_rows += c.rows;
         in_bytes += c.bytes();
     }
-    match phys {
+    // Producer boundary: whatever estimate.rs (or a buggy future rewrite)
+    // hands us, nothing non-finite or negative proceeds into the formulas.
+    let in_rows = sane_volume(in_rows, "row");
+    let in_bytes = sane_volume(in_bytes, "byte");
+    let mut oc = match phys {
         ScanSerial => OpCost {
-            cost: raw_scan_bytes(op, obs) * C_IO + C_VERTEX,
+            cost: CostEstimate {
+                io: raw_scan_bytes(op, obs) * C_IO,
+                vertices: C_VERTEX,
+                ..CostEstimate::ZERO
+            },
             dop: 1,
         },
         ScanParallel => {
@@ -254,25 +550,39 @@ pub fn impl_cost<C: ChildEsts + ?Sized>(
             let raw = raw_scan_bytes(op, obs);
             let dop = dop_for_bytes(raw);
             OpCost {
-                cost: raw * C_IO / dop as f64 + dop as f64 * C_VERTEX,
+                cost: CostEstimate {
+                    io: raw * C_IO / dop as f64,
+                    vertices: dop as f64 * C_VERTEX,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
         ScanIndexed => {
             // Indexed scans skip irrelevant partitions when a predicate was
-            // pushed: charged on output bytes plus a lookup overhead.
+            // pushed: charged on output bytes plus a lookup overhead. The
+            // lookup term is classified as io (index pages), keeping the
+            // original `read-io + lookup` addition order inside one
+            // component.
             let raw = raw_scan_bytes(op, obs);
             let read = (own.bytes() * 2.0).min(raw).max(1.0);
             let dop = dop_for_bytes(read);
             OpCost {
-                cost: read * C_IO / dop as f64 + 0.05 * raw.max(1.0).log2() + dop as f64 * C_VERTEX,
+                cost: CostEstimate {
+                    io: read * C_IO / dop as f64 + 0.05 * raw.max(1.0).log2(),
+                    vertices: dop as f64 * C_VERTEX,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
         FilterImpl => {
             let dop = dop_for_bytes(in_bytes);
             OpCost {
-                cost: in_rows * C_CPU_ROW / dop as f64,
+                cost: CostEstimate {
+                    cpu: in_rows * C_CPU_ROW / dop as f64,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
@@ -283,7 +593,10 @@ pub fn impl_cost<C: ChildEsts + ?Sized>(
             };
             let dop = dop_for_bytes(in_bytes);
             OpCost {
-                cost: in_rows * C_CPU_ROW * (1.0 + computed) / dop as f64,
+                cost: CostEstimate {
+                    cpu: in_rows * C_CPU_ROW * (1.0 + computed) / dop as f64,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
@@ -294,8 +607,18 @@ pub fn impl_cost<C: ChildEsts + ?Sized>(
                 HashJoin3 => bump_tier(base, -1),
                 _ => base,
             };
+            // Build-side working set: the (estimated) right input, spread
+            // across the vertices.
+            let build = child(children, 1)
+                .map(super::estimate::LogicalEst::bytes)
+                .unwrap_or(0.0);
             OpCost {
-                cost: in_rows * C_HASH_ROW / dop as f64 + dop as f64 * C_VERTEX,
+                cost: CostEstimate {
+                    cpu: in_rows * C_HASH_ROW / dop as f64,
+                    memory: build / dop as f64,
+                    vertices: dop as f64 * C_VERTEX,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
@@ -308,7 +631,12 @@ pub fn impl_cost<C: ChildEsts + ?Sized>(
                 })
                 .sum::<f64>();
             OpCost {
-                cost: (sort + in_rows * C_CPU_ROW) / dop as f64 + dop as f64 * C_VERTEX,
+                cost: CostEstimate {
+                    cpu: (sort + in_rows * C_CPU_ROW) / dop as f64,
+                    memory: in_bytes / dop as f64,
+                    vertices: dop as f64 * C_VERTEX,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
@@ -317,12 +645,17 @@ pub fn impl_cost<C: ChildEsts + ?Sized>(
             let r = child(children, 1);
             let l_bytes = l.map(super::estimate::LogicalEst::bytes).unwrap_or(0.0);
             let r_rows = r.map(|c| c.rows).unwrap_or(0.0);
+            let r_bytes = r.map(super::estimate::LogicalEst::bytes).unwrap_or(0.0);
             let dop = dop_for_bytes(l_bytes);
             // Every vertex builds a hash table over the full right side.
             OpCost {
-                cost: (l.map(|c| c.rows).unwrap_or(0.0) * C_HASH_ROW) / dop as f64
-                    + r_rows * C_HASH_ROW
-                    + dop as f64 * C_VERTEX,
+                cost: CostEstimate {
+                    cpu: (l.map(|c| c.rows).unwrap_or(0.0) * C_HASH_ROW) / dop as f64
+                        + r_rows * C_HASH_ROW,
+                    memory: r_bytes,
+                    vertices: dop as f64 * C_VERTEX,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
@@ -330,7 +663,11 @@ pub fn impl_cost<C: ChildEsts + ?Sized>(
             let l = child(children, 0).map(|c| c.rows).unwrap_or(0.0);
             let r = child(children, 1).map(|c| c.rows).unwrap_or(0.0);
             OpCost {
-                cost: l * r * 0.02e-6 + C_VERTEX,
+                cost: CostEstimate {
+                    cpu: l * r * 0.02e-6,
+                    vertices: C_VERTEX,
+                    ..CostEstimate::ZERO
+                },
                 dop: 1,
             }
         }
@@ -339,49 +676,73 @@ pub fn impl_cost<C: ChildEsts + ?Sized>(
             let r = child(children, 1).map(|c| c.rows).unwrap_or(1.0);
             let dop = dop_for_bytes(child(children, 0).map(LogicalEst::bytes).unwrap_or(0.0));
             OpCost {
-                cost: l * log2(r) * 0.8e-6 / dop as f64
-                    + r * C_CPU_ROW * 0.1
-                    + dop as f64 * C_VERTEX,
+                cost: CostEstimate {
+                    cpu: l * log2(r) * 0.8e-6 / dop as f64 + r * C_CPU_ROW * 0.1,
+                    vertices: dop as f64 * C_VERTEX,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
         HashAgg => {
             let dop = dop_for_bytes(in_bytes);
             OpCost {
-                cost: in_rows * C_HASH_ROW / dop as f64,
+                cost: CostEstimate {
+                    cpu: in_rows * C_HASH_ROW / dop as f64,
+                    memory: in_bytes / dop as f64,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
         SortAgg => {
             let dop = dop_for_bytes(in_bytes);
             OpCost {
-                cost: in_rows * log2(in_rows) * C_SORT_ROW / dop as f64,
+                cost: CostEstimate {
+                    cpu: in_rows * log2(in_rows) * C_SORT_ROW / dop as f64,
+                    memory: in_bytes / dop as f64,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
         StreamAgg => {
             let dop = dop_for_bytes(in_bytes);
             OpCost {
-                cost: in_rows * C_CPU_ROW * 0.8 / dop as f64,
+                cost: CostEstimate {
+                    cpu: in_rows * C_CPU_ROW * 0.8 / dop as f64,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
         UnionConcat => {
             let dop = dop_for_bytes(in_bytes);
             OpCost {
-                cost: in_rows * C_CPU_ROW * 0.1 / dop as f64,
+                cost: CostEstimate {
+                    cpu: in_rows * C_CPU_ROW * 0.1 / dop as f64,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
         UnionSerial => OpCost {
-            cost: in_rows * C_CPU_ROW + C_VERTEX,
+            cost: CostEstimate {
+                cpu: in_rows * C_CPU_ROW,
+                vertices: C_VERTEX,
+                ..CostEstimate::ZERO
+            },
             dop: 1,
         },
         UnionVirtual | VirtualDatasetImpl => {
             let dop = dop_for_bytes(in_bytes);
             // Materialization: write everything once, read it back once.
             OpCost {
-                cost: 2.0 * in_bytes * C_IO / dop as f64 + dop as f64 * C_VERTEX,
+                cost: CostEstimate {
+                    io: 2.0 * in_bytes * C_IO / dop as f64,
+                    vertices: dop as f64 * C_VERTEX,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
@@ -389,89 +750,150 @@ pub fn impl_cost<C: ChildEsts + ?Sized>(
             let dop = dop_for_bytes(in_bytes);
             let k = top_k(op);
             OpCost {
-                cost: in_rows * C_CPU_ROW / dop as f64 + k * log2(k) * C_SORT_ROW,
+                cost: CostEstimate {
+                    cpu: in_rows * C_CPU_ROW / dop as f64 + k * log2(k) * C_SORT_ROW,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
         TopSort => OpCost {
-            cost: in_rows * log2(in_rows) * C_SORT_ROW + C_VERTEX,
+            cost: CostEstimate {
+                cpu: in_rows * log2(in_rows) * C_SORT_ROW,
+                memory: in_bytes,
+                vertices: C_VERTEX,
+                ..CostEstimate::ZERO
+            },
             dop: 1,
         },
         SortParallel => {
             let dop = dop_for_bytes(in_bytes);
             OpCost {
-                cost: in_rows * log2(in_rows / dop as f64) * C_SORT_ROW / dop as f64
-                    + dop as f64 * C_VERTEX,
+                cost: CostEstimate {
+                    cpu: in_rows * log2(in_rows / dop as f64) * C_SORT_ROW / dop as f64,
+                    memory: in_bytes / dop as f64,
+                    vertices: dop as f64 * C_VERTEX,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
         SortSerial => OpCost {
-            cost: in_rows * log2(in_rows) * C_SORT_ROW + C_VERTEX,
+            cost: CostEstimate {
+                cpu: in_rows * log2(in_rows) * C_SORT_ROW,
+                memory: in_bytes,
+                vertices: C_VERTEX,
+                ..CostEstimate::ZERO
+            },
             dop: 1,
         },
         WindowHash => {
             let dop = dop_for_bytes(in_bytes);
             OpCost {
-                cost: in_rows * C_HASH_ROW / dop as f64,
+                cost: CostEstimate {
+                    cpu: in_rows * C_HASH_ROW / dop as f64,
+                    memory: in_bytes / dop as f64,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
         WindowSort => {
             let dop = dop_for_bytes(in_bytes);
             OpCost {
-                cost: in_rows * log2(in_rows) * C_SORT_ROW / dop as f64,
+                cost: CostEstimate {
+                    cpu: in_rows * log2(in_rows) * C_SORT_ROW / dop as f64,
+                    memory: in_bytes / dop as f64,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
         ProcessParallel => {
             let dop = dop_for_bytes(in_bytes);
             OpCost {
-                // One global assumption for every UDO's per-row cost.
-                cost: in_rows * C_UDO_ROW * scope_ir::catalog::DEFAULT_UDO_CPU_PER_ROW / dop as f64
-                    + dop as f64 * C_VERTEX,
+                cost: CostEstimate {
+                    // One global assumption for every UDO's per-row cost.
+                    cpu: in_rows * C_UDO_ROW * scope_ir::catalog::DEFAULT_UDO_CPU_PER_ROW
+                        / dop as f64,
+                    vertices: dop as f64 * C_VERTEX,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
         ProcessSerial => OpCost {
-            cost: in_rows * C_UDO_ROW * scope_ir::catalog::DEFAULT_UDO_CPU_PER_ROW + C_VERTEX,
+            cost: CostEstimate {
+                cpu: in_rows * C_UDO_ROW * scope_ir::catalog::DEFAULT_UDO_CPU_PER_ROW,
+                vertices: C_VERTEX,
+                ..CostEstimate::ZERO
+            },
             dop: 1,
         },
         OutputImpl => {
             let dop = dop_for_bytes(in_bytes);
             OpCost {
-                cost: in_bytes * C_IO / dop as f64,
+                cost: CostEstimate {
+                    io: in_bytes * C_IO / dop as f64,
+                    ..CostEstimate::ZERO
+                },
                 dop,
             }
         }
         ExchangeHash | ExchangeRange | ExchangeBroadcast | ExchangeGather => {
             exchange_cost(phys, in_bytes, dop_for_bytes(in_bytes))
         }
-    }
+    };
+    // Advisory output cardinality, weight 0 by default. Must stay finite:
+    // an infinite value here would turn the `rows * 0.0` scalarize term
+    // into NaN.
+    oc.cost.rows = sane_volume(own.rows, "row");
+    oc
 }
 
 /// Cost of an enforcer exchange moving `bytes` towards `target_dop`
 /// consumers.
 pub fn exchange_cost(phys: PhysImpl, bytes: f64, target_dop: u32) -> OpCost {
     use PhysImpl::*;
+    let bytes = sane_volume(bytes, "byte");
     match phys {
         ExchangeHash => OpCost {
-            cost: bytes * C_NET / target_dop as f64 + target_dop as f64 * C_VERTEX,
+            cost: CostEstimate {
+                net: bytes * C_NET / target_dop as f64,
+                vertices: target_dop as f64 * C_VERTEX,
+                ..CostEstimate::ZERO
+            },
             dop: target_dop,
         },
         ExchangeRange => OpCost {
-            // Range partitioning pays an extra sampling pass.
-            cost: bytes * C_NET * 1.15 / target_dop as f64 + target_dop as f64 * C_VERTEX + 0.5,
+            // Range partitioning pays an extra sampling pass. The flat
+            // sampling constant is classified as cpu — the scalarize fold
+            // adds cpu after net and vertices, reproducing the original
+            // `net + vertices + 0.5` addition order exactly.
+            cost: CostEstimate {
+                net: bytes * C_NET * 1.15 / target_dop as f64,
+                vertices: target_dop as f64 * C_VERTEX,
+                cpu: 0.5,
+                ..CostEstimate::ZERO
+            },
             dop: target_dop,
         },
         ExchangeBroadcast => OpCost {
             // Full copy to every consumer vertex.
-            cost: bytes * C_NET * target_dop as f64 / target_dop as f64 * 1.0
-                + bytes * C_NET * (target_dop as f64 - 1.0).max(0.0) * 0.02
-                + target_dop as f64 * C_VERTEX,
+            cost: CostEstimate {
+                net: bytes * C_NET * target_dop as f64 / target_dop as f64 * 1.0
+                    + bytes * C_NET * (target_dop as f64 - 1.0).max(0.0) * 0.02,
+                vertices: target_dop as f64 * C_VERTEX,
+                ..CostEstimate::ZERO
+            },
             dop: target_dop,
         },
         ExchangeGather => OpCost {
-            cost: bytes * C_NET + C_VERTEX,
+            cost: CostEstimate {
+                net: bytes * C_NET,
+                vertices: C_VERTEX,
+                ..CostEstimate::ZERO
+            },
             dop: 1,
         },
         _ => unreachable!("not an exchange implementation"),
@@ -536,6 +958,11 @@ mod tests {
         cat.observe()
     }
 
+    /// Default scalarization — the one comparison value tests may rank by.
+    fn ds(oc: &OpCost) -> f64 {
+        CostWeights::DEFAULT.scalarize(&oc.cost)
+    }
+
     #[test]
     fn dop_tiers_monotone() {
         assert_eq!(dop_for_bytes(0.0), 1);
@@ -579,7 +1006,7 @@ mod tests {
         let hash = impl_cost(PhysImpl::HashJoin1, &op, &own, &[&big, &small], &obs());
         // Broadcast itself is cheap; the exchange difference decides the
         // rest (no repartitioning of the big side).
-        assert!(bc.cost < hash.cost * 2.0);
+        assert!(ds(&bc) < ds(&hash) * 2.0);
     }
 
     #[test]
@@ -593,8 +1020,8 @@ mod tests {
         let cheap = impl_cost(PhysImpl::LoopJoin, &op, &own, &[&tiny, &tiny], &obs());
         let big = est(1e6, 50.0);
         let expensive = impl_cost(PhysImpl::LoopJoin, &op, &own, &[&big, &big], &obs());
-        assert!(cheap.cost < 1.0);
-        assert!(expensive.cost > 1000.0);
+        assert!(ds(&cheap) < 1.0);
+        assert!(ds(&expensive) > 1000.0);
     }
 
     #[test]
@@ -638,6 +1065,184 @@ mod tests {
         let idx = impl_cost(PhysImpl::ScanIndexed, &pushed, &own, &[], &obs());
         let par = impl_cost(PhysImpl::ScanParallel, &pushed, &own, &[], &obs());
         // Indexed scans profit from selective pushed predicates.
-        assert!(idx.cost < par.cost);
+        assert!(ds(&idx) < ds(&par));
+    }
+
+    /// Bit-identity spot checks: the default scalarization of the
+    /// decomposed arms equals the legacy single-expression formulas down to
+    /// the last bit. The frozen `classic` oracle checks whole plans; these
+    /// pin the trickiest individual arms (fused ScanIndexed lookup term,
+    /// the ExchangeRange trailing constant, commuted cpu+vertex sums).
+    #[test]
+    fn default_scalarization_matches_legacy_formulas_bitwise() {
+        let obs = obs();
+        let op = LogicalOp::RangeGet {
+            table: TableId(0),
+            pushed: Predicate::atom(scope_ir::PredAtom::unknown(
+                ColId(0),
+                scope_ir::CmpOp::Eq,
+                scope_ir::Literal::Int(1),
+            )),
+        };
+        let own = est(1e4, 100.0);
+
+        // ScanIndexed: read*C_IO/dop + lookup + dop*C_VERTEX.
+        let idx = impl_cost(PhysImpl::ScanIndexed, &op, &own, &[], &obs);
+        let raw = raw_scan_bytes(&op, &obs);
+        let read = (own.bytes() * 2.0).min(raw).max(1.0);
+        let dop = dop_for_bytes(read);
+        let legacy = read * C_IO / dop as f64 + 0.05 * raw.max(1.0).log2() + dop as f64 * C_VERTEX;
+        assert_eq!(ds(&idx).to_bits(), legacy.to_bits());
+
+        // ExchangeRange: net + vertices + 0.5, in that order.
+        let er = exchange_cost(PhysImpl::ExchangeRange, 3.5e9, 25);
+        let legacy = 3.5e9 * C_NET * 1.15 / 25.0 + 25.0 * C_VERTEX + 0.5;
+        assert_eq!(ds(&er).to_bits(), legacy.to_bits());
+
+        // HashJoin1: cpu + vertices (commuted in the fold).
+        let jop = LogicalOp::Join {
+            kind: JoinKind::Inner,
+            keys: vec![(ColId(0), ColId(1))],
+        };
+        let l = est(1e7, 100.0);
+        let r = est(3e6, 80.0);
+        let jown = est(1e7, 180.0);
+        let hj = impl_cost(PhysImpl::HashJoin1, &jop, &jown, &[&l, &r], &obs);
+        let in_rows = l.rows + r.rows;
+        let in_bytes = l.bytes() + r.bytes();
+        let dop = dop_for_bytes(in_bytes);
+        let legacy = in_rows * C_HASH_ROW / dop as f64 + dop as f64 * C_VERTEX;
+        assert_eq!(ds(&hj).to_bits(), legacy.to_bits());
+
+        // MergeJoin: (sort + cpu)/dop + vertices.
+        let mj = impl_cost(PhysImpl::MergeJoin, &jop, &jown, &[&l, &r], &obs);
+        let sort = l.rows * l.rows.max(2.0).log2() * C_SORT_ROW
+            + r.rows * r.rows.max(2.0).log2() * C_SORT_ROW;
+        let legacy = (sort + in_rows * C_CPU_ROW) / dop as f64 + dop as f64 * C_VERTEX;
+        assert_eq!(ds(&mj).to_bits(), legacy.to_bits());
+    }
+
+    #[test]
+    fn identity_corrections_are_bit_exact() {
+        let op = LogicalOp::Join {
+            kind: JoinKind::Inner,
+            keys: vec![(ColId(0), ColId(1))],
+        };
+        let l = est(1e7, 100.0);
+        let r = est(3e6, 80.0);
+        let own = est(1e7, 180.0);
+        for phys in [
+            PhysImpl::HashJoin1,
+            PhysImpl::MergeJoin,
+            PhysImpl::BroadcastJoin,
+            PhysImpl::LoopJoin,
+        ] {
+            let oc = impl_cost(phys, &op, &own, &[&l, &r], &obs());
+            assert_eq!(
+                CostModel::DEFAULT.scalar(&oc.cost).to_bits(),
+                CostWeights::DEFAULT.scalarize(&oc.cost).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn weights_steer_along_the_io_axis() {
+        // An IO-heavy materialization vs a cpu-heavy union concat: raising
+        // the io weight must flip (or at least widen) their relative order.
+        let op = LogicalOp::UnionAll;
+        let a = est(5e5, 400.0);
+        let b = est(5e5, 400.0);
+        let own = est(1e6, 400.0);
+        let virt = impl_cost(PhysImpl::UnionVirtual, &op, &own, &[&a, &b], &obs());
+        let concat = impl_cost(PhysImpl::UnionConcat, &op, &own, &[&a, &b], &obs());
+        let hi_io = CostWeights {
+            io: 8.0,
+            ..CostWeights::DEFAULT
+        };
+        let gap_default = CostWeights::DEFAULT.scalarize(&virt.cost)
+            - CostWeights::DEFAULT.scalarize(&concat.cost);
+        let gap_hi = hi_io.scalarize(&virt.cost) - hi_io.scalarize(&concat.cost);
+        assert!(gap_hi > gap_default, "io weight must penalize io-heavy ops");
+    }
+
+    #[test]
+    fn clamp_volume_neutralizes_degenerate_estimates() {
+        assert_eq!(clamp_volume(f64::NAN), 0.0);
+        assert_eq!(clamp_volume(f64::INFINITY), 0.0);
+        assert_eq!(clamp_volume(f64::NEG_INFINITY), 0.0);
+        assert_eq!(clamp_volume(-3.5), 0.0);
+        // Identity for healthy values, bit-exactly.
+        for v in [0.0, 1.0, 1e-300, 7.25e18] {
+            assert_eq!(clamp_volume(v).to_bits(), v.to_bits());
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "byte estimate outside")]
+    fn dop_for_bytes_refuses_nan_in_debug() {
+        dop_for_bytes(f64::NAN);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "byte estimate outside")]
+    fn dop_for_bytes_refuses_negative_in_debug() {
+        dop_for_bytes(-1.0);
+    }
+
+    #[test]
+    fn cost_estimate_arithmetic() {
+        let a = CostEstimate {
+            rows: 1.0,
+            cpu: 2.0,
+            io: 3.0,
+            net: 4.0,
+            memory: 5.0,
+            vertices: 6.0,
+        };
+        let b = CostEstimate {
+            rows: 0.5,
+            cpu: 3.0,
+            io: 1.0,
+            net: 1.0,
+            memory: 1.0,
+            vertices: 1.0,
+        };
+        let s = a.add(&b);
+        assert_eq!(s.cpu, 5.0);
+        assert_eq!(s.vertices, 7.0);
+        let d = a.saturating_sub(&b);
+        assert_eq!(d.cpu, 0.0); // floored, 2 - 3 < 0
+        assert_eq!(d.io, 2.0);
+        assert!(a.is_valid());
+        assert!(!CostEstimate {
+            cpu: f64::NAN,
+            ..CostEstimate::ZERO
+        }
+        .is_valid());
+    }
+
+    #[test]
+    fn model_fingerprints_distinguish_weights_and_corrections() {
+        let d = CostModel::DEFAULT;
+        let w = CostModel {
+            weights: CostWeights {
+                io: 2.0,
+                ..CostWeights::DEFAULT
+            },
+            corrections: CostCorrections::IDENTITY,
+        };
+        let c = CostModel {
+            weights: CostWeights::DEFAULT,
+            corrections: CostCorrections {
+                cpu: 1.5,
+                ..CostCorrections::IDENTITY
+            },
+        };
+        assert_ne!(d.fingerprint_bits(), w.fingerprint_bits());
+        assert_ne!(d.fingerprint_bits(), c.fingerprint_bits());
+        assert_ne!(w.fingerprint_bits(), c.fingerprint_bits());
+        assert_eq!(d.fingerprint_bits(), CostModel::DEFAULT.fingerprint_bits());
     }
 }

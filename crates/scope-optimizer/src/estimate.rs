@@ -124,6 +124,10 @@ struct SelCache {
 pub struct Estimator<'a> {
     obs: &'a ObservableCatalog,
     cache: RefCell<SelCache>,
+    /// Multiplicative feedback correction applied to scan (leaf)
+    /// cardinalities — the runtime-feedback loop's handle on systematic
+    /// row misestimates. 1.0 (the default) is a bit-exact no-op.
+    rows_correction: f64,
 }
 
 impl<'a> Estimator<'a> {
@@ -131,6 +135,28 @@ impl<'a> Estimator<'a> {
         Estimator {
             obs,
             cache: RefCell::new(SelCache::default()),
+            rows_correction: 1.0,
+        }
+    }
+
+    /// [`Estimator::new`] with a scan-cardinality correction factor. A
+    /// non-finite or non-positive factor is a feedback-path bug upstream:
+    /// debug builds refuse it, release builds fall back to the identity so
+    /// a poisoned factor can never produce NaN cardinalities.
+    pub fn with_rows_correction(obs: &'a ObservableCatalog, factor: f64) -> Self {
+        debug_assert!(
+            factor.is_finite() && factor > 0.0,
+            "rows correction must be finite and positive, got {factor}"
+        );
+        let factor = if factor.is_finite() && factor > 0.0 {
+            factor
+        } else {
+            1.0
+        };
+        Estimator {
+            obs,
+            cache: RefCell::new(SelCache::default()),
+            rows_correction: factor,
         }
     }
 
@@ -199,7 +225,10 @@ impl<'a> Estimator<'a> {
                     .map(|t| t.cols.clone())
                     .unwrap_or_default();
                 LogicalEst {
-                    rows: (rows * sel).max(1.0),
+                    // The feedback correction multiplies *after* the
+                    // selectivity product: at the identity factor the
+                    // `* 1.0` leaves every bit unchanged.
+                    rows: (rows * sel * self.rows_correction).max(1.0),
                     row_bytes: self.obs.table_row_bytes(*table) as f64,
                     cols,
                 }
@@ -497,6 +526,28 @@ mod tests {
         assert_eq!(u.rows, 30.0);
         assert_eq!(u.row_bytes, 60.0);
         assert_eq!(u.cols, vec![cols[1]]);
+    }
+
+    #[test]
+    fn rows_correction_scales_scan_estimates() {
+        let (cat, _cols) = setup();
+        let obs = cat.observe();
+        let op = LogicalOp::Get { table: TableId(0) };
+        let base = Estimator::new(&obs).derive(&op, &[]);
+        // The identity factor is bit-exact, not merely close.
+        let ident = Estimator::with_rows_correction(&obs, 1.0).derive(&op, &[]);
+        assert_eq!(base.rows.to_bits(), ident.rows.to_bits());
+        let doubled = Estimator::with_rows_correction(&obs, 2.0).derive(&op, &[]);
+        assert_eq!(doubled.rows, 2.0 * base.rows);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "rows correction must be finite and positive")]
+    fn degenerate_rows_correction_refused_in_debug() {
+        let (cat, _cols) = setup();
+        let obs = cat.observe();
+        let _ = Estimator::with_rows_correction(&obs, f64::NAN);
     }
 
     #[test]

@@ -41,10 +41,12 @@ pub mod validate;
 
 pub use cache::{plan_catalog_fingerprint, CacheStats, CompileCache};
 pub use config::{RuleConfig, RuleDiff, RuleSignature};
+pub use cost::{clamp_volume, CostCorrections, CostEstimate, CostModel, CostWeights};
 pub use optimizer::normalized_kind_counts;
 pub use optimizer::{
     catch_compile_panics, compile, compile_job, compile_job_guarded, compile_job_with_budget,
-    compile_with_budget, effective_config, CompileStats, CompiledPlan,
+    compile_job_with_model, compile_with_budget, compile_with_model, effective_config,
+    CompileStats, CompiledPlan,
 };
 pub use physical::{Partitioning, PhysNode, PhysOp, PhysPlan};
 pub use rules::{AnchorRewrite, PhysImpl, Rule, RuleAction, RuleCatalog, RuleCategory};

@@ -8,6 +8,7 @@ use scope_ir::ids::ColId;
 use scope_ir::{Job, ObservableCatalog, OpKind, PlanGraph};
 
 use crate::config::{RuleConfig, RuleSignature};
+use crate::cost::{CostEstimate, CostModel};
 use crate::estimate::Estimator;
 use crate::memo::Memo;
 use crate::normalize::normalize;
@@ -16,7 +17,7 @@ use crate::rules::catalog::COMPLEX_KINDS;
 use crate::rules::{RuleAction, RuleCatalog};
 use crate::ruleset::RuleSet;
 use crate::search::{
-    explore, implement_with_scratch, BudgetTracker, CompileBudget, CompileError, ImplementScratch,
+    explore, implement_with_model, BudgetTracker, CompileBudget, CompileError, ImplementScratch,
 };
 use crate::transform::{referenced_cols, TransformCtx};
 
@@ -42,6 +43,12 @@ pub struct CompiledPlan {
     pub plan: PhysPlan,
     /// The optimizer's total estimated cost for the plan.
     pub est_cost: f64,
+    /// Component-wise total estimated cost (`est_cost` is its
+    /// scalarization under the compile's cost weights). Deliberately
+    /// excluded from [`CompiledPlan::fingerprint`]: the scalar's bits
+    /// already pin the model-visible outcome, and the frozen `classic`
+    /// oracle predates vectors.
+    pub est_cost_vec: CostEstimate,
     /// Definition 3.2 — every rule that contributed to this plan.
     pub signature: RuleSignature,
     /// Diagnostics: memo size after exploration.
@@ -132,12 +139,31 @@ pub fn compile_with_budget(
     config: &RuleConfig,
     budget: &CompileBudget,
 ) -> Result<CompiledPlan, CompileError> {
+    compile_with_model(plan, obs, config, budget, &CostModel::DEFAULT)
+}
+
+/// [`compile_with_budget`] under an explicit cost model (scalarization
+/// weights + feedback corrections). [`CostModel::DEFAULT`] reproduces the
+/// classic scalar compile bit-for-bit; anything else re-ranks memo
+/// alternatives, so callers caching compiles must key on
+/// [`CostModel::fingerprint_bits`] as well.
+pub fn compile_with_model(
+    plan: &PlanGraph,
+    obs: &ObservableCatalog,
+    config: &RuleConfig,
+    budget: &CompileBudget,
+    model: &CostModel,
+) -> Result<CompiledPlan, CompileError> {
     COMPILE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
-        Ok(mut scratch) => compile_with_scratch(plan, obs, config, budget, &mut scratch),
+        Ok(mut scratch) => {
+            compile_with_scratch_model(plan, obs, config, budget, &mut scratch, model)
+        }
         // Re-entrant compile on this thread (shouldn't happen, but a panic
         // unwound mid-borrow must not poison every later compile): fall
         // back to fresh one-shot state.
-        Err(_) => compile_with_scratch(plan, obs, config, budget, &mut CompileScratch::new()),
+        Err(_) => {
+            compile_with_scratch_model(plan, obs, config, budget, &mut CompileScratch::new(), model)
+        }
     })
 }
 
@@ -151,11 +177,23 @@ pub fn compile_with_scratch(
     budget: &CompileBudget,
     scratch: &mut CompileScratch,
 ) -> Result<CompiledPlan, CompileError> {
+    compile_with_scratch_model(plan, obs, config, budget, scratch, &CostModel::DEFAULT)
+}
+
+/// [`compile_with_scratch`] under an explicit cost model.
+pub fn compile_with_scratch_model(
+    plan: &PlanGraph,
+    obs: &ObservableCatalog,
+    config: &RuleConfig,
+    budget: &CompileBudget,
+    scratch: &mut CompileScratch,
+    model: &CostModel,
+) -> Result<CompiledPlan, CompileError> {
     let start = std::time::Instant::now();
     let _compile_span = scope_trace::span_timed("compile", scope_trace::Histogram::CompileMicros);
     let mut tracker = BudgetTracker::new(budget);
     let normalized = normalize(plan);
-    let estimator = Estimator::new(obs);
+    let estimator = Estimator::with_rows_correction(obs, model.corrections.rows);
 
     // Columns referenced anywhere in the query: the safe retention set for
     // pruning rewrites.
@@ -180,7 +218,7 @@ pub fn compile_with_scratch(
     let outcome = {
         let _span =
             scope_trace::span_timed("compile.implement", scope_trace::Histogram::ImplementMicros);
-        implement_with_scratch(memo, root, config, obs, &mut tracker, implement)?
+        implement_with_model(memo, root, config, obs, &mut tracker, implement, model)?
     };
     if scope_trace::enabled() {
         scope_trace::record(scope_trace::Histogram::MemoGroups, memo.num_groups() as u64);
@@ -214,6 +252,7 @@ pub fn compile_with_scratch(
 
     Ok(CompiledPlan {
         est_cost: outcome.est_cost,
+        est_cost_vec: outcome.est_cost_vec,
         plan: outcome.plan,
         signature: RuleSignature(fired),
         memo_groups: memo.num_groups(),
@@ -288,6 +327,23 @@ pub fn compile_job_with_budget(
 ) -> Result<CompiledPlan, CompileError> {
     let obs = job.catalog.observe();
     compile_with_budget(&job.plan, &obs, &effective_config(job, config), budget)
+}
+
+/// [`compile_job_with_budget`] under an explicit cost model.
+pub fn compile_job_with_model(
+    job: &Job,
+    config: &RuleConfig,
+    budget: &CompileBudget,
+    model: &CostModel,
+) -> Result<CompiledPlan, CompileError> {
+    let obs = job.catalog.observe();
+    compile_with_model(
+        &job.plan,
+        &obs,
+        &effective_config(job, config),
+        budget,
+        model,
+    )
 }
 
 /// [`compile_job_with_budget`] with panic isolation: a compile that

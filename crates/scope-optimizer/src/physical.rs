@@ -8,6 +8,7 @@
 use scope_ir::ids::{ColId, NodeId, TableId, UdoId};
 use scope_ir::{AggFunc, JoinKind, Predicate};
 
+use crate::cost::CostEstimate;
 use crate::ruleset::RuleId;
 
 /// Data partitioning of an operator's output across vertices.
@@ -191,6 +192,10 @@ pub struct PhysNode {
     pub est_bytes: f64,
     /// Estimated cost of *this operator alone* (children excluded).
     pub est_cost: f64,
+    /// Component-wise estimated cost of this operator alone (same scope as
+    /// `est_cost`; `est_cost` is its scalarization under the compile's
+    /// cost weights).
+    pub est_cost_vec: CostEstimate,
     /// Output partitioning.
     pub partitioning: Partitioning,
     /// Degree of parallelism the optimizer planned for this operator.
@@ -281,6 +286,16 @@ impl PhysPlan {
             .sum()
     }
 
+    /// Total component-wise estimated cost (sum of reachable per-operator
+    /// cost vectors).
+    pub fn total_est_cost_vec(&self) -> CostEstimate {
+        self.reachable()
+            .iter()
+            .fold(CostEstimate::ZERO, |acc, &id| {
+                acc.add(&self.node(id).est_cost_vec)
+            })
+    }
+
     /// Number of exchanges (stage boundaries) in the plan.
     pub fn num_exchanges(&self) -> usize {
         self.reachable()
@@ -335,6 +350,10 @@ mod tests {
             est_rows: 10.0,
             est_bytes: 100.0,
             est_cost: cost,
+            est_cost_vec: CostEstimate {
+                cpu: cost,
+                ..CostEstimate::ZERO
+            },
             partitioning: Partitioning::Any,
             dop: 1,
             created_by: None,

@@ -21,7 +21,10 @@ use scope_ir::ids::NodeId;
 use scope_ir::{LogicalOp, OpKind};
 
 use crate::config::RuleConfig;
-use crate::cost::{exchange_cost, exchange_impl_for, impl_cost, output_part, required_child_parts};
+use crate::cost::{
+    exchange_cost, exchange_impl_for, impl_cost, output_part, required_child_parts, CostEstimate,
+    CostModel,
+};
 use crate::memo::{EstId, GroupId, MExprId, Memo};
 use crate::physical::{Partitioning, PhysNode, PhysOp, PhysPlan};
 use crate::rules::{PhysImpl, RuleAction, RuleCatalog};
@@ -247,6 +250,9 @@ impl BudgetTracker {
 pub struct SearchOutcome {
     pub plan: PhysPlan,
     pub est_cost: f64,
+    /// Component-wise estimated cost of the whole plan (sum of reachable
+    /// per-operator vectors, corrections applied).
+    pub est_cost_vec: CostEstimate,
     /// Rules that contributed to the winning plan (transformations,
     /// implementations, enforcer + exchange implementations).
     pub used_rules: RuleSet,
@@ -289,7 +295,14 @@ pub fn explore(
 /// Per-group winning implementation.
 #[derive(Clone, Debug)]
 struct Winner {
+    /// Scalarized subtree cost — the *only* value alternatives are ranked
+    /// by. Produced by [`CostModel::scalar`] at the costing sites; the f64
+    /// accumulation below is textually the same as the pre-vector model's,
+    /// so the default model is bit-identical to the classic scalar.
     cost: f64,
+    /// Component-wise subtree cost (corrections applied), carried for plan
+    /// annotation and feedback; never compared.
+    cost_vec: CostEstimate,
     expr: MExprId,
     phys: PhysImpl,
     impl_rule: RuleId,
@@ -352,6 +365,30 @@ pub fn implement_with_scratch(
     tracker: &mut BudgetTracker,
     scratch: &mut ImplementScratch,
 ) -> Result<SearchOutcome, CompileError> {
+    implement_with_model(
+        memo,
+        root,
+        config,
+        obs,
+        tracker,
+        scratch,
+        &CostModel::DEFAULT,
+    )
+}
+
+/// [`implement_with_scratch`] under an explicit cost model (scalarization
+/// weights + feedback corrections). `CostModel::DEFAULT` is bit-identical
+/// to the classic scalar path.
+#[allow(clippy::too_many_arguments)]
+pub fn implement_with_model(
+    memo: &Memo,
+    root: GroupId,
+    config: &RuleConfig,
+    obs: &scope_ir::ObservableCatalog,
+    tracker: &mut BudgetTracker,
+    scratch: &mut ImplementScratch,
+    model: &CostModel,
+) -> Result<SearchOutcome, CompileError> {
     scratch.reset(memo.num_groups());
     let ImplementScratch {
         winners,
@@ -360,7 +397,7 @@ pub fn implement_with_scratch(
         built,
     } = scratch;
     best(
-        memo, root, config, obs, winners, failures, visiting, tracker,
+        memo, root, config, obs, winners, failures, visiting, tracker, model,
     )?;
 
     // Extraction.
@@ -368,12 +405,16 @@ pub fn implement_with_scratch(
     let mut used = RuleSet::EMPTY;
     let cat = RuleCatalog::global();
     let enforce = cat.find("EnforceExchange").expect("catalog rule");
-    let root_node = extract(memo, root, winners, &mut plan, built, &mut used, enforce);
+    let root_node = extract(
+        memo, root, winners, &mut plan, built, &mut used, enforce, model,
+    );
     plan.set_root(root_node);
     let est_cost = plan.total_est_cost();
+    let est_cost_vec = plan.total_est_cost_vec();
     Ok(SearchOutcome {
         plan,
         est_cost,
+        est_cost_vec,
         used_rules: used,
     })
 }
@@ -388,6 +429,7 @@ fn best(
     failures: &mut [Option<CompileError>],
     visiting: &mut [bool],
     tracker: &mut BudgetTracker,
+    model: &CostModel,
 ) -> Result<f64, CompileError> {
     if let Some(w) = &winners[group.index()] {
         return Ok(w.cost);
@@ -416,7 +458,9 @@ fn best(
         // with no feasible implementation.
         let mut ok = true;
         for &c in children {
-            match best(memo, c, config, obs, winners, failures, visiting, tracker) {
+            match best(
+                memo, c, config, obs, winners, failures, visiting, tracker, model,
+            ) {
                 Ok(_) => {}
                 // Budget exhaustion (and friends) abort the whole compile —
                 // unlike per-alternative infeasibility, there is no point
@@ -479,13 +523,18 @@ fn best(
             let oc = impl_cost(phys, op, own_est, &child_ests, obs);
             let reqs = required_child_parts(phys, op, children.len());
             let mut exchanges = Vec::with_capacity(children.len());
-            let mut candidate_cost = oc.cost;
+            // Scalarize at the costing site; the f64 accumulation below is
+            // textually the pre-vector model's, so default-model compiles
+            // stay bit-identical to the classic scalar path.
+            let mut candidate_cost = model.scalar(&oc.cost);
+            let mut candidate_vec = model.corrected(&oc.cost);
             let mut child_parts = Vec::with_capacity(children.len());
             let mut feasible = true;
             for (i, &c) in children.iter().enumerate() {
                 let req = reqs.get(i).cloned().unwrap_or(Partitioning::Any);
                 let child_w = winners[c.index()].as_ref().expect("child winner resolved");
                 candidate_cost += child_w.cost;
+                candidate_vec = candidate_vec.add(&child_w.cost_vec);
                 if child_w.out_part.satisfies(&req) {
                     exchanges.push(None);
                     child_parts.push(child_w.out_part.clone());
@@ -509,7 +558,8 @@ fn best(
                     };
                     let ex_cost =
                         exchange_cost(ex_impl, memo.est(child_w.est).bytes(), oc.dop.max(1));
-                    candidate_cost += ex_cost.cost;
+                    candidate_cost += model.scalar(&ex_cost.cost);
+                    candidate_vec = candidate_vec.add(&model.corrected(&ex_cost.cost));
                     exchanges.push(Some((ex_impl, ex_rule, req.clone(), ex_dop)));
                     child_parts.push(req);
                 }
@@ -525,6 +575,7 @@ fn best(
             if better {
                 best_winner = Some(Winner {
                     cost: candidate_cost,
+                    cost_vec: candidate_vec,
                     expr: expr_id,
                     phys,
                     impl_rule,
@@ -565,6 +616,7 @@ fn best(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn extract(
     memo: &Memo,
     group: GroupId,
@@ -573,6 +625,7 @@ fn extract(
     built: &mut [Option<NodeId>],
     used: &mut RuleSet,
     enforce_rule: RuleId,
+    model: &CostModel,
 ) -> NodeId {
     if let Some(node) = built[group.index()] {
         return node;
@@ -583,7 +636,7 @@ fn extract(
     let children = memo.children(w.expr);
     let mut child_nodes = Vec::with_capacity(children.len());
     for (i, &c) in children.iter().enumerate() {
-        let mut node = extract(memo, c, winners, plan, built, used, enforce_rule);
+        let mut node = extract(memo, c, winners, plan, built, used, enforce_rule, model);
         if let Some((ex_impl, ex_rule, scheme, ex_dop)) = &w.exchanges[i] {
             let child_w = winners[c.index()].as_ref().expect("child winner");
             let child_est = memo.est(child_w.est);
@@ -596,7 +649,8 @@ fn extract(
                 children: vec![node],
                 est_rows: child_est.rows,
                 est_bytes: child_est.bytes(),
-                est_cost: ex_cost.cost,
+                est_cost: model.scalar(&ex_cost.cost),
+                est_cost_vec: model.corrected(&ex_cost.cost),
                 partitioning: scheme.clone(),
                 dop: *ex_dop,
                 created_by: Some(*ex_rule),
@@ -616,10 +670,25 @@ fn extract(
             .filter_map(|(i, e)| {
                 e.as_ref().map(|(ex_impl, _, _, _)| {
                     let child_w = winners[children[i].index()].as_ref().expect("child winner");
-                    exchange_cost(*ex_impl, memo.est(child_w.est).bytes(), w.dop.max(1)).cost
+                    let ex = exchange_cost(*ex_impl, memo.est(child_w.est).bytes(), w.dop.max(1));
+                    model.scalar(&ex.cost)
                 })
             })
             .sum::<f64>();
+    // Component-wise own cost: the subtree vector minus resolved child and
+    // exchange vectors, floored at zero like the scalar.
+    let mut own_vec = w.cost_vec;
+    for &c in children {
+        own_vec =
+            own_vec.saturating_sub(&winners[c.index()].as_ref().expect("child winner").cost_vec);
+    }
+    for (i, e) in w.exchanges.iter().enumerate() {
+        if let Some((ex_impl, _, _, _)) = e {
+            let child_w = winners[children[i].index()].as_ref().expect("child winner");
+            let ex = exchange_cost(*ex_impl, memo.est(child_w.est).bytes(), w.dop.max(1));
+            own_vec = own_vec.saturating_sub(&model.corrected(&ex.cost));
+        }
+    }
     let w_est = memo.est(w.est);
     let created_by_logical = memo.expr(w.expr).created_by;
     let node = plan.add(PhysNode {
@@ -628,6 +697,7 @@ fn extract(
         est_rows: w_est.rows,
         est_bytes: w_est.bytes(),
         est_cost: own_cost.max(0.0),
+        est_cost_vec: own_vec,
         partitioning: w.out_part.clone(),
         dop: w.dop,
         created_by: Some(w.impl_rule),

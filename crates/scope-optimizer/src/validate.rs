@@ -214,6 +214,10 @@ mod tests {
             est_rows: 100.0,
             est_bytes: 1_000.0,
             est_cost: 5.0,
+            est_cost_vec: crate::cost::CostEstimate {
+                cpu: 5.0,
+                ..crate::cost::CostEstimate::ZERO
+            },
             partitioning: part,
             dop: 4,
             created_by: None,
